@@ -1,0 +1,134 @@
+//! Numeric adjacency of /24s within homogeneous blocks
+//! (paper Section 5.3, Figures 7 and 8).
+//!
+//! Topologically co-located blocks might be expected to be numerically
+//! adjacent (routing is prefix-based), and mostly are *locally* — ~70% of
+//! neighbor pairs share ≥ 20 prefix bits — yet aggregates usually consist
+//! of several contiguous runs far apart in address space: ~40% of
+//! (smallest, largest) pairs share ≤ 1 bit.
+
+use netsim::Block24;
+use serde::{Deserialize, Serialize};
+
+/// Longest-common-prefix lengths between numerically adjacent /24s of a
+/// sorted aggregate (Figure 7a). Values in `0..=23`.
+pub fn neighbor_lcp_lens(blocks: &[Block24]) -> Vec<u8> {
+    let mut sorted = blocks.to_vec();
+    sorted.sort();
+    sorted
+        .windows(2)
+        .map(|w| w[0].lcp_len(w[1]).min(23))
+        .collect()
+}
+
+/// LCP length between the smallest and largest /24 (Figure 7b).
+pub fn first_last_lcp(blocks: &[Block24]) -> Option<u8> {
+    let min = blocks.iter().min()?;
+    let max = blocks.iter().max()?;
+    if min == max {
+        return None;
+    }
+    Some(min.lcp_len(*max).min(23))
+}
+
+/// The Figure 8 visualization positions: for the sorted blocks
+/// `{p1..pn}`, `x1 = 1` and `x_i = x_{i-1} + (24 − LCPLEN(p_{i-1}, p_i))`,
+/// so the gap between marks grows as adjacency shrinks.
+pub fn figure8_positions(blocks: &[Block24]) -> Vec<u64> {
+    let mut sorted = blocks.to_vec();
+    sorted.sort();
+    let mut xs = Vec::with_capacity(sorted.len());
+    let mut x = 1u64;
+    xs.push(x);
+    for w in sorted.windows(2) {
+        x += 24 - w[0].lcp_len(w[1]).min(23) as u64;
+        xs.push(x);
+    }
+    xs
+}
+
+/// Decompose a sorted aggregate into maximal contiguous runs of /24s.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Run {
+    /// First block of the run.
+    pub start: Block24,
+    /// Number of consecutive /24s.
+    pub len: u32,
+}
+
+/// The contiguous runs making up an aggregate.
+pub fn contiguous_runs(blocks: &[Block24]) -> Vec<Run> {
+    let mut sorted = blocks.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    let mut runs: Vec<Run> = Vec::new();
+    for b in sorted {
+        match runs.last_mut() {
+            Some(run) if run.start.0 + run.len == b.0 => run.len += 1,
+            _ => runs.push(Run { start: b, len: 1 }),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u32) -> Block24 {
+        Block24(v)
+    }
+
+    #[test]
+    fn neighbor_lcp_of_consecutive_blocks_is_23() {
+        let lens = neighbor_lcp_lens(&[b(0x0A0000), b(0x0A0001)]);
+        assert_eq!(lens, vec![23]);
+    }
+
+    #[test]
+    fn neighbor_lcp_of_distant_blocks_is_small() {
+        let lens = neighbor_lcp_lens(&[b(0x040000), b(0x800000)]);
+        assert_eq!(lens, vec![0]);
+    }
+
+    #[test]
+    fn first_last_lcp_spans_extremes() {
+        assert_eq!(first_last_lcp(&[b(0x0A0000), b(0x0A0001), b(0x0A00FF)]), Some(16));
+        assert_eq!(first_last_lcp(&[b(1)]), None);
+        assert_eq!(first_last_lcp(&[]), None);
+    }
+
+    #[test]
+    fn figure8_gaps_follow_the_lcp_formula() {
+        // 8→9 share 23 bits (gap 1); 9→10 share 22 (gap 2): contiguous
+        // runs still show small gaps that grow at alignment boundaries.
+        let xs = figure8_positions(&[b(8), b(9), b(10)]);
+        assert_eq!(xs, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn figure8_gap_reflects_distance() {
+        // LCP 16 → gap 8.
+        let xs = figure8_positions(&[b(0x0A0000), b(0x0A00FF)]);
+        assert_eq!(xs, vec![1, 1 + 8]);
+    }
+
+    #[test]
+    fn contiguous_runs_split_on_gaps() {
+        let runs = contiguous_runs(&[b(5), b(6), b(7), b(20), b(21), b(100)]);
+        assert_eq!(
+            runs,
+            vec![
+                Run { start: b(5), len: 3 },
+                Run { start: b(20), len: 2 },
+                Run { start: b(100), len: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn contiguous_runs_handle_duplicates_and_order() {
+        let runs = contiguous_runs(&[b(7), b(5), b(6), b(6)]);
+        assert_eq!(runs, vec![Run { start: b(5), len: 3 }]);
+    }
+}

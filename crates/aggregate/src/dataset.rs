@@ -1,0 +1,328 @@
+//! The Hobbit block dataset — the repo's equivalent of the paper's public
+//! release (`http://www.cs.umd.edu/~ydlee/hobbit/`).
+//!
+//! A dataset is a list of homogeneous blocks, each with its last-hop
+//! router signature and member /24s (stored as contiguous runs so large
+//! datacenter blocks stay compact). The text format is line-oriented and
+//! diff-friendly; a JSON form is available through serde.
+
+use crate::adjacency::contiguous_runs;
+use crate::identical::Aggregate;
+use netsim::{Addr, Block24};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// One published homogeneous block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetBlock {
+    /// Stable identifier within the dataset.
+    pub id: u32,
+    /// The block's last-hop router signature (sorted).
+    pub lasthops: Vec<Addr>,
+    /// Member /24s as (start, length) runs, sorted by start.
+    pub runs: Vec<(Block24, u32)>,
+    /// Whether reprobing confirmed the block (Section 6.5); identical-set
+    /// aggregates are trivially `true`.
+    pub validated: bool,
+}
+
+impl DatasetBlock {
+    /// Total member /24 count.
+    pub fn size(&self) -> usize {
+        self.runs.iter().map(|&(_, len)| len as usize).sum()
+    }
+
+    /// Iterate the member /24s in order.
+    pub fn members(&self) -> impl Iterator<Item = Block24> + '_ {
+        self.runs
+            .iter()
+            .flat_map(|&(start, len)| (0..len).map(move |i| Block24(start.0 + i)))
+    }
+
+    /// Whether `block` belongs to this Hobbit block.
+    pub fn contains(&self, block: Block24) -> bool {
+        self.runs
+            .iter()
+            .any(|&(start, len)| block.0 >= start.0 && block.0 < start.0 + len)
+    }
+}
+
+/// A complete dataset.
+///
+/// ```
+/// use aggregate::HobbitDataset;
+/// let text = "# hobbit-blocks v1 seed=42 blocks=1\n\
+///             block 0 validated=true lasthops=10.0.0.1,10.0.0.2\n\
+///             \x20\x20198.51.100.0/24 +4\n";
+/// let d = HobbitDataset::from_text(text).unwrap();
+/// assert_eq!(d.blocks[0].size(), 4);
+/// assert_eq!(HobbitDataset::from_text(&d.to_text()).unwrap(), d);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HobbitDataset {
+    /// Scenario seed the dataset was measured from.
+    pub seed: u64,
+    /// Blocks, in descending size order.
+    pub blocks: Vec<DatasetBlock>,
+}
+
+impl HobbitDataset {
+    /// Build from aggregates (plus per-aggregate validation flags).
+    pub fn from_aggregates(seed: u64, aggs: &[Aggregate], validated: &dyn Fn(usize) -> bool) -> Self {
+        let mut blocks: Vec<DatasetBlock> = aggs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| DatasetBlock {
+                id: i as u32,
+                lasthops: a.lasthops.clone(),
+                runs: contiguous_runs(&a.blocks)
+                    .into_iter()
+                    .map(|r| (r.start, r.len))
+                    .collect(),
+                validated: validated(i),
+            })
+            .collect();
+        blocks.sort_by(|a, b| b.size().cmp(&a.size()).then(a.id.cmp(&b.id)));
+        for (i, b) in blocks.iter_mut().enumerate() {
+            b.id = i as u32;
+        }
+        HobbitDataset { seed, blocks }
+    }
+
+    /// Total /24 coverage.
+    pub fn total_24s(&self) -> usize {
+        self.blocks.iter().map(DatasetBlock::size).sum()
+    }
+
+    /// Find the Hobbit block containing a /24, if any.
+    pub fn lookup(&self, block: Block24) -> Option<&DatasetBlock> {
+        self.blocks.iter().find(|b| b.contains(block))
+    }
+
+    /// Serialize to the line-oriented text format:
+    ///
+    /// ```text
+    /// # hobbit-blocks v1 seed=42 blocks=2
+    /// block 0 validated=true lasthops=10.0.0.17,10.0.0.18
+    ///   198.51.100.0/24 +4
+    ///   203.0.113.0/24 +1
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# hobbit-blocks v1 seed={} blocks={}",
+            self.seed,
+            self.blocks.len()
+        );
+        for b in &self.blocks {
+            let lasthops: Vec<String> = b.lasthops.iter().map(|a| a.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "block {} validated={} lasthops={}",
+                b.id,
+                b.validated,
+                lasthops.join(",")
+            );
+            for &(start, len) in &b.runs {
+                let _ = writeln!(out, "  {} +{}", start.prefix(), len);
+            }
+        }
+        out
+    }
+
+    /// Parse the text format back.
+    pub fn from_text(text: &str) -> Result<Self, DatasetParseError> {
+        let mut lines = text.lines().enumerate();
+        let Some((_, header)) = lines.next() else {
+            return Err(DatasetParseError::new(0, "empty input"));
+        };
+        if !header.starts_with("# hobbit-blocks v1") {
+            return Err(DatasetParseError::new(1, "missing v1 header"));
+        }
+        let seed = header
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("seed="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| DatasetParseError::new(1, "missing seed"))?;
+
+        let mut blocks: Vec<DatasetBlock> = Vec::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("block ") {
+                let mut parts = rest.split_whitespace();
+                let id: u32 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| DatasetParseError::new(lineno, "bad block id"))?;
+                let mut validated = false;
+                let mut lasthops = Vec::new();
+                for tok in parts {
+                    if let Some(v) = tok.strip_prefix("validated=") {
+                        validated = v == "true";
+                    } else if let Some(v) = tok.strip_prefix("lasthops=") {
+                        for a in v.split(',').filter(|s| !s.is_empty()) {
+                            lasthops.push(Addr::from_str(a).map_err(|_| {
+                                DatasetParseError::new(lineno, "bad last-hop address")
+                            })?);
+                        }
+                    } else {
+                        return Err(DatasetParseError::new(lineno, "unknown block attribute"));
+                    }
+                }
+                blocks.push(DatasetBlock {
+                    id,
+                    lasthops,
+                    runs: Vec::new(),
+                    validated,
+                });
+            } else if let Some(run) = trimmed.strip_prefix("  ") {
+                let block = blocks
+                    .last_mut()
+                    .ok_or_else(|| DatasetParseError::new(lineno, "run before any block"))?;
+                let (prefix, len) = run
+                    .split_once(" +")
+                    .ok_or_else(|| DatasetParseError::new(lineno, "malformed run"))?;
+                let p: netsim::Prefix = prefix
+                    .parse()
+                    .map_err(|_| DatasetParseError::new(lineno, "bad run prefix"))?;
+                if p.len() != 24 {
+                    return Err(DatasetParseError::new(lineno, "runs must start at a /24"));
+                }
+                let count: u32 = len
+                    .parse()
+                    .map_err(|_| DatasetParseError::new(lineno, "bad run length"))?;
+                if count == 0 {
+                    return Err(DatasetParseError::new(lineno, "zero-length run"));
+                }
+                block.runs.push((p.first().block24(), count));
+            } else {
+                return Err(DatasetParseError::new(lineno, "unrecognized line"));
+            }
+        }
+        Ok(HobbitDataset { seed, blocks })
+    }
+}
+
+/// Parse failure with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl DatasetParseError {
+    fn new(line: usize, message: &str) -> Self {
+        DatasetParseError {
+            line,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dataset parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DatasetParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lh(n: u32) -> Addr {
+        Addr(0x0A00_0000 + n)
+    }
+
+    fn sample() -> HobbitDataset {
+        let aggs = vec![
+            Aggregate {
+                lasthops: vec![lh(1), lh(2)],
+                blocks: vec![Block24(100), Block24(101), Block24(102), Block24(500)],
+            },
+            Aggregate {
+                lasthops: vec![lh(9)],
+                blocks: vec![Block24(7)],
+            },
+        ];
+        HobbitDataset::from_aggregates(42, &aggs, &|i| i == 0)
+    }
+
+    #[test]
+    fn from_aggregates_compacts_runs_and_sorts_by_size() {
+        let d = sample();
+        assert_eq!(d.blocks.len(), 2);
+        assert_eq!(d.blocks[0].size(), 4);
+        assert_eq!(d.blocks[0].runs, vec![(Block24(100), 3), (Block24(500), 1)]);
+        assert_eq!(d.blocks[1].size(), 1);
+        assert_eq!(d.total_24s(), 5);
+        assert!(d.blocks[0].validated);
+        assert!(!d.blocks[1].validated);
+    }
+
+    #[test]
+    fn lookup_and_contains() {
+        let d = sample();
+        assert_eq!(d.lookup(Block24(101)).map(|b| b.id), Some(0));
+        assert_eq!(d.lookup(Block24(500)).map(|b| b.id), Some(0));
+        assert_eq!(d.lookup(Block24(7)).map(|b| b.id), Some(1));
+        assert!(d.lookup(Block24(103)).is_none());
+        assert!(d.lookup(Block24(499)).is_none());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let d = sample();
+        let text = d.to_text();
+        let parsed = HobbitDataset::from_text(&text).unwrap();
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn members_iterates_all() {
+        let d = sample();
+        let members: Vec<Block24> = d.blocks[0].members().collect();
+        assert_eq!(
+            members,
+            vec![Block24(100), Block24(101), Block24(102), Block24(500)]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(HobbitDataset::from_text("").is_err());
+        assert!(HobbitDataset::from_text("# wrong header\n").is_err());
+        let bad_run = "# hobbit-blocks v1 seed=1 blocks=1\nblock 0 validated=true lasthops=1.1.1.1\n  0.0.0.0/16 +1\n";
+        let e = HobbitDataset::from_text(bad_run).unwrap_err();
+        assert_eq!(e.line, 3);
+        let orphan = "# hobbit-blocks v1 seed=1 blocks=0\n  1.2.3.0/24 +1\n";
+        assert!(HobbitDataset::from_text(orphan).is_err());
+        let zero = "# hobbit-blocks v1 seed=1 blocks=1\nblock 0 validated=true lasthops=1.1.1.1\n  1.2.3.0/24 +0\n";
+        assert!(HobbitDataset::from_text(zero).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hobbit-blocks v1 seed=5 blocks=1\n\n# a comment\nblock 0 validated=false lasthops=2.2.2.2\n  9.9.9.0/24 +2\n";
+        let d = HobbitDataset::from_text(text).unwrap();
+        assert_eq!(d.seed, 5);
+        assert_eq!(d.blocks[0].size(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = sample();
+        let json = serde_json::to_string(&d).unwrap();
+        let parsed: HobbitDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, d);
+    }
+}

@@ -1,0 +1,179 @@
+//! Similarity graph over aggregates (paper Section 6.3).
+//!
+//! Aggregating identical sets is all-or-nothing: a /24 that missed one of
+//! its last-hop routers (few responsive addresses, source-hashing
+//! balancers) ends up with an overlapping-but-not-identical set. The paper
+//! quantifies similarity as `|SA ∩ SB| / max(|SA|, |SB|)` and models the
+//! blocks as a weighted graph for MCL.
+
+use crate::identical::Aggregate;
+use netsim::Addr;
+use std::collections::HashMap;
+
+/// The paper's similarity score between two last-hop sets (both sorted):
+/// `|A ∩ B| / max(|A|, |B|)`.
+///
+/// ```
+/// use aggregate::similarity;
+/// use netsim::Addr;
+/// // The paper's worked example: {1.1.1.1, 2.2.2.2, 3.3.3.3} vs
+/// // {3.3.3.3, 4.4.4.4} → 1/3.
+/// let a = [Addr::new(1,1,1,1), Addr::new(2,2,2,2), Addr::new(3,3,3,3)];
+/// let b = [Addr::new(3,3,3,3), Addr::new(4,4,4,4)];
+/// assert!((similarity(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn similarity(a: &[Addr], b: &[Addr]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / a.len().max(b.len()) as f64
+}
+
+/// Build the weighted similarity edge list over aggregates.
+///
+/// Vertices are aggregate indices. Pairs with disjoint sets get no edge
+/// (the paper omits zero-weight edges); pairs are enumerated through an
+/// inverted last-hop index, so disjoint aggregates cost nothing.
+/// Weight-1 edges cannot occur between distinct aggregates — identical
+/// sets were merged already (the paper's first pre-processing step).
+pub fn similarity_edges(aggs: &[Aggregate]) -> Vec<(u32, u32, f64)> {
+    let mut by_lasthop: HashMap<Addr, Vec<u32>> = HashMap::new();
+    for (i, a) in aggs.iter().enumerate() {
+        for &lh in &a.lasthops {
+            by_lasthop.entry(lh).or_default().push(i as u32);
+        }
+    }
+    let mut pairs: HashMap<(u32, u32), ()> = HashMap::new();
+    for members in by_lasthop.values() {
+        for i in 0..members.len() {
+            for j in 0..i {
+                let (a, b) = (members[j].min(members[i]), members[j].max(members[i]));
+                pairs.insert((a, b), ());
+            }
+        }
+    }
+    let mut edges: Vec<(u32, u32, f64)> = pairs
+        .into_keys()
+        .map(|(i, j)| {
+            (
+                i,
+                j,
+                similarity(&aggs[i as usize].lasthops, &aggs[j as usize].lasthops),
+            )
+        })
+        .filter(|&(_, _, w)| w > 0.0)
+        .collect();
+    edges.sort_by_key(|&(i, j, _)| (i, j));
+    edges
+}
+
+/// All pairwise similarity scores within one candidate cluster of
+/// aggregates (used by the Section 6.6 rule and Figure 9).
+pub fn pairwise_scores(aggs: &[Aggregate], members: &[u32]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..members.len() {
+        for j in 0..i {
+            out.push(similarity(
+                &aggs[members[i] as usize].lasthops,
+                &aggs[members[j] as usize].lasthops,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Block24;
+
+    fn lh(n: u32) -> Addr {
+        Addr(0x0A00_0000 + n)
+    }
+
+    fn set(v: &[u32]) -> Vec<Addr> {
+        let mut s: Vec<Addr> = v.iter().map(|&n| lh(n)).collect();
+        s.sort();
+        s
+    }
+
+    #[test]
+    fn paper_example_score() {
+        // A = {1.1.1.1, 2.2.2.2, 3.3.3.3}, B = {3.3.3.3, 4.4.4.4} → 1/3.
+        let a = set(&[1, 2, 3]);
+        let b = set(&[3, 4]);
+        assert!((similarity(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let a = set(&[5, 7]);
+        assert_eq!(similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        assert_eq!(similarity(&set(&[1]), &set(&[2])), 0.0);
+        assert_eq!(similarity(&set(&[]), &set(&[2])), 0.0);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[3, 4, 5]);
+        assert_eq!(similarity(&a, &b), similarity(&b, &a));
+    }
+
+    fn agg(id: u32, lhs: &[u32]) -> Aggregate {
+        Aggregate {
+            lasthops: set(lhs),
+            blocks: vec![Block24(id)],
+        }
+    }
+
+    #[test]
+    fn edges_only_between_overlapping_sets() {
+        let aggs = vec![agg(0, &[1, 2]), agg(1, &[2, 3]), agg(2, &[9])];
+        let edges = similarity_edges(&aggs);
+        assert_eq!(edges.len(), 1);
+        let (i, j, w) = edges[0];
+        assert_eq!((i, j), (0, 1));
+        assert!((w - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_index_finds_all_pairs() {
+        let aggs = vec![
+            agg(0, &[1, 2]),
+            agg(1, &[2, 3]),
+            agg(2, &[3, 4]),
+            agg(3, &[4, 1]),
+        ];
+        let edges = similarity_edges(&aggs);
+        // Ring of overlaps: 0-1, 1-2, 2-3, 0-3.
+        assert_eq!(edges.len(), 4);
+        for &(_, _, w) in &edges {
+            assert!((w - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pairwise_scores_counts_pairs() {
+        let aggs = vec![agg(0, &[1, 2]), agg(1, &[2, 3]), agg(2, &[2, 3])];
+        let scores = pairwise_scores(&aggs, &[0, 1, 2]);
+        assert_eq!(scores.len(), 3);
+    }
+}

@@ -1,0 +1,222 @@
+//! Topology-discovery efficiency (paper Section 7.1, Figure 11).
+//!
+//! Given full traceroute data for the addresses of homogeneous /24s, how
+//! many distinct links does a destination-selection strategy discover?
+//! The paper compares choosing k destinations per /24 against k-per-/24's
+//! worth of destinations chosen per *Hobbit block*; since the traceroutes
+//! within a Hobbit block are largely redundant, the Hobbit strategy finds
+//! more links at the same probing budget.
+
+use netsim::{Addr, Block24};
+use probe::Path;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, HashSet};
+
+/// A link: an ordered pair of adjacent responsive hops in a traceroute.
+pub type Link = (Addr, Addr);
+
+/// Full traceroute data for a set of /24s.
+#[derive(Clone, Debug, Default)]
+pub struct TraceDataset {
+    /// Per-block, per-address route sets.
+    pub per_block: BTreeMap<Block24, Vec<(Addr, Vec<Path>)>>,
+}
+
+impl TraceDataset {
+    /// All distinct links in the dataset.
+    pub fn all_links(&self) -> HashSet<Link> {
+        let mut links = HashSet::new();
+        for per_addr in self.per_block.values() {
+            for (_, paths) in per_addr {
+                for p in paths {
+                    collect_links(p, &mut links);
+                }
+            }
+        }
+        links
+    }
+
+    /// Total destination count.
+    pub fn destinations(&self) -> usize {
+        self.per_block.values().map(Vec::len).sum()
+    }
+
+    /// Links contributed by one destination of one block.
+    fn links_of(&self, block: Block24, dst: Addr) -> HashSet<Link> {
+        let mut links = HashSet::new();
+        if let Some(per_addr) = self.per_block.get(&block) {
+            for (a, paths) in per_addr {
+                if *a == dst {
+                    for p in paths {
+                        collect_links(p, &mut links);
+                    }
+                }
+            }
+        }
+        links
+    }
+}
+
+/// Extract links from a path, skipping wildcard hops.
+fn collect_links(p: &Path, out: &mut HashSet<Link>) {
+    for w in p.hops.windows(2) {
+        if let (Some(a), Some(b)) = (w[0], w[1]) {
+            out.insert((a, b));
+        }
+    }
+}
+
+/// One point of the Figure 11 curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoveragePoint {
+    /// Average number of selected destinations per /24 in the dataset.
+    pub avg_per_block24: f64,
+    /// Fraction of all dataset links discovered.
+    pub ratio: f64,
+}
+
+/// Compute the discovered-links ratio when selecting `k` destinations from
+/// each group, for each `k` in `ks`.
+///
+/// `groups` partitions (a subset of) the dataset's blocks: pass one group
+/// per /24 for the baseline, or one group per Hobbit block for the
+/// aggregated strategy. The x-axis normalizes by the *total* /24 count so
+/// the two strategies are comparable at equal probing budget.
+pub fn coverage_curve(
+    dataset: &TraceDataset,
+    groups: &[Vec<Block24>],
+    ks: &[usize],
+    seed: u64,
+) -> Vec<CoveragePoint> {
+    let all = dataset.all_links();
+    let total_links = all.len().max(1);
+    let total_blocks: usize = dataset.per_block.len().max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Pre-shuffle each group's destination list once; selecting k
+    // destinations means taking a prefix, so curves are nested (monotone).
+    let group_dests: Vec<Vec<(Block24, Addr)>> = groups
+        .iter()
+        .map(|blocks| {
+            let mut dests: Vec<(Block24, Addr)> = blocks
+                .iter()
+                .filter_map(|b| dataset.per_block.get(b).map(|v| (b, v)))
+                .flat_map(|(b, v)| v.iter().map(move |(a, _)| (*b, *a)))
+                .collect();
+            dests.shuffle(&mut rng);
+            dests
+        })
+        .collect();
+
+    ks.iter()
+        .map(|&k| {
+            let mut discovered: HashSet<Link> = HashSet::new();
+            let mut selected = 0usize;
+            for dests in &group_dests {
+                for &(block, dst) in dests.iter().take(k) {
+                    selected += 1;
+                    discovered.extend(dataset.links_of(block, dst));
+                }
+            }
+            CoveragePoint {
+                avg_per_block24: selected as f64 / total_blocks as f64,
+                ratio: discovered.len() as f64 / total_links as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u32) -> Addr {
+        Addr(v)
+    }
+
+    fn path(hops: &[u32]) -> Path {
+        Path {
+            hops: hops.iter().map(|&h| Some(a(h))).collect(),
+        }
+    }
+
+    /// Two blocks behind the same routers (redundant), one distinct.
+    fn dataset() -> TraceDataset {
+        let mut per_block = BTreeMap::new();
+        per_block.insert(
+            Block24(1),
+            vec![
+                (a(0x0100_0001), vec![path(&[1, 2, 3])]),
+                (a(0x0100_0002), vec![path(&[1, 2, 3])]),
+            ],
+        );
+        per_block.insert(
+            Block24(2),
+            vec![
+                (a(0x0200_0001), vec![path(&[1, 2, 3])]),
+                (a(0x0200_0002), vec![path(&[1, 2, 3])]),
+            ],
+        );
+        per_block.insert(
+            Block24(3),
+            vec![
+                (a(0x0300_0001), vec![path(&[1, 9, 8])]),
+                (a(0x0300_0002), vec![path(&[1, 9, 7])]),
+            ],
+        );
+        TraceDataset { per_block }
+    }
+
+    #[test]
+    fn all_links_counts_distinct_pairs() {
+        let d = dataset();
+        // Paths: 1-2,2-3 | 1-9,9-8 | 1-9,9-7 → {12,23,19,98,97} = 5 links.
+        assert_eq!(d.all_links().len(), 5);
+        assert_eq!(d.destinations(), 6);
+    }
+
+    #[test]
+    fn wildcards_break_links() {
+        let p = Path {
+            hops: vec![Some(a(1)), None, Some(a(3))],
+        };
+        let mut links = HashSet::new();
+        collect_links(&p, &mut links);
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn per_block_grouping_wastes_budget_on_redundancy() {
+        let d = dataset();
+        let per_24: Vec<Vec<Block24>> = vec![vec![Block24(1)], vec![Block24(2)], vec![Block24(3)]];
+        // Hobbit grouping: blocks 1 and 2 are one homogeneous block.
+        let hobbit: Vec<Vec<Block24>> = vec![vec![Block24(1), Block24(2)], vec![Block24(3)]];
+        let base = coverage_curve(&d, &per_24, &[1], 7);
+        let agg = coverage_curve(&d, &hobbit, &[1], 7);
+        // Same link discovery, but Hobbit spends fewer destinations.
+        assert!(agg[0].avg_per_block24 < base[0].avg_per_block24);
+        // At k=2 per Hobbit block, the budget matches k≈1.3 per /24 and
+        // discovery can only help.
+        let agg2 = coverage_curve(&d, &hobbit, &[2], 7);
+        assert!(agg2[0].ratio >= agg[0].ratio);
+    }
+
+    #[test]
+    fn full_selection_reaches_ratio_one() {
+        let d = dataset();
+        let groups: Vec<Vec<Block24>> = d.per_block.keys().map(|&b| vec![b]).collect();
+        let curve = coverage_curve(&d, &groups, &[2], 7);
+        assert_eq!(curve[0].ratio, 1.0);
+        assert_eq!(curve[0].avg_per_block24, 2.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_k() {
+        let d = dataset();
+        let groups: Vec<Vec<Block24>> = d.per_block.keys().map(|&b| vec![b]).collect();
+        let curve = coverage_curve(&d, &groups, &[1, 2], 7);
+        assert!(curve[0].ratio <= curve[1].ratio);
+    }
+}

@@ -1,0 +1,154 @@
+//! Stratified vs simple random sampling (paper Section 7.3, Figure 12).
+//!
+//! Hobbit blocks make good strata: drawing one address per block covers
+//! every colocation site, while random sampling oversamples large sites.
+//! Representativeness is measured by the number of distinct rDNS naming
+//! patterns in the sample (Time Warner-style schemes encode host type).
+
+use netsim::Addr;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use registry::RdnsDb;
+use std::collections::HashSet;
+
+/// Draw `per_stratum` addresses from each stratum (fewer if a stratum is
+/// smaller).
+pub fn stratified_sample(strata: &[Vec<Addr>], per_stratum: usize, seed: u64) -> Vec<Addr> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for stratum in strata {
+        let mut s = stratum.clone();
+        s.shuffle(&mut rng);
+        out.extend(s.into_iter().take(per_stratum));
+    }
+    out
+}
+
+/// Draw `n` addresses uniformly from the whole population.
+pub fn random_sample(population: &[Addr], n: usize, seed: u64) -> Vec<Addr> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut pop = population.to_vec();
+    pop.shuffle(&mut rng);
+    pop.truncate(n);
+    pop
+}
+
+/// Count the distinct rDNS patterns appearing in a sample.
+pub fn distinct_patterns(db: &RdnsDb<'_>, sample: &[Addr]) -> usize {
+    let mut patterns: HashSet<String> = HashSet::new();
+    for &a in sample {
+        if let Some(r) = db.resolve(a) {
+            if let Some(p) = r.pattern {
+                patterns.insert(p);
+            }
+        }
+    }
+    patterns.len()
+}
+
+/// One Figure 12 comparison row.
+#[derive(Clone, Debug)]
+pub struct SamplingRow {
+    /// Human-readable label (e.g. `"Random, 2x"`).
+    pub label: String,
+    /// Mean distinct-pattern count over trials.
+    pub mean_patterns: f64,
+    /// Value normalized by the stratified mean.
+    pub normalized: f64,
+}
+
+/// Run the Figure 12 experiment: stratified sampling (one per stratum) vs
+/// random samples of 1×..4× the stratified size, `trials` times each.
+pub fn figure12(
+    db: &RdnsDb<'_>,
+    strata: &[Vec<Addr>],
+    multipliers: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Vec<SamplingRow> {
+    let population: Vec<Addr> = strata.iter().flatten().copied().collect();
+    let base_size = strata.iter().filter(|s| !s.is_empty()).count();
+
+    let strat_mean = {
+        let counts: Vec<f64> = (0..trials)
+            .map(|t| distinct_patterns(db, &stratified_sample(strata, 1, seed ^ t as u64)) as f64)
+            .collect();
+        crate::stats::mean(&counts)
+    };
+
+    let mut rows = vec![SamplingRow {
+        label: "Stratified".to_string(),
+        mean_patterns: strat_mean,
+        normalized: 1.0,
+    }];
+    for &m in multipliers {
+        let counts: Vec<f64> = (0..trials)
+            .map(|t| {
+                distinct_patterns(
+                    db,
+                    &random_sample(&population, base_size * m, seed ^ 0x1000 ^ (t as u64 * 31 + m as u64)),
+                ) as f64
+            })
+            .collect();
+        let mean = crate::stats::mean(&counts);
+        rows.push(SamplingRow {
+            label: format!("Random, {m}x"),
+            mean_patterns: mean,
+            normalized: if strat_mean > 0.0 { mean / strat_mean } else { 0.0 },
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u32) -> Addr {
+        Addr(v)
+    }
+
+    #[test]
+    fn stratified_takes_from_every_stratum() {
+        let strata = vec![
+            vec![a(1), a(2), a(3)],
+            vec![a(10)],
+            vec![a(20), a(21)],
+        ];
+        let s = stratified_sample(&strata, 1, 7);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().any(|x| x.0 < 10));
+        assert!(s.contains(&a(10)));
+        assert!(s.iter().any(|x| x.0 >= 20));
+    }
+
+    #[test]
+    fn stratified_handles_small_strata() {
+        let strata = vec![vec![a(1)], vec![]];
+        let s = stratified_sample(&strata, 3, 7);
+        assert_eq!(s, vec![a(1)]);
+    }
+
+    #[test]
+    fn random_sample_size_and_uniqueness() {
+        let pop: Vec<Addr> = (0..100).map(a).collect();
+        let s = random_sample(&pop, 10, 7);
+        assert_eq!(s.len(), 10);
+        let set: HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 10, "sampling without replacement");
+    }
+
+    #[test]
+    fn random_sample_larger_than_population() {
+        let pop: Vec<Addr> = (0..5).map(a).collect();
+        assert_eq!(random_sample(&pop, 50, 7).len(), 5);
+    }
+
+    #[test]
+    fn samples_are_seeded() {
+        let pop: Vec<Addr> = (0..100).map(a).collect();
+        assert_eq!(random_sample(&pop, 10, 7), random_sample(&pop, 10, 7));
+        assert_ne!(random_sample(&pop, 10, 7), random_sample(&pop, 10, 8));
+    }
+}

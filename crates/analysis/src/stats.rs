@@ -1,0 +1,177 @@
+//! Small statistics toolkit: empirical CDFs, quantiles, histograms.
+//!
+//! Every figure in the paper is a CDF, a histogram, or a mean comparison;
+//! the experiment binaries print these structures as aligned text series.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over f64 samples.
+///
+/// ```
+/// use analysis::Ecdf;
+/// let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(e.eval(2.5), 0.5);
+/// assert_eq!(e.quantile(0.5), Some(2.0));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        values.retain(|v| !v.is_nan());
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        Ecdf { sorted: values }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ x.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1), by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.sorted[rank.min(self.sorted.len() - 1)])
+    }
+
+    /// Evenly spaced (x, F(x)) points for printing a CDF curve.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().unwrap();
+        if lo == hi {
+            return vec![(lo, 1.0)];
+        }
+        (0..=points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / points as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Standard error of the mean; 0 for fewer than two samples.
+pub fn stderr(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+    (var / n as f64).sqrt()
+}
+
+/// Histogram over integer-valued samples with explicit bucket edges:
+/// bucket `i` counts samples in `[edges[i], edges[i+1])`.
+pub fn histogram(values: &[u64], edges: &[u64]) -> Vec<usize> {
+    assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must increase");
+    let mut counts = vec![0usize; edges.len().saturating_sub(1)];
+    for &v in values {
+        for i in 0..counts.len() {
+            if v >= edges[i] && v < edges[i + 1] {
+                counts[i] += 1;
+                break;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_eval_basics() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_handles_nan_and_empty() {
+        let e = Ecdf::new(vec![f64::NAN, 1.0]);
+        assert_eq!(e.len(), 1);
+        let empty = Ecdf::new(vec![]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.eval(1.0), 0.0);
+        assert!(empty.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(20.0));
+        assert_eq!(e.quantile(0.75), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::new(vec![1.0, 5.0, 2.0, 8.0, 3.0]);
+        let c = e.curve(16);
+        assert!(c.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(c.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn mean_and_stderr() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stderr(&[1.0]), 0.0);
+        let se = stderr(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(se > 0.0 && se < 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let counts = histogram(&[0, 1, 2, 5, 9, 10], &[0, 2, 10, 20]);
+        assert_eq!(counts, vec![2, 3, 1]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Aggregation and clustering benchmarks, including the paper's
+//! pre-processing ablation: MCL on the whole similarity graph versus MCL
+//! after connected-component splitting (Section 6.3).
+
+use aggregate::{aggregate_identical, cluster_aggregates, similarity_edges, HomogBlock};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcl::{mcl, mcl_by_components, MclParams};
+use netsim::{Addr, Block24};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Synthesize homogeneous blocks across `pops` colocation sites, each with
+/// a small router set observed with per-block subset noise.
+fn synthetic_world(n_blocks: usize, pops: usize, seed: u64) -> Vec<HomogBlock> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n_blocks)
+        .map(|i| {
+            let pop = i % pops;
+            let routers: Vec<Addr> = (0..4u32)
+                .filter(|_| rng.gen_bool(0.7))
+                .map(|r| Addr(0x0A00_0000 + (pop as u32) * 8 + r))
+                .collect();
+            let routers = if routers.is_empty() {
+                vec![Addr(0x0A00_0000 + (pop as u32) * 8)]
+            } else {
+                routers
+            };
+            HomogBlock::new(Block24(i as u32), routers)
+        })
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    for &n in &[1_000usize, 10_000] {
+        let world = synthetic_world(n, n / 20, 7);
+        group.bench_with_input(BenchmarkId::new("identical", n), &world, |b, w| {
+            b.iter(|| aggregate_identical(w))
+        });
+        let aggs = aggregate_identical(&world);
+        group.bench_with_input(BenchmarkId::new("similarity_edges", n), &aggs, |b, a| {
+            b.iter(|| similarity_edges(a))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcl_preprocessing(c: &mut Criterion) {
+    // Ablation: component splitting against whole-graph MCL.
+    let world = synthetic_world(4_000, 200, 7);
+    let aggs = aggregate_identical(&world);
+    let edges = similarity_edges(&aggs);
+    let params = MclParams::default();
+
+    let mut group = c.benchmark_group("mcl");
+    group.sample_size(10);
+    group.bench_function("whole_graph", |b| {
+        b.iter(|| mcl(aggs.len(), &edges, &params))
+    });
+    group.bench_function("component_split", |b| {
+        b.iter(|| mcl_by_components(aggs.len(), &edges, &params))
+    });
+    group.bench_function("pipeline_with_sweep_input", |b| {
+        b.iter(|| cluster_aggregates(&aggs, 2.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation, bench_mcl_preprocessing);
+criterion_main!(benches);

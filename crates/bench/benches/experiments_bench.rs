@@ -1,0 +1,50 @@
+//! One benchmark per paper artifact: how long regenerating each table and
+//! figure takes at micro scale. (Run the binaries with larger `--scale`
+//! for the real numbers; these benches track regressions in the pipelines
+//! behind every artifact.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::ExpArgs;
+
+fn micro_args() -> ExpArgs {
+    ExpArgs {
+        seed: 42,
+        scale: 0.008,
+        json: false,
+        threads: 2,
+    }
+}
+
+macro_rules! artifact_bench {
+    ($c:expr, $name:literal, $module:ident) => {
+        $c.bench_function(concat!("artifact/", $name), |b| {
+            b.iter(|| experiments::exps::$module::run(&micro_args()))
+        });
+    };
+}
+
+fn bench_artifacts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("artifacts");
+    g.sample_size(10);
+    artifact_bench!(g, "table1", table1);
+    artifact_bench!(g, "table2", table2);
+    artifact_bench!(g, "table3", table3);
+    artifact_bench!(g, "table4", table4);
+    artifact_bench!(g, "table5", table5);
+    artifact_bench!(g, "figure3", figure3);
+    artifact_bench!(g, "figure4", figure4);
+    artifact_bench!(g, "figure5", figure5);
+    artifact_bench!(g, "figure6", figure6);
+    artifact_bench!(g, "figure7", figure7);
+    artifact_bench!(g, "figure8", figure8);
+    artifact_bench!(g, "figure9", figure9);
+    artifact_bench!(g, "figure10", figure10);
+    artifact_bench!(g, "figure11", figure11);
+    artifact_bench!(g, "figure12", figure12);
+    artifact_bench!(g, "section2", section2);
+    artifact_bench!(g, "section31", section31);
+    g.finish();
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Core-algorithm benchmarks: the hierarchy test across group counts and
+//! observation sizes, confidence-table construction, and the classifier's
+//! termination ablation (calibrated table vs probe-everything).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hobbit::{
+    classify_block, detects_homogeneous, select_all, BlockLasthopData, ConfidenceTable,
+    HobbitConfig, LasthopGroups,
+};
+use netsim::build::{build, ScenarioConfig};
+use netsim::{Addr, Block24};
+use probe::{zmap, Prober};
+
+fn synthetic_obs(n_addrs: usize, n_groups: usize) -> Vec<(Addr, Vec<Addr>)> {
+    (0..n_addrs)
+        .map(|i| {
+            let host = (i % 254 + 1) as u8;
+            (
+                Block24(0x0A_0000).addr(host),
+                vec![Addr(0x0B00_0000 + (i % n_groups) as u32)],
+            )
+        })
+        .collect()
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    for &(n, k) in &[(16usize, 2usize), (64, 4), (128, 8), (254, 16)] {
+        let obs = synthetic_obs(n, k);
+        group.bench_with_input(
+            BenchmarkId::new("relationship", format!("n{n}_k{k}")),
+            &obs,
+            |b, obs| {
+                b.iter(|| {
+                    LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())))
+                        .relationship()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_confidence(c: &mut Criterion) {
+    let dataset: Vec<BlockLasthopData> = (0..8)
+        .map(|i| BlockLasthopData {
+            per_addr: synthetic_obs(40, 2 + i % 4),
+        })
+        .collect();
+    let mut group = c.benchmark_group("confidence");
+    group.sample_size(10);
+    group.bench_function("table_build", |b| {
+        b.iter(|| ConfidenceTable::build(&dataset, 24, 16, 0.95, 7))
+    });
+    group.bench_function("detects_homogeneous", |b| {
+        let obs = synthetic_obs(60, 3);
+        b.iter(|| detects_homogeneous(&obs))
+    });
+    group.finish();
+}
+
+fn bench_classification(c: &mut Criterion) {
+    // Ablation: a calibrated confidence table enables early termination on
+    // hierarchical-looking blocks; the empty table probes everything.
+    let mut scenario = build(ScenarioConfig::tiny(42));
+    let snapshot = zmap::scan_all(&mut scenario.network);
+    let selected = select_all(&snapshot);
+    let cfg = HobbitConfig::default();
+
+    let calibrated = {
+        let dataset: Vec<BlockLasthopData> = (0..8)
+            .map(|i| BlockLasthopData {
+                per_addr: synthetic_obs(40, 2 + i % 4),
+            })
+            .collect();
+        ConfidenceTable::build(&dataset, 40, 24, 0.95, 7)
+    };
+    let empty = ConfidenceTable::empty();
+
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(10);
+    for (name, table) in [("empty_table", &empty), ("calibrated_table", &calibrated)] {
+        let mut net = scenario.network.clone();
+        group.bench_function(BenchmarkId::new("block", name), |b| {
+            let mut prober = Prober::new(&mut net, 9);
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                classify_block(&mut prober, &selected[i % selected.len()], table, &cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy, bench_confidence, bench_classification);
+criterion_main!(benches);

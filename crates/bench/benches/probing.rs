@@ -1,0 +1,76 @@
+//! Probing-tool benchmarks, including the paper's efficiency ablation:
+//! the Section 3.4 last-hop shortcut (reply-TTL hop inference + targeted
+//! MDA) versus learning the last hop from a full Paris traceroute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::build::{build, ScenarioConfig};
+use netsim::{Addr, Scenario};
+use probe::{enumerate_paths, paris_traceroute, probe_lasthop, Prober, StoppingRule};
+
+fn responsive_dsts(s: &Scenario, n: usize) -> Vec<Addr> {
+    let epoch = s.network.epoch();
+    let mut out = Vec::new();
+    for b in s.network.allocated_blocks() {
+        let t = &s.truth.blocks[&b];
+        if !t.homogeneous || !s.truth.pops[t.pop as usize].responsive {
+            continue;
+        }
+        let p = *s.network.block_profile(b).unwrap();
+        out.extend(s.network.oracle().active_in_block(b, &p, epoch).into_iter().take(2));
+        if out.len() >= n {
+            break;
+        }
+    }
+    out
+}
+
+fn bench_probing(c: &mut Criterion) {
+    let mut scenario = build(ScenarioConfig::tiny(42));
+    let dsts = responsive_dsts(&scenario, 64);
+    assert!(!dsts.is_empty());
+    let rule = StoppingRule::confidence95();
+
+    c.bench_function("probe/paris_traceroute", |b| {
+        let mut prober = Prober::new(&mut scenario.network, 1);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            paris_traceroute(&mut prober, dsts[i % dsts.len()], i as u16 % 0xfffe, 1)
+        })
+    });
+
+    let mut scenario2 = build(ScenarioConfig::tiny(42));
+    c.bench_function("probe/mda_enumerate_paths", |b| {
+        let mut prober = Prober::new(&mut scenario2.network, 2);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            enumerate_paths(&mut prober, dsts[i % dsts.len()], rule, 32)
+        })
+    });
+
+    // --- Ablation: the Section 3.4 shortcut vs a full traceroute walk.
+    let mut scenario3 = build(ScenarioConfig::tiny(42));
+    c.bench_function("lasthop/shortcut_ttl_inference", |b| {
+        let mut prober = Prober::new(&mut scenario3.network, 3);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            probe_lasthop(&mut prober, dsts[i % dsts.len()], rule)
+        })
+    });
+    let mut scenario4 = build(ScenarioConfig::tiny(42));
+    c.bench_function("lasthop/via_full_traceroute", |b| {
+        let mut prober = Prober::new(&mut scenario4.network, 4);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            // Learn the last hop the slow way: sweep TTLs from 1.
+            let tr = paris_traceroute(&mut prober, dsts[i % dsts.len()], 7, 1);
+            tr.path.lasthop()
+        })
+    });
+}
+
+criterion_group!(benches, bench_probing);
+criterion_main!(benches);

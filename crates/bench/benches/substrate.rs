@@ -1,0 +1,110 @@
+//! Substrate benchmarks: wire codecs, LPM lookups, forwarding, and
+//! scenario construction. These bound how large a scenario the experiment
+//! harness can afford.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::build::{build, ScenarioConfig};
+use netsim::forward::encode_probe;
+use netsim::route::{NextHop, NextHopGroup, RouteTable, RouterId};
+use netsim::wire::{IcmpEcho, Ipv4Header, ICMP_ECHO_REQUEST};
+use netsim::{Addr, Prefix};
+
+fn bench_wire(c: &mut Criterion) {
+    let header = Ipv4Header {
+        src: Addr::new(10, 0, 0, 1),
+        dst: Addr::new(192, 0, 2, 99),
+        ttl: 12,
+        protocol: 1,
+        ident: 0x1234,
+    };
+    c.bench_function("wire/ipv4_encode", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::with_capacity(20);
+            black_box(&header).encode(&mut buf);
+            black_box(buf)
+        })
+    });
+    let mut enc = bytes::BytesMut::new();
+    header.encode(&mut enc);
+    let frozen = enc.freeze();
+    c.bench_function("wire/ipv4_decode", |b| {
+        b.iter(|| Ipv4Header::decode(&mut black_box(frozen.clone())).unwrap())
+    });
+    c.bench_function("wire/checksum_targeting", |b| {
+        let mut t = 0u16;
+        b.iter(|| {
+            t = t.wrapping_add(1);
+            if t == 0xffff {
+                t = 0;
+            }
+            IcmpEcho::with_checksum(7, 9, black_box(t)).wire_checksum(ICMP_ECHO_REQUEST)
+        })
+    });
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpm");
+    for &n in &[100usize, 1_000, 10_000] {
+        let mut table = RouteTable::new();
+        for i in 0..n {
+            let base = (i as u32).wrapping_mul(2654435761);
+            let len = 8 + (i % 17) as u8;
+            table.insert(
+                Prefix::new(Addr(base), len),
+                NextHopGroup::single(NextHop::Router(RouterId(i as u32))),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("trie_lookup", n), &table, |b, t| {
+            let mut x = 0u32;
+            b.iter(|| {
+                x = x.wrapping_add(0x01010101);
+                t.lookup(Addr(x))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut scenario = build(ScenarioConfig::tiny(42));
+    let vantage = scenario.network.vantage_addr();
+    let dsts: Vec<Addr> = scenario
+        .network
+        .allocated_blocks()
+        .iter()
+        .map(|b| b.addr(10))
+        .collect();
+    c.bench_function("forward/echo_probe", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let dst = dsts[i % dsts.len()];
+            let p = encode_probe(vantage, dst, 64, 1, i as u16, 0x1111, i as u16);
+            scenario.network.send(p).unwrap()
+        })
+    });
+    c.bench_function("forward/ttl_expiry", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let dst = dsts[i % dsts.len()];
+            let p = encode_probe(vantage, dst, 4, 1, i as u16, 0x1111, i as u16);
+            scenario.network.send(p).unwrap()
+        })
+    });
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(10);
+    group.bench_function("scenario_tiny", |b| {
+        b.iter(|| build(ScenarioConfig::tiny(black_box(42))))
+    });
+    group.bench_function("scenario_small", |b| {
+        b.iter(|| build(ScenarioConfig::small(black_box(42))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_lpm, bench_forwarding, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # bench — Criterion benchmarks for the Hobbit reproduction
+//!
+//! Targets (run with `cargo bench -p bench`):
+//!
+//! * `substrate` — wire codecs, LPM trie lookups, probe forwarding,
+//!   scenario construction;
+//! * `probing` — Paris traceroute, MDA, and the Section 3.4 last-hop
+//!   shortcut vs a full traceroute walk (the paper's efficiency claim);
+//! * `hobbit_core` — the hierarchy test across group counts,
+//!   confidence-table construction, and classification with/without a
+//!   calibrated table (the termination ablation);
+//! * `aggregation` — identical-set aggregation, similarity-graph
+//!   construction, and MCL with/without connected-component splitting
+//!   (the Section 6.3 pre-processing ablation);
+//! * `experiments_bench` — regeneration time of every table and figure at
+//!   micro scale.

@@ -1,0 +1,384 @@
+//! Per-/24 classification: the Hobbit probing state machine
+//! (paper Sections 2.3, 3.3–3.5, Table 1).
+//!
+//! Destinations are probed in round-robin /26 order; after each resolved
+//! last-hop the grouping is re-tested. Probing terminates early when
+//!
+//! * a non-hierarchical relationship appears (homogeneous — load balancing
+//!   is the only explanation), or
+//! * six destinations have resolved to one common last-hop router
+//!   (homogeneous at 95%, by the MDA single-interface rule), or
+//! * the confidence table says enough destinations were probed for the
+//!   observed cardinality.
+
+use crate::confidence::ConfidenceTable;
+use crate::hierarchy::{LasthopGroups, Relationship};
+use crate::schedule::probing_order;
+use crate::select::SelectedBlock;
+use netsim::{Addr, Block24};
+use probe::{probe_lasthop_with_hint, LasthopOutcome, Prober, StoppingRule};
+use serde::{Deserialize, Serialize};
+
+/// Classification outcomes (the rows of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Classification {
+    /// Not analyzable: fewer responsive addresses at probe time than the
+    /// method requires (< 4, or fewer than the confidence table demands).
+    TooFewActive,
+    /// Not analyzable: destinations answer but no last-hop router does.
+    UnresponsiveLasthop,
+    /// Homogeneous: all destinations share one last-hop router.
+    SameLasthop,
+    /// Homogeneous: groups are non-hierarchical (load balancing).
+    NonHierarchical,
+    /// Different last-hop routers in a hierarchical arrangement — possibly
+    /// heterogeneous (residual ≤ 1 − confidence level).
+    Hierarchical,
+}
+
+impl Classification {
+    /// Whether the block was classified homogeneous.
+    pub fn is_homogeneous(self) -> bool {
+        matches!(self, Classification::SameLasthop | Classification::NonHierarchical)
+    }
+
+    /// Whether the block could be analyzed at all.
+    pub fn is_analyzable(self) -> bool {
+        !matches!(
+            self,
+            Classification::TooFewActive | Classification::UnresponsiveLasthop
+        )
+    }
+
+    /// Table 1 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Classification::TooFewActive => "Too few active",
+            Classification::UnresponsiveLasthop => "Unresponsive last-hop",
+            Classification::SameLasthop => "Same last-hop router",
+            Classification::NonHierarchical => "Non-hierarchical",
+            Classification::Hierarchical => "Different but hierarchical",
+        }
+    }
+}
+
+/// Tunable parameters of the classifier.
+#[derive(Clone, Copy, Debug)]
+pub struct HobbitConfig {
+    /// MDA stopping rule used by the last-hop prober.
+    pub rule: StoppingRule,
+    /// Minimum resolved destinations to call a single-group block
+    /// "same last-hop" (paper: 6, from the MDA n(1) rule).
+    pub same_lasthop_min: usize,
+    /// Minimum responsive destinations for any verdict (paper: 4).
+    pub min_active: usize,
+    /// Seed for the probing order shuffle.
+    pub seed: u64,
+}
+
+impl Default for HobbitConfig {
+    fn default() -> Self {
+        HobbitConfig {
+            rule: StoppingRule::confidence95(),
+            same_lasthop_min: 6,
+            min_active: 4,
+            seed: 0x40BB17,
+        }
+    }
+}
+
+/// The measurement record for one /24.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BlockMeasurement {
+    /// The measured block.
+    pub block: Block24,
+    /// Table 1 verdict.
+    pub classification: Classification,
+    /// Distinct last-hop routers observed (sorted) — the signature used by
+    /// aggregation (Section 5).
+    pub lasthop_set: Vec<Addr>,
+    /// Per-destination observations: (destination, its last-hop routers).
+    pub per_dest: Vec<(Addr, Vec<Addr>)>,
+    /// Destinations probed (including unresponsive ones).
+    pub dests_probed: usize,
+    /// Destinations whose last-hop was resolved.
+    pub dests_resolved: usize,
+    /// Destinations that echoed but whose last-hop stayed anonymous.
+    pub dests_anonymous: usize,
+    /// Probe packets spent on this block.
+    pub probes_used: u64,
+}
+
+impl BlockMeasurement {
+    /// Rebuild the last-hop grouping from the stored observations.
+    pub fn groups(&self) -> LasthopGroups {
+        LasthopGroups::build(self.per_dest.iter().map(|(a, l)| (*a, l.as_slice())))
+    }
+}
+
+/// Classify one selected /24 by probing.
+pub fn classify_block(
+    prober: &mut Prober<'_>,
+    sel: &SelectedBlock,
+    table: &ConfidenceTable,
+    cfg: &HobbitConfig,
+) -> BlockMeasurement {
+    let probes_before = prober.probes_sent();
+    let order = probing_order(sel, cfg.seed);
+    let mut per_dest: Vec<(Addr, Vec<Addr>)> = Vec::new();
+    let mut anonymous = 0usize;
+    let mut probed = 0usize;
+    let mut verdict: Option<Classification> = None;
+    // Destinations of one /24 sit at the same hop distance; resolve it once
+    // and seed the remaining destinations (saves the per-destination echo
+    // inference round, cf. paper §3.4's efficiency goal).
+    let mut dist_hint: Option<u8> = None;
+
+    for dst in order {
+        probed += 1;
+        let r = probe_lasthop_with_hint(prober, dst, cfg.rule, dist_hint);
+        match r.outcome {
+            LasthopOutcome::Found { lasthops, dst_distance } => {
+                dist_hint = Some(dst_distance.saturating_sub(1).max(1));
+                per_dest.push((dst, lasthops));
+            }
+            LasthopOutcome::AnonymousLasthop { dst_distance } => {
+                dist_hint = Some(dst_distance.saturating_sub(1).max(1));
+                anonymous += 1;
+                continue;
+            }
+            LasthopOutcome::Unresponsive => continue,
+        }
+        let groups = LasthopGroups::build(per_dest.iter().map(|(a, l)| (*a, l.as_slice())));
+        match groups.relationship() {
+            Relationship::NonHierarchical => {
+                verdict = Some(Classification::NonHierarchical);
+                break;
+            }
+            Relationship::SingleGroup => {
+                if per_dest.len() >= cfg.same_lasthop_min {
+                    verdict = Some(Classification::SameLasthop);
+                    break;
+                }
+            }
+            Relationship::Hierarchical => {
+                if let Some(required) = table.required_probes(groups.cardinality()) {
+                    if per_dest.len() >= required {
+                        verdict = Some(Classification::Hierarchical);
+                        break;
+                    }
+                }
+                // No table entry: probe all active addresses (paper §3.5).
+            }
+        }
+    }
+
+    let classification = verdict.unwrap_or_else(|| {
+        // Probing exhausted the active list without an early verdict.
+        if per_dest.len() < cfg.min_active {
+            if anonymous >= cfg.min_active {
+                Classification::UnresponsiveLasthop
+            } else {
+                Classification::TooFewActive
+            }
+        } else {
+            let groups = LasthopGroups::build(per_dest.iter().map(|(a, l)| (*a, l.as_slice())));
+            match groups.relationship() {
+                Relationship::NonHierarchical => Classification::NonHierarchical,
+                Relationship::SingleGroup => {
+                    if per_dest.len() >= cfg.same_lasthop_min {
+                        Classification::SameLasthop
+                    } else {
+                        Classification::TooFewActive
+                    }
+                }
+                Relationship::Hierarchical => {
+                    match table.required_probes(groups.cardinality()) {
+                        // The confidence table says we'd have needed more
+                        // destinations than this block could offer.
+                        Some(required) if per_dest.len() < required => {
+                            Classification::TooFewActive
+                        }
+                        _ => Classification::Hierarchical,
+                    }
+                }
+            }
+        }
+    });
+
+    let mut lasthop_set: Vec<Addr> = per_dest
+        .iter()
+        .flat_map(|(_, l)| l.iter().copied())
+        .collect();
+    lasthop_set.sort();
+    lasthop_set.dedup();
+
+    BlockMeasurement {
+        block: sel.block,
+        classification,
+        lasthop_set,
+        dests_resolved: per_dest.len(),
+        dests_anonymous: anonymous,
+        per_dest,
+        dests_probed: probed,
+        probes_used: prober.probes_sent() - probes_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::select_block;
+    use netsim::build::{build, ScenarioConfig};
+    use probe::zmap;
+
+    struct World {
+        scenario: netsim::Scenario,
+        snapshot: probe::ZmapSnapshot,
+    }
+
+    impl World {
+        fn new(seed: u64) -> Self {
+            let mut scenario = build(ScenarioConfig::tiny(seed));
+            let snapshot = zmap::scan_all(&mut scenario.network);
+            World { scenario, snapshot }
+        }
+
+        fn classify(&mut self, block: Block24) -> Option<BlockMeasurement> {
+            let sel = select_block(&self.snapshot, block).ok()?;
+            let mut prober = Prober::new(&mut self.scenario.network, 0x0B17);
+            Some(classify_block(
+                &mut prober,
+                &sel,
+                &ConfidenceTable::empty(),
+                &HobbitConfig::default(),
+            ))
+        }
+    }
+
+    #[test]
+    fn homogeneous_blocks_mostly_classified_homogeneous() {
+        let mut w = World::new(42);
+        let blocks: Vec<Block24> = w
+            .snapshot
+            .blocks()
+            .filter(|b| {
+                let t = &w.scenario.truth.blocks[b];
+                t.homogeneous && w.scenario.truth.pops[t.pop as usize].responsive
+            })
+            .collect();
+        let mut homog = 0;
+        let mut total = 0;
+        for b in blocks {
+            if let Some(m) = w.classify(b) {
+                if m.classification.is_analyzable() {
+                    total += 1;
+                    if m.classification.is_homogeneous() {
+                        homog += 1;
+                    }
+                }
+            }
+        }
+        assert!(total >= 10, "need analyzable blocks, got {total}");
+        let frac = homog as f64 / total as f64;
+        assert!(frac > 0.75, "only {homog}/{total} homogeneous");
+    }
+
+    #[test]
+    fn heterogeneous_blocks_classified_hierarchical() {
+        let mut w = World::new(42);
+        let blocks: Vec<Block24> = w
+            .snapshot
+            .blocks()
+            .filter(|b| !w.scenario.truth.blocks[b].homogeneous)
+            .collect();
+        let mut hier = 0;
+        let mut analyzable = 0;
+        for b in blocks {
+            if let Some(m) = w.classify(b) {
+                if m.classification.is_analyzable() {
+                    analyzable += 1;
+                    if m.classification == Classification::Hierarchical {
+                        hier += 1;
+                    }
+                }
+            }
+        }
+        if analyzable > 0 {
+            assert!(
+                hier as f64 / analyzable as f64 > 0.6,
+                "{hier}/{analyzable} hierarchical"
+            );
+        }
+    }
+
+    #[test]
+    fn unresponsive_pop_blocks_flagged() {
+        let mut w = World::new(42);
+        let blocks: Vec<Block24> = w
+            .snapshot
+            .blocks()
+            .filter(|b| {
+                let t = &w.scenario.truth.blocks[b];
+                t.homogeneous && !w.scenario.truth.pops[t.pop as usize].responsive
+            })
+            .collect();
+        let mut unresp = 0;
+        let mut total = 0;
+        for b in blocks {
+            if let Some(m) = w.classify(b) {
+                total += 1;
+                if m.classification == Classification::UnresponsiveLasthop {
+                    unresp += 1;
+                }
+            }
+        }
+        if total > 0 {
+            assert!(
+                unresp as f64 / total as f64 > 0.6,
+                "{unresp}/{total} flagged unresponsive-lasthop"
+            );
+        }
+    }
+
+    #[test]
+    fn same_lasthop_early_exit_costs_six_destinations() {
+        let mut w = World::new(42);
+        // Find a single-LH pop block with plenty of actives.
+        let block = w
+            .snapshot
+            .blocks()
+            .find(|b| {
+                let t = &w.scenario.truth.blocks[b];
+                t.homogeneous
+                    && w.scenario.truth.pops[t.pop as usize].responsive
+                    && w.scenario.truth.pops[t.pop as usize].lasthop_addrs.len() == 1
+                    && w.snapshot.active_in(*b).len() >= 12
+            });
+        let Some(block) = block else { return };
+        let m = w.classify(block).unwrap();
+        assert_eq!(m.classification, Classification::SameLasthop);
+        assert!(
+            m.dests_probed <= 10,
+            "early exit should stop near 6 destinations, probed {}",
+            m.dests_probed
+        );
+    }
+
+    #[test]
+    fn measurement_records_are_consistent() {
+        let mut w = World::new(42);
+        let block = w.snapshot.blocks().next().unwrap();
+        if let Some(m) = w.classify(block) {
+            assert!(m.dests_resolved <= m.dests_probed);
+            assert_eq!(m.dests_resolved, m.per_dest.len());
+            let set: std::collections::BTreeSet<Addr> = m
+                .per_dest
+                .iter()
+                .flat_map(|(_, l)| l.iter().copied())
+                .collect();
+            assert_eq!(m.lasthop_set, set.into_iter().collect::<Vec<_>>());
+            assert!(m.probes_used > 0);
+        }
+    }
+}

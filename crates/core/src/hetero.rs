@@ -1,0 +1,163 @@
+//! Heterogeneous-block analysis (paper Section 4.2, Table 2).
+//!
+//! Among "different but hierarchical" blocks, those whose last-hop groups
+//! are pairwise **disjoint** and **aligned** to exact subnets are *very
+//! likely heterogeneous* (homogeneous blocks meet the criteria < 0.1% of
+//! the time). Their group subnets reveal the sub-block composition —
+//! mostly {/25,/25}, {/25,/26,/26}, four /26s, and rarer /27 and /28 mixes.
+
+use crate::classify::{BlockMeasurement, Classification};
+use netsim::Prefix;
+use serde::{Deserialize, Serialize};
+
+/// The decomposition of a very-likely-heterogeneous block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubBlockComposition {
+    /// The group covering subnets, sorted by base address.
+    pub subnets: Vec<Prefix>,
+}
+
+impl SubBlockComposition {
+    /// Sorted prefix lengths, the Table 2 signature (e.g. `[25, 26, 26]`).
+    pub fn lens(&self) -> Vec<u8> {
+        let mut v: Vec<u8> = self.subnets.iter().map(|p| p.len()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether the subnets tile the /24 completely (observed compositions
+    /// may undershoot when some sub-block had few responsive addresses).
+    pub fn tiles_fully(&self) -> bool {
+        self.subnets.iter().map(|p| p.size() as u64).sum::<u64>() == 256
+    }
+
+    /// Human-readable form like `{/25, /26, /26}`.
+    pub fn signature(&self) -> String {
+        let parts: Vec<String> = self.lens().iter().map(|l| format!("/{l}")).collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// Apply the Section 4.2 criteria: the block must be classified
+/// `Hierarchical` and its groups disjoint and aligned. Returns the
+/// composition when the block is very likely heterogeneous.
+pub fn very_likely_heterogeneous(m: &BlockMeasurement) -> Option<SubBlockComposition> {
+    if m.classification != Classification::Hierarchical {
+        return None;
+    }
+    let covers = m.groups().disjoint_and_aligned()?;
+    Some(SubBlockComposition { subnets: covers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Addr, Block24};
+
+    fn lh(n: u32) -> Addr {
+        Addr(0x0A00_0000 + n)
+    }
+
+    fn meas(cls: Classification, per_dest: Vec<(Addr, Vec<Addr>)>) -> BlockMeasurement {
+        let mut lasthop_set: Vec<Addr> =
+            per_dest.iter().flat_map(|(_, l)| l.iter().copied()).collect();
+        lasthop_set.sort();
+        lasthop_set.dedup();
+        BlockMeasurement {
+            block: Block24(0x0A_0102),
+            classification: cls,
+            lasthop_set,
+            dests_probed: per_dest.len(),
+            dests_resolved: per_dest.len(),
+            dests_anonymous: 0,
+            probes_used: 0,
+            per_dest,
+        }
+    }
+
+    fn d(h: u8) -> Addr {
+        Block24(0x0A_0102).addr(h)
+    }
+
+    #[test]
+    fn split_25_25_detected_with_signature() {
+        let m = meas(
+            Classification::Hierarchical,
+            vec![
+                (d(2), vec![lh(1)]),
+                (d(125), vec![lh(1)]),
+                (d(129), vec![lh(2)]),
+                (d(254), vec![lh(2)]),
+            ],
+        );
+        let comp = very_likely_heterogeneous(&m).expect("aligned split");
+        assert_eq!(comp.lens(), vec![25, 25]);
+        assert_eq!(comp.signature(), "{/25, /25}");
+        assert!(comp.tiles_fully());
+    }
+
+    #[test]
+    fn split_25_26_26_detected() {
+        let m = meas(
+            Classification::Hierarchical,
+            vec![
+                (d(2), vec![lh(1)]),
+                (d(120), vec![lh(1)]),
+                (d(130), vec![lh(2)]),
+                (d(190), vec![lh(2)]),
+                (d(194), vec![lh(3)]),
+                (d(250), vec![lh(3)]),
+            ],
+        );
+        let comp = very_likely_heterogeneous(&m).expect("aligned split");
+        assert_eq!(comp.lens(), vec![25, 26, 26]);
+        assert!(comp.tiles_fully());
+    }
+
+    #[test]
+    fn sparse_observation_undershoots_tiling() {
+        // Only a narrow slice of each /25 observed: covers are /27-ish,
+        // still aligned/disjoint, but they do not tile the /24.
+        let m = meas(
+            Classification::Hierarchical,
+            vec![
+                (d(2), vec![lh(1)]),
+                (d(20), vec![lh(1)]),
+                (d(129), vec![lh(2)]),
+                (d(140), vec![lh(2)]),
+            ],
+        );
+        let comp = very_likely_heterogeneous(&m).expect("still aligned");
+        assert!(!comp.tiles_fully());
+    }
+
+    #[test]
+    fn non_hierarchical_measurement_is_not_heterogeneous() {
+        let m = meas(
+            Classification::NonHierarchical,
+            vec![
+                (d(2), vec![lh(1)]),
+                (d(130), vec![lh(1)]),
+                (d(126), vec![lh(2)]),
+                (d(237), vec![lh(2)]),
+            ],
+        );
+        assert!(very_likely_heterogeneous(&m).is_none());
+    }
+
+    #[test]
+    fn unaligned_hierarchical_is_not_flagged() {
+        // Disjoint but the second group's first address (.127) falls inside
+        // the first group's covering /25.
+        let m = meas(
+            Classification::Hierarchical,
+            vec![
+                (d(2), vec![lh(1)]),
+                (d(125), vec![lh(1)]),
+                (d(127), vec![lh(2)]),
+                (d(254), vec![lh(2)]),
+            ],
+        );
+        assert!(very_likely_heterogeneous(&m).is_none());
+    }
+}

@@ -1,0 +1,434 @@
+//! The hierarchy test — Hobbit's core insight (paper Section 2.3).
+//!
+//! Route entries are generated for destination subnets whose prefixes never
+//! partially overlap: every pair of entries is disjoint or nested. So if
+//! addresses in a /24 have different last-hop routers because of *distinct
+//! route entries*, the address groups (grouped by last-hop router,
+//! represented as numeric ranges) are hierarchical too. Contrapositive: a
+//! **non-hierarchical** grouping can only come from load balancing — the
+//! /24 is homogeneous.
+
+use netsim::{Addr, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Addresses grouped by last-hop router.
+///
+/// A destination observed with several last-hop routers (per-flow balancing
+/// at the final stage) joins every corresponding group — overlapping groups
+/// are themselves evidence of load balancing.
+///
+/// ```
+/// use hobbit::{LasthopGroups, Relationship};
+/// use netsim::Addr;
+///
+/// // Paper Figure 2(c): interleaved ranges can only come from load
+/// // balancing, so the /24 is homogeneous.
+/// let x = Addr::new(10, 0, 0, 1); // router X
+/// let y = Addr::new(10, 0, 0, 2); // router Y
+/// let d = |h| Addr::new(192, 0, 2, h);
+/// let obs = [
+///     (d(2),   vec![x]),
+///     (d(126), vec![y]),
+///     (d(130), vec![x]),
+///     (d(237), vec![y]),
+/// ];
+/// let groups = LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+/// assert_eq!(groups.relationship(), Relationship::NonHierarchical);
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LasthopGroups {
+    groups: BTreeMap<Addr, Vec<Addr>>,
+}
+
+impl LasthopGroups {
+    /// Build groups from per-destination last-hop observations.
+    pub fn build<'a, I>(observations: I) -> Self
+    where
+        I: IntoIterator<Item = (Addr, &'a [Addr])>,
+    {
+        let mut groups: BTreeMap<Addr, Vec<Addr>> = BTreeMap::new();
+        for (dst, lasthops) in observations {
+            for &lh in lasthops {
+                groups.entry(lh).or_default().push(dst);
+            }
+        }
+        for members in groups.values_mut() {
+            members.sort();
+            members.dedup();
+        }
+        LasthopGroups { groups }
+    }
+
+    /// Number of distinct last-hop routers (the /24's last-hop cardinality).
+    pub fn cardinality(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The distinct last-hop routers, ascending.
+    pub fn lasthops(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// The member addresses of each group.
+    pub fn members(&self) -> impl Iterator<Item = (Addr, &[Addr])> {
+        self.groups.iter().map(|(&lh, v)| (lh, v.as_slice()))
+    }
+
+    /// Each group as its numeric range `[min, max]`.
+    pub fn ranges(&self) -> Vec<(Addr, Addr)> {
+        self.groups
+            .values()
+            .map(|v| (*v.first().expect("groups are non-empty"), *v.last().unwrap()))
+            .collect()
+    }
+
+    /// Merge groups that share a member address (transitively).
+    ///
+    /// Longest-prefix matching assigns each address to exactly one route
+    /// entry, so two last-hop routers serving the same destination must be
+    /// one entry's ECMP set: for the purpose of the route-entry hierarchy
+    /// test they are a single group.
+    #[allow(clippy::needless_range_loop)] // index loops pair i with find(i)
+    pub fn merged_members(&self) -> Vec<Vec<Addr>> {
+        let groups: Vec<&Vec<Addr>> = self.groups.values().collect();
+        let n = groups.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for i in 0..n {
+            for j in 0..i {
+                if shares_member(groups[i], groups[j]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut merged: BTreeMap<usize, Vec<Addr>> = BTreeMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            merged.entry(root).or_default().extend(groups[i].iter().copied());
+        }
+        merged
+            .into_values()
+            .map(|mut v| {
+                v.sort();
+                v.dedup();
+                v
+            })
+            .collect()
+    }
+
+    /// The relationship test, applied to the *merged* groups. Returns
+    /// [`Relationship::NonHierarchical`] when some pair of merged ranges
+    /// partially overlaps — only load balancing can do that —
+    /// [`Relationship::SingleGroup`] when everything merges into one group
+    /// (one route entry serves every address), and
+    /// [`Relationship::Hierarchical`] otherwise.
+    pub fn relationship(&self) -> Relationship {
+        let merged = self.merged_members();
+        if merged.len() <= 1 {
+            return Relationship::SingleGroup;
+        }
+        let ranges: Vec<(Addr, Addr)> = merged
+            .iter()
+            .map(|v| (*v.first().unwrap(), *v.last().unwrap()))
+            .collect();
+        for i in 0..ranges.len() {
+            for j in 0..i {
+                let (alo, ahi) = ranges[i];
+                let (blo, bhi) = ranges[j];
+                let disjoint = ahi < blo || bhi < alo;
+                let a_in_b = blo <= alo && ahi <= bhi;
+                let b_in_a = alo <= blo && bhi <= ahi;
+                if !(disjoint || a_in_b || b_in_a) {
+                    return Relationship::NonHierarchical;
+                }
+            }
+        }
+        Relationship::Hierarchical
+    }
+
+    /// The Section 4.2 "very likely heterogeneous" criteria, applied to the
+    /// merged groups: all ranges pairwise **disjoint** and every group
+    /// **aligned** — its longest-common-prefix subnet contains no other
+    /// group's addresses.
+    ///
+    /// On success, returns each group's covering subnet, sorted by base.
+    pub fn disjoint_and_aligned(&self) -> Option<Vec<Prefix>> {
+        let merged = self.merged_members();
+        if merged.len() < 2 {
+            return None;
+        }
+        let ranges: Vec<(Addr, Addr)> = merged
+            .iter()
+            .map(|v| (*v.first().unwrap(), *v.last().unwrap()))
+            .collect();
+        for i in 0..ranges.len() {
+            for j in 0..i {
+                let (alo, ahi) = ranges[i];
+                let (blo, bhi) = ranges[j];
+                if !(ahi < blo || bhi < alo) {
+                    return None; // overlapping or nested: not disjoint
+                }
+            }
+        }
+        let covers: Vec<Prefix> = merged
+            .iter()
+            .map(|v| Prefix::covering(v).expect("non-empty group"))
+            .collect();
+        // Alignment: no cover may contain an address of another group.
+        for (i, cover) in covers.iter().enumerate() {
+            for (j, members) in merged.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if members.iter().any(|&a| cover.contains(a)) {
+                    return None;
+                }
+            }
+        }
+        let mut sorted = covers;
+        sorted.sort_by_key(|p| (p.base(), p.len()));
+        Some(sorted)
+    }
+}
+
+/// Whether two sorted member lists share an address.
+fn shares_member(a: &[Addr], b: &[Addr]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Outcome of the range-relationship test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relationship {
+    /// At most one group: all addresses share a last-hop router.
+    SingleGroup,
+    /// Some pair of ranges partially overlaps: only load balancing can do
+    /// this, so the addresses are homogeneous.
+    NonHierarchical,
+    /// Every pair is disjoint or nested — consistent with distinct route
+    /// entries (but also reachable by unlucky load-balancer hashing).
+    Hierarchical,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lh(n: u32) -> Addr {
+        Addr(0x0A00_0000 + n)
+    }
+
+    fn d(h: u8) -> Addr {
+        Addr::new(192, 0, 2, h)
+    }
+
+    fn groups(obs: &[(Addr, Vec<Addr>)]) -> LasthopGroups {
+        LasthopGroups::build(obs.iter().map(|(a, v)| (*a, v.as_slice())))
+    }
+
+    #[test]
+    fn figure2a_disjoint_is_hierarchical() {
+        // Paper Figure 2(a): X serves .2/.126, Y serves .130/.237 — disjoint.
+        let g = groups(&[
+            (d(2), vec![lh(1)]),
+            (d(126), vec![lh(1)]),
+            (d(130), vec![lh(2)]),
+            (d(237), vec![lh(2)]),
+        ]);
+        assert_eq!(g.relationship(), Relationship::Hierarchical);
+    }
+
+    #[test]
+    fn figure2b_inclusive_is_hierarchical() {
+        // Figure 2(b): one group's range contains the other's.
+        let g = groups(&[
+            (d(2), vec![lh(1)]),
+            (d(237), vec![lh(1)]),
+            (d(126), vec![lh(2)]),
+            (d(130), vec![lh(2)]),
+        ]);
+        assert_eq!(g.relationship(), Relationship::Hierarchical);
+    }
+
+    #[test]
+    fn figure2c_interleaved_is_non_hierarchical() {
+        // Figure 2(c): ranges partially overlap — load balancing.
+        let g = groups(&[
+            (d(2), vec![lh(1)]),
+            (d(130), vec![lh(1)]),
+            (d(126), vec![lh(2)]),
+            (d(237), vec![lh(2)]),
+        ]);
+        assert_eq!(g.relationship(), Relationship::NonHierarchical);
+    }
+
+    #[test]
+    fn single_lasthop_is_single_group() {
+        let g = groups(&[(d(2), vec![lh(1)]), (d(3), vec![lh(1)])]);
+        assert_eq!(g.relationship(), Relationship::SingleGroup);
+        assert_eq!(g.cardinality(), 1);
+    }
+
+    #[test]
+    fn multi_lasthop_destination_merges_groups() {
+        // A destination behind both routers proves they are one ECMP set:
+        // everything merges into one group (a single route entry).
+        let g = groups(&[
+            (d(2), vec![lh(1)]),
+            (d(100), vec![lh(1), lh(2)]),
+            (d(200), vec![lh(2)]),
+        ]);
+        assert_eq!(g.relationship(), Relationship::SingleGroup);
+        assert_eq!(g.merged_members().len(), 1);
+    }
+
+    #[test]
+    fn merging_is_transitive() {
+        // AB and BC chains merge A, B, C even though A and C never share.
+        let g = groups(&[
+            (d(2), vec![lh(1), lh(2)]),
+            (d(200), vec![lh(2), lh(3)]),
+        ]);
+        assert_eq!(g.merged_members().len(), 1);
+    }
+
+    #[test]
+    fn merged_heterogeneous_sub_pairs_stay_separate() {
+        // Two /25 customers, each behind its own per-flow pair: the pairs
+        // merge internally but not across, and the result is aligned.
+        let g = groups(&[
+            (d(2), vec![lh(1), lh(2)]),
+            (d(120), vec![lh(1), lh(2)]),
+            (d(130), vec![lh(3), lh(4)]),
+            (d(254), vec![lh(3), lh(4)]),
+        ]);
+        assert_eq!(g.merged_members().len(), 2);
+        assert_eq!(g.relationship(), Relationship::Hierarchical);
+        let covers = g.disjoint_and_aligned().expect("aligned /25 split");
+        assert_eq!(covers.len(), 2);
+    }
+
+    #[test]
+    fn identical_groups_merge_to_single() {
+        // Per-flow balancing at the last stage: every destination sees both
+        // routers. Distinct route entries cannot share an address, so the
+        // two groups are one ECMP set — a single route entry.
+        let g = groups(&[
+            (d(2), vec![lh(1), lh(2)]),
+            (d(200), vec![lh(1), lh(2)]),
+        ]);
+        assert_eq!(g.relationship(), Relationship::SingleGroup);
+    }
+
+    #[test]
+    fn nested_with_shared_member_merges() {
+        // Group 2's range is inside group 1's, but .100 belongs to both, so
+        // they merge rather than counting as parent-child entries.
+        let g = groups(&[
+            (d(2), vec![lh(1)]),
+            (d(254), vec![lh(1)]),
+            (d(100), vec![lh(1), lh(2)]),
+            (d(120), vec![lh(2)]),
+        ]);
+        assert_eq!(g.relationship(), Relationship::SingleGroup);
+    }
+
+    #[test]
+    fn three_addresses_are_always_hierarchical() {
+        // The paper's minimum-4 rule: any grouping of ≤3 addresses is
+        // hierarchical no matter what.
+        for split in [[0usize, 0, 1], [0, 1, 0], [0, 1, 1], [0, 0, 0]] {
+            let obs: Vec<(Addr, Vec<Addr>)> = split
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (d(10 + i as u8 * 50), vec![lh(g as u32)]))
+                .collect();
+            let g = groups(&obs);
+            assert_ne!(g.relationship(), Relationship::NonHierarchical, "{split:?}");
+        }
+    }
+
+    #[test]
+    fn aligned_split_detected() {
+        // .2-.125 behind one router, .129-.254 behind another: two aligned
+        // /25 halves — the paper's worked example of true heterogeneity.
+        let g = groups(&[
+            (d(2), vec![lh(1)]),
+            (d(125), vec![lh(1)]),
+            (d(129), vec![lh(2)]),
+            (d(254), vec![lh(2)]),
+        ]);
+        let covers = g.disjoint_and_aligned().expect("aligned split");
+        assert_eq!(covers.len(), 2);
+        assert_eq!(covers[0].to_string(), "192.0.2.0/25");
+        assert_eq!(covers[1].to_string(), "192.0.2.128/25");
+    }
+
+    #[test]
+    fn unaligned_split_rejected() {
+        // Paper's counter-example: second group <.127, .254> is disjoint
+        // but .127 falls inside the first group's /25 cover.
+        let g = groups(&[
+            (d(2), vec![lh(1)]),
+            (d(125), vec![lh(1)]),
+            (d(127), vec![lh(2)]),
+            (d(254), vec![lh(2)]),
+        ]);
+        assert_eq!(g.relationship(), Relationship::Hierarchical);
+        assert!(g.disjoint_and_aligned().is_none());
+    }
+
+    #[test]
+    fn nested_groups_not_aligned() {
+        let g = groups(&[
+            (d(2), vec![lh(1)]),
+            (d(254), vec![lh(1)]),
+            (d(100), vec![lh(2)]),
+            (d(120), vec![lh(2)]),
+        ]);
+        assert_eq!(g.relationship(), Relationship::Hierarchical);
+        assert!(g.disjoint_and_aligned().is_none(), "inclusive, not disjoint");
+    }
+
+    #[test]
+    fn relationship_is_subset_stable_for_hierarchical_truth() {
+        // Dropping observations can only lose evidence: a truly aligned
+        // split must stay hierarchical under any subset.
+        let all: Vec<(Addr, Vec<Addr>)> = (0..16)
+            .map(|i| {
+                let host = (i * 16) as u8;
+                let which = if host < 128 { 1 } else { 2 };
+                (d(host.max(1)), vec![lh(which)])
+            })
+            .collect();
+        let full = groups(&all);
+        assert_eq!(full.relationship(), Relationship::Hierarchical);
+        for skip in 0..all.len() {
+            let subset: Vec<_> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, x)| x.clone())
+                .collect();
+            let g = groups(&subset);
+            assert_ne!(g.relationship(), Relationship::NonHierarchical);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimal CLI argument handling shared by all experiment binaries.
+
+/// Common experiment options.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Scale factor on the paper-size scenario (1.0 = 32k ordinary /24s and
+    /// literal Table-5 site sizes; the default keeps binaries fast).
+    pub scale: f64,
+    /// Emit machine-readable JSON instead of text tables.
+    pub json: bool,
+    /// Worker threads for the probing phase (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            seed: 42,
+            scale: 0.12,
+            json: false,
+            threads: 0,
+        }
+    }
+}
+
+/// Why parsing failed (or legitimately stopped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// `--help` was requested; print usage and exit 0.
+    Help,
+    /// A flag was unknown or malformed.
+    Error(String),
+}
+
+/// Usage text shared by every binary.
+pub const USAGE: &str = "usage: <experiment> [--seed N] [--scale F] [--threads N] [--json]\n\
+--seed N     scenario seed (default 42)\n\
+--scale F    scenario scale, 1.0 = paper-size (default 0.12)\n\
+--threads N  probing worker threads (default: all cores)\n\
+--json       machine-readable output";
+
+impl ExpArgs {
+    /// Parse from `std::env::args`. Unknown flags abort with usage help.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(ParseOutcome::Help) => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(ParseOutcome::Error(msg)) => {
+                eprintln!("{msg}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse from an explicit token stream (testable core of [`parse`]).
+    ///
+    /// [`parse`]: ExpArgs::parse
+    pub fn parse_from<I>(tokens: I) -> Result<Self, ParseOutcome>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut args = ExpArgs::default();
+        let mut it = tokens.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--seed" => args.seed = expect_value(&mut it, "--seed")?,
+                "--scale" => args.scale = expect_value(&mut it, "--scale")?,
+                "--threads" => args.threads = expect_value(&mut it, "--threads")?,
+                "--json" => args.json = true,
+                "--help" | "-h" => return Err(ParseOutcome::Help),
+                other => return Err(ParseOutcome::Error(format!("unknown flag {other:?}"))),
+            }
+        }
+        if args.scale <= 0.0 {
+            return Err(ParseOutcome::Error("--scale must be positive".into()));
+        }
+        Ok(args)
+    }
+}
+
+fn expect_value<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, ParseOutcome> {
+    let Some(v) = it.next() else {
+        return Err(ParseOutcome::Error(format!("{flag} requires a value")));
+    };
+    v.parse()
+        .map_err(|_| ParseOutcome::Error(format!("invalid value {v:?} for {flag}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ExpArgs, ParseOutcome> {
+        ExpArgs::parse_from(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.seed, 42);
+        assert!(!a.json);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = parse(&["--seed", "7", "--scale", "0.5", "--threads", "3", "--json"]).unwrap();
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.threads, 3);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert!(matches!(parse(&["--help"]), Err(ParseOutcome::Help)));
+        assert!(matches!(parse(&["-h"]), Err(ParseOutcome::Help)));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(matches!(parse(&["--bogus"]), Err(ParseOutcome::Error(_))));
+    }
+
+    #[test]
+    fn missing_and_bad_values_rejected() {
+        assert!(matches!(parse(&["--seed"]), Err(ParseOutcome::Error(_))));
+        assert!(matches!(parse(&["--scale", "x"]), Err(ParseOutcome::Error(_))));
+        assert!(matches!(parse(&["--scale", "-1"]), Err(ParseOutcome::Error(_))));
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure10 (see DESIGN.md experiment index).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::figure10::run(&args).print(args.json);
+}

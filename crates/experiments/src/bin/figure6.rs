@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure6 (see DESIGN.md experiment index).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::figure6::run(&args).print(args.json);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's figure7 (see DESIGN.md experiment index).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::figure7::run(&args).print(args.json);
+}

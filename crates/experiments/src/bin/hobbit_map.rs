@@ -1,0 +1,5 @@
+//! Extension experiment: hobbit_map (see DESIGN.md).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::hobbit_map::run(&args).print(args.json);
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: longitudinal (see DESIGN.md).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::longitudinal::run(&args).print(args.json);
+}

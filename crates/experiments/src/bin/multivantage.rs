@@ -1,0 +1,5 @@
+//! Extension experiment: multivantage (see DESIGN.md).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::multivantage::run(&args).print(args.json);
+}

@@ -1,0 +1,5 @@
+//! Inspect the scenario the experiments run against.
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::scenario_info::run(&args).print(args.json);
+}

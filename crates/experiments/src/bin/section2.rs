@@ -1,0 +1,5 @@
+//! Regenerates the paper's section2 (see DESIGN.md experiment index).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::section2::run(&args).print(args.json);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's section31 (see DESIGN.md experiment index).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::section31::run(&args).print(args.json);
+}

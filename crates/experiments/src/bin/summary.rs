@@ -1,0 +1,5 @@
+//! One-page digest of a full pipeline run.
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::summary::run(&args).print(args.json);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 (see DESIGN.md experiment index).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::table3::run(&args).print(args.json);
+}

@@ -1,0 +1,95 @@
+//! Figure 7: numeric adjacency within aggregates.
+//!
+//! (a) LCP lengths of *adjacent* /24s inside each aggregate: >30% share 23
+//! bits, ~70% share ≥ 20 — blocks are locally contiguous. (b) LCP of the
+//! smallest vs largest member: ~40% share ≤ 1 bit — aggregates consist of
+//! contiguous runs far apart in the address space.
+
+use crate::args::ExpArgs;
+use crate::pipeline;
+use crate::report::Report;
+use aggregate::{contiguous_runs, first_last_lcp, neighbor_lcp_lens};
+use serde_json::json;
+
+/// Run the experiment.
+pub fn run(args: &ExpArgs) -> Report {
+    let p = pipeline::run(args);
+    let mut r = Report::new("figure7", "LCP distributions within aggregates");
+    let aggs: Vec<_> = p.aggregates().into_iter().filter(|a| a.size() > 1).collect();
+    r.info("multi-/24 aggregates analyzed", aggs.len());
+
+    // (a) neighbor LCP distribution.
+    let mut neighbor: Vec<u8> = Vec::new();
+    let mut first_last: Vec<u8> = Vec::new();
+    let mut runs_per_agg: Vec<f64> = Vec::new();
+    for a in &aggs {
+        neighbor.extend(neighbor_lcp_lens(&a.blocks));
+        if let Some(l) = first_last_lcp(&a.blocks) {
+            first_last.push(l);
+        }
+        runs_per_agg.push(contiguous_runs(&a.blocks).len() as f64);
+    }
+
+    let dist = |values: &[u8]| -> Vec<serde_json::Value> {
+        let mut counts = [0usize; 24];
+        for &v in values {
+            counts[v.min(23) as usize] += 1;
+        }
+        let total = values.len().max(1);
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(len, &c)| {
+                json!({"lcp_len": len, "pct": (10000.0 * c as f64 / total as f64).round() / 100.0})
+            })
+            .collect()
+    };
+    r.series("fig7a neighbor LCP length distribution (%)", dist(&neighbor));
+    r.series("fig7b first-last LCP length distribution (%)", dist(&first_last));
+
+    let frac = |values: &[u8], pred: &dyn Fn(u8) -> bool| {
+        values.iter().filter(|&&v| pred(v)).count() as f64 / values.len().max(1) as f64
+    };
+    r.row(
+        "fig7a neighbors with LCP 23 (%)",
+        ">30",
+        (1000.0 * frac(&neighbor, &|v| v == 23)).round() / 10.0,
+    );
+    r.row(
+        "fig7a neighbors with LCP ≥ 20 (%)",
+        "~70",
+        (1000.0 * frac(&neighbor, &|v| v >= 20)).round() / 10.0,
+    );
+    r.row(
+        "fig7b first-last pairs with LCP ≤ 1 (%)",
+        "~40",
+        (1000.0 * frac(&first_last, &|v| v <= 1)).round() / 10.0,
+    );
+    r.row(
+        "fig7b first-last pairs with LCP 23 (%)",
+        "~5",
+        (1000.0 * frac(&first_last, &|v| v == 23)).round() / 10.0,
+    );
+    r.info(
+        "mean contiguous runs per aggregate",
+        (analysis::mean(&runs_per_agg) * 100.0).round() / 100.0,
+    );
+    r.note("conclusion: aggregates are several contiguous runs, far apart");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_runs() {
+        let args = ExpArgs {
+            scale: 0.015,
+            threads: 2,
+            ..Default::default()
+        };
+        run(&args).print(false);
+    }
+}

@@ -1,0 +1,94 @@
+//! Table 2: sub-block composition of very-likely-heterogeneous /24s.
+//!
+//! Among hierarchical blocks meeting the disjoint-and-aligned criteria, the
+//! paper found 17,387 heterogeneous /24s: half split as {/25,/25}, then
+//! {/25,/26,/26}, four /26s, and a tail of /27 and /28 mixes.
+
+use crate::args::ExpArgs;
+use crate::pipeline;
+use crate::report::Report;
+use hobbit::very_likely_heterogeneous;
+use std::collections::BTreeMap;
+
+/// Paper shares of Table 2, keyed by the composition signature.
+pub const PAPER_SHARES: [(&str, f64); 8] = [
+    ("{/25, /25}", 50.48),
+    ("{/25, /26, /26}", 20.65),
+    ("{/26, /26, /26, /26}", 15.79),
+    ("{/25, /26, /27, /27}", 5.92),
+    ("{/26, /26, /26, /27, /27}", 4.63),
+    ("{/26, /26, /27, /27, /27, /27}", 1.13),
+    ("{/25, /26, /27, /28, /28}", 0.81),
+    ("{/25, /27, /27, /27, /27}", 0.58),
+];
+
+/// Run the experiment.
+pub fn run(args: &ExpArgs) -> Report {
+    let p = pipeline::run(args);
+    let mut r = Report::new("table2", "Composition of heterogeneous /24 blocks");
+
+    let mut by_signature: BTreeMap<String, usize> = BTreeMap::new();
+    let mut flagged = 0usize;
+    let mut true_hetero_flagged = 0usize;
+    let mut partial = 0usize;
+    for m in &p.measurements {
+        let Some(comp) = very_likely_heterogeneous(m) else {
+            continue;
+        };
+        flagged += 1;
+        if !p.scenario.truth.is_homogeneous(m.block) {
+            true_hetero_flagged += 1;
+        }
+        if comp.tiles_fully() {
+            *by_signature.entry(comp.signature()).or_default() += 1;
+        } else {
+            partial += 1;
+        }
+    }
+    let hierarchical = p
+        .measurements
+        .iter()
+        .filter(|m| m.classification == hobbit::Classification::Hierarchical)
+        .count();
+    r.info("different-but-hierarchical blocks", hierarchical);
+    r.info("flagged very-likely-heterogeneous", flagged);
+    r.info("flagged with partial (non-tiling) observation", partial);
+    r.info(
+        "ground-truth precision of the flag (%)",
+        (1000.0 * true_hetero_flagged as f64 / flagged.max(1) as f64).round() / 10.0,
+    );
+
+    let tiled: usize = by_signature.values().sum::<usize>().max(1);
+    for (signature, paper_pct) in PAPER_SHARES {
+        let count = by_signature.get(signature).copied().unwrap_or(0);
+        r.row(
+            &format!("{signature} (%)"),
+            paper_pct,
+            (10000.0 * count as f64 / tiled as f64).round() / 100.0,
+        );
+    }
+    let known: Vec<&str> = PAPER_SHARES.iter().map(|&(s, _)| s).collect();
+    let other: usize = by_signature
+        .iter()
+        .filter(|(s, _)| !known.contains(&s.as_str()))
+        .map(|(_, &c)| c)
+        .sum();
+    r.info("other compositions (count)", other);
+    r.note("percentages computed over fully-tiling flagged blocks");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_runs() {
+        let args = ExpArgs {
+            scale: 0.02,
+            threads: 2,
+            ..Default::default()
+        };
+        run(&args).print(false);
+    }
+}

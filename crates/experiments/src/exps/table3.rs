@@ -1,0 +1,89 @@
+//! Table 3: top ASes by heterogeneous /24 count.
+//!
+//! The paper's top two — Korea Telecom and SK Broadband — hold ~60% of all
+//! heterogeneous blocks; the remainder spread across broadband ISPs in
+//! France, Denmark, Malaysia, Georgia, plus one US hosting company.
+
+use crate::args::ExpArgs;
+use crate::pipeline;
+use crate::report::Report;
+use hobbit::very_likely_heterogeneous;
+use registry::Registry;
+use serde_json::json;
+use std::collections::BTreeMap;
+
+/// Run the experiment.
+pub fn run(args: &ExpArgs) -> Report {
+    let p = pipeline::run(args);
+    let registry = Registry::new(&p.scenario.truth, args.seed);
+    let mut r = Report::new("table3", "Top ASes holding heterogeneous /24 blocks");
+
+    let mut per_as: BTreeMap<u32, (String, String, String, usize)> = BTreeMap::new();
+    let mut total = 0usize;
+    for m in &p.measurements {
+        if very_likely_heterogeneous(m).is_none() {
+            continue;
+        }
+        let Some(geo) = registry.geo.lookup_block(m.block) else {
+            continue;
+        };
+        total += 1;
+        per_as
+            .entry(geo.asn)
+            .or_insert_with(|| {
+                (
+                    geo.org.clone(),
+                    geo.country.clone(),
+                    geo.org_type.label().to_string(),
+                    0,
+                )
+            })
+            .3 += 1;
+    }
+    let mut ranked: Vec<(u32, (String, String, String, usize))> = per_as.into_iter().collect();
+    ranked.sort_by_key(|&(_, (_, _, _, count))| std::cmp::Reverse(count));
+
+    r.info("heterogeneous /24s attributed", total);
+    let mut series = Vec::new();
+    for (rank, (asn, (org, country, org_type, count))) in ranked.iter().take(10).enumerate() {
+        series.push(json!({
+            "rank": rank + 1,
+            "asn": asn,
+            "org": org,
+            "country": country,
+            "type": org_type,
+            "hetero_24s": count,
+        }));
+    }
+    r.series("top-10 ASes", series);
+
+    let korea: usize = ranked
+        .iter()
+        .filter(|(_, (_, country, _, _))| country == "Korea")
+        .map(|(_, (_, _, _, c))| c)
+        .sum();
+    r.row(
+        "share held by the top-2 (Korean) ASes (%)",
+        57.5, // (8207 + 1798) / 17387
+        (1000.0 * korea as f64 / total.max(1) as f64).round() / 10.0,
+    );
+    if let Some((asn, (org, country, _, _))) = ranked.first() {
+        r.row("top AS", "AS4766 Korea Telecom (Korea)", format!("AS{asn} {org} ({country})"));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_runs() {
+        let args = ExpArgs {
+            scale: 0.02,
+            threads: 2,
+            ..Default::default()
+        };
+        run(&args).print(false);
+    }
+}

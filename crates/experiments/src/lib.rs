@@ -1,0 +1,22 @@
+//! # experiments — regenerating every table and figure of the paper
+//!
+//! Each table/figure has a module with a `run(&ExpArgs) -> Report`
+//! function and a thin binary wrapper (`cargo run -p experiments --release
+//! --bin table1`, etc.). All binaries accept `--seed`, `--scale` (1.0 =
+//! paper-size scenario) and `--json`.
+//!
+//! The shared [`pipeline`] performs the paper's measurement sequence once:
+//! ZMap scan → selection → confidence calibration → per-/24
+//! classification; the experiment modules post-process its outputs.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod pipeline;
+pub mod report;
+
+pub mod exps;
+
+pub use args::ExpArgs;
+pub use pipeline::{run as run_pipeline, Pipeline};
+pub use report::Report;

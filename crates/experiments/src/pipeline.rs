@@ -1,0 +1,249 @@
+//! The shared measurement pipeline every experiment builds on:
+//! scenario → ZMap scan → selection → confidence calibration →
+//! classification of every selected /24 (parallel across cloned networks).
+
+use crate::args::ExpArgs;
+use aggregate::{aggregate_identical, Aggregate, HomogBlock};
+use hobbit::{
+    classify_block, detects_homogeneous, select_block, survey_block, BlockLasthopData,
+    BlockMeasurement, ConfidenceTable, HobbitConfig, SelectReject, SelectedBlock,
+};
+use netsim::build::{build, Scenario, ScenarioConfig};
+use netsim::{Addr, Block24};
+use probe::{zmap, Prober, StoppingRule, ZmapSnapshot};
+
+/// Derive the scenario configuration from the common arguments.
+pub fn scenario_config(args: &ExpArgs) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper(args.seed);
+    cfg.target_blocks = ((cfg.target_blocks as f64) * args.scale).round().max(256.0) as usize;
+    cfg.big_block_scale = args.scale.min(1.0);
+    cfg
+}
+
+/// Everything the pipeline produced.
+pub struct Pipeline {
+    /// The simulated internet and its ground truth.
+    pub scenario: Scenario,
+    /// The ZMap snapshot (epoch 0).
+    pub snapshot: ZmapSnapshot,
+    /// Blocks passing the Section 3.3 selection.
+    pub selected: Vec<SelectedBlock>,
+    /// Blocks rejected for < 4 snapshot-active addresses.
+    pub reject_too_few: usize,
+    /// Blocks rejected for an uncovered /26 quarter.
+    pub reject_uncovered: usize,
+    /// The calibrated confidence table (Figure 4).
+    pub confidence: ConfidenceTable,
+    /// Per-block classification results, in block order.
+    pub measurements: Vec<BlockMeasurement>,
+    /// Probe packets spent on classification.
+    pub classify_probes: u64,
+    /// Probe packets spent on calibration surveys.
+    pub calibration_probes: u64,
+}
+
+/// Number of blocks surveyed to calibrate the confidence table.
+pub const CALIBRATION_BLOCKS: usize = 120;
+
+/// Run the full pipeline.
+pub fn run(args: &ExpArgs) -> Pipeline {
+    let cfg = scenario_config(args);
+    let mut scenario = build(cfg);
+    let snapshot = zmap::scan_all(&mut scenario.network);
+
+    let mut selected = Vec::new();
+    let (mut reject_too_few, mut reject_uncovered) = (0usize, 0usize);
+    for block in snapshot.blocks() {
+        match select_block(&snapshot, block) {
+            Ok(sel) => selected.push(sel),
+            Err(SelectReject::TooFewActive) => reject_too_few += 1,
+            Err(SelectReject::UncoveredQuarter) => reject_uncovered += 1,
+        }
+    }
+
+    // --- Calibration: survey a spread-out sample of selected blocks with
+    // full last-hop data; blocks whose full data shows homogeneity feed the
+    // confidence table (the paper's Section 3.2 procedure).
+    let calibration_probes;
+    let confidence = {
+        let stride = (selected.len() / CALIBRATION_BLOCKS).max(1);
+        let sample: Vec<&SelectedBlock> = selected.iter().step_by(stride).take(CALIBRATION_BLOCKS).collect();
+        let mut dataset: Vec<BlockLasthopData> = Vec::new();
+        let mut prober = Prober::new(&mut scenario.network, 0xCA11);
+        for sel in sample {
+            let survey = survey_block(&mut prober, sel, StoppingRule::confidence95(), false);
+            if survey.per_addr_lasthops.len() >= 8
+                && detects_homogeneous(&survey.per_addr_lasthops)
+            {
+                dataset.push(survey.lasthop_data());
+            }
+        }
+        calibration_probes = prober.probes_sent();
+        ConfidenceTable::build(&dataset, 50, 24, 0.95, args.seed ^ 0xF16)
+    };
+
+    // --- Classification, sharded across cloned networks.
+    let threads = if args.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        args.threads
+    }
+    .min(selected.len().max(1));
+    let hobbit_cfg = HobbitConfig {
+        seed: args.seed ^ 0x0B17,
+        ..Default::default()
+    };
+    let mut shard_inputs: Vec<Vec<SelectedBlock>> = vec![Vec::new(); threads];
+    for (i, sel) in selected.iter().enumerate() {
+        shard_inputs[i % threads].push(sel.clone());
+    }
+    let mut measurements: Vec<BlockMeasurement> = Vec::with_capacity(selected.len());
+    let mut classify_probes = 0u64;
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (shard_id, chunk) in shard_inputs.iter().enumerate() {
+            let mut net = scenario.network.clone();
+            let confidence = &confidence;
+            let hobbit_cfg = &hobbit_cfg;
+            handles.push(scope.spawn(move |_| {
+                let mut prober = Prober::new(&mut net, 0x1000 + shard_id as u16);
+                let results: Vec<BlockMeasurement> = chunk
+                    .iter()
+                    .map(|sel| classify_block(&mut prober, sel, confidence, hobbit_cfg))
+                    .collect();
+                (results, prober.probes_sent())
+            }));
+        }
+        for h in handles {
+            let (results, probes) = h.join().expect("classification shard panicked");
+            measurements.extend(results);
+            classify_probes += probes;
+        }
+    })
+    .expect("classification scope");
+    measurements.sort_by_key(|m| m.block);
+
+    Pipeline {
+        scenario,
+        snapshot,
+        selected,
+        reject_too_few,
+        reject_uncovered,
+        confidence,
+        measurements,
+        classify_probes,
+        calibration_probes,
+    }
+}
+
+impl Pipeline {
+    /// Measurements classified homogeneous, as aggregation inputs.
+    pub fn homog_blocks(&self) -> Vec<HomogBlock> {
+        self.measurements
+            .iter()
+            .filter(|m| m.classification.is_homogeneous())
+            .map(|m| HomogBlock::new(m.block, m.lasthop_set.clone()))
+            .collect()
+    }
+
+    /// Identical-set aggregates of the homogeneous blocks (Section 5).
+    pub fn aggregates(&self) -> Vec<Aggregate> {
+        aggregate_identical(&self.homog_blocks())
+    }
+
+    /// Snapshot-active addresses of a block.
+    pub fn snapshot_actives(&self, block: Block24) -> Vec<Addr> {
+        self.snapshot.active_in(block).to_vec()
+    }
+
+    /// Count measurements per classification.
+    pub fn classification_counts(&self) -> Vec<(hobbit::Classification, usize)> {
+        use hobbit::Classification::*;
+        [
+            TooFewActive,
+            UnresponsiveLasthop,
+            SameLasthop,
+            NonHierarchical,
+            Hierarchical,
+        ]
+        .into_iter()
+        .map(|c| {
+            (
+                c,
+                self.measurements
+                    .iter()
+                    .filter(|m| m.classification == c)
+                    .count(),
+            )
+        })
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> ExpArgs {
+        ExpArgs {
+            seed: 42,
+            scale: 0.01, // ~328 ordinary blocks
+            json: false,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let p = run(&tiny_args());
+        assert!(!p.selected.is_empty());
+        assert_eq!(p.measurements.len(), p.selected.len());
+        assert!(p.classify_probes > 0);
+        assert!(p.calibration_probes > 0);
+        let counts = p.classification_counts();
+        let total: usize = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, p.measurements.len());
+        // The dominant analyzable outcome must be homogeneity (paper: 90%).
+        let homog: usize = p
+            .measurements
+            .iter()
+            .filter(|m| m.classification.is_homogeneous())
+            .count();
+        let analyzable: usize = p
+            .measurements
+            .iter()
+            .filter(|m| m.classification.is_analyzable())
+            .count();
+        assert!(analyzable > 0);
+        assert!(
+            homog as f64 / analyzable as f64 > 0.7,
+            "{homog}/{analyzable} homogeneous"
+        );
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_single_thread() {
+        let args = ExpArgs {
+            threads: 1,
+            ..tiny_args()
+        };
+        let a = run(&args);
+        let b = run(&args);
+        assert_eq!(a.measurements.len(), b.measurements.len());
+        for (x, y) in a.measurements.iter().zip(&b.measurements) {
+            assert_eq!(x.block, y.block);
+            assert_eq!(x.classification, y.classification);
+            assert_eq!(x.lasthop_set, y.lasthop_set);
+        }
+    }
+
+    #[test]
+    fn aggregates_form() {
+        let p = run(&tiny_args());
+        let aggs = p.aggregates();
+        assert!(!aggs.is_empty());
+        // At least one aggregate should span multiple /24s (PoPs hold
+        // several blocks).
+        assert!(aggs.iter().any(|a| a.size() > 1), "no multi-block aggregate");
+    }
+}

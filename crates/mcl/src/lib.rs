@@ -1,0 +1,37 @@
+//! # mcl — the Markov Cluster Algorithm, from scratch
+//!
+//! A pure-Rust implementation of MCL (van Dongen, *Graph clustering by flow
+//! simulation*, 2000), the graph clustering algorithm the Hobbit paper uses
+//! to aggregate /24 blocks with similar-but-not-identical last-hop router
+//! sets (Section 6).
+//!
+//! MCL simulates flow on a graph: its column-stochastic matrix is
+//! alternately **expanded** (squared — flow spreads) and **inflated**
+//! (entry-wise powered and renormalized — strong flows win) until the
+//! process converges to a forest of attractors whose basins are the
+//! clusters.
+//!
+//! The paper's two pre-processing steps are provided too: merging vertices
+//! connected by weight-1 edges happens upstream (in the `aggregate` crate),
+//! and [`mcl_by_components`] splits the input into connected components so
+//! the cubic-time iteration runs on small matrices.
+//!
+//! ```
+//! use mcl::{mcl, MclParams};
+//! // Two triangles joined by a weak bridge.
+//! let edges = [
+//!     (0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0),
+//!     (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0),
+//!     (2, 3, 0.1),
+//! ];
+//! let clustering = mcl(6, &edges, &MclParams::default());
+//! assert_eq!(clustering.clusters.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod matrix;
+
+pub use cluster::{connected_components, mcl, mcl_by_components, Clustering, MclParams};
+pub use matrix::{Column, LoopScheme, SparseMatrix};

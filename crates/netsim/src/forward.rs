@@ -1,0 +1,498 @@
+//! The forwarding engine: what happens to a probe injected at the vantage.
+//!
+//! The only interface measurement tools get is [`Network::send`]: bytes in,
+//! optional bytes out, plus a measured RTT — exactly the information a real
+//! prober gets from a raw socket. Everything Hobbit infers must come through
+//! this bottleneck.
+
+use crate::addr::Addr;
+use crate::hash::{mix3, unit_f64};
+use crate::host::HostKind;
+use crate::route::{FlowKey, NextHop, RouterId};
+use crate::topology::Network;
+use crate::wire::{
+    IcmpEcho, IcmpError, Ipv4Header, WireError, ICMP_DEST_UNREACH, ICMP_ECHO_REQUEST,
+    ICMP_TIME_EXCEEDED,
+};
+use bytes::{Bytes, BytesMut};
+
+/// Timeout reported when no response arrives, in microseconds.
+pub const TIMEOUT_US: u64 = 2_000_000;
+
+/// Maximum number of routers a probe may traverse before the network
+/// declares a forwarding loop and drops it.
+pub const MAX_HOPS: u32 = 64;
+
+/// The observable outcome of one probe.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The response packet, if any (echo reply or ICMP error).
+    pub response: Option<Bytes>,
+    /// Measured round-trip (or the timeout value when `response` is None).
+    pub rtt_us: u64,
+}
+
+/// Why `Network::send` rejected a probe outright (malformed input is a
+/// caller bug, not a network condition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The packet failed to parse.
+    Wire(WireError),
+    /// The source address is not the vantage address.
+    NotFromVantage(Addr),
+    /// Only ICMP echo requests can be injected.
+    NotEchoRequest(u8),
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Wire(e) => write!(f, "malformed probe: {e}"),
+            SendError::NotFromVantage(a) => write!(f, "probe source {a} is not the vantage"),
+            SendError::NotEchoRequest(t) => write!(f, "probe is not an echo request (type {t})"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl From<WireError> for SendError {
+    fn from(e: WireError) -> Self {
+        SendError::Wire(e)
+    }
+}
+
+/// Internal result of walking the forwarding path.
+enum Outcome {
+    Expired { at: RouterId, hops: u32 },
+    Delivered { hops: u32 },
+    NoRoute { at: RouterId, hops: u32 },
+    Dropped,
+}
+
+impl Network {
+    /// Inject an ICMP echo request at the vantage point.
+    ///
+    /// Returns the response bytes (echo reply, Time Exceeded, or Destination
+    /// Unreachable) and the measured RTT, or `response: None` on timeout —
+    /// which can mean an unresponsive destination, an anonymous or
+    /// rate-limited router, a forwarding loop, or an unrouted destination.
+    pub fn send(&mut self, probe: Bytes) -> Result<Delivery, SendError> {
+        let mut buf = probe;
+        let ip = Ipv4Header::decode(&mut buf)?;
+        let Some(entry_router) = self.vantage_router_for(ip.src) else {
+            return Err(SendError::NotFromVantage(ip.src));
+        };
+        let (icmp_type, echo) = IcmpEcho::decode(&mut buf)?;
+        if icmp_type != ICMP_ECHO_REQUEST {
+            return Err(SendError::NotEchoRequest(icmp_type));
+        }
+        self.probes_carried += 1;
+
+        let key = FlowKey {
+            src: ip.src,
+            dst: ip.dst,
+            protocol: ip.protocol,
+            flow_label: echo.wire_checksum(ICMP_ECHO_REQUEST),
+            ip_ident: ip.ident,
+        };
+        let nonce = mix3(
+            ip.dst.0 as u64,
+            ((ip.ident as u64) << 32) | ((echo.ident as u64) << 16) | echo.seq as u64,
+            key.flow_label as u64,
+        );
+
+        let outcome = self.walk(&key, ip.ttl, entry_router);
+        Ok(match outcome {
+            Outcome::Expired { at, hops } => self.router_error(at, hops, ICMP_TIME_EXCEEDED, &ip, &echo, nonce),
+            Outcome::NoRoute { at, hops } => self.router_error(at, hops, ICMP_DEST_UNREACH, &ip, &echo, nonce),
+            Outcome::Dropped => timeout(),
+            Outcome::Delivered { hops, .. } => self.host_reply(&ip, &echo, hops, nonce),
+        })
+    }
+
+    /// Walk the forwarding path for a flow, decrementing TTL at each router.
+    fn walk(&self, key: &FlowKey, ttl: u8, entry: RouterId) -> Outcome {
+        let mut ttl = ttl as u32;
+        let mut cur = entry;
+        let mut hops = 0u32;
+        loop {
+            hops += 1;
+            if hops > MAX_HOPS {
+                return Outcome::Dropped;
+            }
+            if ttl == 0 {
+                // The probe never had budget to reach the first router.
+                return Outcome::Dropped;
+            }
+            ttl -= 1;
+            if ttl == 0 {
+                return Outcome::Expired { at: cur, hops };
+            }
+            let router = self.router(cur);
+            let Some((_, group)) = router.table.lookup(key.dst) else {
+                return Outcome::NoRoute { at: cur, hops };
+            };
+            match group.select(key, self.salt(cur)) {
+                NextHop::Deliver => return Outcome::Delivered { hops },
+                NextHop::Router(next) => cur = next,
+            }
+        }
+    }
+
+    /// Build a router-sourced ICMP error, subject to responsiveness and
+    /// rate limiting.
+    fn router_error(
+        &self,
+        at: RouterId,
+        hops: u32,
+        icmp_type: u8,
+        probe_ip: &Ipv4Header,
+        probe_echo: &IcmpEcho,
+        nonce: u64,
+    ) -> Delivery {
+        let router = self.router(at);
+        if !router.responsive {
+            return timeout();
+        }
+        if router.icmp_loss > 0.0 {
+            let drop = unit_f64(mix3(self.seed ^ 0x5A, at.0 as u64, nonce));
+            if drop < router.icmp_loss as f64 {
+                return timeout();
+            }
+        }
+        let err = IcmpError {
+            icmp_type,
+            quoted: Ipv4Header {
+                ttl: 1,
+                ..*probe_ip
+            },
+            quoted_echo: *probe_echo,
+            quoted_type: ICMP_ECHO_REQUEST,
+        };
+        // Routers with two interfaces answer from a destination-dependent
+        // one (the reply egress depends on the internal per-destination
+        // route toward the probe source) — a classic traceroute artifact
+        // that inflates entire-route cardinality without changing last-hop
+        // identity. This is what makes whole-traceroute comparison so much
+        // weaker than last-hop comparison (paper §3.1).
+        let src = match router.alt_addr {
+            Some(alt) if mix3(self.seed ^ 0x41F, at.0 as u64, probe_ip.dst.0 as u64) & 1 == 1 => {
+                alt
+            }
+            _ => router.addr,
+        };
+        let outer = Ipv4Header {
+            src,
+            dst: probe_ip.src,
+            ttl: 255u8.saturating_sub(hops as u8),
+            protocol: 1,
+            ident: (nonce & 0xffff) as u16,
+        };
+        let mut buf = BytesMut::new();
+        outer.encode(&mut buf);
+        err.encode(&mut buf);
+        let rtt = self
+            .rtt
+            .rtt_us(router.addr, hops, 0, HostKind::Server, false, nonce);
+        Delivery {
+            response: Some(buf.freeze()),
+            rtt_us: rtt,
+        }
+    }
+
+    /// Build the destination host's echo reply, if the host exists and
+    /// responds at the current epoch.
+    fn host_reply(&mut self, probe_ip: &Ipv4Header, probe_echo: &IcmpEcho, hops: u32, nonce: u64) -> Delivery {
+        let dst = probe_ip.dst;
+        let Some(profile) = self.blocks.get(&dst.block24()).copied() else {
+            return timeout();
+        };
+        if !self.oracle.responsive(dst, &profile, self.epoch) {
+            return timeout();
+        }
+        // Note: churn can bring up hosts absent from the snapshot population
+        // (paper footnote 2), so derive properties directly rather than
+        // requiring snapshot existence.
+        let default_ttl = self.oracle.default_ttl(dst, &profile);
+        // Reverse-path hop count: forward hops plus a small per-block
+        // asymmetry, so TTL-based hop inference is realistic, not exact.
+        let asym_draw = unit_f64(mix3(self.seed ^ 0x51, dst.block24().0 as u64, 0));
+        let asym = if asym_draw < 0.6 {
+            0
+        } else if asym_draw < 0.9 {
+            1
+        } else {
+            2
+        };
+        let reverse_hops = hops + asym;
+        let remaining = default_ttl.saturating_sub(reverse_hops as u8).max(1);
+
+        let cold = profile.kind == HostKind::Cellular && !self.warmed.contains_key(&dst);
+        if profile.kind == HostKind::Cellular {
+            self.warmed.insert(dst, ());
+        }
+        let rtt = self
+            .rtt
+            .rtt_us(dst, hops, profile.base_rtt_us, profile.kind, cold, nonce);
+
+        let outer = Ipv4Header {
+            src: dst,
+            dst: probe_ip.src,
+            ttl: remaining,
+            protocol: 1,
+            ident: (nonce >> 16 & 0xffff) as u16,
+        };
+        let mut buf = BytesMut::new();
+        outer.encode(&mut buf);
+        probe_echo.encode_reply(&mut buf);
+        Delivery {
+            response: Some(buf.freeze()),
+            rtt_us: rtt,
+        }
+    }
+}
+
+fn timeout() -> Delivery {
+    Delivery {
+        response: None,
+        rtt_us: TIMEOUT_US,
+    }
+}
+
+/// Convenience: encode an echo-request probe as wire bytes.
+///
+/// `flow_label` is the ICMP checksum the probe will carry (the Paris flow
+/// identifier); the payload tweak is solved to hit it exactly.
+pub fn encode_probe(
+    src: Addr,
+    dst: Addr,
+    ttl: u8,
+    ident: u16,
+    seq: u16,
+    flow_label: u16,
+    ip_ident: u16,
+) -> Bytes {
+    let ip = Ipv4Header {
+        src,
+        dst,
+        ttl,
+        protocol: 1,
+        ident: ip_ident,
+    };
+    let echo = IcmpEcho::with_checksum(ident, seq, flow_label);
+    let mut buf = BytesMut::new();
+    ip.encode(&mut buf);
+    echo.encode_request(&mut buf);
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Prefix;
+    use crate::host::HostProfile;
+    use crate::route::{LbPolicy, NextHopGroup};
+    use crate::wire::ICMP_ECHO_REPLY;
+
+    /// vantage -> r0 -> r1 -> r2(deliver 10.0.0.0/24)
+    fn chain() -> Network {
+        let mut net = Network::new(99, Addr::new(192, 0, 2, 1));
+        let r0 = net.add_router(Addr::new(10, 255, 0, 1));
+        let r1 = net.add_router(Addr::new(10, 255, 0, 2));
+        let r2 = net.add_router(Addr::new(10, 255, 0, 3));
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        net.install_route(r0, p, NextHopGroup::single(NextHop::Router(r1)));
+        net.install_route(r1, p, NextHopGroup::single(NextHop::Router(r2)));
+        net.install_route(r2, p, NextHopGroup::single(NextHop::Deliver));
+        net.set_block_profile(
+            Addr::new(10, 0, 0, 0).block24(),
+            HostProfile {
+                density: 1.0,
+                churn: 0.0,
+                ..HostProfile::default()
+            },
+        );
+        net
+    }
+
+    fn probe(net: &Network, dst: Addr, ttl: u8) -> Bytes {
+        encode_probe(net.vantage_addr(), dst, ttl, 7, 1, 0xAAAA, 0)
+    }
+
+    fn parse_response(d: &Delivery) -> (Ipv4Header, u8) {
+        let mut b = d.response.clone().expect("expected a response");
+        let ip = Ipv4Header::decode(&mut b).unwrap();
+        let t = b[0];
+        (ip, t)
+    }
+
+    #[test]
+    fn echo_reaches_host_with_enough_ttl() {
+        let mut net = chain();
+        let dst = Addr::new(10, 0, 0, 5);
+        let d = net.send(probe(&net, dst, 64)).unwrap();
+        let (ip, t) = parse_response(&d);
+        assert_eq!(t, ICMP_ECHO_REPLY);
+        assert_eq!(ip.src, dst);
+        // Host default TTL minus ~3-5 reverse hops.
+        assert!(ip.ttl >= 50, "reply ttl {}", ip.ttl);
+    }
+
+    #[test]
+    fn ttl_expiry_walks_the_chain() {
+        let mut net = chain();
+        let dst = Addr::new(10, 0, 0, 5);
+        let mut hops = Vec::new();
+        for ttl in 1..=3u8 {
+            let d = net.send(probe(&net, dst, ttl)).unwrap();
+            let (ip, t) = parse_response(&d);
+            assert_eq!(t, ICMP_TIME_EXCEEDED, "ttl {ttl}");
+            hops.push(ip.src);
+        }
+        assert_eq!(
+            hops,
+            vec![
+                Addr::new(10, 255, 0, 1),
+                Addr::new(10, 255, 0, 2),
+                Addr::new(10, 255, 0, 3),
+            ]
+        );
+        // TTL 4 delivers.
+        let d = net.send(probe(&net, dst, 4)).unwrap();
+        let (_, t) = parse_response(&d);
+        assert_eq!(t, ICMP_ECHO_REPLY);
+    }
+
+    #[test]
+    fn anonymous_router_times_out() {
+        let mut net = chain();
+        net.router_mut(RouterId(1)).responsive = false;
+        let dst = Addr::new(10, 0, 0, 5);
+        let d = net.send(probe(&net, dst, 2)).unwrap();
+        assert!(d.response.is_none());
+        assert_eq!(d.rtt_us, TIMEOUT_US);
+    }
+
+    #[test]
+    fn rate_limited_router_drops_some() {
+        let mut net = chain();
+        net.router_mut(RouterId(1)).icmp_loss = 0.5;
+        let dst = Addr::new(10, 0, 0, 5);
+        let mut answered = 0;
+        for seq in 0..100u16 {
+            let p = encode_probe(net.vantage_addr(), dst, 2, 7, seq, 0xAAAA, seq);
+            if net.send(p).unwrap().response.is_some() {
+                answered += 1;
+            }
+        }
+        assert!((25..75).contains(&answered), "answered {answered}/100");
+    }
+
+    #[test]
+    fn unrouted_destination_gets_unreachable() {
+        let mut net = chain();
+        let d = net.send(probe(&net, Addr::new(11, 0, 0, 1), 64)).unwrap();
+        let (ip, t) = parse_response(&d);
+        assert_eq!(t, ICMP_DEST_UNREACH);
+        assert_eq!(ip.src, Addr::new(10, 255, 0, 1));
+    }
+
+    #[test]
+    fn unresponsive_host_times_out() {
+        let mut net = chain();
+        // Density 0 block: routed but nobody home.
+        net.set_block_profile(
+            Addr::new(10, 0, 0, 0).block24(),
+            HostProfile {
+                density: 0.0,
+                ..HostProfile::default()
+            },
+        );
+        let d = net.send(probe(&net, Addr::new(10, 0, 0, 5), 64)).unwrap();
+        assert!(d.response.is_none());
+    }
+
+    #[test]
+    fn rejects_probe_not_from_vantage() {
+        let mut net = chain();
+        let p = encode_probe(Addr::new(9, 9, 9, 9), Addr::new(10, 0, 0, 5), 64, 1, 1, 0, 0);
+        assert!(matches!(net.send(p), Err(SendError::NotFromVantage(_))));
+    }
+
+    #[test]
+    fn rejects_garbage_bytes() {
+        let mut net = chain();
+        assert!(matches!(
+            net.send(Bytes::from_static(&[1, 2, 3])),
+            Err(SendError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn forwarding_loop_is_dropped() {
+        let mut net = Network::new(1, Addr::new(192, 0, 2, 1));
+        let r0 = net.add_router(Addr::new(10, 255, 0, 1));
+        let r1 = net.add_router(Addr::new(10, 255, 0, 2));
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        net.install_route(r0, p, NextHopGroup::single(NextHop::Router(r1)));
+        net.install_route(r1, p, NextHopGroup::single(NextHop::Router(r0)));
+        let probe = encode_probe(net.vantage_addr(), Addr::new(10, 0, 0, 1), 255, 1, 1, 0, 0);
+        let d = net.send(probe).unwrap();
+        assert!(d.response.is_none());
+    }
+
+    #[test]
+    fn probe_count_is_tracked() {
+        let mut net = chain();
+        assert_eq!(net.probes_carried(), 0);
+        let _ = net.send(probe(&net, Addr::new(10, 0, 0, 5), 64));
+        let _ = net.send(probe(&net, Addr::new(10, 0, 0, 6), 64));
+        assert_eq!(net.probes_carried(), 2);
+    }
+
+    #[test]
+    fn per_destination_ecmp_changes_lasthop_between_addresses() {
+        // vantage -> r0 -(per-dest ecmp)-> {r1, r2} -> deliver
+        let mut net = Network::new(5, Addr::new(192, 0, 2, 1));
+        let r0 = net.add_router(Addr::new(10, 255, 0, 1));
+        let r1 = net.add_router(Addr::new(10, 255, 0, 2));
+        let r2 = net.add_router(Addr::new(10, 255, 0, 3));
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        net.install_route(
+            r0,
+            p,
+            NextHopGroup::ecmp(
+                vec![NextHop::Router(r1), NextHop::Router(r2)],
+                LbPolicy::PerDestination,
+            ),
+        );
+        net.install_route(r1, p, NextHopGroup::single(NextHop::Deliver));
+        net.install_route(r2, p, NextHopGroup::single(NextHop::Deliver));
+        net.set_block_profile(
+            Addr::new(10, 0, 0, 0).block24(),
+            HostProfile {
+                density: 1.0,
+                churn: 0.0,
+                ..HostProfile::default()
+            },
+        );
+        // The last-hop router (ttl=2 expiry) should differ across addresses
+        // but be stable for one address across flow labels.
+        let mut lasthops = std::collections::HashSet::new();
+        for host in 1..32u8 {
+            let dst = Addr::new(10, 0, 0, host);
+            let mut per_dst = std::collections::HashSet::new();
+            for flow in [0x1111u16, 0x2222, 0x3333] {
+                let pr = encode_probe(net.vantage_addr(), dst, 2, 1, 1, flow, 0);
+                let d = net.send(pr).unwrap();
+                let (ip, t) = parse_response(&d);
+                assert_eq!(t, ICMP_TIME_EXCEEDED);
+                per_dst.insert(ip.src);
+            }
+            assert_eq!(per_dst.len(), 1, "per-destination must be flow-stable");
+            lasthops.extend(per_dst);
+        }
+        assert_eq!(lasthops.len(), 2, "both parallel last-hops should appear");
+    }
+}

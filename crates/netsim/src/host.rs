@@ -1,0 +1,358 @@
+//! End hosts, modelled as pure functions of per-/24 profiles.
+//!
+//! Materializing tens of millions of host structs would dominate memory, so
+//! hosts are derived on demand: a compact [`HostProfile`] per /24 block plus
+//! deterministic hashing decides, for any address, whether a host exists
+//! there, whether it responds at a given epoch, its OS default TTL, and its
+//! latency personality. This keeps a 100k-/24 scenario in a few megabytes
+//! while preserving per-address diversity.
+
+use crate::addr::{Addr, Block24};
+use crate::hash::{mix2, mix3, pick, unit_f64};
+use serde::{Deserialize, Serialize};
+
+/// What kind of machine lives at an address; drives RTT behaviour and rDNS.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum HostKind {
+    /// Residential broadband CPE.
+    Residential,
+    /// Datacenter / hosting server.
+    Server,
+    /// Cellular device behind a carrier gateway (radio wake-up delays).
+    Cellular,
+    /// Enterprise or campus machine.
+    Enterprise,
+}
+
+/// Mix of operating-system default TTLs within a block.
+///
+/// The paper's hop-count inference (Section 3.4) bins observed reply TTLs at
+/// 64/128/192/255; we generate hosts with the commonplace defaults plus a
+/// configurable share of oddballs to exercise the halving fallback.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TtlMix {
+    /// Unix-likes only (TTL 64).
+    Unix,
+    /// Windows only (TTL 128).
+    Windows,
+    /// Network gear (TTL 255).
+    Network,
+    /// A typical mixture: mostly 64, some 128, rare 255.
+    Mixed,
+    /// Mixture plus a share of non-standard defaults (e.g. 32, 100) that
+    /// break naive hop-count inference.
+    MixedWithCustom,
+}
+
+/// Per-/24 host population parameters. One per block; ~24 bytes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HostProfile {
+    /// Probability that any given address hosts a responsive machine.
+    pub density: f32,
+    /// Probability that an address active in the ZMap snapshot is *not*
+    /// responsive at probe time (availability churn), and vice versa.
+    pub churn: f32,
+    /// OS default-TTL mixture.
+    pub ttl_mix: TtlMix,
+    /// Host kind for RTT modelling and rDNS.
+    pub kind: HostKind,
+    /// Base one-way latency to the serving PoP, microseconds.
+    pub base_rtt_us: u32,
+    /// Probability that the whole block is "quiet" at a probe epoch — a
+    /// correlated outage/diurnal dip in which most hosts stop answering
+    /// (cf. Quan et al., "When the internet sleeps"). This is what makes a
+    /// ZMap snapshot stale and drives the paper's 24.9% "too few active"
+    /// row.
+    pub quiet_prob: f32,
+}
+
+impl Default for HostProfile {
+    fn default() -> Self {
+        HostProfile {
+            density: 0.3,
+            churn: 0.02,
+            ttl_mix: TtlMix::Mixed,
+            kind: HostKind::Residential,
+            base_rtt_us: 20_000,
+            quiet_prob: 0.0,
+        }
+    }
+}
+
+/// A realized host at one address, derived from the profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Host {
+    /// The host's address.
+    pub addr: Addr,
+    /// The OS default TTL its replies start from.
+    pub default_ttl: u8,
+    /// Host kind.
+    pub kind: HostKind,
+}
+
+/// Derives hosts from profiles; holds the scenario seed.
+#[derive(Clone, Copy, Debug)]
+pub struct HostOracle {
+    seed: u64,
+}
+
+/// Domain-separation tags so each derived property uses an independent
+/// hash stream.
+const TAG_EXISTS: u64 = 0x01;
+const TAG_CHURN: u64 = 0x02;
+const TAG_TTL: u64 = 0x03;
+const TAG_QUIET: u64 = 0x04;
+
+impl HostOracle {
+    /// Create an oracle for a scenario seed.
+    pub fn new(seed: u64) -> Self {
+        HostOracle { seed }
+    }
+
+    /// Whether a (potentially) responsive host exists at `addr`.
+    ///
+    /// Network (`.0`) and broadcast (`.255`) addresses never host machines.
+    pub fn exists(&self, addr: Addr, profile: &HostProfile) -> bool {
+        let h = addr.host24();
+        if h == 0 || h == 255 {
+            return false;
+        }
+        unit_f64(mix3(self.seed, TAG_EXISTS, addr.0 as u64)) < profile.density as f64
+    }
+
+    /// Whether the host at `addr` answers probes at `epoch`.
+    ///
+    /// Epoch 0 is the ZMap snapshot; later epochs flip each host's state
+    /// independently with probability `churn` (availability drift between
+    /// the snapshot and the measurement, paper footnote 2), and whole
+    /// blocks go "quiet" with probability `quiet_prob` — a correlated dip
+    /// in which a large share of the block's hosts stop answering.
+    pub fn responsive(&self, addr: Addr, profile: &HostProfile, epoch: u32) -> bool {
+        let h = addr.host24();
+        if h == 0 || h == 255 {
+            // Network/broadcast addresses never answer, churn or not.
+            return false;
+        }
+        let base = self.exists(addr, profile);
+        if epoch == 0 {
+            return base;
+        }
+        if profile.quiet_prob > 0.0 {
+            let block_h = mix3(
+                self.seed ^ TAG_QUIET,
+                addr.block24().0 as u64,
+                epoch as u64,
+            );
+            let u = unit_f64(block_h);
+            if u < profile.quiet_prob as f64 {
+                // Most quiet periods are full outages (power/link events);
+                // the rest are partial dips where most hosts still vanish.
+                let sub = u / profile.quiet_prob as f64;
+                if sub < 0.75 {
+                    return false;
+                }
+                let drop_frac = 0.85 + 0.14 * unit_f64(mix2(block_h, 1));
+                if unit_f64(mix3(block_h, addr.0 as u64, 2)) < drop_frac {
+                    return false;
+                }
+            }
+        }
+        let flip =
+            unit_f64(mix3(self.seed ^ TAG_CHURN, addr.0 as u64, epoch as u64)) < profile.churn as f64;
+        base ^ flip
+    }
+
+    /// The host record at `addr`, if a host exists there at all (regardless
+    /// of current responsiveness).
+    pub fn host(&self, addr: Addr, profile: &HostProfile) -> Option<Host> {
+        if !self.exists(addr, profile) {
+            return None;
+        }
+        Some(Host {
+            addr,
+            default_ttl: self.default_ttl(addr, profile),
+            kind: profile.kind,
+        })
+    }
+
+    /// The default TTL the host at `addr` uses for its replies.
+    pub fn default_ttl(&self, addr: Addr, profile: &HostProfile) -> u8 {
+        let h = mix3(self.seed ^ TAG_TTL, addr.0 as u64, 0);
+        match profile.ttl_mix {
+            TtlMix::Unix => 64,
+            TtlMix::Windows => 128,
+            TtlMix::Network => 255,
+            TtlMix::Mixed => {
+                // 70% unix, 25% windows, 5% network gear.
+                let u = unit_f64(h);
+                if u < 0.70 {
+                    64
+                } else if u < 0.95 {
+                    128
+                } else {
+                    255
+                }
+            }
+            TtlMix::MixedWithCustom => {
+                let u = unit_f64(h);
+                if u < 0.60 {
+                    64
+                } else if u < 0.85 {
+                    128
+                } else if u < 0.90 {
+                    255
+                } else {
+                    // Non-standard defaults; stress the inference fallback.
+                    const CUSTOM: [u8; 4] = [32, 100, 150, 200];
+                    CUSTOM[pick(mix2(h, 1), CUSTOM.len())]
+                }
+            }
+        }
+    }
+
+    /// All responsive addresses within a /24 at `epoch`, ascending.
+    pub fn active_in_block(
+        &self,
+        block: Block24,
+        profile: &HostProfile,
+        epoch: u32,
+    ) -> Vec<Addr> {
+        (1u8..=254)
+            .map(|h| block.addr(h))
+            .filter(|&a| self.responsive(a, profile, epoch))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> HostOracle {
+        HostOracle::new(0xDEAD_BEEF)
+    }
+
+    fn profile(density: f32) -> HostProfile {
+        HostProfile {
+            density,
+            ..HostProfile::default()
+        }
+    }
+
+    #[test]
+    fn network_and_broadcast_never_exist() {
+        let o = oracle();
+        let p = profile(1.0);
+        let b = Block24(0x0A_0000);
+        assert!(!o.exists(b.addr(0), &p));
+        assert!(!o.exists(b.addr(255), &p));
+        assert!(o.exists(b.addr(1), &p));
+    }
+
+    #[test]
+    fn density_zero_and_one() {
+        let o = oracle();
+        let b = Block24(0x0A_0001);
+        assert!(o.active_in_block(b, &profile(0.0), 0).is_empty());
+        assert_eq!(o.active_in_block(b, &profile(1.0), 0).len(), 254);
+    }
+
+    #[test]
+    fn density_is_approximately_respected() {
+        let o = oracle();
+        let p = profile(0.5);
+        let mut total = 0usize;
+        for b in 0..100u32 {
+            total += o.active_in_block(Block24(0x0B_0000 + b), &p, 0).len();
+        }
+        let frac = total as f64 / (100.0 * 254.0);
+        assert!((0.45..0.55).contains(&frac), "observed density {frac}");
+    }
+
+    #[test]
+    fn epoch_zero_matches_snapshot_and_churn_flips_some() {
+        let o = oracle();
+        let p = HostProfile {
+            density: 0.5,
+            churn: 0.1,
+            ..HostProfile::default()
+        };
+        let b = Block24(0x0C_0000);
+        let snap = o.active_in_block(b, &p, 0);
+        let later = o.active_in_block(b, &p, 1);
+        assert!(!snap.is_empty());
+        // Some but not all hosts should change state.
+        assert_ne!(snap, later);
+        let snap_set: std::collections::HashSet<_> = snap.iter().collect();
+        let overlap = later.iter().filter(|a| snap_set.contains(a)).count();
+        assert!(overlap > later.len() / 2, "churn should be mild");
+    }
+
+    #[test]
+    fn zero_churn_is_stable_across_epochs() {
+        let o = oracle();
+        let p = HostProfile {
+            density: 0.4,
+            churn: 0.0,
+            ..HostProfile::default()
+        };
+        let b = Block24(0x0D_0000);
+        assert_eq!(o.active_in_block(b, &p, 0), o.active_in_block(b, &p, 5));
+    }
+
+    #[test]
+    fn ttl_mix_pure_variants() {
+        let o = oracle();
+        let b = Block24(0x0E_0000);
+        for (mix, want) in [
+            (TtlMix::Unix, 64),
+            (TtlMix::Windows, 128),
+            (TtlMix::Network, 255),
+        ] {
+            let p = HostProfile {
+                ttl_mix: mix,
+                ..HostProfile::default()
+            };
+            for h in 1..100u8 {
+                assert_eq!(o.default_ttl(b.addr(h), &p), want);
+            }
+        }
+    }
+
+    #[test]
+    fn ttl_mixed_hits_standard_values() {
+        let o = oracle();
+        let p = HostProfile {
+            ttl_mix: TtlMix::Mixed,
+            ..HostProfile::default()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2000u32 {
+            seen.insert(o.default_ttl(Addr(0x10_000000 + i), &p));
+        }
+        assert!(seen.contains(&64) && seen.contains(&128) && seen.contains(&255));
+        assert_eq!(seen.len(), 3, "Mixed must only produce standard TTLs");
+    }
+
+    #[test]
+    fn ttl_custom_mix_produces_oddballs() {
+        let o = oracle();
+        let p = HostProfile {
+            ttl_mix: TtlMix::MixedWithCustom,
+            ..HostProfile::default()
+        };
+        let odd = (0..5000u32)
+            .map(|i| o.default_ttl(Addr(0x20_000000 + i), &p))
+            .filter(|t| ![64, 128, 255].contains(t))
+            .count();
+        assert!(odd > 0, "custom mix should produce non-standard TTLs");
+    }
+
+    #[test]
+    fn host_is_deterministic() {
+        let o = oracle();
+        let p = HostProfile::default();
+        let a = Addr::new(99, 1, 2, 3);
+        assert_eq!(o.host(a, &p), o.host(a, &p));
+    }
+}

@@ -1,0 +1,536 @@
+//! The cast of autonomous systems in the default scenarios.
+//!
+//! Names, countries, and proportions are modeled on the paper's Table 3
+//! (top ASes by heterogeneous /24 count — Korea Telecom and SK Broadband
+//! alone hold ~60%) and Table 5 (top 15 largest homogeneous blocks —
+//! hosting/cloud datacenters and cellular carriers behind few ingress
+//! points). The synthetic internet reproduces those allocation patterns so
+//! the aggregation experiments can reproduce the corresponding tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Organization category, as the paper assigns them from operator websites.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum OrgType {
+    /// ISP providing both fixed and mobile broadband.
+    Broadband,
+    /// Fixed-line-only ISP.
+    FixedIsp,
+    /// Mobile-only carrier.
+    MobileIsp,
+    /// Hosting company.
+    Hosting,
+    /// Hosting company marketing cloud services.
+    HostingCloud,
+    /// Enterprise network.
+    Enterprise,
+}
+
+impl OrgType {
+    /// Label as printed in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OrgType::Broadband => "Broadband ISP",
+            OrgType::FixedIsp => "Fixed ISP",
+            OrgType::MobileIsp => "Mobile ISP",
+            OrgType::Hosting => "Hosting",
+            OrgType::HostingCloud => "Hosting/Cloud",
+            OrgType::Enterprise => "Enterprise",
+        }
+    }
+}
+
+/// rDNS naming scheme family used for the AS's customer addresses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RdnsScheme {
+    /// No reverse DNS.
+    None,
+    /// `mNN-ip-D.cust.<domain>` — the Tele2-style cellular pattern the paper
+    /// generalizes in Section 7.2.
+    CellCust,
+    /// `<city>-omed-D.<domain>` — OCN-style pattern with the `omed` keyword.
+    Omed,
+    /// `ec2-A-B-C-D.<region>.compute.<domain>` — cloud instance names.
+    Ec2,
+    /// `wsip-A-B-C-D.<city>.<domain>` — business/datacenter fixed ISP.
+    Wsip,
+    /// `ip-A-B-C-D.<domain>` — generic residential.
+    GenericIp,
+    /// Multi-pattern residential cable scheme (Road Runner-like): the
+    /// pattern encodes host type, which the sampling experiment (Fig 12)
+    /// counts.
+    CableMulti,
+}
+
+/// One large, named colocation site (reproduces a Table 5 row).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BigSite {
+    /// Number of /24 blocks colocated at the site before scaling.
+    pub size_24s: usize,
+    /// Region tag used in rDNS (e.g. `us-west-1`) and geo city.
+    pub region: &'static str,
+    /// Whether the site is a cellular ingress point (Figure 6 behaviour).
+    pub cellular: bool,
+}
+
+/// Specification of one autonomous system in the scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AsSpec {
+    /// Autonomous system number.
+    pub asn: u32,
+    /// Organization name.
+    pub name: &'static str,
+    /// Country the allocations geolocate to.
+    pub country: &'static str,
+    /// Organization category.
+    pub org_type: OrgType,
+    /// rDNS naming family.
+    pub rdns: RdnsScheme,
+    /// DNS domain used in rDNS names.
+    pub domain: &'static str,
+    /// Share of the scenario's ordinary (non-big-site) /24 blocks.
+    pub block_share: f64,
+    /// Share of the scenario's heterogeneous (split) /24 blocks.
+    /// Proportions follow Table 3.
+    pub hetero_share: f64,
+    /// Giant homogeneous colocation sites (Table 5 rows), if any.
+    pub big_sites: Vec<BigSite>,
+    /// Whether ordinary pops of this AS serve cellular devices.
+    pub cellular: bool,
+}
+
+/// The fixed roster used by paper-scale scenarios.
+///
+/// `hetero_share` values follow the Table 3 counts (KT 8207, SK 1798,
+/// SFR 499, TDC 486, TM Net 242, Telenor 172, ColoCrossing 125,
+/// Caucasus 115, Magticom 108, IRIS 106, remainder spread thin).
+pub fn paper_roster() -> Vec<AsSpec> {
+    let mut roster = vec![
+        AsSpec {
+            asn: 4766,
+            name: "Korea Telecom",
+            country: "Korea",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::None,
+            domain: "kornet.net",
+            block_share: 0.10,
+            hetero_share: 0.4722, // 8207 / 17387
+            big_sites: vec![],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 9318,
+            name: "SK Broadband",
+            country: "Korea",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::None,
+            domain: "skbroadband.com",
+            block_share: 0.05,
+            hetero_share: 0.1034, // 1798 / 17387
+            big_sites: vec![],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 15557,
+            name: "SFR",
+            country: "France",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::GenericIp,
+            domain: "sfr.net",
+            block_share: 0.05,
+            hetero_share: 0.0287,
+            big_sites: vec![],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 3292,
+            name: "TDC A/S",
+            country: "Denmark",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::GenericIp,
+            domain: "tdc.dk",
+            block_share: 0.04,
+            hetero_share: 0.0280,
+            big_sites: vec![],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 4788,
+            name: "TM Net",
+            country: "Malaysia",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::GenericIp,
+            domain: "tm.net.my",
+            block_share: 0.03,
+            hetero_share: 0.0139,
+            big_sites: vec![],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 9158,
+            name: "Telenor A/S",
+            country: "Denmark",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::GenericIp,
+            domain: "telenor.dk",
+            block_share: 0.03,
+            hetero_share: 0.0099,
+            big_sites: vec![],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 36352,
+            name: "ColoCrossing",
+            country: "US",
+            org_type: OrgType::Hosting,
+            rdns: RdnsScheme::Wsip,
+            domain: "colocrossing.com",
+            block_share: 0.02,
+            hetero_share: 0.0072,
+            big_sites: vec![],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 28751,
+            name: "Caucasus Online",
+            country: "Georgia",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::GenericIp,
+            domain: "caucasus.net",
+            block_share: 0.015,
+            hetero_share: 0.0066,
+            big_sites: vec![],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 20751,
+            name: "Magticom",
+            country: "Georgia",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::GenericIp,
+            domain: "magti.ge",
+            block_share: 0.015,
+            hetero_share: 0.0062,
+            big_sites: vec![],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 35632,
+            name: "IRIS 64",
+            country: "France",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::GenericIp,
+            domain: "iris64.fr",
+            block_share: 0.015,
+            hetero_share: 0.0061,
+            big_sites: vec![],
+            cellular: false,
+        },
+        // ---- Table 5: owners of the biggest homogeneous blocks ----
+        AsSpec {
+            asn: 18779,
+            name: "EGI Hosting",
+            country: "US",
+            org_type: OrgType::Hosting,
+            rdns: RdnsScheme::Wsip,
+            domain: "egihosting.com",
+            block_share: 0.01,
+            hetero_share: 0.0,
+            big_sites: vec![BigSite {
+                size_24s: 1251,
+                region: "san-jose",
+                cellular: false,
+            }],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 1257,
+            name: "Tele2",
+            country: "Sweden",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::CellCust,
+            domain: "tele2.net",
+            block_share: 0.02,
+            hetero_share: 0.0,
+            big_sites: vec![
+                BigSite {
+                    size_24s: 1187,
+                    region: "stockholm",
+                    cellular: true,
+                },
+                BigSite {
+                    size_24s: 857,
+                    region: "gothenburg",
+                    cellular: true,
+                },
+            ],
+            cellular: true,
+        },
+        AsSpec {
+            asn: 16509,
+            name: "Amazon",
+            country: "Japan",
+            org_type: OrgType::HostingCloud,
+            rdns: RdnsScheme::Ec2,
+            domain: "amazonaws.com",
+            block_share: 0.01,
+            hetero_share: 0.0,
+            big_sites: vec![
+                BigSite {
+                    size_24s: 1122,
+                    region: "ap-northeast-1",
+                    cellular: false,
+                },
+                BigSite {
+                    size_24s: 835,
+                    region: "us-west-1",
+                    cellular: false,
+                },
+            ],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 2914,
+            name: "NTT America",
+            country: "US",
+            org_type: OrgType::HostingCloud,
+            rdns: RdnsScheme::Wsip,
+            domain: "ntt.net",
+            block_share: 0.01,
+            hetero_share: 0.0,
+            big_sites: vec![BigSite {
+                size_24s: 1071,
+                region: "dallas",
+                cellular: false,
+            }],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 32392,
+            name: "OPENTRANSFER",
+            country: "US",
+            org_type: OrgType::Hosting,
+            rdns: RdnsScheme::Wsip,
+            domain: "opentransfer.com",
+            block_share: 0.01,
+            hetero_share: 0.0,
+            big_sites: vec![
+                BigSite {
+                    size_24s: 940,
+                    region: "chicago",
+                    cellular: false,
+                },
+                BigSite {
+                    size_24s: 698,
+                    region: "atlanta",
+                    cellular: false,
+                },
+            ],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 4713,
+            name: "OCN",
+            country: "Japan",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::Omed,
+            domain: "ocn.ne.jp",
+            block_share: 0.02,
+            hetero_share: 0.0,
+            big_sites: vec![
+                BigSite {
+                    size_24s: 840,
+                    region: "tokyo",
+                    cellular: true,
+                },
+                BigSite {
+                    size_24s: 783,
+                    region: "osaka",
+                    cellular: true,
+                },
+            ],
+            cellular: true,
+        },
+        AsSpec {
+            asn: 9506,
+            name: "SingTel",
+            country: "Singapore",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::GenericIp,
+            domain: "singtel.com",
+            block_share: 0.01,
+            hetero_share: 0.0,
+            big_sites: vec![BigSite {
+                size_24s: 732,
+                region: "singapore",
+                cellular: false, // datacenter per Section 5.2's RTT analysis
+            }],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 17676,
+            name: "SoftBank",
+            country: "Japan",
+            org_type: OrgType::Broadband,
+            rdns: RdnsScheme::GenericIp,
+            domain: "softbank.jp",
+            block_share: 0.01,
+            hetero_share: 0.0,
+            big_sites: vec![BigSite {
+                size_24s: 731,
+                region: "tokyo",
+                cellular: false, // datacenter per Section 5.2
+            }],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 26496,
+            name: "GoDaddy",
+            country: "US",
+            org_type: OrgType::Hosting,
+            rdns: RdnsScheme::Wsip,
+            domain: "godaddy.com",
+            block_share: 0.01,
+            hetero_share: 0.0,
+            big_sites: vec![BigSite {
+                size_24s: 703,
+                region: "phoenix",
+                cellular: false,
+            }],
+            cellular: false,
+        },
+        AsSpec {
+            asn: 22394,
+            name: "Verizon Wireless",
+            country: "US",
+            org_type: OrgType::MobileIsp,
+            rdns: RdnsScheme::CellCust,
+            domain: "myvzw.com",
+            block_share: 0.01,
+            hetero_share: 0.0,
+            big_sites: vec![BigSite {
+                size_24s: 699,
+                region: "newark",
+                cellular: true,
+            }],
+            cellular: true,
+        },
+        AsSpec {
+            asn: 22773,
+            name: "Cox",
+            country: "US",
+            org_type: OrgType::FixedIsp,
+            rdns: RdnsScheme::Wsip,
+            domain: "coxbusiness.com",
+            block_share: 0.02,
+            hetero_share: 0.0,
+            big_sites: vec![BigSite {
+                size_24s: 679,
+                region: "phoenix",
+                cellular: false,
+            }],
+            cellular: false,
+        },
+        // ---- The sampling experiment's cable ISP (Fig 12) ----
+        AsSpec {
+            asn: 20001,
+            name: "Road Runner Cable",
+            country: "US",
+            org_type: OrgType::FixedIsp,
+            rdns: RdnsScheme::CableMulti,
+            domain: "res.rr.com",
+            block_share: 0.06,
+            hetero_share: 0.0,
+            big_sites: vec![],
+            cellular: false,
+        },
+    ];
+
+    // Filler broadband / enterprise ASes to spread the remaining blocks.
+    const FILLERS: &[(&str, &str, u32, OrgType)] = &[
+        ("Deutsche Kabel", "Germany", 61001, OrgType::Broadband),
+        ("Iberia Net", "Spain", 61002, OrgType::Broadband),
+        ("Aurora Telecom", "Brazil", 61003, OrgType::Broadband),
+        ("Southern Cross ISP", "Australia", 61004, OrgType::Broadband),
+        ("Maple Broadband", "Canada", 61005, OrgType::Broadband),
+        ("Thames Online", "UK", 61006, OrgType::Broadband),
+        ("Ganges Net", "India", 61007, OrgType::Broadband),
+        ("Pacifica Hosting", "US", 61008, OrgType::Hosting),
+        ("Alpine Enterprise Net", "Switzerland", 61009, OrgType::Enterprise),
+        ("Baltic University Net", "Estonia", 61010, OrgType::Enterprise),
+        ("Sahara Wireless", "Egypt", 61011, OrgType::MobileIsp),
+        ("Andes Cable", "Chile", 61012, OrgType::FixedIsp),
+    ];
+    let n_fillers = FILLERS.len();
+    let spoken_for: f64 = roster.iter().map(|a| a.block_share).sum();
+    let remaining = (1.0 - spoken_for).max(0.0);
+    for &(name, country, asn, org_type) in FILLERS {
+        roster.push(AsSpec {
+            asn,
+            name,
+            country,
+            org_type,
+            rdns: if org_type == OrgType::MobileIsp {
+                RdnsScheme::CellCust
+            } else {
+                RdnsScheme::GenericIp
+            },
+            domain: "example.net",
+            block_share: remaining / n_fillers as f64,
+            hetero_share: 0.0,
+            big_sites: vec![],
+            cellular: org_type == OrgType::MobileIsp,
+        });
+    }
+    // Residual hetero share (beyond the Table 3 top 10) goes to the two
+    // Korea ASes proportionally, matching the paper's "top 2 hold ~60%".
+    roster
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_are_sane() {
+        let roster = paper_roster();
+        let blocks: f64 = roster.iter().map(|a| a.block_share).sum();
+        assert!((0.99..=1.01).contains(&blocks), "block shares sum to {blocks}");
+        let hetero: f64 = roster.iter().map(|a| a.hetero_share).sum();
+        assert!(hetero < 1.0);
+        assert!(hetero > 0.6, "top ASes should hold most hetero blocks");
+    }
+
+    #[test]
+    fn korea_dominates_hetero() {
+        let roster = paper_roster();
+        let korea: f64 = roster
+            .iter()
+            .filter(|a| a.country == "Korea")
+            .map(|a| a.hetero_share)
+            .sum();
+        assert!(korea > 0.5, "Korea share {korea}");
+    }
+
+    #[test]
+    fn big_sites_match_table5() {
+        let roster = paper_roster();
+        let mut sizes: Vec<usize> = roster
+            .iter()
+            .flat_map(|a| a.big_sites.iter().map(|s| s.size_24s))
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(sizes.len(), 15, "fifteen Table 5 rows");
+        assert_eq!(sizes[0], 1251);
+        assert_eq!(sizes[14], 679);
+    }
+
+    #[test]
+    fn asns_are_unique() {
+        let roster = paper_roster();
+        let mut asns: Vec<u32> = roster.iter().map(|a| a.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        assert_eq!(asns.len(), roster.len());
+    }
+}

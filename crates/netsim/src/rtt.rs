@@ -1,0 +1,111 @@
+//! Latency model.
+//!
+//! Hobbit itself only needs reply TTLs and router addresses, but two of the
+//! paper's experiments are latency-based: the cellular-block identification
+//! of Section 5.2 / Figure 6 (first probe to a cellular device pays a radio
+//! wake-up delay) and general RTT sanity in the examples. The model is
+//! deliberately simple — per-hop propagation, per-probe jitter, and a
+//! radio-state machine for cellular hosts — but every draw is a pure
+//! function of the seed.
+
+use crate::addr::Addr;
+use crate::hash::{mix3, unit_f64};
+use crate::host::HostKind;
+
+/// Deterministic latency model.
+#[derive(Clone, Copy, Debug)]
+pub struct RttModel {
+    seed: u64,
+    /// Per-hop one-way propagation+queueing, microseconds.
+    pub hop_us: u32,
+    /// Relative jitter applied per probe (fraction of the base RTT).
+    pub jitter_frac: f32,
+    /// Radio wake-up delay for a cold cellular host: lower bound, µs.
+    pub cell_wake_min_us: u32,
+    /// Radio wake-up delay for a cold cellular host: upper bound, µs.
+    pub cell_wake_max_us: u32,
+}
+
+impl RttModel {
+    /// Model with the defaults used by the paper-scale scenarios.
+    pub fn new(seed: u64) -> Self {
+        RttModel {
+            seed,
+            hop_us: 800,
+            jitter_frac: 0.08,
+            // Figure 6: ~50% of cellular first-probe deltas exceed 0.5s and
+            // ≥10% reach 1s, so draw wake-up delays in [0.3s, 2.0s].
+            cell_wake_min_us: 300_000,
+            cell_wake_max_us: 2_000_000,
+        }
+    }
+
+    /// Round-trip time for one probe.
+    ///
+    /// * `hops` — router hops traversed one way;
+    /// * `base_us` — destination's access-link latency (from its profile);
+    /// * `kind` — host kind; cellular hosts pay the wake-up delay when cold;
+    /// * `cold` — whether this is the first probe since the radio idled;
+    /// * `nonce` — per-probe value (e.g. IP ident) for jitter.
+    pub fn rtt_us(&self, dst: Addr, hops: u32, base_us: u32, kind: HostKind, cold: bool, nonce: u64) -> u64 {
+        let path = 2 * (hops as u64) * self.hop_us as u64 + base_us as u64;
+        let jitter_draw = unit_f64(mix3(self.seed ^ 0x6A, dst.0 as u64, nonce));
+        let jitter = (path as f64 * self.jitter_frac as f64 * jitter_draw) as u64;
+        let wake = if cold && kind == HostKind::Cellular {
+            let u = unit_f64(mix3(self.seed ^ 0x6B, dst.0 as u64, nonce));
+            self.cell_wake_min_us as u64
+                + (u * (self.cell_wake_max_us - self.cell_wake_min_us) as f64) as u64
+        } else {
+            0
+        };
+        path + jitter + wake
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_grows_with_hops() {
+        let m = RttModel::new(7);
+        let a = Addr::new(1, 2, 3, 4);
+        let short = m.rtt_us(a, 3, 10_000, HostKind::Server, false, 0);
+        let long = m.rtt_us(a, 12, 10_000, HostKind::Server, false, 0);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn cold_cellular_pays_wakeup() {
+        let m = RttModel::new(7);
+        let a = Addr::new(5, 6, 7, 8);
+        let cold = m.rtt_us(a, 6, 30_000, HostKind::Cellular, true, 1);
+        let warm = m.rtt_us(a, 6, 30_000, HostKind::Cellular, false, 1);
+        assert!(cold >= warm + 300_000, "cold {cold} vs warm {warm}");
+        assert!(cold <= warm + 2_100_000);
+    }
+
+    #[test]
+    fn cold_server_pays_nothing_extra() {
+        let m = RttModel::new(7);
+        let a = Addr::new(9, 9, 9, 9);
+        let cold = m.rtt_us(a, 6, 5_000, HostKind::Server, true, 2);
+        let warm = m.rtt_us(a, 6, 5_000, HostKind::Server, false, 2);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn jitter_varies_with_nonce_but_is_bounded() {
+        let m = RttModel::new(7);
+        let a = Addr::new(4, 3, 2, 1);
+        let base = 2 * 6 * m.hop_us as u64 + 20_000;
+        let mut distinct = std::collections::HashSet::new();
+        for nonce in 0..50u64 {
+            let rtt = m.rtt_us(a, 6, 20_000, HostKind::Residential, false, nonce);
+            assert!(rtt >= base);
+            assert!(rtt <= base + (base as f64 * m.jitter_frac as f64) as u64 + 1);
+            distinct.insert(rtt);
+        }
+        assert!(distinct.len() > 10, "jitter should vary across probes");
+    }
+}

@@ -1,0 +1,145 @@
+//! Ground-truth summary statistics for scenario inspection and debugging.
+
+use crate::build::{GroundTruth, Scenario};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary of a scenario's ground truth.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TruthStats {
+    /// Allocated /24 blocks.
+    pub blocks: usize,
+    /// Genuinely homogeneous blocks.
+    pub homogeneous: usize,
+    /// Split (heterogeneous) blocks.
+    pub heterogeneous: usize,
+    /// Colocation sites (PoPs), excluding per-customer sub-allocations.
+    pub pops: usize,
+    /// PoPs whose last-hop routers never answer.
+    pub unresponsive_pops: usize,
+    /// PoPs serving cellular devices.
+    pub cellular_pops: usize,
+    /// Table-5 style big sites.
+    pub big_sites: usize,
+    /// Blocks per AS, by organization name.
+    pub blocks_per_as: BTreeMap<String, usize>,
+    /// Distribution of last-hop fan-out across ordinary PoPs.
+    pub lh_fanout: BTreeMap<usize, usize>,
+    /// Mean /24s per ordinary PoP.
+    pub mean_pop_size: f64,
+}
+
+/// Compute the summary.
+pub fn truth_stats(truth: &GroundTruth) -> TruthStats {
+    let homogeneous = truth.blocks.values().filter(|t| t.homogeneous).count();
+    let ordinary_pops: Vec<_> = truth.pops.iter().filter(|p| !p.sub_allocation).collect();
+    let mut blocks_per_as: BTreeMap<String, usize> = BTreeMap::new();
+    for t in truth.blocks.values() {
+        *blocks_per_as
+            .entry(truth.as_list[t.as_idx as usize].name.to_string())
+            .or_default() += 1;
+    }
+    let mut lh_fanout: BTreeMap<usize, usize> = BTreeMap::new();
+    for p in &ordinary_pops {
+        *lh_fanout.entry(p.lasthop_addrs.len()).or_default() += 1;
+    }
+    let mut pop_sizes: BTreeMap<u32, usize> = BTreeMap::new();
+    for t in truth.blocks.values().filter(|t| t.homogeneous) {
+        *pop_sizes.entry(t.pop).or_default() += 1;
+    }
+    let mean_pop_size = if pop_sizes.is_empty() {
+        0.0
+    } else {
+        pop_sizes.values().sum::<usize>() as f64 / pop_sizes.len() as f64
+    };
+    TruthStats {
+        blocks: truth.blocks.len(),
+        homogeneous,
+        heterogeneous: truth.blocks.len() - homogeneous,
+        pops: ordinary_pops.len(),
+        unresponsive_pops: ordinary_pops.iter().filter(|p| !p.responsive).count(),
+        cellular_pops: ordinary_pops.iter().filter(|p| p.cellular).count(),
+        big_sites: ordinary_pops.iter().filter(|p| p.big_site).count(),
+        blocks_per_as,
+        lh_fanout,
+        mean_pop_size,
+    }
+}
+
+/// Summary of a scenario's network fabric.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FabricStats {
+    /// Total routers.
+    pub routers: usize,
+    /// Routers that never answer TTL-exceeded.
+    pub anonymous_routers: usize,
+    /// Routers with ICMP rate limiting.
+    pub rate_limited_routers: usize,
+    /// Routers with a second (alternating) interface.
+    pub alt_interface_routers: usize,
+    /// Total installed route entries.
+    pub route_entries: usize,
+    /// Registered vantage points.
+    pub vantages: usize,
+}
+
+/// Compute the fabric summary.
+pub fn fabric_stats(scenario: &Scenario) -> FabricStats {
+    let net = &scenario.network;
+    let mut anonymous = 0;
+    let mut rate_limited = 0;
+    let mut alt = 0;
+    let mut entries = 0;
+    for i in 0..net.router_count() {
+        let r = net.router(crate::route::RouterId(i as u32));
+        if !r.responsive {
+            anonymous += 1;
+        }
+        if r.icmp_loss > 0.0 {
+            rate_limited += 1;
+        }
+        if r.alt_addr.is_some() {
+            alt += 1;
+        }
+        entries += r.table.len();
+    }
+    FabricStats {
+        routers: net.router_count(),
+        anonymous_routers: anonymous,
+        rate_limited_routers: rate_limited,
+        alt_interface_routers: alt,
+        route_entries: entries,
+        vantages: net.vantages().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, ScenarioConfig};
+
+    #[test]
+    fn truth_stats_are_consistent() {
+        let s = build(ScenarioConfig::tiny(42));
+        let stats = truth_stats(&s.truth);
+        assert_eq!(stats.blocks, stats.homogeneous + stats.heterogeneous);
+        assert_eq!(stats.blocks, s.truth.blocks.len());
+        assert!(stats.pops > 0);
+        assert!(stats.mean_pop_size >= 1.0);
+        let as_total: usize = stats.blocks_per_as.values().sum();
+        assert_eq!(as_total, stats.blocks);
+        let fan_total: usize = stats.lh_fanout.values().sum();
+        assert_eq!(fan_total, stats.pops);
+    }
+
+    #[test]
+    fn fabric_stats_count_features() {
+        let s = build(ScenarioConfig::tiny(42));
+        let stats = fabric_stats(&s);
+        assert_eq!(stats.routers, s.network.router_count());
+        assert!(stats.anonymous_routers > 0, "unresponsive PoPs exist");
+        assert!(stats.alt_interface_routers > 0, "alt interfaces exist");
+        assert!(stats.route_entries > stats.routers / 2);
+        assert_eq!(stats.vantages, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # probe — measurement tools over the simulated internet
+//!
+//! Implements the probing machinery the Hobbit paper builds on, driven
+//! against [`netsim`]'s wire-level interface:
+//!
+//! * [`zmap`] — an internet-wide ICMP echo scan producing the active-address
+//!   snapshot Hobbit selects destinations from;
+//! * [`ping`] — RTT series (the Section 5.2 cellular wake-up test);
+//! * [`traceroute`] — Paris traceroute: fixed flow identifiers defeat
+//!   per-flow load balancing;
+//! * [`mda`] — the Multipath Detection Algorithm with its hypothesis-test
+//!   stopping rule (`n(1) = 6` probes for 95% single-interface confidence);
+//! * [`lasthop`] — the Section 3.4 efficient last-hop prober using reply-TTL
+//!   hop-count inference with the halving fallback;
+//! * [`record`] — probe recording and replay (the warts-style
+//!   "collect once, analyze many" archive workflow).
+
+#![warn(missing_docs)]
+
+pub mod lasthop;
+pub mod mda;
+pub mod ping;
+pub mod prober;
+pub mod record;
+pub mod traceroute;
+pub mod types;
+pub mod zmap;
+
+pub use lasthop::{probe_lasthop, probe_lasthop_with_hint, LasthopOutcome, LasthopProbe};
+pub use mda::{enumerate_hop, enumerate_paths, MdaPaths, StoppingRule};
+pub use ping::{ping_series, PingSeries};
+pub use prober::{ProbeReply, ProbeResult, Prober};
+pub use record::{ProbeLog, RecordedReply};
+pub use traceroute::{paris_traceroute, Traceroute};
+pub use types::{route_sets_equal, route_sets_identical, Hop, Path};
+pub use zmap::{scan, scan_all, ZmapSnapshot};

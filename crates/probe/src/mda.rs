@@ -1,0 +1,340 @@
+//! Paris-traceroute MDA: the Multipath Detection Algorithm (Augustin,
+//! Friedman, Teixeira, E2EMON 2007).
+//!
+//! MDA enumerates the per-flow load-balanced paths between the vantage and
+//! one destination by varying the flow identifier, with a hypothesis-test
+//! stopping rule: after observing `k` distinct outcomes, keep probing until
+//! enough additional probes have been sent to reject "there is a (k+1)-th
+//! outcome" at the configured confidence.
+//!
+//! The paper leans on the rule's best-known instance: *"a router has a
+//! single nexthop interface at the probability of 95% if 6 probes are
+//! responded by a single nexthop interface"* — our table reproduces
+//! `n(1) = 6` exactly (see [`StoppingRule::probes_needed`]).
+
+use crate::prober::{ProbeReply, Prober};
+use crate::traceroute::{paris_traceroute, Traceroute};
+use crate::types::Path;
+use netsim::Addr;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The MDA hypothesis-test stopping rule.
+///
+/// To conclude that exactly `k` outcomes exist, the prober must send
+/// `probes_needed(k)` probes and observe only those `k`. The failure budget
+/// `alpha` is spread over the successive hypotheses (Bonferroni-style) as
+/// `alpha_k = alpha / (k * (k + 1))`, which yields the classic `n(1) = 6`
+/// at `alpha = 0.05`.
+/// ```
+/// use probe::StoppingRule;
+/// // The figure the paper quotes: 6 probes answered by a single next-hop
+/// // interface rule out a second one at 95% confidence.
+/// assert_eq!(StoppingRule::confidence95().probes_needed(1), 6);
+/// ```
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StoppingRule {
+    /// Overall failure probability budget (0.05 for 95% confidence).
+    pub alpha: f64,
+}
+
+impl StoppingRule {
+    /// The paper's 95%-confidence rule.
+    pub fn confidence95() -> Self {
+        StoppingRule { alpha: 0.05 }
+    }
+
+    /// Number of probes that must all land on the observed `k` outcomes to
+    /// reject the existence of a (k+1)-th equally likely outcome.
+    pub fn probes_needed(&self, k: usize) -> usize {
+        assert!(k >= 1);
+        let alpha_k = self.alpha / (k as f64 * (k + 1) as f64);
+        // P(n probes all miss outcome k+1 | k+1 uniform outcomes) =
+        // (k/(k+1))^n  ≤ alpha_k
+        let n = alpha_k.ln() / ((k as f64) / (k as f64 + 1.0)).ln();
+        n.ceil() as usize
+    }
+}
+
+/// Result of enumerating the per-flow paths to one destination.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MdaPaths {
+    /// The destination probed.
+    pub dst: Addr,
+    /// Distinct per-flow routes discovered (wildcard hops preserved).
+    pub paths: Vec<Path>,
+    /// Whether any flow reached the destination.
+    pub reached: bool,
+    /// Destination hop distance (minimum over flows), if reached.
+    pub dst_distance: Option<u8>,
+    /// Traceroutes underlying the enumeration (one per flow label used).
+    pub traces: Vec<Traceroute>,
+}
+
+impl MdaPaths {
+    /// The set of last-hop router addresses observed across flows.
+    /// (For per-flow balancing that converges before the destination this
+    /// is a singleton.)
+    pub fn lasthops(&self) -> Vec<Addr> {
+        let mut v: Vec<Addr> = self
+            .paths
+            .iter()
+            .filter_map(|p| p.lasthop())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// Deterministic, well-spread flow label sequence.
+///
+/// Avoids `0xffff` (not a representable ICMP checksum).
+pub fn flow_label(i: usize) -> u16 {
+    ((i as u32).wrapping_mul(2654435761) % 0xffff) as u16
+}
+
+/// Enumerate the distinct per-flow routes to `dst` by tracing one flow at a
+/// time until the stopping rule is satisfied for the number of distinct
+/// *paths* observed.
+///
+/// `max_flows` bounds the work for pathological cardinalities.
+pub fn enumerate_paths(
+    prober: &mut Prober<'_>,
+    dst: Addr,
+    rule: StoppingRule,
+    max_flows: usize,
+) -> MdaPaths {
+    let mut distinct: Vec<Path> = Vec::new();
+    let mut traces = Vec::new();
+    let mut reached = false;
+    let mut dst_distance: Option<u8> = None;
+    let mut flows_since_discovery = 0usize;
+    let mut i = 0usize;
+    while i < max_flows {
+        let label = flow_label(i);
+        i += 1;
+        let tr = paris_traceroute(prober, dst, label, 1);
+        if tr.reached {
+            reached = true;
+            dst_distance = Some(match dst_distance {
+                Some(d) => d.min(tr.dst_distance.unwrap()),
+                None => tr.dst_distance.unwrap(),
+            });
+        }
+        let is_new = !distinct.iter().any(|p| p.matches(&tr.path));
+        if is_new {
+            distinct.push(tr.path.clone());
+            flows_since_discovery = 0;
+        } else {
+            flows_since_discovery += 1;
+        }
+        traces.push(tr);
+        let k = distinct.len().max(1);
+        // After the last discovery we need `probes_needed(k)` *total* flows
+        // landing in the known set; count flows since the last new path.
+        if flows_since_discovery + 1 >= rule.probes_needed(k) {
+            break;
+        }
+    }
+    MdaPaths {
+        dst,
+        paths: distinct,
+        reached,
+        dst_distance,
+        traces,
+    }
+}
+
+/// Enumerate the interfaces answering at one TTL (node-level MDA), used by
+/// the last-hop prober. Returns the distinct responding addresses, plus
+/// whether any probe at this TTL was answered by the destination itself
+/// (meaning the TTL overshoots the router path).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HopInterfaces {
+    /// Distinct router interfaces seen at this TTL.
+    pub interfaces: Vec<Addr>,
+    /// Number of probes that timed out.
+    pub timeouts: usize,
+    /// Whether the destination echoed at this TTL (overshoot).
+    pub echoed: bool,
+    /// Probes used.
+    pub probes: usize,
+}
+
+/// Probe one TTL with varying flow labels under the stopping rule.
+pub fn enumerate_hop(
+    prober: &mut Prober<'_>,
+    dst: Addr,
+    ttl: u8,
+    rule: StoppingRule,
+    max_probes: usize,
+) -> HopInterfaces {
+    let mut seen: HashMap<Addr, usize> = HashMap::new();
+    let mut timeouts = 0usize;
+    let mut echoed = false;
+    let mut probes = 0usize;
+    let mut since_new = 0usize;
+    let mut i = 0usize;
+    while probes < max_probes {
+        let label = flow_label(i);
+        i += 1;
+        probes += 1;
+        match prober.probe(dst, ttl, label).reply {
+            ProbeReply::TimeExceeded { from } | ProbeReply::Unreachable { from } => {
+                if seen.insert(from, probes).is_none() {
+                    since_new = 0;
+                } else {
+                    since_new += 1;
+                }
+            }
+            ProbeReply::Echo { from, .. } if from == dst => {
+                echoed = true;
+                since_new += 1;
+            }
+            _ => {
+                timeouts += 1;
+                since_new += 1;
+            }
+        }
+        let k = seen.len().max(1);
+        if since_new + 1 >= rule.probes_needed(k) {
+            break;
+        }
+    }
+    let mut interfaces: Vec<Addr> = seen.into_keys().collect();
+    interfaces.sort();
+    HopInterfaces {
+        interfaces,
+        timeouts,
+        echoed,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::build::{build, ScenarioConfig};
+
+    #[test]
+    fn stopping_rule_reproduces_the_classic_table() {
+        let rule = StoppingRule::confidence95();
+        // n(1) = 6 is the number the paper quotes from Augustin et al.
+        assert_eq!(rule.probes_needed(1), 6);
+        // The table must be monotone and grow roughly linearly.
+        let mut prev = 0;
+        for k in 1..=16 {
+            let n = rule.probes_needed(k);
+            assert!(n > prev, "n({k}) = {n} not increasing");
+            prev = n;
+        }
+        assert!(rule.probes_needed(2) >= 10);
+        assert!(rule.probes_needed(2) <= 13);
+    }
+
+    #[test]
+    fn lower_alpha_needs_more_probes() {
+        let strict = StoppingRule { alpha: 0.01 };
+        let lax = StoppingRule { alpha: 0.10 };
+        for k in 1..=8 {
+            assert!(strict.probes_needed(k) > lax.probes_needed(k));
+        }
+    }
+
+    #[test]
+    fn flow_labels_are_distinct_and_legal() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let l = flow_label(i);
+            assert_ne!(l, 0xffff);
+            seen.insert(l);
+        }
+        assert!(seen.len() > 900, "labels should rarely collide");
+    }
+
+    fn active_dst(s: &netsim::Scenario) -> Addr {
+        for b in s.network.allocated_blocks() {
+            let t = &s.truth.blocks[&b];
+            if !t.homogeneous || !s.truth.pops[t.pop as usize].responsive {
+                continue;
+            }
+            let p = *s.network.block_profile(b).unwrap();
+            let act = s.network.oracle().active_in_block(b, &p, s.network.epoch());
+            if let Some(&a) = act.first() {
+                return a;
+            }
+        }
+        panic!("no active destination");
+    }
+
+    #[test]
+    fn enumerate_paths_finds_per_flow_diversity() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let mut p = Prober::new(&mut s.network, 3);
+        let mda = enumerate_paths(&mut p, dst, StoppingRule::confidence95(), 64);
+        assert!(mda.reached);
+        // Topology has 3-way per-flow ECMP at the gateway and 2-way in the
+        // AS, so several distinct per-flow paths must exist.
+        assert!(
+            mda.paths.len() >= 2,
+            "found {} paths: {:?}",
+            mda.paths.len(),
+            mda.paths
+        );
+        // All flows to one destination share the same last-hop router
+        // (the agg→LH stage balances per destination, not per flow).
+        assert_eq!(mda.lasthops().len(), 1);
+    }
+
+    #[test]
+    fn enumerate_paths_is_superset_of_single_trace() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let mut p = Prober::new(&mut s.network, 3);
+        let single = paris_traceroute(&mut p, dst, flow_label(0), 1);
+        let mda = enumerate_paths(&mut p, dst, StoppingRule::confidence95(), 64);
+        assert!(
+            mda.paths.iter().any(|q| q.matches(&single.path)),
+            "MDA must rediscover the single-flow path"
+        );
+    }
+
+    #[test]
+    fn enumerate_hop_sees_gateway_fan() {
+        // TTL 3 is the plane gateway (per-destination: one interface per
+        // destination); TTL 4 is the plane's transit layer (3-way per-flow
+        // ECMP, so flow variation reveals all three).
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let mut p = Prober::new(&mut s.network, 3);
+        let plane = enumerate_hop(&mut p, dst, 3, StoppingRule::confidence95(), 64);
+        assert_eq!(plane.interfaces.len(), 1, "per-dest plane is flow-stable: {plane:?}");
+        let transit = enumerate_hop(&mut p, dst, 4, StoppingRule::confidence95(), 64);
+        assert_eq!(transit.interfaces.len(), 3, "transit fan is 3: {transit:?}");
+        assert!(!transit.echoed);
+    }
+
+    #[test]
+    fn enumerate_hop_detects_overshoot() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let mut p = Prober::new(&mut s.network, 3);
+        let hop = enumerate_hop(&mut p, dst, 30, StoppingRule::confidence95(), 32);
+        assert!(hop.echoed, "TTL 30 overshoots an 9-hop destination");
+        assert!(hop.interfaces.is_empty());
+    }
+
+    #[test]
+    fn enumerate_hop_single_interface_uses_six_probes() {
+        // The campus router (TTL 1) is a single interface: the rule should
+        // stop after exactly n(1) = 6 probes.
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let mut p = Prober::new(&mut s.network, 3);
+        let hop = enumerate_hop(&mut p, dst, 1, StoppingRule::confidence95(), 64);
+        assert_eq!(hop.interfaces.len(), 1);
+        assert_eq!(hop.probes, 6);
+    }
+}

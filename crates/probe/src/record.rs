@@ -1,0 +1,227 @@
+//! Probe recording and replay — the "collect once, analyze many" workflow
+//! of real measurement archives (CAIDA's warts files, the paper's own
+//! traceroute datasets).
+//!
+//! A [`ProbeLog`] captures every probe attempt a [`Prober`] makes, keyed by
+//! `(dst, ttl, flow_label)`. Replaying the log answers the same questions
+//! in the same order, so any analysis that ran against the live network
+//! reproduces bit-for-bit from the archive — without the network.
+
+use crate::prober::ProbeReply;
+use netsim::Addr;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A serializable probe reply (mirror of [`ProbeReply`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordedReply {
+    /// Echo reply with its remaining IP TTL.
+    Echo {
+        /// Responder.
+        from: Addr,
+        /// Remaining TTL in the reply header.
+        ttl: u8,
+    },
+    /// TTL exceeded from a router.
+    TimeExceeded {
+        /// Reporting interface.
+        from: Addr,
+    },
+    /// Destination unreachable from a router.
+    Unreachable {
+        /// Reporting interface.
+        from: Addr,
+    },
+    /// No answer.
+    Timeout,
+}
+
+impl From<ProbeReply> for RecordedReply {
+    fn from(r: ProbeReply) -> Self {
+        match r {
+            ProbeReply::Echo { from, ttl } => RecordedReply::Echo { from, ttl },
+            ProbeReply::TimeExceeded { from } => RecordedReply::TimeExceeded { from },
+            ProbeReply::Unreachable { from } => RecordedReply::Unreachable { from },
+            ProbeReply::Timeout => RecordedReply::Timeout,
+        }
+    }
+}
+
+impl From<RecordedReply> for ProbeReply {
+    fn from(r: RecordedReply) -> Self {
+        match r {
+            RecordedReply::Echo { from, ttl } => ProbeReply::Echo { from, ttl },
+            RecordedReply::TimeExceeded { from } => ProbeReply::TimeExceeded { from },
+            RecordedReply::Unreachable { from } => ProbeReply::Unreachable { from },
+            RecordedReply::Timeout => ProbeReply::Timeout,
+        }
+    }
+}
+
+/// The key a probe attempt is filed under.
+pub type ProbeKey = (Addr, u8, u16);
+
+/// An archive of probe attempts.
+///
+/// Attempts with the same key are stored in order; replay consumes them
+/// FIFO, so retry sequences (which reuse the key) reproduce faithfully.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProbeLog {
+    /// Stored as a pair list because JSON map keys must be strings.
+    #[serde(with = "entries_serde")]
+    entries: HashMap<ProbeKey, VecDeque<(RecordedReply, u64)>>,
+    /// Total attempts recorded.
+    pub count: u64,
+}
+
+mod entries_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    type Pairs = Vec<(ProbeKey, Vec<(RecordedReply, u64)>)>;
+    type Entries = HashMap<ProbeKey, VecDeque<(RecordedReply, u64)>>;
+
+    pub fn serialize<S: Serializer>(
+        map: &Entries,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut pairs: Pairs = map
+            .iter()
+            .map(|(&k, v)| (k, v.iter().copied().collect()))
+            .collect();
+        pairs.sort_by_key(|&(k, _)| k);
+        serde::Serialize::serialize(&pairs, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Entries, D::Error> {
+        let pairs: Pairs = serde::Deserialize::deserialize(de)?;
+        Ok(pairs
+            .into_iter()
+            .map(|(k, v)| (k, v.into_iter().collect()))
+            .collect())
+    }
+}
+
+impl ProbeLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one attempt.
+    pub fn push(&mut self, dst: Addr, ttl: u8, flow_label: u16, reply: RecordedReply, rtt_us: u64) {
+        self.entries
+            .entry((dst, ttl, flow_label))
+            .or_default()
+            .push_back((reply, rtt_us));
+        self.count += 1;
+    }
+
+    /// Consume the next recorded attempt for a key, if any.
+    pub fn pop(&mut self, dst: Addr, ttl: u8, flow_label: u16) -> Option<(RecordedReply, u64)> {
+        self.entries.get_mut(&(dst, ttl, flow_label))?.pop_front()
+    }
+
+    /// Remaining (unconsumed) attempts.
+    pub fn remaining(&self) -> usize {
+        self.entries.values().map(VecDeque::len).sum()
+    }
+
+    /// Distinct destinations in the log.
+    pub fn destinations(&self) -> usize {
+        let mut dsts: Vec<Addr> = self.entries.keys().map(|&(d, _, _)| d).collect();
+        dsts.sort();
+        dsts.dedup();
+        dsts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prober::Prober;
+    use crate::{probe_lasthop, StoppingRule};
+    use netsim::build::{build, ScenarioConfig};
+
+    #[test]
+    fn reply_conversion_roundtrips() {
+        for r in [
+            ProbeReply::Echo {
+                from: Addr(1),
+                ttl: 9,
+            },
+            ProbeReply::TimeExceeded { from: Addr(2) },
+            ProbeReply::Unreachable { from: Addr(3) },
+            ProbeReply::Timeout,
+        ] {
+            let rec: RecordedReply = r.into();
+            let back: ProbeReply = rec.into();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn log_is_fifo_per_key() {
+        let mut log = ProbeLog::new();
+        let d = Addr(7);
+        log.push(d, 4, 1, RecordedReply::Timeout, 100);
+        log.push(d, 4, 1, RecordedReply::Echo { from: d, ttl: 55 }, 200);
+        assert_eq!(log.count, 2);
+        assert_eq!(log.pop(d, 4, 1), Some((RecordedReply::Timeout, 100)));
+        assert_eq!(
+            log.pop(d, 4, 1),
+            Some((RecordedReply::Echo { from: d, ttl: 55 }, 200))
+        );
+        assert_eq!(log.pop(d, 4, 1), None);
+        assert_eq!(log.pop(d, 5, 1), None);
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_a_measurement() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = s
+            .truth
+            .blocks
+            .iter()
+            .find(|(_, t)| t.homogeneous && s.truth.pops[t.pop as usize].responsive)
+            .map(|(&b, _)| b.addr(10))
+            .unwrap();
+        // Live run, recording.
+        let live = {
+            let mut p = Prober::new(&mut s.network, 5);
+            p.start_recording();
+            let r = probe_lasthop(&mut p, dst, StoppingRule::confidence95());
+            (r, p.take_log().expect("recording was on"))
+        };
+        let (live_result, log) = live;
+        assert!(log.count > 0);
+        assert_eq!(log.destinations(), 1);
+
+        // Replay without any network.
+        let mut rp = Prober::replayer(log, 5, s.network.vantage_addr());
+        let replayed = probe_lasthop(&mut rp, dst, StoppingRule::confidence95());
+        assert_eq!(replayed.outcome, live_result.outcome);
+        assert_eq!(replayed.probes_used, live_result.probes_used);
+        assert_eq!(rp.replay_misses(), 0, "replay must not miss");
+    }
+
+    #[test]
+    fn replay_miss_is_a_timeout() {
+        let log = ProbeLog::new();
+        let mut rp = Prober::replayer(log, 5, Addr(0));
+        rp.retries = 0;
+        let r = rp.probe(Addr(9), 9, 9);
+        assert_eq!(r.reply, ProbeReply::Timeout);
+        assert_eq!(rp.replay_misses(), 1);
+    }
+
+    #[test]
+    fn log_serializes() {
+        let mut log = ProbeLog::new();
+        log.push(Addr(1), 2, 3, RecordedReply::Echo { from: Addr(1), ttl: 60 }, 5);
+        let json = serde_json::to_string(&log).unwrap();
+        let back: ProbeLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count, 1);
+        assert_eq!(back.remaining(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Internet-wide ICMP echo scan, modeled on the ZMap dataset the paper
+//! bootstraps from (scans.io "FULL IPv4 ICMP Echo Request").
+//!
+//! The scan enumerates every address of every allocated /24 at the snapshot
+//! epoch and records which answered. Hobbit later probes at a *different*
+//! epoch, so some snapshot-active addresses will have gone quiet (paper
+//! footnote 2) — the scan result is a dataset, not an oracle.
+
+use crate::prober::{ProbeReply, Prober};
+use netsim::{Addr, Block24, Network};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The snapshot of responsive addresses, grouped by /24.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ZmapSnapshot {
+    /// Per-block sorted lists of addresses that replied.
+    pub active: BTreeMap<Block24, Vec<Addr>>,
+    /// Epoch the scan ran at.
+    pub epoch: u32,
+    /// Probes spent on the scan.
+    pub probes: u64,
+}
+
+impl ZmapSnapshot {
+    /// Addresses recorded active within `block` (empty slice if none).
+    pub fn active_in(&self, block: Block24) -> &[Addr] {
+        self.active.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of active addresses across all blocks.
+    pub fn total_active(&self) -> usize {
+        self.active.values().map(Vec::len).sum()
+    }
+
+    /// Blocks with at least one active address, in numeric order.
+    pub fn blocks(&self) -> impl Iterator<Item = Block24> + '_ {
+        self.active.keys().copied()
+    }
+}
+
+/// Scan every address of the given blocks at the snapshot epoch (0),
+/// restoring the network's current epoch afterwards.
+///
+/// Uses a single probe per address (ZMap is one-shot), TTL 64.
+pub fn scan(net: &mut Network, blocks: &[Block24]) -> ZmapSnapshot {
+    let saved_epoch = net.epoch();
+    net.set_epoch(0);
+    let mut prober = Prober::new(net, 0x5CA0);
+    prober.retries = 0;
+    let mut snapshot = ZmapSnapshot {
+        epoch: 0,
+        ..Default::default()
+    };
+    for &block in blocks {
+        let mut hits = Vec::new();
+        for host in 1u8..=254 {
+            let dst = block.addr(host);
+            if let ProbeReply::Echo { from, .. } = prober.probe(dst, 64, 0).reply {
+                if from == dst {
+                    hits.push(dst);
+                }
+            }
+        }
+        if !hits.is_empty() {
+            snapshot.active.insert(block, hits);
+        }
+    }
+    snapshot.probes = prober.probes_sent();
+    net.set_epoch(saved_epoch);
+    snapshot
+}
+
+/// Scan all allocated blocks of the network.
+pub fn scan_all(net: &mut Network) -> ZmapSnapshot {
+    let blocks = net.allocated_blocks();
+    scan(net, &blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::build::{build, ScenarioConfig};
+
+    #[test]
+    fn scan_matches_oracle_at_snapshot_epoch() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        let blocks: Vec<Block24> = s.network.allocated_blocks().into_iter().take(10).collect();
+        let snap = scan(&mut s.network, &blocks);
+        for &b in &blocks {
+            let profile = *s.network.block_profile(b).unwrap();
+            let expect = s.network.oracle().active_in_block(b, &profile, 0);
+            assert_eq!(snap.active_in(b), expect.as_slice(), "block {b}");
+        }
+        assert_eq!(snap.probes, blocks.len() as u64 * 254);
+    }
+
+    #[test]
+    fn scan_restores_epoch() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        s.network.set_epoch(3);
+        let blocks = vec![s.network.allocated_blocks()[0]];
+        let _ = scan(&mut s.network, &blocks);
+        assert_eq!(s.network.epoch(), 3);
+    }
+
+    #[test]
+    fn total_active_sums_blocks() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        let blocks: Vec<Block24> = s.network.allocated_blocks().into_iter().take(5).collect();
+        let snap = scan(&mut s.network, &blocks);
+        let sum: usize = blocks.iter().map(|b| snap.active_in(*b).len()).sum();
+        assert_eq!(snap.total_active(), sum);
+    }
+}

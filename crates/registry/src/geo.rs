@@ -1,0 +1,119 @@
+//! Maxmind-GeoLite-like lookups: address → ASN, organization, geolocation.
+//!
+//! The paper uses GeoLite to attribute heterogeneous /24s (Table 3) and the
+//! largest homogeneous blocks (Table 5) to operators and countries. Our
+//! registry is generated from the scenario's ground truth, which is exactly
+//! the role the commercial database plays: an external mapping the
+//! measurement study trusts but did not produce.
+
+use netsim::build::GroundTruth;
+use netsim::roster::OrgType;
+use netsim::{Addr, Block24};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One geolocation/ownership record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeoRecord {
+    /// Autonomous system number.
+    pub asn: u32,
+    /// Organization name.
+    pub org: String,
+    /// Country of the allocation.
+    pub country: String,
+    /// City / region tag.
+    pub city: String,
+    /// Organization category label (as the paper derives from websites).
+    pub org_type: OrgType,
+}
+
+/// The block-granularity geo database.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GeoDb {
+    records: BTreeMap<Block24, GeoRecord>,
+}
+
+impl GeoDb {
+    /// Build the database from scenario ground truth.
+    pub fn from_truth(truth: &GroundTruth) -> Self {
+        let mut records = BTreeMap::new();
+        for (&block, bt) in &truth.blocks {
+            let spec = &truth.as_list[bt.as_idx as usize];
+            let pop = &truth.pops[bt.pop as usize];
+            records.insert(
+                block,
+                GeoRecord {
+                    asn: spec.asn,
+                    org: spec.name.to_string(),
+                    country: spec.country.to_string(),
+                    city: pop.region.clone(),
+                    org_type: spec.org_type,
+                },
+            );
+        }
+        GeoDb { records }
+    }
+
+    /// Look up the /24 containing an address.
+    pub fn lookup(&self, addr: Addr) -> Option<&GeoRecord> {
+        self.lookup_block(addr.block24())
+    }
+
+    /// Look up a /24 block.
+    pub fn lookup_block(&self, block: Block24) -> Option<&GeoRecord> {
+        self.records.get(&block)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::build::{build, ScenarioConfig};
+
+    #[test]
+    fn every_allocated_block_has_a_record() {
+        let s = build(ScenarioConfig::tiny(42));
+        let db = GeoDb::from_truth(&s.truth);
+        assert_eq!(db.len(), s.truth.blocks.len());
+        for b in s.network.allocated_blocks() {
+            let r = db.lookup_block(b).expect("record exists");
+            assert!(!r.org.is_empty());
+            assert!(!r.country.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_by_address_matches_block() {
+        let s = build(ScenarioConfig::tiny(42));
+        let db = GeoDb::from_truth(&s.truth);
+        let b = s.network.allocated_blocks()[0];
+        assert_eq!(db.lookup(b.addr(55)), db.lookup_block(b));
+    }
+
+    #[test]
+    fn unallocated_space_is_unknown() {
+        let s = build(ScenarioConfig::tiny(42));
+        let db = GeoDb::from_truth(&s.truth);
+        assert!(db.lookup(Addr::new(225, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn asn_matches_roster() {
+        let s = build(ScenarioConfig::tiny(42));
+        let db = GeoDb::from_truth(&s.truth);
+        for (&block, bt) in s.truth.blocks.iter().take(50) {
+            let r = db.lookup_block(block).unwrap();
+            assert_eq!(r.asn, s.truth.as_list[bt.as_idx as usize].asn);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # registry — synthetic metadata for the Hobbit reproduction
+//!
+//! The paper attributes its findings using third-party metadata: the
+//! Maxmind GeoLite databases (ASN, organization, geolocation), KRNIC WHOIS
+//! (sub-/24 customer assignments in Korea, Table 4), and reverse DNS
+//! (operator naming schemes used for the cellular-identification and
+//! sampling experiments, Sections 7.2-7.3).
+//!
+//! None of those sources exist for a simulated internet, so this crate
+//! generates them from the scenario's ground truth — preserving their role
+//! exactly: external lookup tables the measurement pipeline consults but
+//! does not produce.
+
+#![warn(missing_docs)]
+
+pub mod geo;
+pub mod rdns;
+pub mod whois;
+
+pub use geo::{GeoDb, GeoRecord};
+pub use rdns::{RdnsDb, RdnsName, CABLE_PATTERNS};
+pub use whois::{Whois, WhoisRecord};
+
+/// Everything bundled: one-stop registry for experiments.
+pub struct Registry<'t> {
+    /// Geolocation / ASN database.
+    pub geo: GeoDb,
+    /// WHOIS service.
+    pub whois: Whois<'t>,
+    /// Reverse DNS.
+    pub rdns: RdnsDb<'t>,
+}
+
+impl<'t> Registry<'t> {
+    /// Build all services from ground truth.
+    pub fn new(truth: &'t netsim::build::GroundTruth, seed: u64) -> Self {
+        Registry {
+            geo: GeoDb::from_truth(truth),
+            whois: Whois::new(truth, seed),
+            rdns: RdnsDb::new(truth, seed),
+        }
+    }
+}

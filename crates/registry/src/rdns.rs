@@ -1,0 +1,282 @@
+//! Reverse-DNS naming schemes (paper Sections 7.2 and 7.3).
+//!
+//! Two experiments depend on rDNS:
+//!
+//! * **Cellular identification** (7.2): all Tele2 addresses match
+//!   `^m[0-9].+\.cust\.tele2`, ~95% of OCN names carry the keyword `omed`,
+//!   and neither pattern matches routers or Bitcoin nodes.
+//! * **Sampling representativeness** (7.3, Figure 12): a cable ISP (Time
+//!   Warner-like) uses documented naming schemes where the pattern encodes
+//!   the host type; counting distinct patterns in a sample measures its
+//!   representativeness.
+
+use netsim::build::GroundTruth;
+use netsim::hash::{mix2, mix3, pick, unit_f64};
+use netsim::roster::RdnsScheme;
+use netsim::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Host-type tokens for the cable ISP's multi-pattern scheme. Modeled on
+/// Road Runner's published naming conventions.
+pub const CABLE_PATTERNS: &[&str] = &[
+    "cpe", "res", "biz", "wsip", "mta", "static", "dyn", "gw", "wideopen", "ppp", "dhcp", "cable",
+    "rrcs", "dsl", "fiber", "voip", "hotspot", "mgmt", "srv", "cust", "pool", "nat", "edu", "gov",
+    "ded", "colo", "wless", "iot", "video", "test",
+];
+
+/// The rDNS service over a scenario.
+#[derive(Clone, Debug)]
+pub struct RdnsDb<'t> {
+    truth: &'t GroundTruth,
+    seed: u64,
+}
+
+/// A resolved reverse name plus the scheme that produced it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdnsName {
+    /// The full reverse name.
+    pub name: String,
+    /// The host-type token (the "pattern" Figure 12 counts), if the scheme
+    /// distinguishes host types.
+    pub pattern: Option<String>,
+}
+
+impl<'t> RdnsDb<'t> {
+    /// Create the service for a scenario's ground truth.
+    pub fn new(truth: &'t GroundTruth, seed: u64) -> Self {
+        RdnsDb { truth, seed }
+    }
+
+    /// The PoP serving an address (handles sub-/24 customer allocations).
+    fn pop_of(&self, addr: Addr) -> Option<u32> {
+        let bt = self.truth.blocks.get(&addr.block24())?;
+        if bt.homogeneous {
+            return Some(bt.pop);
+        }
+        bt.sub_blocks
+            .iter()
+            .find(|(p, _)| p.contains(addr))
+            .map(|&(_, pop)| pop)
+    }
+
+    /// Reverse-resolve a host address.
+    pub fn resolve(&self, addr: Addr) -> Option<RdnsName> {
+        let bt = self.truth.blocks.get(&addr.block24())?;
+        let spec = &self.truth.as_list[bt.as_idx as usize];
+        let pop_id = self.pop_of(addr)?;
+        let pop = &self.truth.pops[pop_id as usize];
+        let [a, b, c, d] = addr.octets();
+        let h = mix2(self.seed ^ 0xD25, addr.0 as u64);
+        Some(match spec.rdns {
+            RdnsScheme::None => return None,
+            RdnsScheme::CellCust => RdnsName {
+                // e.g. m77-ip-213-12-44-9.cust.tele2.net
+                name: format!("m{}-ip-{a}-{b}-{c}-{d}.cust.{}", h % 100, spec.domain),
+                pattern: Some("m-cust".to_string()),
+            },
+            RdnsScheme::Omed => {
+                // ~95% carry the "omed" keyword; the rest are static names.
+                if unit_f64(mix2(h, 1)) < 0.95 {
+                    RdnsName {
+                        name: format!("p{d}{c}-omed{:02}.{}.{}", h % 64, pop.region, spec.domain),
+                        pattern: Some("omed".to_string()),
+                    }
+                } else {
+                    RdnsName {
+                        name: format!("static-{a}-{b}-{c}-{d}.{}.{}", pop.region, spec.domain),
+                        pattern: Some("static".to_string()),
+                    }
+                }
+            }
+            RdnsScheme::Ec2 => RdnsName {
+                name: format!("ec2-{a}-{b}-{c}-{d}.{}.compute.{}", pop.region, spec.domain),
+                pattern: Some("ec2".to_string()),
+            },
+            RdnsScheme::Wsip => RdnsName {
+                name: format!("wsip-{a}-{b}-{c}-{d}.{}.{}", pop.region, spec.domain),
+                pattern: Some("wsip".to_string()),
+            },
+            RdnsScheme::GenericIp => RdnsName {
+                name: format!("ip{a}-{b}-{c}-{d}.{}", spec.domain),
+                pattern: Some("ip".to_string()),
+            },
+            RdnsScheme::CableMulti => {
+                // Each PoP uses a small set of host-type patterns; the
+                // pattern set correlates with the colocation structure,
+                // which is what makes stratified sampling win (Fig 12).
+                let pop_h = mix2(self.seed ^ 0xCAB, pop_id as u64);
+                let n_types = 1 + pick(mix2(pop_h, 1), 3); // 1..=3 types
+                let type_idx = pick(mix2(pop_h, 2 + pick(h, n_types) as u64), CABLE_PATTERNS.len());
+                let host_type = CABLE_PATTERNS[type_idx];
+                // Cable schemes are regional: `cpe-….kc.res.rr.com` and
+                // `cpe-….nyc.res.rr.com` are distinct naming patterns, so
+                // the pattern token includes the region.
+                RdnsName {
+                    name: format!(
+                        "{host_type}-{a}-{b}-{c}-{d}.{}.{}",
+                        pop.region, spec.domain
+                    ),
+                    pattern: Some(format!("{host_type}.{}", pop.region)),
+                }
+            }
+        })
+    }
+
+    /// Names of non-cellular end hosts (the paper validates candidate
+    /// cellular rDNS patterns against a list of Bitcoin nodes — hosts that
+    /// are very unlikely to be cellular). We sample across every AS whose
+    /// naming scheme is not a cellular one.
+    pub fn non_cellular_names(&self, count: usize) -> Vec<String> {
+        let mut out = Vec::with_capacity(count);
+        for (&block, bt) in &self.truth.blocks {
+            let spec = &self.truth.as_list[bt.as_idx as usize];
+            if matches!(spec.rdns, RdnsScheme::CellCust | RdnsScheme::Omed | RdnsScheme::None) {
+                continue;
+            }
+            for host in [7u8, 133] {
+                if let Some(r) = self.resolve(block.addr(host)) {
+                    out.push(r.name);
+                    if out.len() == count {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reverse name for a router interface (infrastructure space); routers
+    /// never match end-host patterns.
+    pub fn router_name(&self, addr: Addr) -> String {
+        let h = mix3(self.seed ^ 0x40, addr.0 as u64, 1);
+        let [_, b, c, d] = addr.octets();
+        format!("ae{}-{}.cr{b}-{c}-{d}.core.example.net", h % 8, h % 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::build::{build, ScenarioConfig};
+    use netsim::roster::RdnsScheme;
+
+    fn scenario() -> netsim::Scenario {
+        build(ScenarioConfig::small(42))
+    }
+
+    fn blocks_of_scheme(s: &netsim::Scenario, scheme: RdnsScheme) -> Vec<netsim::Block24> {
+        s.truth
+            .blocks
+            .iter()
+            .filter(|(_, t)| s.truth.as_list[t.as_idx as usize].rdns == scheme)
+            .map(|(&b, _)| b)
+            .collect()
+    }
+
+    #[test]
+    fn tele2_pattern_matches_all_cellcust_names() {
+        let s = scenario();
+        let db = RdnsDb::new(&s.truth, 42);
+        let blocks = blocks_of_scheme(&s, RdnsScheme::CellCust);
+        assert!(!blocks.is_empty());
+        let mut checked = 0;
+        for b in blocks.iter().take(20) {
+            for host in [1u8, 77, 200] {
+                if let Some(r) = db.resolve(b.addr(host)) {
+                    // The paper's regex: ^m[0-9].+\.cust\.tele2
+                    assert!(r.name.starts_with('m'), "{}", r.name);
+                    assert!(
+                        r.name.chars().nth(1).unwrap().is_ascii_digit(),
+                        "{}",
+                        r.name
+                    );
+                    assert!(r.name.contains(".cust."), "{}", r.name);
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn omed_keyword_rate_is_about_95_percent() {
+        let s = scenario();
+        let db = RdnsDb::new(&s.truth, 42);
+        let blocks = blocks_of_scheme(&s, RdnsScheme::Omed);
+        assert!(!blocks.is_empty(), "OCN blocks exist");
+        let mut total = 0;
+        let mut omed = 0;
+        for b in &blocks {
+            for host in 1u8..=254 {
+                if let Some(r) = db.resolve(b.addr(host)) {
+                    total += 1;
+                    if r.name.contains("omed") {
+                        omed += 1;
+                    }
+                }
+            }
+            if total > 3000 {
+                break;
+            }
+        }
+        let frac = omed as f64 / total as f64;
+        assert!((0.92..0.98).contains(&frac), "omed fraction {frac}");
+    }
+
+    #[test]
+    fn router_names_never_match_cellular_patterns() {
+        let s = scenario();
+        let db = RdnsDb::new(&s.truth, 42);
+        for i in 0..50u32 {
+            let name = db.router_name(netsim::Addr(0x0A00_0001 + i));
+            assert!(!name.contains(".cust."));
+            assert!(!name.contains("omed"));
+        }
+    }
+
+    #[test]
+    fn cable_patterns_cluster_by_pop() {
+        let s = scenario();
+        let db = RdnsDb::new(&s.truth, 42);
+        let blocks = blocks_of_scheme(&s, RdnsScheme::CableMulti);
+        assert!(!blocks.is_empty(), "cable ISP blocks exist");
+        // Within one block the pattern set is small (1-3 types).
+        let b = blocks[0];
+        let mut types = std::collections::HashSet::new();
+        for host in 1u8..=254 {
+            if let Some(r) = db.resolve(b.addr(host)) {
+                types.insert(r.pattern.unwrap());
+            }
+        }
+        assert!((1..=3).contains(&types.len()), "{} types", types.len());
+    }
+
+    #[test]
+    fn cellular_patterns_never_match_non_cellular_end_hosts() {
+        // The paper's Section 7.2 exclusivity check: the Tele2 regex and
+        // the OCN "omed" keyword match no Bitcoin-node-like host names.
+        let s = scenario();
+        let db = RdnsDb::new(&s.truth, 42);
+        let names = db.non_cellular_names(400);
+        assert!(names.len() >= 100, "need a meaningful sample");
+        for n in &names {
+            assert!(!n.contains(".cust."), "{n}");
+            assert!(!n.contains("omed"), "{n}");
+        }
+    }
+
+    #[test]
+    fn unallocated_addresses_have_no_name() {
+        let s = scenario();
+        let db = RdnsDb::new(&s.truth, 42);
+        assert!(db.resolve(netsim::Addr::new(225, 1, 1, 1)).is_none());
+    }
+
+    #[test]
+    fn resolution_is_deterministic() {
+        let s = scenario();
+        let db = RdnsDb::new(&s.truth, 42);
+        let b = s.network.allocated_blocks()[0];
+        assert_eq!(db.resolve(b.addr(9)), db.resolve(b.addr(9)));
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a simulated internet, take a ZMap snapshot, and run
+//! Hobbit over a handful of /24 blocks.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hobbit::{classify_block, select_block, ConfidenceTable, HobbitConfig};
+use netsim::build::{build, ScenarioConfig};
+use probe::{zmap, Prober};
+
+fn main() {
+    // A small deterministic internet: ~2k /24 blocks, full ground truth.
+    let mut scenario = build(ScenarioConfig::small(42));
+    println!(
+        "simulated internet: {} routers, {} allocated /24 blocks",
+        scenario.network.router_count(),
+        scenario.truth.blocks.len()
+    );
+
+    // Step 1: the ZMap-style snapshot of responsive addresses.
+    let snapshot = zmap::scan_all(&mut scenario.network);
+    println!(
+        "zmap snapshot: {} active addresses in {} blocks ({} probes)",
+        snapshot.total_active(),
+        snapshot.active.len(),
+        snapshot.probes
+    );
+
+    // Step 2: classify the first blocks that pass the selection criteria.
+    let mut prober = Prober::new(&mut scenario.network, 0x42);
+    let table = ConfidenceTable::empty(); // no calibration: probe all actives
+    let cfg = HobbitConfig::default();
+    let mut shown = 0;
+    for block in snapshot.blocks() {
+        let Ok(sel) = select_block(&snapshot, block) else {
+            continue;
+        };
+        let m = classify_block(&mut prober, &sel, &table, &cfg);
+        let truth = if scenario.truth.is_homogeneous(block) {
+            "truly homogeneous"
+        } else {
+            "truly heterogeneous"
+        };
+        println!(
+            "{block}  ->  {:<28} last-hops={:<2} probed={:<3} probes={:<5} [{truth}]",
+            m.classification.label(),
+            m.lasthop_set.len(),
+            m.dests_probed,
+            m.probes_used,
+        );
+        shown += 1;
+        if shown == 15 {
+            break;
+        }
+    }
+    println!("total probes sent: {}", prober.probes_sent());
+}

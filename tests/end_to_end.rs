@@ -1,0 +1,203 @@
+//! End-to-end integration: the full Hobbit pipeline against ground truth.
+//!
+//! The paper could only argue its inferences are plausible; the simulator
+//! knows the answers, so these tests hold the whole pipeline to
+//! quantitative accuracy bounds.
+
+use aggregate::{sweep_inflation, validate_cluster, ReprobeConfig};
+use hobbit::{select_block, Classification};
+use netsim::Block24;
+use probe::Prober;
+use std::collections::BTreeMap;
+
+fn args() -> experiments::ExpArgs {
+    experiments::ExpArgs {
+        seed: 42,
+        scale: 0.02,
+        json: false,
+        threads: 4,
+    }
+}
+
+#[test]
+fn homogeneity_verdicts_are_precise() {
+    let p = experiments::run_pipeline(&args());
+    let mut verdicts = 0usize;
+    let mut correct = 0usize;
+    for m in &p.measurements {
+        if m.classification.is_homogeneous() {
+            verdicts += 1;
+            if p.scenario.truth.is_homogeneous(m.block) {
+                correct += 1;
+            }
+        }
+    }
+    assert!(verdicts > 100, "need a real sample, got {verdicts}");
+    let precision = correct as f64 / verdicts as f64;
+    assert!(
+        precision > 0.97,
+        "homogeneous verdicts only {precision:.3} precise"
+    );
+}
+
+#[test]
+fn heterogeneous_flags_are_precise_and_compositions_match_truth() {
+    let p = experiments::run_pipeline(&args());
+    let mut flagged = 0usize;
+    let mut correct = 0usize;
+    let mut comp_checked = 0usize;
+    for m in &p.measurements {
+        let Some(comp) = hobbit::very_likely_heterogeneous(m) else {
+            continue;
+        };
+        flagged += 1;
+        if !p.scenario.truth.is_homogeneous(m.block) {
+            correct += 1;
+            if comp.tiles_fully() {
+                // The observed composition must equal the allocated one.
+                let truth = p.scenario.truth.composition(m.block).unwrap();
+                assert_eq!(comp.lens(), truth, "block {}", m.block);
+                comp_checked += 1;
+            }
+        }
+    }
+    assert!(flagged >= 10, "too few flags: {flagged}");
+    assert!(
+        correct as f64 / flagged as f64 > 0.9,
+        "hetero flag precision {correct}/{flagged}"
+    );
+    assert!(comp_checked >= 3, "no compositions verified");
+}
+
+#[test]
+fn aggregates_are_pure_and_recall_pops() {
+    let p = experiments::run_pipeline(&args());
+    let aggs = p.aggregates();
+    // Purity: every aggregate's blocks come from one ground-truth PoP.
+    let mut impure = 0usize;
+    let mut multi = 0usize;
+    for agg in &aggs {
+        if agg.size() < 2 {
+            continue;
+        }
+        multi += 1;
+        let pops: std::collections::BTreeSet<u32> = agg
+            .blocks
+            .iter()
+            .filter_map(|b| p.scenario.truth.blocks.get(b))
+            .map(|t| t.pop)
+            .collect();
+        if pops.len() > 1 {
+            impure += 1;
+        }
+    }
+    assert!(multi >= 20, "need multi-block aggregates, got {multi}");
+    assert!(
+        (impure as f64) / (multi as f64) < 0.02,
+        "{impure}/{multi} aggregates mix PoPs"
+    );
+}
+
+#[test]
+fn mcl_clusters_respect_pops_and_reprobing_confirms() {
+    let mut p = experiments::run_pipeline(&args());
+    let aggs = p.aggregates();
+    let (clustering, _) = sweep_inflation(&aggs, &[1.4, 2.0]);
+    // Clusters of aggregates must not mix PoPs either (similarity edges
+    // only exist between same-PoP observations in this world).
+    let mut mixed = 0usize;
+    let mut checked = 0usize;
+    for cluster in clustering.non_trivial() {
+        checked += 1;
+        let pops: std::collections::BTreeSet<u32> = cluster
+            .iter()
+            .flat_map(|&m| aggs[m as usize].blocks.iter())
+            .filter_map(|b| p.scenario.truth.blocks.get(b))
+            .map(|t| t.pop)
+            .collect();
+        if pops.len() > 1 {
+            mixed += 1;
+        }
+    }
+    assert!(checked >= 5, "need clusters, got {checked}");
+    assert!(mixed <= checked / 4, "{mixed}/{checked} clusters mix PoPs");
+
+    // Reprobing a same-PoP cluster confirms homogeneity (mostly).
+    let snapshot = p.snapshot.clone();
+    let cfg = ReprobeConfig {
+        max_pairs_per_cluster: 20,
+        seed: 5,
+        ..Default::default()
+    };
+    let clusters: Vec<Vec<u32>> = clustering.non_trivial().take(10).cloned().collect();
+    let mut prober = Prober::new(&mut p.scenario.network, 0xE2E);
+    let mut confirmed = 0usize;
+    let mut validated = 0usize;
+    for members in &clusters {
+        let v = validate_cluster(&mut prober, &aggs, members, &cfg, |b: Block24| {
+            select_block(&snapshot, b).ok()
+        });
+        if v.total_pairs == 0 {
+            continue;
+        }
+        validated += 1;
+        if v.identical_ratio() > 0.5 {
+            confirmed += 1;
+        }
+    }
+    if validated > 0 {
+        assert!(
+            confirmed * 2 >= validated,
+            "only {confirmed}/{validated} clusters look homogeneous on reprobe"
+        );
+    }
+}
+
+#[test]
+fn table1_shape_tracks_the_paper() {
+    let p = experiments::run_pipeline(&args());
+    let counts: BTreeMap<Classification, usize> =
+        p.classification_counts().into_iter().collect();
+    let total: usize = counts.values().sum();
+    let pct = |c: Classification| 100.0 * counts[&c] as f64 / total as f64;
+
+    // Shape constraints, loose versions of Table 1.
+    assert!(
+        pct(Classification::NonHierarchical) > pct(Classification::SameLasthop),
+        "non-hierarchical should dominate same-lasthop"
+    );
+    assert!(
+        pct(Classification::SameLasthop) > pct(Classification::Hierarchical),
+        "same-lasthop should dominate hierarchical"
+    );
+    assert!(
+        (10.0..45.0).contains(&pct(Classification::TooFewActive)),
+        "too-few-active at {:.1}%",
+        pct(Classification::TooFewActive)
+    );
+    assert!(
+        (5.0..30.0).contains(&pct(Classification::UnresponsiveLasthop)),
+        "unresponsive at {:.1}%",
+        pct(Classification::UnresponsiveLasthop)
+    );
+    // The headline: ~90% of analyzable blocks are homogeneous.
+    let analyzable = counts[&Classification::SameLasthop]
+        + counts[&Classification::NonHierarchical]
+        + counts[&Classification::Hierarchical];
+    let homog = counts[&Classification::SameLasthop] + counts[&Classification::NonHierarchical];
+    let share = homog as f64 / analyzable as f64;
+    assert!((0.80..=0.97).contains(&share), "homogeneous share {share:.3}");
+}
+
+#[test]
+fn probing_cost_is_modest() {
+    // Hobbit's selling point: classification costs a handful of probes per
+    // destination, far below full per-TTL traceroutes.
+    let p = experiments::run_pipeline(&args());
+    let dests: usize = p.measurements.iter().map(|m| m.dests_probed).sum();
+    let per_dest = p.classify_probes as f64 / dests.max(1) as f64;
+    assert!(
+        per_dest < 25.0,
+        "classification used {per_dest:.1} probes per destination"
+    );
+}

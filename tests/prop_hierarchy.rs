@@ -1,0 +1,158 @@
+//! Property tests for Hobbit's hierarchy test — including the paper's
+//! central soundness argument: observations of genuinely heterogeneous
+//! (route-entry-structured) groups can NEVER look non-hierarchical, no
+//! matter which subset of addresses is probed.
+
+use hobbit::{LasthopGroups, Relationship};
+use netsim::{Addr, Block24, Prefix};
+use proptest::prelude::*;
+
+fn lh(i: usize) -> Addr {
+    Addr(0x0A00_0000 + i as u32)
+}
+
+/// Build a /24 split into CIDR sub-blocks (like distinct route entries) and
+/// generate observations: each observed address maps to its sub-block's
+/// router. Returns (observations, number of sub-blocks).
+fn route_entry_world(splits: u8, hosts: Vec<u8>) -> Vec<(Addr, Vec<Addr>)> {
+    let block = Block24(0x0B_0100);
+    // Split the /24 into `splits+1` aligned halves recursively: a laminar
+    // set of sub-prefixes tiling the /24.
+    let mut subs: Vec<Prefix> = vec![block.prefix()];
+    for _ in 0..splits {
+        // Split the currently largest sub-prefix.
+        subs.sort_by_key(|p| p.len());
+        let p = subs.remove(0);
+        if let Some((lo, hi)) = p.split() {
+            if lo.len() <= 28 {
+                subs.push(lo);
+                subs.push(hi);
+            } else {
+                subs.push(p);
+                break;
+            }
+        }
+    }
+    hosts
+        .into_iter()
+        .map(|h| {
+            let a = block.addr(h);
+            let idx = subs.iter().position(|p| p.contains(a)).expect("tiled");
+            (a, vec![lh(idx)])
+        })
+        .collect()
+}
+
+fn relationship_of(obs: &[(Addr, Vec<Addr>)]) -> Relationship {
+    LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice()))).relationship()
+}
+
+proptest! {
+    /// The soundness theorem (paper Section 2.3): groups induced by
+    /// distinct route entries are hierarchical under ANY subset of
+    /// observations — Hobbit never calls a heterogeneous block homogeneous
+    /// because of which addresses happened to respond.
+    #[test]
+    fn route_entry_groups_never_non_hierarchical(
+        splits in 1u8..4,
+        hosts in proptest::collection::btree_set(0u8..=255, 4..40),
+    ) {
+        let obs = route_entry_world(splits, hosts.into_iter().collect());
+        prop_assert_ne!(relationship_of(&obs), Relationship::NonHierarchical);
+        // And any subset of the observations stays hierarchical too.
+        if obs.len() > 4 {
+            let subset: Vec<_> = obs.iter().step_by(2).cloned().collect();
+            prop_assert_ne!(relationship_of(&subset), Relationship::NonHierarchical);
+        }
+    }
+
+    /// The relationship is invariant under observation order.
+    #[test]
+    fn relationship_is_permutation_invariant(
+        assignments in proptest::collection::vec((0u8..=255, 0usize..5), 4..30),
+        rotate in 0usize..20,
+    ) {
+        let obs: Vec<(Addr, Vec<Addr>)> = assignments
+            .iter()
+            .map(|&(h, g)| (Block24(0x0C_0000).addr(h), vec![lh(g)]))
+            .collect();
+        let mut rotated = obs.clone();
+        let n = rotated.len().max(1);
+        rotated.rotate_left(rotate % n);
+        prop_assert_eq!(relationship_of(&obs), relationship_of(&rotated));
+    }
+
+    /// Merged groups partition the observed addresses.
+    #[test]
+    fn merged_members_partition(
+        assignments in proptest::collection::vec((0u8..=255, proptest::collection::vec(0usize..6, 1..3)), 2..25),
+    ) {
+        let obs: Vec<(Addr, Vec<Addr>)> = assignments
+            .iter()
+            .map(|(h, gs)| {
+                (Block24(0x0D_0000).addr(*h), gs.iter().map(|&g| lh(g)).collect())
+            })
+            .collect();
+        let groups = LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+        let merged = groups.merged_members();
+        let mut all: Vec<Addr> = merged.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        let mut expect: Vec<Addr> = obs.iter().map(|(a, _)| *a).collect();
+        expect.sort();
+        expect.dedup();
+        prop_assert_eq!(all, expect);
+        // No address appears in two merged groups.
+        let total: usize = merged.iter().map(Vec::len).sum();
+        let distinct: std::collections::BTreeSet<Addr> =
+            merged.iter().flatten().copied().collect();
+        prop_assert_eq!(total, distinct.len());
+    }
+
+    /// Adding an observation that shares a last-hop with every existing
+    /// group collapses everything to a single group.
+    #[test]
+    fn universal_member_collapses_groups(
+        assignments in proptest::collection::vec((0u8..=254, 0usize..4), 4..20),
+    ) {
+        let mut obs: Vec<(Addr, Vec<Addr>)> = assignments
+            .iter()
+            .map(|&(h, g)| (Block24(0x0E_0000).addr(h), vec![lh(g)]))
+            .collect();
+        let all_lhs: Vec<Addr> = {
+            let mut v: Vec<Addr> = obs.iter().flat_map(|(_, l)| l.clone()).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        obs.push((Block24(0x0E_0000).addr(255), all_lhs));
+        let groups = LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+        prop_assert_eq!(groups.merged_members().len(), 1);
+        prop_assert_eq!(groups.relationship(), Relationship::SingleGroup);
+    }
+
+    /// disjoint_and_aligned, when it fires, returns non-overlapping covers
+    /// that contain exactly their group's members.
+    #[test]
+    fn aligned_covers_are_consistent(
+        assignments in proptest::collection::vec((0u8..=255, 0usize..4), 4..30),
+    ) {
+        let obs: Vec<(Addr, Vec<Addr>)> = assignments
+            .iter()
+            .map(|&(h, g)| (Block24(0x0F_0000).addr(h), vec![lh(g)]))
+            .collect();
+        let groups = LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+        if let Some(covers) = groups.disjoint_and_aligned() {
+            for i in 0..covers.len() {
+                for j in 0..i {
+                    prop_assert!(!covers[i].overlaps(covers[j]));
+                }
+            }
+            // Every observed address is inside exactly one cover.
+            for (a, _) in &obs {
+                let containing = covers.iter().filter(|c| c.contains(*a)).count();
+                prop_assert_eq!(containing, 1);
+            }
+        }
+    }
+}

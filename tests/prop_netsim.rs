@@ -1,0 +1,133 @@
+//! Property tests for the simulator substrate: LPM trie correctness, wire
+//! roundtrips, and forwarding invariants.
+
+use netsim::addr::{Addr, Prefix};
+use netsim::build::{build, ScenarioConfig};
+use netsim::forward::encode_probe;
+use netsim::route::{NextHop, NextHopGroup, RouteTable, RouterId};
+use netsim::wire::{IcmpEcho, Ipv4Header, ICMP_ECHO_REQUEST};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(base, len)| Prefix::new(Addr(base), len))
+}
+
+proptest! {
+    /// The binary trie agrees with a brute-force linear scan on random
+    /// tables: longest-prefix-match is exact.
+    #[test]
+    fn trie_matches_linear_scan(
+        entries in proptest::collection::vec(arb_prefix(), 1..40),
+        lookups in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut table = RouteTable::new();
+        for (i, p) in entries.iter().enumerate() {
+            table.insert(*p, NextHopGroup::single(NextHop::Router(RouterId(i as u32))));
+        }
+        for dst in lookups {
+            let a = Addr(dst);
+            let fast = table.lookup(a).map(|(p, g)| (p, g.hops()[0]));
+            let slow = table.lookup_linear(a).map(|(p, g)| (p, g.hops()[0]));
+            // Both must agree on the matched prefix *length* (two inserted
+            // prefixes with equal base/len replace each other).
+            prop_assert_eq!(fast.map(|(p, _)| p), slow.map(|(p, _)| p));
+            prop_assert_eq!(fast.map(|(_, h)| h), slow.map(|(_, h)| h));
+        }
+    }
+
+    /// IPv4 header encode/decode is the identity.
+    #[test]
+    fn ipv4_header_roundtrip(src in any::<u32>(), dst in any::<u32>(), ttl in any::<u8>(), ident in any::<u16>()) {
+        let h = Ipv4Header { src: Addr(src), dst: Addr(dst), ttl, protocol: 1, ident };
+        let mut buf = bytes::BytesMut::new();
+        h.encode(&mut buf);
+        let parsed = Ipv4Header::decode(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(parsed, h);
+    }
+
+    /// Any target checksum except 0xffff is exactly constructible — the
+    /// Paris flow-label trick never misses.
+    #[test]
+    fn checksum_targeting(ident in any::<u16>(), seq in any::<u16>(), target in 0u16..0xffff) {
+        let echo = IcmpEcho::with_checksum(ident, seq, target);
+        prop_assert_eq!(echo.wire_checksum(ICMP_ECHO_REQUEST), target);
+    }
+
+    /// Corrupting any single byte of an encoded header is detected.
+    #[test]
+    fn corruption_detected(flip_at in 0usize..20, flip_bits in 1u8..=255) {
+        let h = Ipv4Header {
+            src: Addr(0x0A000001),
+            dst: Addr(0xC0000201),
+            ttl: 9,
+            protocol: 1,
+            ident: 7,
+        };
+        let mut buf = bytes::BytesMut::new();
+        h.encode(&mut buf);
+        buf[flip_at] ^= flip_bits;
+        let r = Ipv4Header::decode(&mut buf.freeze());
+        // Either rejected outright, or (if the flip hit the checksum's own
+        // complement representation) never silently yields a different header.
+        if let Ok(parsed) = r {
+            prop_assert_eq!(parsed, h);
+        }
+    }
+}
+
+/// Forwarding invariants on a built scenario (fixed seed, sampled dests).
+#[test]
+fn echo_reachability_is_ttl_monotone() {
+    let mut s = build(ScenarioConfig::tiny(5));
+    let vantage = s.network.vantage_addr();
+    let blocks = s.network.allocated_blocks();
+    let mut checked = 0;
+    for b in blocks.iter().step_by(7).take(12) {
+        let profile = *s.network.block_profile(*b).unwrap();
+        let actives = s
+            .network
+            .oracle()
+            .active_in_block(*b, &profile, s.network.epoch());
+        let Some(&dst) = actives.first() else { continue };
+        // Find the minimal TTL that gets an echo; all larger TTLs must too
+        // (the scenario uses no per-packet balancing).
+        let mut first_echo = None;
+        for ttl in 1..=20u8 {
+            let probe = encode_probe(vantage, dst, ttl, 1, ttl as u16, 0x1234, 0);
+            let d = s.network.send(probe).unwrap();
+            let echoed = d
+                .response
+                .as_ref()
+                .map(|r| {
+                    let mut buf = r.clone();
+                    let h = Ipv4Header::decode(&mut buf).unwrap();
+                    h.src == dst
+                })
+                .unwrap_or(false);
+            match (first_echo, echoed) {
+                (None, true) => first_echo = Some(ttl),
+                (Some(_), false) => panic!("echo at lower TTL but not at {ttl} for {dst}"),
+                _ => {}
+            }
+        }
+        assert!(first_echo.is_some(), "{dst} unreachable at any TTL");
+        checked += 1;
+    }
+    assert!(checked >= 5, "too few destinations checked");
+}
+
+/// The same probe (all fields equal) always gets the same answer.
+#[test]
+fn probing_is_deterministic() {
+    let mut s1 = build(ScenarioConfig::tiny(9));
+    let mut s2 = build(ScenarioConfig::tiny(9));
+    let vantage = s1.network.vantage_addr();
+    for b in s1.network.allocated_blocks().iter().take(20) {
+        let dst = b.addr(33);
+        let p = encode_probe(vantage, dst, 12, 3, 1, 0xBEEF, 5);
+        let d1 = s1.network.send(p.clone()).unwrap();
+        let d2 = s2.network.send(p).unwrap();
+        assert_eq!(d1.response, d2.response);
+        assert_eq!(d1.rtt_us, d2.rtt_us);
+    }
+}

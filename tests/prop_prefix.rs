@@ -1,0 +1,151 @@
+//! Property tests for the address/prefix algebra — the foundation every
+//! other invariant rests on.
+
+use netsim::build::{run_to_prefixes, tile_composition, HETERO_COMPOSITIONS};
+use netsim::{Addr, Block24, Prefix};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    any::<u32>().prop_map(Addr)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(base, len)| Prefix::new(Addr(base), len))
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(a in arb_addr()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Addr>().unwrap(), a);
+    }
+
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        prop_assert_eq!(s.parse::<Prefix>().unwrap(), p);
+    }
+
+    #[test]
+    fn prefix_contains_its_bounds(p in arb_prefix()) {
+        prop_assert!(p.contains(p.first()));
+        prop_assert!(p.contains(p.last()));
+        prop_assert!(p.first() <= p.last());
+    }
+
+    #[test]
+    fn contains_iff_in_range(p in arb_prefix(), a in arb_addr()) {
+        let in_range = p.first() <= a && a <= p.last();
+        prop_assert_eq!(p.contains(a), in_range);
+    }
+
+    #[test]
+    fn split_children_partition_parent(p in arb_prefix()) {
+        if let Some((lo, hi)) = p.split() {
+            prop_assert!(p.contains_prefix(lo));
+            prop_assert!(p.contains_prefix(hi));
+            prop_assert!(!lo.overlaps(hi));
+            // Prefix::size saturates at u32::MAX for /0; widen manually.
+            let true_size: u64 = if p.len() == 0 { 1 << 32 } else { p.size() as u64 };
+            prop_assert_eq!(lo.size() as u64 + hi.size() as u64, true_size);
+            prop_assert_eq!(lo.parent(), Some(p));
+            prop_assert_eq!(hi.parent(), Some(p));
+        }
+    }
+
+    #[test]
+    fn join_is_smallest_common_container(a in arb_prefix(), b in arb_prefix()) {
+        let j = a.join(b);
+        prop_assert!(j.contains_prefix(a));
+        prop_assert!(j.contains_prefix(b));
+        // No longer prefix could contain both.
+        if let Some((lo, hi)) = j.split() {
+            let lo_both = lo.contains_prefix(a) && lo.contains_prefix(b);
+            let hi_both = hi.contains_prefix(a) && hi.contains_prefix(b);
+            prop_assert!(!lo_both && !hi_both);
+        }
+    }
+
+    #[test]
+    fn overlap_iff_one_contains_other(a in arb_prefix(), b in arb_prefix()) {
+        // CIDR prefixes can never partially overlap — this is the
+        // route-entry hierarchy at the heart of the paper.
+        let overlap = a.overlaps(b);
+        let nested = a.contains_prefix(b) || b.contains_prefix(a);
+        prop_assert_eq!(overlap, nested);
+        // And overlap matches range intersection.
+        let range_overlap = a.first() <= b.last() && b.first() <= a.last();
+        prop_assert_eq!(overlap, range_overlap);
+    }
+
+    #[test]
+    fn covering_contains_all(addrs in proptest::collection::vec(arb_addr(), 1..20)) {
+        let p = Prefix::covering(&addrs).unwrap();
+        for a in &addrs {
+            prop_assert!(p.contains(*a));
+        }
+        // Minimality: the two halves cannot each contain everything.
+        if let Some((lo, hi)) = p.split() {
+            let all_lo = addrs.iter().all(|&a| lo.contains(a));
+            let all_hi = addrs.iter().all(|&a| hi.contains(a));
+            prop_assert!(!all_lo && !all_hi);
+        }
+    }
+
+    #[test]
+    fn lcp_len_symmetric_and_bounded(a in arb_addr(), b in arb_addr()) {
+        prop_assert_eq!(a.lcp_len(b), b.lcp_len(a));
+        prop_assert!(a.lcp_len(b) <= 32);
+        if a == b {
+            prop_assert_eq!(a.lcp_len(b), 32);
+        }
+    }
+
+    #[test]
+    fn block24_lcp_matches_prefix_join(x in any::<u32>(), y in any::<u32>()) {
+        let (bx, by) = (Block24(x & 0xFF_FFFF), Block24(y & 0xFF_FFFF));
+        let lcp = bx.lcp_len(by);
+        if bx != by {
+            let j = bx.prefix().join(by.prefix());
+            prop_assert_eq!(lcp, j.len());
+        } else {
+            prop_assert_eq!(lcp, 24);
+        }
+    }
+
+    #[test]
+    fn run_decomposition_covers_exactly(start in 0u32..0xFF_F000, len in 1u32..512) {
+        let len = len.min(0xFF_FFFF - start);
+        let prefixes = run_to_prefixes(Block24(start), len);
+        let mut blocks: Vec<u32> = prefixes
+            .iter()
+            .flat_map(|p| p.blocks24().map(|b| b.0))
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        let expect: Vec<u32> = (start..start + len).collect();
+        prop_assert_eq!(blocks, expect);
+        // Pairwise disjoint.
+        for i in 0..prefixes.len() {
+            for j in 0..i {
+                prop_assert!(!prefixes[i].overlaps(prefixes[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn compositions_tile_any_block(idx in 0usize..HETERO_COMPOSITIONS.len(), blk in 0u32..0xFF_FFFF) {
+        let (lens, _) = HETERO_COMPOSITIONS[idx];
+        let subs = tile_composition(Block24(blk), lens);
+        let total: u64 = subs.iter().map(|p| p.size() as u64).sum();
+        prop_assert_eq!(total, 256);
+        for s in &subs {
+            prop_assert!(Block24(blk).prefix().contains_prefix(*s));
+        }
+        for i in 0..subs.len() {
+            for j in 0..i {
+                prop_assert!(!subs[i].overlaps(subs[j]));
+            }
+        }
+    }
+}
