@@ -93,7 +93,10 @@ mod tests {
 
     #[test]
     fn first_last_lcp_spans_extremes() {
-        assert_eq!(first_last_lcp(&[b(0x0A0000), b(0x0A0001), b(0x0A00FF)]), Some(16));
+        assert_eq!(
+            first_last_lcp(&[b(0x0A0000), b(0x0A0001), b(0x0A00FF)]),
+            Some(16)
+        );
         assert_eq!(first_last_lcp(&[b(1)]), None);
         assert_eq!(first_last_lcp(&[]), None);
     }
@@ -119,9 +122,18 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                Run { start: b(5), len: 3 },
-                Run { start: b(20), len: 2 },
-                Run { start: b(100), len: 1 },
+                Run {
+                    start: b(5),
+                    len: 3
+                },
+                Run {
+                    start: b(20),
+                    len: 2
+                },
+                Run {
+                    start: b(100),
+                    len: 1
+                },
             ]
         );
     }
@@ -129,6 +141,12 @@ mod tests {
     #[test]
     fn contiguous_runs_handle_duplicates_and_order() {
         let runs = contiguous_runs(&[b(7), b(5), b(6), b(6)]);
-        assert_eq!(runs, vec![Run { start: b(5), len: 3 }]);
+        assert_eq!(
+            runs,
+            vec![Run {
+                start: b(5),
+                len: 3
+            }]
+        );
     }
 }

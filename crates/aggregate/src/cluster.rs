@@ -173,7 +173,8 @@ mod tests {
         assert_eq!(diags.len(), 3);
         assert!(diags
             .iter()
-            .any(|&(inf, frac)| inf == best.inflation && (frac - best.weak_edge_fraction).abs() < 1e-12));
+            .any(|&(inf, frac)| inf == best.inflation
+                && (frac - best.weak_edge_fraction).abs() < 1e-12));
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub struct HobbitDataset {
 
 impl HobbitDataset {
     /// Build from aggregates (plus per-aggregate validation flags).
-    pub fn from_aggregates(seed: u64, aggs: &[Aggregate], validated: &dyn Fn(usize) -> bool) -> Self {
+    pub fn from_aggregates(
+        seed: u64,
+        aggs: &[Aggregate],
+        validated: &dyn Fn(usize) -> bool,
+    ) -> Self {
         let mut blocks: Vec<DatasetBlock> = aggs
             .iter()
             .enumerate()
@@ -229,7 +233,11 @@ impl DatasetParseError {
 
 impl std::fmt::Display for DatasetParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dataset parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dataset parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

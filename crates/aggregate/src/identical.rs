@@ -67,7 +67,11 @@ pub fn aggregate_identical(blocks: &[HomogBlock]) -> Vec<Aggregate> {
         })
         .collect();
     // Largest first: the presentation order of Table 5.
-    out.sort_by(|a, b| b.size().cmp(&a.size()).then_with(|| a.blocks.cmp(&b.blocks)));
+    out.sort_by(|a, b| {
+        b.size()
+            .cmp(&a.size())
+            .then_with(|| a.blocks.cmp(&b.blocks))
+    });
     out
 }
 
@@ -125,12 +129,7 @@ mod tests {
 
     #[test]
     fn sorted_largest_first() {
-        let aggs = aggregate_identical(&[
-            hb(1, &[1]),
-            hb(2, &[1]),
-            hb(3, &[1]),
-            hb(9, &[2]),
-        ]);
+        let aggs = aggregate_identical(&[hb(1, &[1]), hb(2, &[1]), hb(3, &[1]), hb(9, &[2])]);
         assert_eq!(aggs[0].size(), 3);
         assert_eq!(aggs[1].size(), 1);
     }

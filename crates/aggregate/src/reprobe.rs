@@ -121,9 +121,8 @@ where
     let mut sets: BTreeMap<Block24, Option<Vec<Addr>>> = BTreeMap::new();
     for &(a, b) in &pairs {
         for blk in [a, b] {
-            sets.entry(blk).or_insert_with(|| {
-                selector(blk).map(|sel| reprobe_block(prober, &sel, cfg.rule))
-            });
+            sets.entry(blk)
+                .or_insert_with(|| selector(blk).map(|sel| reprobe_block(prober, &sel, cfg.rule)));
         }
     }
     let mut identical = 0usize;
@@ -161,18 +160,25 @@ mod tests {
     fn reprobe_recovers_full_lasthop_set_of_multi_lh_pop() {
         let mut s = build(ScenarioConfig::tiny(42));
         let snapshot = zmap::scan_all(&mut s.network);
-        // Pick a responsive multi-LH per-destination pop block with many
-        // actives so all routers appear.
-        let block = snapshot
-            .blocks()
-            .find(|b| {
-                let t = &s.truth.blocks[b];
-                let pop = &s.truth.pops[t.pop as usize];
-                t.homogeneous
-                    && pop.responsive
-                    && pop.lasthop_addrs.len() >= 2
-                    && snapshot.active_in(*b).len() >= 30
-            });
+        // Pick a responsive multi-LH pop block with many actives so all
+        // routers appear. The block must still answer at the probe-time
+        // epoch — a block that went quiet since the snapshot reprobes to
+        // the empty set by design.
+        let epoch = s.network.epoch();
+        let block = snapshot.blocks().find(|&b| {
+            let t = &s.truth.blocks[&b];
+            let pop = &s.truth.pops[t.pop as usize];
+            let profile = *s.network.block_profile(b).unwrap();
+            t.homogeneous
+                && pop.responsive
+                && pop.lasthop_addrs.len() >= 2
+                && snapshot.active_in(b).len() >= 30
+                && !s
+                    .network
+                    .oracle()
+                    .active_in_block(b, &profile, epoch)
+                    .is_empty()
+        });
         let Some(block) = block else { return };
         let sel = select_block(&snapshot, block).unwrap();
         let pop_lhs = {
@@ -210,9 +216,10 @@ mod tests {
                 by_pop.entry(t.pop).or_default().push(b);
             }
         }
-        let Some((_, blocks)) = by_pop.into_iter().find(|(p, v)| {
-            v.len() >= 2 && s.truth.pops[*p as usize].lasthop_addrs.len() == 1
-        }) else {
+        let Some((_, blocks)) = by_pop
+            .into_iter()
+            .find(|(p, v)| v.len() >= 2 && s.truth.pops[*p as usize].lasthop_addrs.len() == 1)
+        else {
             return;
         };
         let aggs = vec![Aggregate {

@@ -142,6 +142,7 @@ mod tests {
         let mut prober = Prober::new(&mut s.network, 0xCE);
         let cell = block_ping_deltas(&mut prober, &cell_blocks, &actives, 4, 5, 10, 7);
         let dc = block_ping_deltas(&mut prober, &dc_blocks, &actives, 4, 5, 10, 7);
+        drop(prober);
         assert!(looks_cellular(&cell), "cellular deltas: {cell:?}");
         assert!(!looks_cellular(&dc), "datacenter deltas: {dc:?}");
         // Sanity: the cellular blocks really host cellular devices.
@@ -167,7 +168,10 @@ mod tests {
             .take(3)
             .collect();
         assert!(!blocks.is_empty());
-        let addrs: Vec<Addr> = blocks.iter().flat_map(|b| [b.addr(3), b.addr(99)]).collect();
+        let addrs: Vec<Addr> = blocks
+            .iter()
+            .flat_map(|b| [b.addr(3), b.addr(99)])
+            .collect();
         let (pattern, share) = dominant_pattern(&db, &addrs).unwrap();
         assert_eq!(pattern, "m-cust");
         assert_eq!(share, 1.0);

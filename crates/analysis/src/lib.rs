@@ -27,9 +27,9 @@ pub mod sampling;
 pub mod stats;
 
 pub use cellular::{block_ping_deltas, dominant_pattern, looks_cellular, pattern_is_exclusive};
+pub use coverage::{coverage_curve, CoveragePoint, TraceDataset};
 pub use longitudinal::{jaccard, snapshot_epoch, stability, EpochSnapshot, StabilityReport};
 pub use outage::{BlockScan, BlockState, OutageEvent, OutageMonitor};
 pub use plot::{ascii_cdf, ascii_histogram};
-pub use coverage::{coverage_curve, CoveragePoint, TraceDataset};
 pub use sampling::{distinct_patterns, figure12, random_sample, stratified_sample, SamplingRow};
 pub use stats::{histogram, mean, stderr, Ecdf};

@@ -160,7 +160,11 @@ mod tests {
     use aggregate::{aggregate_identical, HomogBlock};
 
     // Build a dataset straight from a scenario's ground truth.
-    fn world() -> (netsim::Scenario, HobbitDataset, BTreeMap<Block24, Vec<Addr>>) {
+    fn world() -> (
+        netsim::Scenario,
+        HobbitDataset,
+        BTreeMap<Block24, Vec<Addr>>,
+    ) {
         let mut s = netsim::build::build(netsim::build::ScenarioConfig::tiny(42));
         let snapshot = probe::zmap::scan_all(&mut s.network);
         let homog: Vec<HomogBlock> = s
@@ -168,9 +172,7 @@ mod tests {
             .blocks
             .iter()
             .filter(|(_, t)| t.homogeneous && s.truth.pops[t.pop as usize].responsive)
-            .map(|(&b, t)| {
-                HomogBlock::new(b, s.truth.pops[t.pop as usize].lasthop_addrs.clone())
-            })
+            .map(|(&b, t)| HomogBlock::new(b, s.truth.pops[t.pop as usize].lasthop_addrs.clone()))
             .collect();
         let aggs = aggregate_identical(&homog);
         let dataset = HobbitDataset::from_aggregates(42, &aggs, &|_| true);

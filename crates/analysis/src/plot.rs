@@ -25,15 +25,17 @@ pub fn ascii_cdf(series: &[(&str, &Ecdf)], width: usize, height: usize) -> Strin
         .iter()
         .filter_map(|(_, e)| e.max())
         .fold(f64::NEG_INFINITY, f64::max);
-    let span = if (hi - lo).abs() < f64::EPSILON { 1.0 } else { hi - lo };
+    let span = if (hi - lo).abs() < f64::EPSILON {
+        1.0
+    } else {
+        hi - lo
+    };
 
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
     let mut grid = vec![vec![' '; width]; height];
     for (si, (_, e)) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
-        for (col, x) in (0..width)
-            .map(|c| (c, lo + span * c as f64 / (width - 1) as f64))
-        {
+        for (col, x) in (0..width).map(|c| (c, lo + span * c as f64 / (width - 1) as f64)) {
             let y = e.eval(x);
             let row = ((1.0 - y) * (height - 1) as f64).round() as usize;
             let row = row.min(height - 1);
@@ -57,7 +59,12 @@ pub fn ascii_cdf(series: &[(&str, &Ecdf)], width: usize, height: usize) -> Strin
     out.push_str("    +");
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&format!("     {:<12.4}{:>width$.4}\n", lo, hi, width = width - 7));
+    out.push_str(&format!(
+        "     {:<12.4}{:>width$.4}\n",
+        lo,
+        hi,
+        width = width - 7
+    ));
     for (si, (name, _)) in series.iter().enumerate() {
         out.push_str(&format!("     {} {}\n", GLYPHS[si % GLYPHS.len()], name));
     }
@@ -126,10 +133,7 @@ mod tests {
 
     #[test]
     fn histogram_bars_scale() {
-        let rows = vec![
-            ("small".to_string(), 1),
-            ("big".to_string(), 10),
-        ];
+        let rows = vec![("small".to_string(), 1), ("big".to_string(), 10)];
         let h = ascii_histogram(&rows, 20);
         let small_bar = h.lines().next().unwrap().matches('#').count();
         let big_bar = h.lines().nth(1).unwrap().matches('#').count();

@@ -87,7 +87,11 @@ pub fn figure12(
             .map(|t| {
                 distinct_patterns(
                     db,
-                    &random_sample(&population, base_size * m, seed ^ 0x1000 ^ (t as u64 * 31 + m as u64)),
+                    &random_sample(
+                        &population,
+                        base_size * m,
+                        seed ^ 0x1000 ^ (t as u64 * 31 + m as u64),
+                    ),
                 ) as f64
             })
             .collect();
@@ -95,7 +99,11 @@ pub fn figure12(
         rows.push(SamplingRow {
             label: format!("Random, {m}x"),
             mean_patterns: mean,
-            normalized: if strat_mean > 0.0 { mean / strat_mean } else { 0.0 },
+            normalized: if strat_mean > 0.0 {
+                mean / strat_mean
+            } else {
+                0.0
+            },
         });
     }
     rows
@@ -111,11 +119,7 @@ mod tests {
 
     #[test]
     fn stratified_takes_from_every_stratum() {
-        let strata = vec![
-            vec![a(1), a(2), a(3)],
-            vec![a(10)],
-            vec![a(20), a(21)],
-        ];
+        let strata = vec![vec![a(1), a(2), a(3)], vec![a(10)], vec![a(20), a(21)]];
         let s = stratified_sample(&strata, 1, 7);
         assert_eq!(s.len(), 3);
         assert!(s.iter().any(|x| x.0 < 10));

@@ -32,8 +32,7 @@ fn bench_hierarchy(c: &mut Criterion) {
             &obs,
             |b, obs| {
                 b.iter(|| {
-                    LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())))
-                        .relationship()
+                    LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice()))).relationship()
                 })
             },
         );
@@ -93,5 +92,10 @@ fn bench_classification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hierarchy, bench_confidence, bench_classification);
+criterion_group!(
+    benches,
+    bench_hierarchy,
+    bench_confidence,
+    bench_classification
+);
 criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Sequential vs work-stealing classification over one shared engine.
+//!
+//! The classification phase probes every selected /24 through the one
+//! [`SharedNetwork`]; `threads(1)` degenerates to the old sequential sweep,
+//! higher counts exercise the work-stealing scheduler. The output is
+//! identical at every thread count (enforced by the `concurrent_engine`
+//! integration tests), so this group measures pure scheduling overhead and
+//! scaling.
+//!
+//! ## Peak memory
+//!
+//! The shared engine is the point: workers hold `Arc` clones of one network,
+//! not per-worker deep copies, so peak RSS is flat in the thread count
+//! (within per-thread stack + prober noise). The group prints `VmHWM` after
+//! the sweep; on the old `N × Network::clone()` design the high-water mark
+//! grew by roughly one network image (~tens of MB at paper scale) per
+//! worker.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hobbit::HobbitConfig;
+use netsim::SharedNetwork;
+
+/// Linux peak resident set size in kilobytes (`VmHWM`), if available.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn bench_classification(c: &mut Criterion) {
+    // One scenario + calibration, reused across every thread count. The
+    // builder runs the full pipeline once; we lift out its inputs so the
+    // bench times *only* classify_blocks.
+    let p = experiments::Pipeline::builder()
+        .seed(42)
+        .scale(0.02)
+        .threads(1)
+        .run();
+    let seed = 42u64;
+    let cfg = HobbitConfig {
+        seed: seed ^ 0x0B17,
+        ..Default::default()
+    };
+    let selected = p.selected;
+    let confidence = p.confidence;
+    let shared = SharedNetwork::new(p.scenario.network);
+
+    let mut g = c.benchmark_group("classify");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let label = if threads == 1 {
+            "sequential/1-thread".to_string()
+        } else {
+            format!("work-stealing/{threads}-threads")
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let (measurements, stats) = experiments::classify_blocks(
+                    black_box(&shared),
+                    black_box(&selected),
+                    &confidence,
+                    &cfg,
+                    threads,
+                );
+                black_box((measurements, stats))
+            })
+        });
+    }
+    g.finish();
+
+    if let Some(kb) = peak_rss_kb() {
+        println!("peak RSS after 1..=8-thread sweep (VmHWM): {kb} kB");
+        println!("(one shared network image; no per-worker clones)");
+    }
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

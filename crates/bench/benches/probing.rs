@@ -16,7 +16,13 @@ fn responsive_dsts(s: &Scenario, n: usize) -> Vec<Addr> {
             continue;
         }
         let p = *s.network.block_profile(b).unwrap();
-        out.extend(s.network.oracle().active_in_block(b, &p, epoch).into_iter().take(2));
+        out.extend(
+            s.network
+                .oracle()
+                .active_in_block(b, &p, epoch)
+                .into_iter()
+                .take(2),
+        );
         if out.len() >= n {
             break;
         }

@@ -66,7 +66,7 @@ fn bench_lpm(c: &mut Criterion) {
 }
 
 fn bench_forwarding(c: &mut Criterion) {
-    let mut scenario = build(ScenarioConfig::tiny(42));
+    let scenario = build(ScenarioConfig::tiny(42));
     let vantage = scenario.network.vantage_addr();
     let dsts: Vec<Addr> = scenario
         .network
@@ -106,5 +106,11 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wire, bench_lpm, bench_forwarding, bench_build);
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_lpm,
+    bench_forwarding,
+    bench_build
+);
 criterion_main!(benches);

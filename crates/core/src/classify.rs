@@ -39,7 +39,10 @@ pub enum Classification {
 impl Classification {
     /// Whether the block was classified homogeneous.
     pub fn is_homogeneous(self) -> bool {
-        matches!(self, Classification::SameLasthop | Classification::NonHierarchical)
+        matches!(
+            self,
+            Classification::SameLasthop | Classification::NonHierarchical
+        )
     }
 
     /// Whether the block could be analyzed at all.
@@ -138,7 +141,10 @@ pub fn classify_block(
         probed += 1;
         let r = probe_lasthop_with_hint(prober, dst, cfg.rule, dist_hint);
         match r.outcome {
-            LasthopOutcome::Found { lasthops, dst_distance } => {
+            LasthopOutcome::Found {
+                lasthops,
+                dst_distance,
+            } => {
                 dist_hint = Some(dst_distance.saturating_sub(1).max(1));
                 per_dest.push((dst, lasthops));
             }
@@ -196,9 +202,7 @@ pub fn classify_block(
                     match table.required_probes(groups.cardinality()) {
                         // The confidence table says we'd have needed more
                         // destinations than this block could offer.
-                        Some(required) if per_dest.len() < required => {
-                            Classification::TooFewActive
-                        }
+                        Some(required) if per_dest.len() < required => Classification::TooFewActive,
                         _ => Classification::Hierarchical,
                     }
                 }
@@ -345,16 +349,13 @@ mod tests {
     fn same_lasthop_early_exit_costs_six_destinations() {
         let mut w = World::new(42);
         // Find a single-LH pop block with plenty of actives.
-        let block = w
-            .snapshot
-            .blocks()
-            .find(|b| {
-                let t = &w.scenario.truth.blocks[b];
-                t.homogeneous
-                    && w.scenario.truth.pops[t.pop as usize].responsive
-                    && w.scenario.truth.pops[t.pop as usize].lasthop_addrs.len() == 1
-                    && w.snapshot.active_in(*b).len() >= 12
-            });
+        let block = w.snapshot.blocks().find(|b| {
+            let t = &w.scenario.truth.blocks[b];
+            t.homogeneous
+                && w.scenario.truth.pops[t.pop as usize].responsive
+                && w.scenario.truth.pops[t.pop as usize].lasthop_addrs.len() == 1
+                && w.snapshot.active_in(*b).len() >= 12
+        });
         let Some(block) = block else { return };
         let m = w.classify(block).unwrap();
         assert_eq!(m.classification, Classification::SameLasthop);

@@ -169,7 +169,10 @@ mod tests {
     /// confidence converges to 1 for k ≥ 3 but plateaus near 0.5 for k = 2
     /// (two random subsets nest with probability ~1/2).
     fn interleaved_block(n: usize, k: u32) -> BlockLasthopData {
-        assert!(n.is_multiple_of(k as usize), "balanced groups keep extremes spread");
+        assert!(
+            n.is_multiple_of(k as usize),
+            "balanced groups keep extremes spread"
+        );
         BlockLasthopData {
             per_addr: (0..n)
                 .map(|i| {

@@ -59,8 +59,10 @@ mod tests {
     }
 
     fn meas(cls: Classification, per_dest: Vec<(Addr, Vec<Addr>)>) -> BlockMeasurement {
-        let mut lasthop_set: Vec<Addr> =
-            per_dest.iter().flat_map(|(_, l)| l.iter().copied()).collect();
+        let mut lasthop_set: Vec<Addr> = per_dest
+            .iter()
+            .flat_map(|(_, l)| l.iter().copied())
+            .collect();
         lasthop_set.sort();
         lasthop_set.dedup();
         BlockMeasurement {

@@ -79,7 +79,12 @@ impl LasthopGroups {
     pub fn ranges(&self) -> Vec<(Addr, Addr)> {
         self.groups
             .values()
-            .map(|v| (*v.first().expect("groups are non-empty"), *v.last().unwrap()))
+            .map(|v| {
+                (
+                    *v.first().expect("groups are non-empty"),
+                    *v.last().unwrap(),
+                )
+            })
             .collect()
     }
 
@@ -114,7 +119,10 @@ impl LasthopGroups {
         let mut merged: BTreeMap<usize, Vec<Addr>> = BTreeMap::new();
         for i in 0..n {
             let root = find(&mut parent, i);
-            merged.entry(root).or_default().extend(groups[i].iter().copied());
+            merged
+                .entry(root)
+                .or_default()
+                .extend(groups[i].iter().copied());
         }
         merged
             .into_values()
@@ -302,10 +310,7 @@ mod tests {
     #[test]
     fn merging_is_transitive() {
         // AB and BC chains merge A, B, C even though A and C never share.
-        let g = groups(&[
-            (d(2), vec![lh(1), lh(2)]),
-            (d(200), vec![lh(2), lh(3)]),
-        ]);
+        let g = groups(&[(d(2), vec![lh(1), lh(2)]), (d(200), vec![lh(2), lh(3)])]);
         assert_eq!(g.merged_members().len(), 1);
     }
 
@@ -330,10 +335,7 @@ mod tests {
         // Per-flow balancing at the last stage: every destination sees both
         // routers. Distinct route entries cannot share an address, so the
         // two groups are one ECMP set — a single route entry.
-        let g = groups(&[
-            (d(2), vec![lh(1), lh(2)]),
-            (d(200), vec![lh(1), lh(2)]),
-        ]);
+        let g = groups(&[(d(2), vec![lh(1), lh(2)]), (d(200), vec![lh(1), lh(2)])]);
         assert_eq!(g.relationship(), Relationship::SingleGroup);
     }
 
@@ -404,7 +406,10 @@ mod tests {
             (d(120), vec![lh(2)]),
         ]);
         assert_eq!(g.relationship(), Relationship::Hierarchical);
-        assert!(g.disjoint_and_aligned().is_none(), "inclusive, not disjoint");
+        assert!(
+            g.disjoint_and_aligned().is_none(),
+            "inclusive, not disjoint"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub enum SelectReject {
 }
 
 /// Apply the Section 3.3 criteria to one block.
-pub fn select_block(snapshot: &ZmapSnapshot, block: Block24) -> Result<SelectedBlock, SelectReject> {
+pub fn select_block(
+    snapshot: &ZmapSnapshot,
+    block: Block24,
+) -> Result<SelectedBlock, SelectReject> {
     let actives = snapshot.active_in(block);
     if actives.len() < 4 {
         return Err(SelectReject::TooFewActive);
@@ -89,20 +92,29 @@ mod tests {
         let snap = snapshot_with(B, &[1, 70, 130, 200]);
         let sel = select_block(&snap, B).unwrap();
         assert_eq!(sel.active_count(), 4);
-        assert_eq!(sel.quarters.iter().map(Vec::len).collect::<Vec<_>>(), vec![1, 1, 1, 1]);
+        assert_eq!(
+            sel.quarters.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![1, 1, 1, 1]
+        );
     }
 
     #[test]
     fn rejects_too_few() {
         let snap = snapshot_with(B, &[1, 70, 130]);
-        assert_eq!(select_block(&snap, B).unwrap_err(), SelectReject::TooFewActive);
+        assert_eq!(
+            select_block(&snap, B).unwrap_err(),
+            SelectReject::TooFewActive
+        );
     }
 
     #[test]
     fn rejects_uncovered_quarter() {
         // Four actives but all in quarters 0-2; quarter 3 empty.
         let snap = snapshot_with(B, &[1, 2, 70, 130]);
-        assert_eq!(select_block(&snap, B).unwrap_err(), SelectReject::UncoveredQuarter);
+        assert_eq!(
+            select_block(&snap, B).unwrap_err(),
+            SelectReject::UncoveredQuarter
+        );
     }
 
     #[test]

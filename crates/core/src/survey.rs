@@ -160,23 +160,38 @@ mod tests {
     fn surveyed(seed: u64, want_multi_lh: bool) -> Option<(netsim::Scenario, BlockSurvey)> {
         let mut scenario = build(ScenarioConfig::tiny(seed));
         let snapshot = zmap::scan_all(&mut scenario.network);
-        let block = snapshot.blocks().find(|b| {
-            let t = &scenario.truth.blocks[b];
+        // Probe-time responsiveness matters too: a block can go quiet
+        // between the snapshot epoch and the survey, and per-flow balanced
+        // pops legitimately fan one address over every last-hop.
+        let epoch = scenario.network.epoch();
+        let block = snapshot.blocks().find(|&b| {
+            let t = &scenario.truth.blocks[&b];
             let pop = &scenario.truth.pops[t.pop as usize];
+            let profile = *scenario.network.block_profile(b).unwrap();
             t.homogeneous
                 && pop.responsive
+                && pop.lasthop_policy != netsim::LbPolicy::PerFlow
                 && (pop.lasthop_addrs.len() > 1) == want_multi_lh
-                && snapshot.active_in(*b).len() >= 8
+                && snapshot.active_in(b).len() >= 8
+                && scenario
+                    .network
+                    .oracle()
+                    .active_in_block(b, &profile, epoch)
+                    .len()
+                    >= 8
         })?;
         let sel = select_block(&snapshot, block).ok()?;
         let mut prober = Prober::new(&mut scenario.network, 0x50);
         let survey = survey_block(&mut prober, &sel, StoppingRule::confidence95(), true);
+        drop(prober);
         Some((scenario, survey))
     }
 
     #[test]
     fn cardinalities_ordered_lasthop_le_subpath_le_path() {
-        let Some((_, s)) = surveyed(42, true) else { return };
+        let Some((_, s)) = surveyed(42, true) else {
+            return;
+        };
         let lh = s.lasthop_cardinality();
         let sp = s.subpath_cardinality();
         let ep = s.path_cardinality();
@@ -190,7 +205,9 @@ mod tests {
 
     #[test]
     fn multi_lh_pop_shows_multiple_lasthops() {
-        let Some((scenario, s)) = surveyed(42, true) else { return };
+        let Some((scenario, s)) = surveyed(42, true) else {
+            return;
+        };
         let t = &scenario.truth.blocks[&s.block];
         let pop = &scenario.truth.pops[t.pop as usize];
         assert!(s.lasthop_cardinality() >= 2, "per-destination ECMP fan");
@@ -199,7 +216,9 @@ mod tests {
 
     #[test]
     fn single_lh_pop_shows_one_lasthop() {
-        let Some((_, s)) = surveyed(42, false) else { return };
+        let Some((_, s)) = surveyed(42, false) else {
+            return;
+        };
         assert_eq!(s.lasthop_cardinality(), 1);
     }
 
@@ -220,7 +239,9 @@ mod tests {
 
     #[test]
     fn survey_counts_probes() {
-        let Some((_, s)) = surveyed(42, true) else { return };
+        let Some((_, s)) = surveyed(42, true) else {
+            return;
+        };
         assert!(s.probes_used > 0);
         assert!(!s.per_addr_lasthops.is_empty());
     }

@@ -132,7 +132,13 @@ mod tests {
     #[test]
     fn missing_and_bad_values_rejected() {
         assert!(matches!(parse(&["--seed"]), Err(ParseOutcome::Error(_))));
-        assert!(matches!(parse(&["--scale", "x"]), Err(ParseOutcome::Error(_))));
-        assert!(matches!(parse(&["--scale", "-1"]), Err(ParseOutcome::Error(_))));
+        assert!(matches!(
+            parse(&["--scale", "x"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        assert!(matches!(
+            parse(&["--scale", "-1"]),
+            Err(ParseOutcome::Error(_))
+        ));
     }
 }

@@ -15,7 +15,7 @@ use serde_json::json;
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let mut p = pipeline::run(args);
+    let mut p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("figure10", "Cluster-size distribution change from MCL");
     let (aggs, _clustering, outcomes) = cluster_and_validate(&mut p, args.seed, 80, 40);
 
@@ -58,7 +58,11 @@ pub fn run(args: &ExpArgs) -> Report {
         "8,931 clusters from 33,023 aggregates",
         format!("{confirmed} clusters from {merged_members} aggregates"),
     );
-    r.row("total block count decreases", true, after.len() <= before.len());
+    r.row(
+        "total block count decreases",
+        true,
+        after.len() <= before.len(),
+    );
 
     let hist_json = |aggs: &[Aggregate]| -> Vec<serde_json::Value> {
         size_histogram(aggs)

@@ -19,7 +19,7 @@ const SAMPLE_BLOCKS: usize = 48;
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let mut p = pipeline::run(args);
+    let mut p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("figure11", "Discovered-link ratio: Hobbit blocks vs /24s");
 
     // Build the trace dataset with the size skew that drives the paper's

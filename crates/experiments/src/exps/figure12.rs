@@ -15,7 +15,7 @@ use serde_json::json;
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let registry = Registry::new(&p.scenario.truth, args.seed);
     let mut r = Report::new("figure12", "Stratified vs random sampling (rDNS patterns)");
 
@@ -72,9 +72,11 @@ pub fn run(args: &ExpArgs) -> Report {
     r.series("sampling comparison (25 trials)", series);
 
     let by_label = |label: &str| rows.iter().find(|row| row.label == label);
-    if let (Some(r1), Some(r2), Some(r4)) =
-        (by_label("Random, 1x"), by_label("Random, 2x"), by_label("Random, 4x"))
-    {
+    if let (Some(r1), Some(r2), Some(r4)) = (
+        by_label("Random, 1x"),
+        by_label("Random, 2x"),
+        by_label("Random, 4x"),
+    ) {
         r.row(
             "stratified advantage over equal-size random (×)",
             2.5,
@@ -84,7 +86,11 @@ pub fn run(args: &ExpArgs) -> Report {
                 f64::INFINITY
             },
         );
-        r.row("random at 2× budget, normalized", 0.6, (r2.normalized * 100.0).round() / 100.0);
+        r.row(
+            "random at 2× budget, normalized",
+            0.6,
+            (r2.normalized * 100.0).round() / 100.0,
+        );
         r.row(
             "random at 4× budget still at or below stratified",
             true,

@@ -28,7 +28,7 @@ fn quartiles(e: &Ecdf) -> serde_json::Value {
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let mut p = pipeline::run(args);
+    let mut p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("figure3", "Cardinality and probed-address CDFs");
 
     // Ground-truth homogeneous blocks among the analyzable measurements,
@@ -50,8 +50,14 @@ pub fn run(args: &ExpArgs) -> Report {
     // --- (c): probed addresses, detected vs undetected.
     let probed_detected = Ecdf::new(detected.iter().map(|m| m.dests_probed as f64).collect());
     let probed_undetected = Ecdf::new(undetected.iter().map(|m| m.dests_probed as f64).collect());
-    r.series("fig3c probed addresses, detected (quartiles)", quartiles(&probed_detected));
-    r.series("fig3c probed addresses, undetected (quartiles)", quartiles(&probed_undetected));
+    r.series(
+        "fig3c probed addresses, detected (quartiles)",
+        quartiles(&probed_detected),
+    );
+    r.series(
+        "fig3c probed addresses, undetected (quartiles)",
+        quartiles(&probed_undetected),
+    );
 
     // --- (a) + (b): survey a sample with full paths.
     let rule = StoppingRule::confidence95();
@@ -88,8 +94,14 @@ pub fn run(args: &ExpArgs) -> Report {
     }
     let e_det = Ecdf::new(card_detected);
     let e_und = Ecdf::new(card_undetected);
-    r.series("fig3a traceroute cardinality, detected (quartiles)", quartiles(&e_det));
-    r.series("fig3a traceroute cardinality, undetected (quartiles)", quartiles(&e_und));
+    r.series(
+        "fig3a traceroute cardinality, detected (quartiles)",
+        quartiles(&e_det),
+    );
+    r.series(
+        "fig3a traceroute cardinality, undetected (quartiles)",
+        quartiles(&e_und),
+    );
     if let (Some(d), Some(u)) = (e_det.quantile(0.5), e_und.quantile(0.5)) {
         r.row(
             "undetected blocks have higher median cardinality",
@@ -101,15 +113,28 @@ pub fn run(args: &ExpArgs) -> Report {
     let e_lh = Ecdf::new(lasthop_c);
     let e_sp = Ecdf::new(subpath_c);
     let e_ep = Ecdf::new(path_c);
-    r.series("fig3b cardinality by metric: last-hop (quartiles)", quartiles(&e_lh));
-    r.series("fig3b cardinality by metric: sub-path (quartiles)", quartiles(&e_sp));
-    r.series("fig3b cardinality by metric: entire path (quartiles)", quartiles(&e_ep));
+    r.series(
+        "fig3b cardinality by metric: last-hop (quartiles)",
+        quartiles(&e_lh),
+    );
+    r.series(
+        "fig3b cardinality by metric: sub-path (quartiles)",
+        quartiles(&e_sp),
+    );
+    r.series(
+        "fig3b cardinality by metric: entire path (quartiles)",
+        quartiles(&e_ep),
+    );
     r.info(
         "figure 3b CDF (x = cardinality)",
         format!(
             "\n{}",
             ascii_cdf(
-                &[("last-hop", &e_lh), ("sub-path", &e_sp), ("entire path", &e_ep)],
+                &[
+                    ("last-hop", &e_lh),
+                    ("sub-path", &e_sp),
+                    ("entire path", &e_ep)
+                ],
                 56,
                 12
             )
@@ -122,8 +147,14 @@ pub fn run(args: &ExpArgs) -> Report {
             lh < ep,
         );
     }
-    if let (Some(u), Some(d)) = (probed_undetected.quantile(0.5), probed_detected.quantile(0.5)) {
-        r.info("fig3c median probed: detected vs undetected", format!("{d} vs {u}"));
+    if let (Some(u), Some(d)) = (
+        probed_undetected.quantile(0.5),
+        probed_detected.quantile(0.5),
+    ) {
+        r.info(
+            "fig3c median probed: detected vs undetected",
+            format!("{d} vs {u}"),
+        );
     }
     r
 }

@@ -12,7 +12,7 @@ use serde_json::json;
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("figure4", "Detection confidence per <cardinality, #probed>");
 
     let rows = p.confidence.rows();
@@ -40,8 +40,7 @@ pub fn run(args: &ExpArgs) -> Report {
         checked += 1;
         let mid = of_c.len() / 2;
         let lo: f64 = of_c[..mid].iter().map(|&(_, x)| x).sum::<f64>() / mid as f64;
-        let hi: f64 =
-            of_c[mid..].iter().map(|&(_, x)| x).sum::<f64>() / (of_c.len() - mid) as f64;
+        let hi: f64 = of_c[mid..].iter().map(|&(_, x)| x).sum::<f64>() / (of_c.len() - mid) as f64;
         if hi + 0.02 >= lo {
             monotone_ok += 1;
         }

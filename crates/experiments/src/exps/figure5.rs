@@ -12,7 +12,7 @@ use serde_json::json;
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("figure5", "Aggregated homogeneous block sizes");
     let homog = p.homog_blocks();
     let aggs = p.aggregates();

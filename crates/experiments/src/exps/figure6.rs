@@ -26,7 +26,7 @@ pub const EXPECTED: [(&str, bool); 5] = [
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let mut p = pipeline::run(args);
+    let mut p = pipeline::Pipeline::builder().args(args).run();
     let registry = Registry::new(&p.scenario.truth, args.seed);
     let mut r = Report::new("figure6", "First-ping delay signatures of big blocks");
 
@@ -87,7 +87,10 @@ pub fn run(args: &ExpArgs) -> Report {
     }
     // The figure itself: CDFs of firstRTT − max(restRTTs) per block.
     let refs: Vec<(&str, &Ecdf)> = curves.iter().map(|(n, e)| (n.as_str(), e)).collect();
-    r.info("figure 6 CDF (x = first RTT − max rest RTTs, seconds)", format!("\n{}", ascii_cdf(&refs, 56, 12)));
+    r.info(
+        "figure 6 CDF (x = first RTT − max rest RTTs, seconds)",
+        format!("\n{}", ascii_cdf(&refs, 56, 12)),
+    );
     r.series("per-block first-ping deltas", series);
     r.row(
         "verdicts agreeing with the paper",

@@ -13,9 +13,13 @@ use serde_json::json;
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("figure7", "LCP distributions within aggregates");
-    let aggs: Vec<_> = p.aggregates().into_iter().filter(|a| a.size() > 1).collect();
+    let aggs: Vec<_> = p
+        .aggregates()
+        .into_iter()
+        .filter(|a| a.size() > 1)
+        .collect();
     r.info("multi-/24 aggregates analyzed", aggs.len());
 
     // (a) neighbor LCP distribution.
@@ -45,8 +49,14 @@ pub fn run(args: &ExpArgs) -> Report {
             })
             .collect()
     };
-    r.series("fig7a neighbor LCP length distribution (%)", dist(&neighbor));
-    r.series("fig7b first-last LCP length distribution (%)", dist(&first_last));
+    r.series(
+        "fig7a neighbor LCP length distribution (%)",
+        dist(&neighbor),
+    );
+    r.series(
+        "fig7b first-last LCP length distribution (%)",
+        dist(&first_last),
+    );
 
     let frac = |values: &[u8], pred: &dyn Fn(u8) -> bool| {
         values.iter().filter(|&&v| pred(v)).count() as f64 / values.len().max(1) as f64

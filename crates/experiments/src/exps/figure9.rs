@@ -82,7 +82,7 @@ pub fn cluster_and_validate(
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let mut p = pipeline::run(args);
+    let mut p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("figure9", "Identical-pair ratios: rule-matched vs rest");
     let (_, clustering, outcomes) = cluster_and_validate(&mut p, args.seed, 60, 60);
 
@@ -104,12 +104,10 @@ pub fn run(args: &ExpArgs) -> Report {
     let eu = Ecdf::new(unmatched.clone());
 
     let frac_gt = |e: &Ecdf, x: f64| if e.is_empty() { 0.0 } else { 1.0 - e.eval(x) };
-    let frac_eq1 = |v: &[f64]| {
-        v.iter().filter(|&&x| x >= 1.0).count() as f64 / v.len().max(1) as f64
-    };
-    let frac_eq0 = |v: &[f64]| {
-        v.iter().filter(|&&x| x <= 0.0).count() as f64 / v.len().max(1) as f64
-    };
+    let frac_eq1 =
+        |v: &[f64]| v.iter().filter(|&&x| x >= 1.0).count() as f64 / v.len().max(1) as f64;
+    let frac_eq0 =
+        |v: &[f64]| v.iter().filter(|&&x| x <= 0.0).count() as f64 / v.len().max(1) as f64;
     r.row(
         "rule-matched clusters with ratio > 0.6 (%)",
         90.0,

@@ -14,7 +14,7 @@ use aggregate::{Aggregate, HobbitDataset};
 
 /// Build the final dataset (shared with tests).
 pub fn build_dataset(args: &ExpArgs) -> (HobbitDataset, Report) {
-    let mut p = pipeline::run(args);
+    let mut p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("hobbit_map", "The Hobbit homogeneous-blocks dataset");
     let (aggs, _clustering, outcomes) = cluster_and_validate(&mut p, args.seed, 120, 40);
 
@@ -64,7 +64,10 @@ pub fn build_dataset(args: &ExpArgs) -> (HobbitDataset, Report) {
     r.info("homogeneous /24s measured", p.homog_blocks().len());
     r.info("identical-set aggregates", aggs.len());
     r.info("final Hobbit blocks", dataset.blocks.len());
-    r.info("reprobe-validated merged blocks", dataset.blocks.iter().filter(|b| b.validated).count());
+    r.info(
+        "reprobe-validated merged blocks",
+        dataset.blocks.iter().filter(|b| b.validated).count(),
+    );
     r.info("total /24 coverage", dataset.total_24s());
     r.info(
         "largest block (/24s)",

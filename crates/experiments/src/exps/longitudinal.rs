@@ -26,7 +26,10 @@ pub fn run(args: &ExpArgs) -> Report {
     let selected: Vec<_> = {
         let all = select_all(&snapshot);
         let stride = (all.len() / SAMPLE_BLOCKS).max(1);
-        all.into_iter().step_by(stride).take(SAMPLE_BLOCKS).collect()
+        all.into_iter()
+            .step_by(stride)
+            .take(SAMPLE_BLOCKS)
+            .collect()
     };
     let table = ConfidenceTable::empty();
     let hcfg = HobbitConfig::default();

@@ -1,9 +1,6 @@
 //! One module per paper artifact. Each exposes `run(&ExpArgs) -> Report`.
 
 pub mod figure10;
-pub mod hobbit_map;
-pub mod longitudinal;
-pub mod multivantage;
 pub mod figure11;
 pub mod figure12;
 pub mod figure3;
@@ -13,10 +10,13 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod figure9;
+pub mod hobbit_map;
+pub mod longitudinal;
+pub mod multivantage;
 pub mod scenario_info;
 pub mod section2;
-pub mod summary;
 pub mod section31;
+pub mod summary;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -53,8 +53,11 @@ pub fn run(args: &ExpArgs) -> Report {
     r.info("vantage points", vantages.len());
 
     let stride = (selected.len() / SAMPLE_BLOCKS).max(1);
-    let sample: Vec<&hobbit::SelectedBlock> =
-        selected.iter().step_by(stride).take(SAMPLE_BLOCKS).collect();
+    let sample: Vec<&hobbit::SelectedBlock> = selected
+        .iter()
+        .step_by(stride)
+        .take(SAMPLE_BLOCKS)
+        .collect();
 
     // Measure each sampled block from both vantages.
     let mut single: Vec<HomogBlock> = Vec::new();

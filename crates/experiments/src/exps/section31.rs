@@ -53,7 +53,7 @@ pub fn detects_by_paths(per_addr: &[(Addr, Vec<Path>)]) -> bool {
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let mut p = pipeline::run(args);
+    let mut p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new(
         "section31",
         "Hierarchy testing: last-hop routers vs entire traceroutes",
@@ -96,8 +96,16 @@ pub fn run(args: &ExpArgs) -> Report {
 
     let pct = |n: usize| (1000.0 * n as f64 / surveyed.max(1) as f64).round() / 10.0;
     r.info("blocks surveyed (full traceroutes)", surveyed);
-    r.row("homogeneous via last-hop hierarchy (%)", 92.0, pct(by_lasthop));
-    r.row("homogeneous via entire-traceroute hierarchy (%)", 70.0, pct(by_path));
+    r.row(
+        "homogeneous via last-hop hierarchy (%)",
+        92.0,
+        pct(by_lasthop),
+    );
+    r.row(
+        "homogeneous via entire-traceroute hierarchy (%)",
+        70.0,
+        pct(by_path),
+    );
     r.row(
         "coverage improvement of last-hop metric (points)",
         22.0,

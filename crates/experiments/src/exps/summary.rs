@@ -8,7 +8,7 @@ use hobbit::very_likely_heterogeneous;
 
 /// Run the digest.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("summary", "Pipeline digest (all headline statistics)");
 
     let total = p.measurements.len();
@@ -27,7 +27,10 @@ pub fn run(args: &ExpArgs) -> Report {
     for (cls, count) in p.classification_counts() {
         r.info(
             &format!("  {}", cls.label()),
-            format!("{count} ({:.1}%)", 100.0 * count as f64 / total.max(1) as f64),
+            format!(
+                "{count} ({:.1}%)",
+                100.0 * count as f64 / total.max(1) as f64
+            ),
         );
     }
 

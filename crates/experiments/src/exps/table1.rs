@@ -20,7 +20,7 @@ pub const PAPER_PCTS: [(&str, f64); 5] = [
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("table1", "Homogeneity classification of /24 blocks");
     let total = p.measurements.len().max(1);
     r.info("probed /24 blocks", total);
@@ -29,8 +29,7 @@ pub fn run(args: &ExpArgs) -> Report {
         p.reject_too_few + p.reject_uncovered,
     );
 
-    for ((cls, count), (label, paper_pct)) in
-        p.classification_counts().into_iter().zip(PAPER_PCTS)
+    for ((cls, count), (label, paper_pct)) in p.classification_counts().into_iter().zip(PAPER_PCTS)
     {
         debug_assert_eq!(cls.label(), label);
         let pct = 100.0 * count as f64 / total as f64;
@@ -62,9 +61,7 @@ pub fn run(args: &ExpArgs) -> Report {
     // homogeneity verdicts.
     let mut correct = 0usize;
     for m in &p.measurements {
-        if m.classification.is_homogeneous()
-            && p.scenario.truth.is_homogeneous(m.block)
-        {
+        if m.classification.is_homogeneous() && p.scenario.truth.is_homogeneous(m.block) {
             correct += 1;
         }
     }

@@ -24,7 +24,7 @@ pub const PAPER_SHARES: [(&str, f64); 8] = [
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("table2", "Composition of heterogeneous /24 blocks");
 
     let mut by_signature: BTreeMap<String, usize> = BTreeMap::new();

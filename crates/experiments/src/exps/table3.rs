@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let registry = Registry::new(&p.scenario.truth, args.seed);
     let mut r = Report::new("table3", "Top ASes holding heterogeneous /24 blocks");
 
@@ -68,7 +68,11 @@ pub fn run(args: &ExpArgs) -> Report {
         (1000.0 * korea as f64 / total.max(1) as f64).round() / 10.0,
     );
     if let Some((asn, (org, country, _, _))) = ranked.first() {
-        r.row("top AS", "AS4766 Korea Telecom (Korea)", format!("AS{asn} {org} ({country})"));
+        r.row(
+            "top AS",
+            "AS4766 Korea Telecom (Korea)",
+            format!("AS{asn} {org} ({country})"),
+        );
     }
     r
 }

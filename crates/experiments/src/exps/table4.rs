@@ -15,7 +15,7 @@ use serde_json::json;
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let registry = Registry::new(&p.scenario.truth, args.seed);
     let mut r = Report::new("table4", "WHOIS records of a split /24 (KRNIC-style)");
 
@@ -47,12 +47,19 @@ pub fn run(args: &ExpArgs) -> Report {
         .collect();
     r.series("whois records", series);
 
-    r.row("records are CUSTOMER sub-allocations", true,
-        records.iter().all(|rec| rec.network_type == "CUSTOMER"));
+    r.row(
+        "records are CUSTOMER sub-allocations",
+        true,
+        records.iter().all(|rec| rec.network_type == "CUSTOMER"),
+    );
     r.row(
         "sub-allocations tile the /24",
         true,
-        records.iter().map(|rec| rec.prefix.size() as u64).sum::<u64>() == 256,
+        records
+            .iter()
+            .map(|rec| rec.prefix.size() as u64)
+            .sum::<u64>()
+            == 256,
     );
     r.row(
         "all registered 2015 or later (IPv4 depletion era)",

@@ -32,7 +32,7 @@ pub const PAPER_TOP: [(usize, &str); 15] = [
 
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
-    let p = pipeline::run(args);
+    let p = pipeline::Pipeline::builder().args(args).run();
     let registry = Registry::new(&p.scenario.truth, args.seed);
     let mut r = Report::new("table5", "Top 15 largest homogeneous blocks");
     let aggs = p.aggregates();
@@ -42,7 +42,13 @@ pub fn run(args: &ExpArgs) -> Report {
     for (rank, agg) in aggs.iter().take(15).enumerate() {
         let geo = registry.geo.lookup_block(agg.blocks[0]);
         let (org, country, org_type) = geo
-            .map(|g| (g.org.clone(), g.country.clone(), g.org_type.label().to_string()))
+            .map(|g| {
+                (
+                    g.org.clone(),
+                    g.country.clone(),
+                    g.org_type.label().to_string(),
+                )
+            })
             .unwrap_or_default();
         measured_orgs.push(org.clone());
         series.push(json!({
@@ -56,8 +62,7 @@ pub fn run(args: &ExpArgs) -> Report {
     r.series("top-15 blocks", &series);
 
     // Shape checks against the paper.
-    let paper_orgs: std::collections::HashSet<&str> =
-        PAPER_TOP.iter().map(|&(_, o)| o).collect();
+    let paper_orgs: std::collections::HashSet<&str> = PAPER_TOP.iter().map(|&(_, o)| o).collect();
     let overlap = measured_orgs
         .iter()
         .filter(|o| paper_orgs.contains(o.as_str()))
@@ -67,7 +72,10 @@ pub fn run(args: &ExpArgs) -> Report {
         .iter()
         .filter(|row| {
             let t = row["type"].as_str().unwrap_or("");
-            t.contains("Hosting") || t.contains("Mobile") || t.contains("Broadband") || t.contains("Fixed")
+            t.contains("Hosting")
+                || t.contains("Mobile")
+                || t.contains("Broadband")
+                || t.contains("Fixed")
         })
         .count();
     r.row(

@@ -18,5 +18,7 @@ pub mod report;
 pub mod exps;
 
 pub use args::ExpArgs;
-pub use pipeline::{run as run_pipeline, Pipeline};
+#[allow(deprecated)]
+pub use pipeline::run as run_pipeline;
+pub use pipeline::{classify_blocks, Pipeline, PipelineBuilder, WorkerStats};
 pub use report::Report;

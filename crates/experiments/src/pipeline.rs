@@ -1,6 +1,30 @@
 //! The shared measurement pipeline every experiment builds on:
 //! scenario → ZMap scan → selection → confidence calibration →
-//! classification of every selected /24 (parallel across cloned networks).
+//! classification of every selected /24.
+//!
+//! # Concurrency
+//!
+//! Classification runs over **one** shared network: the selected blocks go
+//! into a work-stealing scheduler, worker threads pull blocks and probe
+//! them through a [`SharedNetwork`] handle — no per-worker
+//! `Network::clone()`. Every block gets a *fresh* prober whose ICMP ident
+//! is derived from the block address (not the worker id), so the probe
+//! stream a block sees — and therefore every classification — is
+//! byte-identical no matter how many threads run or which worker steals
+//! which block.
+//!
+//! # Entry points
+//!
+//! Use the fluent builder:
+//!
+//! ```no_run
+//! use experiments::Pipeline;
+//! let p = Pipeline::builder().seed(42).scale(0.01).threads(8).run();
+//! assert_eq!(p.measurements.len(), p.selected.len());
+//! ```
+//!
+//! The classification engine is also available standalone via
+//! [`classify_blocks`], which takes the shared-network handle directly.
 
 use crate::args::ExpArgs;
 use aggregate::{aggregate_identical, Aggregate, HomogBlock};
@@ -9,8 +33,11 @@ use hobbit::{
     BlockMeasurement, ConfidenceTable, HobbitConfig, SelectReject, SelectedBlock,
 };
 use netsim::build::{build, Scenario, ScenarioConfig};
-use netsim::{Addr, Block24};
+use netsim::hash::mix2;
+use netsim::{Addr, Block24, SharedNetwork};
 use probe::{zmap, Prober, StoppingRule, ZmapSnapshot};
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// Derive the scenario configuration from the common arguments.
 pub fn scenario_config(args: &ExpArgs) -> ScenarioConfig {
@@ -36,107 +63,287 @@ pub struct Pipeline {
     pub confidence: ConfidenceTable,
     /// Per-block classification results, in block order.
     pub measurements: Vec<BlockMeasurement>,
-    /// Probe packets spent on classification.
+    /// Probe packets spent on classification (sum over workers).
     pub classify_probes: u64,
     /// Probe packets spent on calibration surveys.
     pub calibration_probes: u64,
+    /// Per-worker accounting from the classification phase.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 /// Number of blocks surveyed to calibrate the confidence table.
 pub const CALIBRATION_BLOCKS: usize = 120;
 
-/// Run the full pipeline.
-pub fn run(args: &ExpArgs) -> Pipeline {
-    let cfg = scenario_config(args);
-    let mut scenario = build(cfg);
-    let snapshot = zmap::scan_all(&mut scenario.network);
+/// Fluent configuration for a pipeline run.
+///
+/// ```no_run
+/// use experiments::Pipeline;
+/// let p = Pipeline::builder().seed(7).scale(0.02).threads(4).run();
+/// # let _ = p;
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PipelineBuilder {
+    args: ExpArgs,
+    scenario: Option<Scenario>,
+}
 
-    let mut selected = Vec::new();
-    let (mut reject_too_few, mut reject_uncovered) = (0usize, 0usize);
-    for block in snapshot.blocks() {
-        match select_block(&snapshot, block) {
-            Ok(sel) => selected.push(sel),
-            Err(SelectReject::TooFewActive) => reject_too_few += 1,
-            Err(SelectReject::UncoveredQuarter) => reject_uncovered += 1,
-        }
+impl PipelineBuilder {
+    /// Scenario seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.args.seed = seed;
+        self
     }
 
-    // --- Calibration: survey a spread-out sample of selected blocks with
-    // full last-hop data; blocks whose full data shows homogeneity feed the
-    // confidence table (the paper's Section 3.2 procedure).
-    let calibration_probes;
-    let confidence = {
-        let stride = (selected.len() / CALIBRATION_BLOCKS).max(1);
-        let sample: Vec<&SelectedBlock> = selected.iter().step_by(stride).take(CALIBRATION_BLOCKS).collect();
-        let mut dataset: Vec<BlockLasthopData> = Vec::new();
-        let mut prober = Prober::new(&mut scenario.network, 0xCA11);
-        for sel in sample {
-            let survey = survey_block(&mut prober, sel, StoppingRule::confidence95(), false);
-            if survey.per_addr_lasthops.len() >= 8
-                && detects_homogeneous(&survey.per_addr_lasthops)
-            {
-                dataset.push(survey.lasthop_data());
+    /// Scenario scale, 1.0 = paper-size (default 0.12).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.args.scale = scale;
+        self
+    }
+
+    /// Classification worker threads; 0 = all cores (default 0).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.args.threads = threads;
+        self
+    }
+
+    /// Take every knob from parsed CLI arguments at once.
+    pub fn args(mut self, args: &ExpArgs) -> Self {
+        self.args = args.clone();
+        self
+    }
+
+    /// Run over a prebuilt scenario instead of building one from the seed
+    /// and scale (reusing one world across pipeline runs; the scenario's
+    /// network ends up wrapped in a [`SharedNetwork`] for classification).
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Execute the pipeline.
+    pub fn run(self) -> Pipeline {
+        let PipelineBuilder { args, scenario } = self;
+        let mut scenario = scenario.unwrap_or_else(|| build(scenario_config(&args)));
+        let snapshot = zmap::scan_all(&mut scenario.network);
+
+        let mut selected = Vec::new();
+        let (mut reject_too_few, mut reject_uncovered) = (0usize, 0usize);
+        for block in snapshot.blocks() {
+            match select_block(&snapshot, block) {
+                Ok(sel) => selected.push(sel),
+                Err(SelectReject::TooFewActive) => reject_too_few += 1,
+                Err(SelectReject::UncoveredQuarter) => reject_uncovered += 1,
             }
         }
-        calibration_probes = prober.probes_sent();
-        ConfidenceTable::build(&dataset, 50, 24, 0.95, args.seed ^ 0xF16)
-    };
 
-    // --- Classification, sharded across cloned networks.
-    let threads = if args.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        args.threads
-    }
-    .min(selected.len().max(1));
-    let hobbit_cfg = HobbitConfig {
-        seed: args.seed ^ 0x0B17,
-        ..Default::default()
-    };
-    let mut shard_inputs: Vec<Vec<SelectedBlock>> = vec![Vec::new(); threads];
-    for (i, sel) in selected.iter().enumerate() {
-        shard_inputs[i % threads].push(sel.clone());
-    }
-    let mut measurements: Vec<BlockMeasurement> = Vec::with_capacity(selected.len());
-    let mut classify_probes = 0u64;
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (shard_id, chunk) in shard_inputs.iter().enumerate() {
-            let mut net = scenario.network.clone();
-            let confidence = &confidence;
-            let hobbit_cfg = &hobbit_cfg;
-            handles.push(scope.spawn(move |_| {
-                let mut prober = Prober::new(&mut net, 0x1000 + shard_id as u16);
-                let results: Vec<BlockMeasurement> = chunk
-                    .iter()
-                    .map(|sel| classify_block(&mut prober, sel, confidence, hobbit_cfg))
-                    .collect();
-                (results, prober.probes_sent())
-            }));
-        }
-        for h in handles {
-            let (results, probes) = h.join().expect("classification shard panicked");
-            measurements.extend(results);
-            classify_probes += probes;
-        }
-    })
-    .expect("classification scope");
-    measurements.sort_by_key(|m| m.block);
+        // --- Calibration: survey a spread-out sample of selected blocks
+        // with full last-hop data; blocks whose full data shows homogeneity
+        // feed the confidence table (the paper's Section 3.2 procedure).
+        let calibration_probes;
+        let confidence = {
+            let stride = (selected.len() / CALIBRATION_BLOCKS).max(1);
+            let sample: Vec<&SelectedBlock> = selected
+                .iter()
+                .step_by(stride)
+                .take(CALIBRATION_BLOCKS)
+                .collect();
+            let mut dataset: Vec<BlockLasthopData> = Vec::new();
+            let mut prober = Prober::new(&mut scenario.network, 0xCA11);
+            for sel in sample {
+                let survey = survey_block(&mut prober, sel, StoppingRule::confidence95(), false);
+                if survey.per_addr_lasthops.len() >= 8
+                    && detects_homogeneous(&survey.per_addr_lasthops)
+                {
+                    dataset.push(survey.lasthop_data());
+                }
+            }
+            calibration_probes = prober.probes_sent();
+            ConfidenceTable::build(&dataset, 50, 24, 0.95, args.seed ^ 0xF16)
+        };
 
-    Pipeline {
-        scenario,
-        snapshot,
-        selected,
-        reject_too_few,
-        reject_uncovered,
-        confidence,
-        measurements,
-        classify_probes,
-        calibration_probes,
+        // --- Classification over ONE shared network, work-stealing workers.
+        let threads = effective_threads(args.threads, selected.len());
+        let hobbit_cfg = HobbitConfig {
+            seed: args.seed ^ 0x0B17,
+            ..Default::default()
+        };
+        let Scenario {
+            network,
+            truth,
+            config,
+        } = scenario;
+        let shared = SharedNetwork::new(network);
+        let (measurements, worker_stats) =
+            classify_blocks(&shared, &selected, &confidence, &hobbit_cfg, threads);
+        let classify_probes = worker_stats.iter().map(|w| w.probes).sum();
+        let network = shared
+            .try_unwrap()
+            .expect("all worker handles are dropped when the scope ends");
+        let scenario = Scenario {
+            network,
+            truth,
+            config,
+        };
+
+        Pipeline {
+            scenario,
+            snapshot,
+            selected,
+            reject_too_few,
+            reject_uncovered,
+            confidence,
+            measurements,
+            classify_probes,
+            calibration_probes,
+            worker_stats,
+        }
     }
 }
 
+/// Resolve a thread-count argument (0 = all cores) against the work size.
+fn effective_threads(requested: usize, tasks: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        requested
+    };
+    n.clamp(1, tasks.max(1))
+}
+
+/// Per-worker accounting from the classification phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Blocks this worker classified.
+    pub blocks: usize,
+    /// Probe packets this worker sent.
+    pub probes: u64,
+    /// Cumulative measured RTT over this worker's probes, microseconds.
+    pub rtt_us: u64,
+    /// Blocks this worker stole from another worker's queue.
+    pub steals: u64,
+}
+
+/// The ICMP ident a block's classification prober uses. Derived from the
+/// block address — never from the worker or shard id — so the probe stream
+/// a block sees is independent of the thread count and of which worker
+/// happens to classify it.
+fn block_ident(block: Block24) -> u16 {
+    0x4000 | (mix2(block.0 as u64, 0x1DE7) as u16 & 0x3FFF)
+}
+
+/// Work-stealing task queues: one deque per worker. A worker pops from the
+/// front of its own queue and, when empty, steals from the *back* of the
+/// fullest other queue — classic locality-preserving stealing, small
+/// enough to not need a lock-free library.
+struct StealQueues {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueues {
+    /// Split `tasks` task ids into `workers` contiguous chunks.
+    fn new(tasks: usize, workers: usize) -> Self {
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let chunk = tasks.div_ceil(workers.max(1));
+        for t in 0..tasks {
+            queues[(t / chunk.max(1)).min(workers - 1)].push_back(t);
+        }
+        StealQueues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Next task for `worker`: own queue first, then steal. Returns the
+    /// task id and whether it was stolen; `None` when all queues are dry.
+    fn next(&self, worker: usize) -> Option<(usize, bool)> {
+        if let Some(t) = self.queues[worker].lock().unwrap().pop_front() {
+            return Some((t, false));
+        }
+        // Steal from the victim with the most remaining work.
+        let victim = (0..self.queues.len())
+            .filter(|&v| v != worker)
+            .max_by_key(|&v| self.queues[v].lock().unwrap().len())?;
+        self.queues[victim]
+            .lock()
+            .unwrap()
+            .pop_back()
+            .map(|t| (t, true))
+    }
+}
+
+/// Classify `selected` blocks over one shared network with `threads`
+/// work-stealing workers.
+///
+/// Each block is classified by a fresh [`Prober`] whose ident derives from
+/// the block address (see [`block_ident`][self]), so results are
+/// deterministic and identical for any thread count. Returns the
+/// measurements in block order plus per-worker accounting.
+pub fn classify_blocks(
+    net: &SharedNetwork,
+    selected: &[SelectedBlock],
+    confidence: &ConfidenceTable,
+    cfg: &HobbitConfig,
+    threads: usize,
+) -> (Vec<BlockMeasurement>, Vec<WorkerStats>) {
+    let threads = effective_threads(threads, selected.len());
+    if selected.is_empty() {
+        return (Vec::new(), vec![WorkerStats::default(); threads]);
+    }
+    let queues = StealQueues::new(selected.len(), threads);
+    let mut slots: Vec<Option<BlockMeasurement>> = (0..selected.len()).map(|_| None).collect();
+    let mut worker_stats = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let queues = &queues;
+                let handle = net.clone();
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut stats = WorkerStats::default();
+                    while let Some((idx, stolen)) = queues.next(w) {
+                        let sel = &selected[idx];
+                        let mut prober = Prober::shared(handle.clone(), block_ident(sel.block));
+                        let m = classify_block(&mut prober, sel, confidence, cfg);
+                        stats.blocks += 1;
+                        stats.probes += prober.probes_sent();
+                        stats.rtt_us += prober.rtt_total_us();
+                        stats.steals += stolen as u64;
+                        out.push((idx, m));
+                    }
+                    (out, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (results, stats) = h.join().expect("classification worker panicked");
+            for (idx, m) in results {
+                slots[idx] = Some(m);
+            }
+            worker_stats.push(stats);
+        }
+    });
+    let mut measurements: Vec<BlockMeasurement> = slots
+        .into_iter()
+        .map(|s| s.expect("every selected block is classified exactly once"))
+        .collect();
+    measurements.sort_by_key(|m| m.block);
+    (measurements, worker_stats)
+}
+
+/// Run the full pipeline from parsed CLI arguments.
+#[deprecated(note = "use `Pipeline::builder()` — e.g. \
+`Pipeline::builder().args(&args).run()`")]
+pub fn run(args: &ExpArgs) -> Pipeline {
+    Pipeline::builder().args(args).run()
+}
+
 impl Pipeline {
+    /// Start configuring a pipeline run.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
     /// Measurements classified homogeneous, as aggregation inputs.
     pub fn homog_blocks(&self) -> Vec<HomogBlock> {
         self.measurements
@@ -184,18 +391,14 @@ impl Pipeline {
 mod tests {
     use super::*;
 
-    fn tiny_args() -> ExpArgs {
-        ExpArgs {
-            seed: 42,
-            scale: 0.01, // ~328 ordinary blocks
-            json: false,
-            threads: 2,
-        }
+    fn tiny() -> PipelineBuilder {
+        // ~328 ordinary blocks at scale 0.01.
+        Pipeline::builder().seed(42).scale(0.01).threads(2)
     }
 
     #[test]
     fn pipeline_runs_end_to_end() {
-        let p = run(&tiny_args());
+        let p = tiny().run();
         assert!(!p.selected.is_empty());
         assert_eq!(p.measurements.len(), p.selected.len());
         assert!(p.classify_probes > 0);
@@ -219,16 +422,22 @@ mod tests {
             homog as f64 / analyzable as f64 > 0.7,
             "{homog}/{analyzable} homogeneous"
         );
+        // Worker accounting covers the whole phase.
+        assert_eq!(
+            p.worker_stats.iter().map(|w| w.blocks).sum::<usize>(),
+            p.selected.len()
+        );
+        assert_eq!(
+            p.worker_stats.iter().map(|w| w.probes).sum::<u64>(),
+            p.classify_probes
+        );
+        assert!(p.worker_stats.iter().all(|w| w.probes == 0 || w.rtt_us > 0));
     }
 
     #[test]
     fn pipeline_is_deterministic_single_thread() {
-        let args = ExpArgs {
-            threads: 1,
-            ..tiny_args()
-        };
-        let a = run(&args);
-        let b = run(&args);
+        let a = tiny().threads(1).run();
+        let b = tiny().threads(1).run();
         assert_eq!(a.measurements.len(), b.measurements.len());
         for (x, y) in a.measurements.iter().zip(&b.measurements) {
             assert_eq!(x.block, y.block);
@@ -238,12 +447,73 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_results() {
+        // The shard-id bug this guards against: probe idents derived from
+        // the worker id made classifications depend on `threads`.
+        let a = tiny().threads(1).run();
+        let b = tiny().threads(8).run();
+        assert_eq!(a.measurements.len(), b.measurements.len());
+        for (x, y) in a.measurements.iter().zip(&b.measurements) {
+            assert_eq!(x.block, y.block);
+            assert_eq!(x.classification, y.classification, "block {}", x.block);
+            assert_eq!(x.lasthop_set, y.lasthop_set, "block {}", x.block);
+        }
+        assert_eq!(a.classify_probes, b.classify_probes);
+    }
+
+    #[test]
+    fn deprecated_run_shim_matches_builder() {
+        let args = ExpArgs {
+            seed: 42,
+            scale: 0.01,
+            json: false,
+            threads: 2,
+        };
+        #[allow(deprecated)]
+        let a = run(&args);
+        let b = Pipeline::builder().args(&args).run();
+        assert_eq!(a.measurements.len(), b.measurements.len());
+        assert_eq!(a.classify_probes, b.classify_probes);
+    }
+
+    #[test]
+    fn builder_accepts_prebuilt_scenario() {
+        let args = ExpArgs {
+            seed: 42,
+            scale: 0.01,
+            json: false,
+            threads: 2,
+        };
+        let scenario = build(scenario_config(&args));
+        let a = tiny().scenario(scenario).run();
+        let b = tiny().run();
+        assert_eq!(a.measurements.len(), b.measurements.len());
+    }
+
+    #[test]
+    fn steal_queues_drain_exactly_once() {
+        let q = StealQueues::new(10, 3);
+        let mut seen = vec![0u32; 10];
+        // Worker 2's own queue drains first; it then steals.
+        for w in [2, 2, 2, 2, 0, 0, 0, 1, 1, 1, 2, 0, 1] {
+            if let Some((t, _)) = q.next(w) {
+                seen[t] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
+        assert!(q.next(0).is_none());
+    }
+
+    #[test]
     fn aggregates_form() {
-        let p = run(&tiny_args());
+        let p = tiny().run();
         let aggs = p.aggregates();
         assert!(!aggs.is_empty());
         // At least one aggregate should span multiple /24s (PoPs hold
         // several blocks).
-        assert!(aggs.iter().any(|a| a.size() > 1), "no multi-block aggregate");
+        assert!(
+            aggs.iter().any(|a| a.size() > 1),
+            "no multi-block aggregate"
+        );
     }
 }

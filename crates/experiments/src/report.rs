@@ -73,7 +73,11 @@ impl Report {
                 "rows": self.rows,
                 "notes": self.notes,
             });
-            return writeln!(out, "{}", serde_json::to_string_pretty(&doc).expect("valid JSON"));
+            return writeln!(
+                out,
+                "{}",
+                serde_json::to_string_pretty(&doc).expect("valid JSON")
+            );
         }
         writeln!(out, "== {} — {} ==", self.id, self.title)?;
         for row in &self.rows {
@@ -121,7 +125,11 @@ fn print_series(out: &mut impl std::io::Write, v: &serde_json::Value) -> std::io
     match v {
         serde_json::Value::Array(items) => {
             for item in items {
-                writeln!(out, "    {}", serde_json::to_string(item).unwrap_or_default())?;
+                writeln!(
+                    out,
+                    "    {}",
+                    serde_json::to_string(item).unwrap_or_default()
+                )?;
             }
         }
         other => writeln!(out, "    {other}")?,

@@ -246,8 +246,7 @@ mod tests {
     #[test]
     fn higher_inflation_gives_finer_clusters() {
         // A 6-cycle: low inflation keeps it together, high splits it.
-        let edges: Vec<(u32, u32, f64)> =
-            (0..6).map(|i| (i, (i + 1) % 6, 1.0)).collect();
+        let edges: Vec<(u32, u32, f64)> = (0..6).map(|i| (i, (i + 1) % 6, 1.0)).collect();
         let coarse = mcl(
             6,
             &edges,

@@ -292,7 +292,10 @@ mod tests {
                 assert!((sq.get(i, j) - want).abs() < 1e-12, "({i},{j})");
             }
         }
-        assert!(sq.is_column_stochastic(1e-9), "product of stochastic is stochastic");
+        assert!(
+            sq.is_column_stochastic(1e-9),
+            "product of stochastic is stochastic"
+        );
     }
 
     #[test]
@@ -335,11 +338,7 @@ mod tests {
 
     #[test]
     fn max_column_loops_use_strongest_edge() {
-        let m = SparseMatrix::from_edges(
-            3,
-            &[(0, 1, 10.0), (1, 2, 0.5)],
-            LoopScheme::MaxColumn,
-        );
+        let m = SparseMatrix::from_edges(3, &[(0, 1, 10.0), (1, 2, 0.5)], LoopScheme::MaxColumn);
         assert_eq!(m.get(0, 0), 10.0);
         assert_eq!(m.get(1, 1), 10.0);
         assert_eq!(m.get(2, 2), 0.5);

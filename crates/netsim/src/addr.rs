@@ -212,7 +212,10 @@ impl Prefix {
             return None;
         }
         let len = self.len + 1;
-        let lo = Prefix { base: self.base, len };
+        let lo = Prefix {
+            base: self.base,
+            len,
+        };
         let hi = Prefix {
             base: self.base | (1 << (32 - len)),
             len,
@@ -472,10 +475,7 @@ mod tests {
 
     #[test]
     fn covering_addresses() {
-        let addrs = [
-            Addr::new(10, 0, 0, 2),
-            Addr::new(10, 0, 0, 125),
-        ];
+        let addrs = [Addr::new(10, 0, 0, 2), Addr::new(10, 0, 0, 125)];
         let p = Prefix::covering(&addrs).unwrap();
         assert_eq!(p.to_string(), "10.0.0.0/25");
         assert!(Prefix::covering(&[]).is_none());

@@ -146,6 +146,10 @@ pub struct PopTruth {
     pub big_site: bool,
     /// Whether this PoP is a per-customer sub-/24 allocation.
     pub sub_allocation: bool,
+    /// How the aggregation router balances across the last-hop routers.
+    /// Single-last-hop PoPs pin trivially and report `PerDestination`.
+    /// Under `PerFlow`, one address legitimately sees *all* last-hops.
+    pub lasthop_policy: LbPolicy,
 }
 
 /// Everything the builder knows that a measurer would not.
@@ -250,7 +254,11 @@ pub fn run_to_prefixes(start: Block24, len: u32) -> Vec<Prefix> {
     let mut cur = start.0;
     let mut remaining = len;
     while remaining > 0 {
-        let align = if cur == 0 { 24 } else { cur.trailing_zeros().min(24) };
+        let align = if cur == 0 {
+            24
+        } else {
+            cur.trailing_zeros().min(24)
+        };
         let mut size = 1u32 << align;
         while size > remaining {
             size >>= 1;
@@ -394,7 +402,10 @@ struct Builder {
 impl Builder {
     fn infra_addr(&mut self) -> Addr {
         self.infra_counter += 1;
-        assert!(self.infra_counter < 0x00FF_FFFF, "infrastructure space full");
+        assert!(
+            self.infra_counter < 0x00FF_FFFF,
+            "infrastructure space full"
+        );
         Addr(0x0A00_0000 + self.infra_counter) // 10.x.y.z
     }
 
@@ -534,6 +545,7 @@ impl Builder {
             cellular,
             big_site,
             sub_allocation,
+            lasthop_policy: self.lasthop_policy(id, fan),
         });
         // Stash the LH ids in the agg router's table when prefixes arrive;
         // the caller wires prefixes via `serve_prefix`.
@@ -554,14 +566,7 @@ impl Builder {
             self.net
                 .install_route(agg, prefix, NextHopGroup::single(NextHop::Router(lhs[0])));
         } else {
-            let style = unit_f64(mix2(self.cfg.seed ^ 0x90F, pop as u64));
-            let policy = if style < 0.19 {
-                LbPolicy::PerFlow
-            } else if style < 0.60 {
-                LbPolicy::PerSrcDest
-            } else {
-                LbPolicy::PerDestination
-            };
+            let policy = self.lasthop_policy(pop, lhs.len());
             self.net.install_route(
                 agg,
                 prefix,
@@ -571,6 +576,22 @@ impl Builder {
         for &lh in &lhs {
             self.net
                 .install_route(lh, prefix, NextHopGroup::single(NextHop::Deliver));
+        }
+    }
+
+    /// The agg→last-hop balancing style of a PoP (deterministic in the
+    /// scenario seed and PoP id; recorded in [`PopTruth::lasthop_policy`]).
+    fn lasthop_policy(&self, pop: u32, fan: usize) -> LbPolicy {
+        if fan <= 1 {
+            return LbPolicy::PerDestination;
+        }
+        let style = unit_f64(mix2(self.cfg.seed ^ 0x90F, pop as u64));
+        if style < 0.19 {
+            LbPolicy::PerFlow
+        } else if style < 0.60 {
+            LbPolicy::PerSrcDest
+        } else {
+            LbPolicy::PerDestination
         }
     }
 }
@@ -605,7 +626,8 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
     b.build_core();
 
     let roster = b.truth.as_list.clone();
-    let total_hetero = (b.cfg.target_blocks as f64 * b.cfg.hetero_frac
+    let total_hetero = (b.cfg.target_blocks as f64
+        * b.cfg.hetero_frac
         * roster.iter().map(|a| a.hetero_share).sum::<f64>())
     .round() as usize;
 
@@ -641,9 +663,9 @@ impl Builder {
             self.net.router_mut(border).icmp_loss = 0.15;
         }
 
-
-        let n_blocks =
-            ((self.cfg.target_blocks as f64) * spec.block_share).round().max(0.0) as usize;
+        let n_blocks = ((self.cfg.target_blocks as f64) * spec.block_share)
+            .round()
+            .max(0.0) as usize;
         // Hetero budget for this AS, from its Table-3 share.
         let n_hetero = ((total_hetero_budget as f64) * spec.hetero_share
             / self
@@ -670,7 +692,16 @@ impl Builder {
                 false,
                 true, // big sites have responsive infrastructure
             );
-            self.wire_pop_upstream(border, &intra, agg, pop, size as u32, spec, site.cellular, true);
+            self.wire_pop_upstream(
+                border,
+                &intra,
+                agg,
+                pop,
+                size as u32,
+                spec,
+                site.cellular,
+                true,
+            );
         }
 
         // --- Ordinary PoPs. ---
@@ -680,8 +711,7 @@ impl Builder {
         while remaining > 0 {
             let pop_size = self.draw_pop_size(spec).min(remaining as u32);
             let fan = self.draw_lh_fan();
-            let unresponsive =
-                self.rng.gen::<f64>() < self.cfg.unresponsive_pop_frac;
+            let unresponsive = self.rng.gen::<f64>() < self.cfg.unresponsive_pop_frac;
             city_counter += 1;
             let region = format!("{}-{}", spec.country.to_lowercase(), city_counter);
             let (pop, agg) = self.create_pop(
@@ -709,11 +739,7 @@ impl Builder {
             if hetero_left > 0 && spec.hetero_share > 0.0 {
                 let split_here = ((pop_size as usize).min(hetero_left) as f64
                     * self.rng.gen_range(0.3..0.9)) as usize;
-                let candidates: Vec<Block24> = blocks
-                    .iter()
-                    .copied()
-                    .take(split_here)
-                    .collect();
+                let candidates: Vec<Block24> = blocks.iter().copied().take(split_here).collect();
                 for blk in candidates {
                     self.make_heterogeneous(as_idx, spec, border, &intra, blk, &region);
                     hetero_left -= 1;
@@ -775,10 +801,7 @@ impl Builder {
             left -= r;
         }
 
-        let mut as_alloc = self
-            .as_allocs
-            .remove(&as_idx)
-            .unwrap_or_else(AsAlloc::new);
+        let mut as_alloc = self.as_allocs.remove(&as_idx).unwrap_or_else(AsAlloc::new);
         let mut blocks = Vec::with_capacity(size as usize);
         let before = as_alloc.announced.len();
         let mut run_prefixes: Vec<Prefix> = Vec::new();
@@ -818,10 +841,7 @@ impl Builder {
             self.net.install_route(
                 border,
                 p,
-                NextHopGroup::ecmp(
-                    intra.iter().map(|&r| NextHop::Router(r)).collect(),
-                    policy,
-                ),
+                NextHopGroup::ecmp(intra.iter().map(|&r| NextHop::Router(r)).collect(), policy),
             );
             for &r in intra {
                 self.net
@@ -831,8 +851,8 @@ impl Builder {
         }
 
         // Host profiles + block truth.
-        let base_rtt = (country_base_rtt_us(spec.country) as f64
-            * self.rng.gen_range(0.7..1.3)) as u32;
+        let base_rtt =
+            (country_base_rtt_us(spec.country) as f64 * self.rng.gen_range(0.7..1.3)) as u32;
         for &blk in &blocks {
             let profile = self.draw_profile(spec, cellular, big_site, base_rtt);
             self.net.set_block_profile(blk, profile);
@@ -874,7 +894,11 @@ impl Builder {
             _ => (0.08, 0.40, 0.32),
         };
         let u = self.rng.gen::<f64>();
-        let quiet_prob = if big_site { self.cfg.quiet_prob * 0.7 } else { self.cfg.quiet_prob };
+        let quiet_prob = if big_site {
+            self.cfg.quiet_prob * 0.7
+        } else {
+            self.cfg.quiet_prob
+        };
         // Densities are calibrated to the paper's reality: 54.05M responsive
         // of 64.45M probed destinations over 3.37M blocks ≈ 16 active
         // addresses per /24 on average. Sparse blocks are the norm.
@@ -963,6 +987,7 @@ impl Builder {
                 cellular: false,
                 big_site: false,
                 sub_allocation: true,
+                lasthop_policy: LbPolicy::PerDestination,
             });
             self.pop_lhs.insert(sub_pop, (agg, vec![lh]));
             self.net
@@ -973,8 +998,8 @@ impl Builder {
         }
 
         // Customers are distinct organizations: denser, varied profiles.
-        let base_rtt = (country_base_rtt_us(spec.country) as f64
-            * self.rng.gen_range(0.7..1.3)) as u32;
+        let base_rtt =
+            (country_base_rtt_us(spec.country) as f64 * self.rng.gen_range(0.7..1.3)) as u32;
         self.net.set_block_profile(
             blk,
             HostProfile {
@@ -999,7 +1024,12 @@ mod tests {
 
     #[test]
     fn run_to_prefixes_covers_exactly() {
-        for (start, len) in [(0x040001u32, 5u32), (0x040000, 16), (0x05FFFF, 3), (0x040400, 1)] {
+        for (start, len) in [
+            (0x040001u32, 5u32),
+            (0x040000, 16),
+            (0x05FFFF, 3),
+            (0x040400, 1),
+        ] {
             let prefixes = run_to_prefixes(Block24(start), len);
             let mut covered: Vec<u32> = prefixes
                 .iter()
@@ -1022,7 +1052,12 @@ mod tests {
             // No overlaps.
             for i in 0..subs.len() {
                 for j in 0..i {
-                    assert!(!subs[i].overlaps(subs[j]), "{lens:?}: {} vs {}", subs[i], subs[j]);
+                    assert!(
+                        !subs[i].overlaps(subs[j]),
+                        "{lens:?}: {} vs {}",
+                        subs[i],
+                        subs[j]
+                    );
                 }
             }
         }
@@ -1108,8 +1143,7 @@ mod tests {
         let mut cfg = ScenarioConfig::small(42);
         cfg.big_block_scale = 0.1;
         let s = build(cfg);
-        let big_pops: Vec<&PopTruth> =
-            s.truth.pops.iter().filter(|p| p.big_site).collect();
+        let big_pops: Vec<&PopTruth> = s.truth.pops.iter().filter(|p| p.big_site).collect();
         assert_eq!(big_pops.len(), 15, "fifteen Table 5 sites");
         for p in big_pops {
             let n = s
@@ -1129,7 +1163,7 @@ mod tests {
         let s = build(cfg);
         let vantages = s.network.vantages();
         assert_eq!(vantages.len(), 2);
-        let mut net = s.network.clone();
+        let net = s.network.clone();
         // A PerSrcDest PoP resolves to different last-hops per vantage for
         // at least some destinations; per-destination PoPs agree.
         let mut diff = 0;
@@ -1168,19 +1202,17 @@ mod tests {
             }
         }
         assert!(total > 30, "need comparable probes, got {total}");
-        assert!(diff > 0, "source-hashing balancers should differ per vantage");
+        assert!(
+            diff > 0,
+            "source-hashing balancers should differ per vantage"
+        );
         assert!(diff < total, "per-destination balancers should agree");
     }
 
     #[test]
     fn colocated_with_returns_whole_pop() {
         let s = build(ScenarioConfig::tiny(42));
-        let (&blk, t) = s
-            .truth
-            .blocks
-            .iter()
-            .find(|(_, t)| t.homogeneous)
-            .unwrap();
+        let (&blk, t) = s.truth.blocks.iter().find(|(_, t)| t.homogeneous).unwrap();
         let group = s.truth.colocated_with(blk);
         assert!(group.contains(&blk));
         for g in &group {

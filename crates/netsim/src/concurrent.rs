@@ -1,0 +1,285 @@
+//! Shared concurrent access to a [`Network`].
+//!
+//! The forwarding engine is almost entirely read-only: route tables, host
+//! profiles, RTT and host oracles are pure functions of the scenario seed.
+//! Only two pieces of state mutate per probe — the carried-probe counter
+//! and the cellular radio warm-up set — so those live behind interior
+//! mutability ([`std::sync::atomic::AtomicU64`] and the sharded
+//! [`WarmedSet`]), which makes [`Network::send`] take `&self` and the whole
+//! network `Sync`.
+//!
+//! Two ways to share one network across worker threads:
+//!
+//! * **Borrowed:** pass `&Network` into scoped threads (e.g.
+//!   [`std::thread::scope`]). Zero setup cost; the classification
+//!   pipeline uses this.
+//! * **Owned:** wrap the network in a [`SharedNetwork`] — a cheaply
+//!   clonable `Send + Sync` handle (an [`Arc`] under the hood) for
+//!   `'static` contexts such as spawned threads or long-lived services.
+//!
+//! ```
+//! use netsim::build::{build, ScenarioConfig};
+//! use netsim::SharedNetwork;
+//!
+//! let scenario = build(ScenarioConfig::tiny(42));
+//! let shared = SharedNetwork::new(scenario.network);
+//! let handles: Vec<_> = (0..4)
+//!     .map(|_| {
+//!         let net = shared.clone();
+//!         std::thread::spawn(move || net.network().vantage_addr())
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! let _network = shared.try_unwrap().expect("all handles dropped");
+//! ```
+
+use crate::addr::Addr;
+use crate::forward::{Delivery, SendError};
+use crate::topology::Network;
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Number of lock shards in a [`WarmedSet`]. A power of two so the shard
+/// index is a mask; 64 shards keep contention negligible at any realistic
+/// worker count.
+const SHARDS: usize = 64;
+
+/// A concurrent set of addresses whose cellular radios have been woken by a
+/// probe, sharded across [`SHARDS`] `parking_lot` locks keyed by address
+/// hash so parallel workers probing different /24s never contend.
+pub struct WarmedSet {
+    shards: Vec<RwLock<HashSet<Addr>>>,
+}
+
+impl WarmedSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        WarmedSet {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashSet::new())).collect(),
+        }
+    }
+
+    fn shard(&self, addr: Addr) -> &RwLock<HashSet<Addr>> {
+        // Mix the bits so consecutive addresses of one /24 spread over
+        // shards (a worker hammering one block still uses several locks).
+        let h = crate::hash::mix2(addr.0 as u64, 0x57A8);
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    /// Whether `addr` has been warmed.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.shard(addr).read().contains(&addr)
+    }
+
+    /// Mark `addr` warmed. Returns whether it was cold before.
+    pub fn insert(&self, addr: Addr) -> bool {
+        self.shard(addr).write().insert(addr)
+    }
+
+    /// Warm `addr` and report whether it was cold, as one atomic step (the
+    /// first probe of a cellular address sees the wake-up delay exactly
+    /// once even under concurrent probing).
+    pub fn warm(&self, addr: Addr) -> bool {
+        self.insert(addr)
+    }
+
+    /// Forget all warmed addresses (epoch change: radios cool down).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// Number of warmed addresses.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no address is warmed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+}
+
+impl Default for WarmedSet {
+    fn default() -> Self {
+        WarmedSet::new()
+    }
+}
+
+impl Clone for WarmedSet {
+    fn clone(&self) -> Self {
+        WarmedSet {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| RwLock::new(s.read().clone()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for WarmedSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmedSet")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// A cheaply clonable, `Send + Sync` handle to one shared [`Network`].
+///
+/// All probing goes through [`SharedNetwork::send`], which takes `&self`:
+/// any number of worker threads can drive probes through the same handle
+/// (or clones of it) with no per-thread network copy. Control-plane
+/// operations that genuinely need exclusivity (epoch changes, topology
+/// edits) are deliberately *not* exposed — reclaim the network with
+/// [`SharedNetwork::try_unwrap`] first.
+#[derive(Clone, Debug)]
+pub struct SharedNetwork {
+    inner: Arc<Network>,
+}
+
+impl SharedNetwork {
+    /// Take ownership of a network and share it.
+    pub fn new(network: Network) -> Self {
+        SharedNetwork {
+            inner: Arc::new(network),
+        }
+    }
+
+    /// Shared view of the underlying network (probing, read accessors).
+    pub fn network(&self) -> &Network {
+        &self.inner
+    }
+
+    /// Inject a probe; see [`Network::send`]. Safe from any thread.
+    pub fn send(&self, probe: Bytes) -> Result<Delivery, SendError> {
+        self.inner.send(probe)
+    }
+
+    /// Reclaim exclusive ownership once every other handle is dropped;
+    /// returns `Err(self)` while clones are still alive.
+    pub fn try_unwrap(self) -> Result<Network, SharedNetwork> {
+        Arc::try_unwrap(self.inner).map_err(|inner| SharedNetwork { inner })
+    }
+
+    /// Number of live handles to this network (including this one).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+impl From<Network> for SharedNetwork {
+    fn from(network: Network) -> Self {
+        SharedNetwork::new(network)
+    }
+}
+
+impl AsRef<Network> for SharedNetwork {
+    fn as_ref(&self) -> &Network {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, ScenarioConfig};
+    use crate::forward::encode_probe;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn network_and_handle_are_send_sync() {
+        assert_send_sync::<Network>();
+        assert_send_sync::<SharedNetwork>();
+        assert_send_sync::<WarmedSet>();
+    }
+
+    #[test]
+    fn warmed_set_basics() {
+        let set = WarmedSet::new();
+        let a = Addr::new(10, 0, 0, 1);
+        assert!(set.is_empty());
+        assert!(!set.contains(a));
+        assert!(set.warm(a), "first warm reports cold");
+        assert!(!set.warm(a), "second warm reports already-warm");
+        assert!(set.contains(a));
+        assert_eq!(set.len(), 1);
+        set.clear();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn warmed_set_clone_is_deep() {
+        let set = WarmedSet::new();
+        set.warm(Addr::new(10, 0, 0, 1));
+        let copy = set.clone();
+        copy.warm(Addr::new(10, 0, 0, 2));
+        assert_eq!(set.len(), 1, "clone must not alias the original");
+        assert_eq!(copy.len(), 2);
+    }
+
+    #[test]
+    fn shared_sends_match_exclusive_sends() {
+        // The same probe sequence through a shared handle produces byte
+        // identical responses to the exclusive-ownership path.
+        let scenario = build(ScenarioConfig::tiny(42));
+        let exclusive = scenario.network.clone();
+        let shared = SharedNetwork::new(scenario.network);
+        let vantage = shared.network().vantage_addr();
+        for (i, &block) in shared
+            .network()
+            .allocated_blocks()
+            .iter()
+            .take(20)
+            .enumerate()
+        {
+            let probe = encode_probe(vantage, block.addr(10), 64, 7, i as u16, 0xBEEF, i as u16);
+            let a = shared.send(probe.clone()).unwrap();
+            let b = exclusive.send(probe).unwrap();
+            assert_eq!(a.response, b.response);
+            assert_eq!(a.rtt_us, b.rtt_us);
+        }
+    }
+
+    #[test]
+    fn try_unwrap_respects_live_handles() {
+        let scenario = build(ScenarioConfig::tiny(1));
+        let shared = SharedNetwork::new(scenario.network);
+        let extra = shared.clone();
+        assert_eq!(shared.handle_count(), 2);
+        let shared = shared.try_unwrap().expect_err("clone still alive");
+        drop(extra);
+        assert!(shared.try_unwrap().is_ok());
+    }
+
+    #[test]
+    fn concurrent_probe_accounting_is_exact() {
+        let scenario = build(ScenarioConfig::tiny(42));
+        let net = &scenario.network;
+        let vantage = net.vantage_addr();
+        let blocks = net.allocated_blocks();
+        let per_thread = 50usize;
+        let threads = 8usize;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let blocks = &blocks;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let dst = blocks[(t * per_thread + i) % blocks.len()].addr(9);
+                        let probe =
+                            encode_probe(vantage, dst, 64, t as u16, i as u16, 0xAAAA, i as u16);
+                        net.send(probe).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(net.probes_carried(), (threads * per_thread) as u64);
+    }
+}

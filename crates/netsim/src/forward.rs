@@ -77,7 +77,11 @@ impl Network {
     /// Unreachable) and the measured RTT, or `response: None` on timeout —
     /// which can mean an unresponsive destination, an anonymous or
     /// rate-limited router, a forwarding loop, or an unrouted destination.
-    pub fn send(&mut self, probe: Bytes) -> Result<Delivery, SendError> {
+    ///
+    /// Takes `&self`: the per-probe state (probe accounting, cellular
+    /// warm-up) lives behind interior mutability, so any number of threads
+    /// may probe one shared network (see [`crate::concurrent`]).
+    pub fn send(&self, probe: Bytes) -> Result<Delivery, SendError> {
         let mut buf = probe;
         let ip = Ipv4Header::decode(&mut buf)?;
         let Some(entry_router) = self.vantage_router_for(ip.src) else {
@@ -87,7 +91,7 @@ impl Network {
         if icmp_type != ICMP_ECHO_REQUEST {
             return Err(SendError::NotEchoRequest(icmp_type));
         }
-        self.probes_carried += 1;
+        self.record_carried_probe();
 
         let key = FlowKey {
             src: ip.src,
@@ -104,8 +108,12 @@ impl Network {
 
         let outcome = self.walk(&key, ip.ttl, entry_router);
         Ok(match outcome {
-            Outcome::Expired { at, hops } => self.router_error(at, hops, ICMP_TIME_EXCEEDED, &ip, &echo, nonce),
-            Outcome::NoRoute { at, hops } => self.router_error(at, hops, ICMP_DEST_UNREACH, &ip, &echo, nonce),
+            Outcome::Expired { at, hops } => {
+                self.router_error(at, hops, ICMP_TIME_EXCEEDED, &ip, &echo, nonce)
+            }
+            Outcome::NoRoute { at, hops } => {
+                self.router_error(at, hops, ICMP_DEST_UNREACH, &ip, &echo, nonce)
+            }
             Outcome::Dropped => timeout(),
             Outcome::Delivered { hops, .. } => self.host_reply(&ip, &echo, hops, nonce),
         })
@@ -203,7 +211,13 @@ impl Network {
 
     /// Build the destination host's echo reply, if the host exists and
     /// responds at the current epoch.
-    fn host_reply(&mut self, probe_ip: &Ipv4Header, probe_echo: &IcmpEcho, hops: u32, nonce: u64) -> Delivery {
+    fn host_reply(
+        &self,
+        probe_ip: &Ipv4Header,
+        probe_echo: &IcmpEcho,
+        hops: u32,
+        nonce: u64,
+    ) -> Delivery {
         let dst = probe_ip.dst;
         let Some(profile) = self.blocks.get(&dst.block24()).copied() else {
             return timeout();
@@ -228,9 +242,9 @@ impl Network {
         let reverse_hops = hops + asym;
         let remaining = default_ttl.saturating_sub(reverse_hops as u8).max(1);
 
-        let cold = profile.kind == HostKind::Cellular && !self.warmed.contains_key(&dst);
+        let cold = profile.kind == HostKind::Cellular && !self.warmed.contains(dst);
         if profile.kind == HostKind::Cellular {
-            self.warmed.insert(dst, ());
+            self.warmed.warm(dst);
         }
         let rtt = self
             .rtt
@@ -329,7 +343,7 @@ mod tests {
 
     #[test]
     fn echo_reaches_host_with_enough_ttl() {
-        let mut net = chain();
+        let net = chain();
         let dst = Addr::new(10, 0, 0, 5);
         let d = net.send(probe(&net, dst, 64)).unwrap();
         let (ip, t) = parse_response(&d);
@@ -341,7 +355,7 @@ mod tests {
 
     #[test]
     fn ttl_expiry_walks_the_chain() {
-        let mut net = chain();
+        let net = chain();
         let dst = Addr::new(10, 0, 0, 5);
         let mut hops = Vec::new();
         for ttl in 1..=3u8 {
@@ -391,7 +405,7 @@ mod tests {
 
     #[test]
     fn unrouted_destination_gets_unreachable() {
-        let mut net = chain();
+        let net = chain();
         let d = net.send(probe(&net, Addr::new(11, 0, 0, 1), 64)).unwrap();
         let (ip, t) = parse_response(&d);
         assert_eq!(t, ICMP_DEST_UNREACH);
@@ -415,14 +429,22 @@ mod tests {
 
     #[test]
     fn rejects_probe_not_from_vantage() {
-        let mut net = chain();
-        let p = encode_probe(Addr::new(9, 9, 9, 9), Addr::new(10, 0, 0, 5), 64, 1, 1, 0, 0);
+        let net = chain();
+        let p = encode_probe(
+            Addr::new(9, 9, 9, 9),
+            Addr::new(10, 0, 0, 5),
+            64,
+            1,
+            1,
+            0,
+            0,
+        );
         assert!(matches!(net.send(p), Err(SendError::NotFromVantage(_))));
     }
 
     #[test]
     fn rejects_garbage_bytes() {
-        let mut net = chain();
+        let net = chain();
         assert!(matches!(
             net.send(Bytes::from_static(&[1, 2, 3])),
             Err(SendError::Wire(_))
@@ -444,7 +466,7 @@ mod tests {
 
     #[test]
     fn probe_count_is_tracked() {
-        let mut net = chain();
+        let net = chain();
         assert_eq!(net.probes_carried(), 0);
         let _ = net.send(probe(&net, Addr::new(10, 0, 0, 5), 64));
         let _ = net.send(probe(&net, Addr::new(10, 0, 0, 6), 64));

@@ -138,11 +138,7 @@ impl HostOracle {
             return base;
         }
         if profile.quiet_prob > 0.0 {
-            let block_h = mix3(
-                self.seed ^ TAG_QUIET,
-                addr.block24().0 as u64,
-                epoch as u64,
-            );
+            let block_h = mix3(self.seed ^ TAG_QUIET, addr.block24().0 as u64, epoch as u64);
             let u = unit_f64(block_h);
             if u < profile.quiet_prob as f64 {
                 // Most quiet periods are full outages (power/link events);
@@ -157,8 +153,8 @@ impl HostOracle {
                 }
             }
         }
-        let flip =
-            unit_f64(mix3(self.seed ^ TAG_CHURN, addr.0 as u64, epoch as u64)) < profile.churn as f64;
+        let flip = unit_f64(mix3(self.seed ^ TAG_CHURN, addr.0 as u64, epoch as u64))
+            < profile.churn as f64;
         base ^ flip
     }
 
@@ -211,12 +207,7 @@ impl HostOracle {
     }
 
     /// All responsive addresses within a /24 at `epoch`, ascending.
-    pub fn active_in_block(
-        &self,
-        block: Block24,
-        profile: &HostProfile,
-        epoch: u32,
-    ) -> Vec<Addr> {
+    pub fn active_in_block(&self, block: Block24, profile: &HostProfile, epoch: u32) -> Vec<Addr> {
         (1u8..=254)
             .map(|h| block.addr(h))
             .filter(|&a| self.responsive(a, profile, epoch))

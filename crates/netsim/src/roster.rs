@@ -456,8 +456,18 @@ pub fn paper_roster() -> Vec<AsSpec> {
         ("Thames Online", "UK", 61006, OrgType::Broadband),
         ("Ganges Net", "India", 61007, OrgType::Broadband),
         ("Pacifica Hosting", "US", 61008, OrgType::Hosting),
-        ("Alpine Enterprise Net", "Switzerland", 61009, OrgType::Enterprise),
-        ("Baltic University Net", "Estonia", 61010, OrgType::Enterprise),
+        (
+            "Alpine Enterprise Net",
+            "Switzerland",
+            61009,
+            OrgType::Enterprise,
+        ),
+        (
+            "Baltic University Net",
+            "Estonia",
+            61010,
+            OrgType::Enterprise,
+        ),
         ("Sahara Wireless", "Egypt", 61011, OrgType::MobileIsp),
         ("Andes Cable", "Chile", 61012, OrgType::FixedIsp),
     ];
@@ -495,7 +505,10 @@ mod tests {
     fn shares_are_sane() {
         let roster = paper_roster();
         let blocks: f64 = roster.iter().map(|a| a.block_share).sum();
-        assert!((0.99..=1.01).contains(&blocks), "block shares sum to {blocks}");
+        assert!(
+            (0.99..=1.01).contains(&blocks),
+            "block shares sum to {blocks}"
+        );
         let hetero: f64 = roster.iter().map(|a| a.hetero_share).sum();
         assert!(hetero < 1.0);
         assert!(hetero > 0.6, "top ASes should hold most hetero blocks");

@@ -303,7 +303,11 @@ mod tests {
         for flow in 0..256u16 {
             seen.insert(g.select(&key(dst, flow, 0), 7));
         }
-        assert_eq!(seen.len(), 4, "varying the flow label should reach all hops");
+        assert_eq!(
+            seen.len(),
+            4,
+            "varying the flow label should reach all hops"
+        );
     }
 
     #[test]
@@ -350,7 +354,10 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!((350..650).contains(&agree), "agreement {agree}/{n} not ~half");
+        assert!(
+            (350..650).contains(&agree),
+            "agreement {agree}/{n} not ~half"
+        );
     }
 
     #[test]

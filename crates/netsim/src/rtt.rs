@@ -47,7 +47,15 @@ impl RttModel {
     /// * `kind` — host kind; cellular hosts pay the wake-up delay when cold;
     /// * `cold` — whether this is the first probe since the radio idled;
     /// * `nonce` — per-probe value (e.g. IP ident) for jitter.
-    pub fn rtt_us(&self, dst: Addr, hops: u32, base_us: u32, kind: HostKind, cold: bool, nonce: u64) -> u64 {
+    pub fn rtt_us(
+        &self,
+        dst: Addr,
+        hops: u32,
+        base_us: u32,
+        kind: HostKind,
+        cold: bool,
+        nonce: u64,
+    ) -> u64 {
         let path = 2 * (hops as u64) * self.hop_us as u64 + base_us as u64;
         let jitter_draw = unit_f64(mix3(self.seed ^ 0x6A, dst.0 as u64, nonce));
         let jitter = (path as f64 * self.jitter_frac as f64 * jitter_draw) as u64;

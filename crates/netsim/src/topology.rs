@@ -6,12 +6,14 @@
 //! [`crate::build`].
 
 use crate::addr::{Addr, Block24};
+use crate::concurrent::WarmedSet;
 use crate::hash::mix2;
 use crate::host::{HostOracle, HostProfile};
 use crate::route::{NextHop, NextHopGroup, RouteTable, RouterId};
 use crate::rtt::RttModel;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A router in the simulated internet.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -52,7 +54,14 @@ impl Router {
 }
 
 /// The simulated internet.
-#[derive(Clone, Debug)]
+///
+/// Topology, oracles, and RTT models are immutable once a scenario is
+/// built; the only state that mutates per probe — the carried-probe
+/// counter and the cellular warm-up set — lives behind interior
+/// mutability, so [`Network::send`](crate::forward) takes `&self` and the
+/// network is `Sync`: any number of worker threads may probe one shared
+/// instance (see [`crate::concurrent`]).
+#[derive(Debug)]
 pub struct Network {
     pub(crate) routers: Vec<Router>,
     pub(crate) vantage_addr: Addr,
@@ -68,9 +77,27 @@ pub struct Network {
     /// Current measurement epoch; 0 is the ZMap snapshot.
     pub(crate) epoch: u32,
     /// Cellular radio state: addresses that have been woken by a probe.
-    pub(crate) warmed: HashMap<Addr, ()>,
+    pub(crate) warmed: WarmedSet,
     /// Total probe packets the network has carried (cost accounting).
-    pub(crate) probes_carried: u64,
+    pub(crate) probes_carried: AtomicU64,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network {
+            routers: self.routers.clone(),
+            vantage_addr: self.vantage_addr,
+            vantage_router: self.vantage_router,
+            extra_vantages: self.extra_vantages.clone(),
+            blocks: self.blocks.clone(),
+            oracle: self.oracle,
+            rtt: self.rtt,
+            seed: self.seed,
+            epoch: self.epoch,
+            warmed: self.warmed.clone(),
+            probes_carried: AtomicU64::new(self.probes_carried.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Network {
@@ -87,8 +114,8 @@ impl Network {
             rtt: RttModel::new(seed),
             seed,
             epoch: 1,
-            warmed: HashMap::new(),
-            probes_carried: 0,
+            warmed: WarmedSet::new(),
+            probes_carried: AtomicU64::new(0),
         }
     }
 
@@ -200,7 +227,12 @@ impl Network {
 
     /// Count of probe packets carried so far.
     pub fn probes_carried(&self) -> u64 {
-        self.probes_carried
+        self.probes_carried.load(Ordering::Relaxed)
+    }
+
+    /// Record one carried probe (thread-safe; called from `send`).
+    pub(crate) fn record_carried_probe(&self) {
+        self.probes_carried.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Per-router ECMP salt.

@@ -213,7 +213,8 @@ impl IcmpError {
         self.quoted.encode(buf);
         // First 8 bytes of the quoted ICMP message (header only, minus tweak).
         let mut inner = BytesMut::new();
-        self.quoted_echo.encode_with_type(self.quoted_type, &mut inner);
+        self.quoted_echo
+            .encode_with_type(self.quoted_type, &mut inner);
         buf.put_slice(&inner[..ICMP_ECHO_HEADER_LEN]);
         let sum = internet_checksum(&buf[start..]);
         buf[start + 2] = (sum >> 8) as u8;
@@ -357,7 +358,11 @@ mod tests {
         // that produces it.
         for target in [0x0000u16, 0x0001, 0x7fff, 0x8000, 0xfffe, 0xABCD] {
             let e = IcmpEcho::with_checksum(9, 1, target);
-            assert_eq!(e.wire_checksum(ICMP_ECHO_REQUEST), target, "target {target:#x}");
+            assert_eq!(
+                e.wire_checksum(ICMP_ECHO_REQUEST),
+                target,
+                "target {target:#x}"
+            );
         }
     }
 

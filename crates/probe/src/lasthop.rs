@@ -210,6 +210,7 @@ mod tests {
         }
 
         fn responsive_block(&self) -> Block24 {
+            let epoch = self.scenario.network.epoch();
             *self
                 .scenario
                 .network
@@ -217,9 +218,23 @@ mod tests {
                 .iter()
                 .find(|b| {
                     let t = &self.scenario.truth.blocks[b];
+                    let pop = &self.scenario.truth.pops[t.pop as usize];
+                    let profile = *self.scenario.network.block_profile(**b).unwrap();
                     t.homogeneous
-                        && self.scenario.truth.pops[t.pop as usize].responsive
-                        && self.scenario.network.block_profile(**b).unwrap().density > 0.3
+                        && pop.responsive
+                        // These tests assume the one-LH-per-destination
+                        // pinning; per-flow PoPs fan out and cost more.
+                        && pop.lasthop_policy != netsim::LbPolicy::PerFlow
+                        && profile.density > 0.3
+                        // Block outages can empty a /24 at probe epochs;
+                        // these tests need live destinations.
+                        && self
+                            .scenario
+                            .network
+                            .oracle()
+                            .active_in_block(**b, &profile, epoch)
+                            .len()
+                            >= 2
                 })
                 .expect("responsive dense block")
         }
@@ -265,7 +280,10 @@ mod tests {
         let mut p = Prober::new(&mut f.scenario.network, 11);
         let r = probe_lasthop(&mut p, dst, StoppingRule::confidence95());
         match r.outcome {
-            LasthopOutcome::Found { lasthops, dst_distance } => {
+            LasthopOutcome::Found {
+                lasthops,
+                dst_distance,
+            } => {
                 assert_eq!(dst_distance, 9);
                 // Per-destination balancing pins one LH per destination;
                 // the observed set must be a subset of the PoP's routers.
@@ -293,8 +311,7 @@ mod tests {
             panic!("first destination should resolve");
         };
         let cold = probe_lasthop(&mut p, actives[1], rule);
-        let hinted =
-            probe_lasthop_with_hint(&mut p, actives[1], rule, Some(dst_distance - 1));
+        let hinted = probe_lasthop_with_hint(&mut p, actives[1], rule, Some(dst_distance - 1));
         assert_eq!(cold.outcome, hinted.outcome, "hint must not change results");
         assert!(
             hinted.probes_used < cold.probes_used,

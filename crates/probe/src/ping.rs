@@ -21,11 +21,7 @@ impl PingSeries {
     /// Returns `None` when the first ping or all the rest were lost.
     pub fn first_minus_max_rest_secs(&self) -> Option<f64> {
         let first = (*self.rtts_us.first()?)?;
-        let max_rest = self.rtts_us[1..]
-            .iter()
-            .flatten()
-            .copied()
-            .max()?;
+        let max_rest = self.rtts_us[1..].iter().flatten().copied().max()?;
         Some((first as f64 - max_rest as f64) / 1e6)
     }
 
@@ -48,10 +44,7 @@ pub fn ping_series(prober: &mut Prober<'_>, dst: Addr, count: usize) -> PingSeri
             _ => None,
         });
     }
-    PingSeries {
-        dst,
-        rtts_us: rtts,
-    }
+    PingSeries { dst, rtts_us: rtts }
 }
 
 #[cfg(test)]

@@ -2,14 +2,99 @@
 //! parses responses, with retry handling.
 //!
 //! All higher-level tools (ZMap scan, ping, traceroute, MDA) are built on
-//! [`Prober::probe`]. The prober talks to the network only through
-//! [`netsim::Network::send`] — bytes in, bytes out.
+//! [`Prober::probe`]. The prober talks to the wire only through a
+//! [`ProbeTransport`] — bytes in, bytes out — so the same tools run over an
+//! exclusively borrowed network, a shared `&Network` inside scoped worker
+//! threads, or an owned [`SharedNetwork`] handle.
 
 use crate::record::ProbeLog;
 use bytes::Bytes;
 use netsim::forward::encode_probe;
 use netsim::wire::{IcmpEcho, IcmpError, Ipv4Header, ICMP_ECHO_REPLY, ICMP_TIME_EXCEEDED};
-use netsim::{Addr, Network};
+use netsim::{Addr, Delivery, Network, SendError, SharedNetwork};
+
+/// Anything that can carry a probe packet and return the response.
+///
+/// This is the seam between measurement tools and the network: a transport
+/// is bytes-in/bytes-out, exactly a raw socket's contract. [`Prober`] works
+/// over any transport, so higher-level tools (ping, traceroute, MDA, ZMap)
+/// never name a concrete network type. Implementations exist for
+/// `&mut Network` (exclusive), `&Network` (shared borrow — the concurrent
+/// classification pipeline hands one to each worker), [`SharedNetwork`]
+/// (owned handle for `'static` contexts), and owned [`Network`].
+pub trait ProbeTransport {
+    /// Carry one probe packet; see [`netsim::Network::send`].
+    fn transmit(&mut self, probe: Bytes) -> Result<Delivery, SendError>;
+
+    /// The primary vantage address probes should be sourced from.
+    fn vantage_addr(&self) -> Addr;
+
+    /// The underlying network, when the transport can expose one (live
+    /// transports do; a future pcap-replay transport would not).
+    fn as_network(&self) -> Option<&Network> {
+        None
+    }
+
+    /// Exclusive access to the underlying network, when the transport holds
+    /// it exclusively (epoch changes in experiments need this).
+    fn as_network_mut(&mut self) -> Option<&mut Network> {
+        None
+    }
+}
+
+impl ProbeTransport for &mut Network {
+    fn transmit(&mut self, probe: Bytes) -> Result<Delivery, SendError> {
+        self.send(probe)
+    }
+    fn vantage_addr(&self) -> Addr {
+        Network::vantage_addr(self)
+    }
+    fn as_network(&self) -> Option<&Network> {
+        Some(self)
+    }
+    fn as_network_mut(&mut self) -> Option<&mut Network> {
+        Some(self)
+    }
+}
+
+impl ProbeTransport for &Network {
+    fn transmit(&mut self, probe: Bytes) -> Result<Delivery, SendError> {
+        self.send(probe)
+    }
+    fn vantage_addr(&self) -> Addr {
+        Network::vantage_addr(self)
+    }
+    fn as_network(&self) -> Option<&Network> {
+        Some(self)
+    }
+}
+
+impl ProbeTransport for Network {
+    fn transmit(&mut self, probe: Bytes) -> Result<Delivery, SendError> {
+        self.send(probe)
+    }
+    fn vantage_addr(&self) -> Addr {
+        Network::vantage_addr(self)
+    }
+    fn as_network(&self) -> Option<&Network> {
+        Some(self)
+    }
+    fn as_network_mut(&mut self) -> Option<&mut Network> {
+        Some(self)
+    }
+}
+
+impl ProbeTransport for SharedNetwork {
+    fn transmit(&mut self, probe: Bytes) -> Result<Delivery, SendError> {
+        SharedNetwork::send(self, probe)
+    }
+    fn vantage_addr(&self) -> Addr {
+        self.network().vantage_addr()
+    }
+    fn as_network(&self) -> Option<&Network> {
+        Some(self.network())
+    }
+}
 
 /// Parsed outcome of one probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +147,7 @@ pub struct Prober<'n> {
     seq: u16,
     ip_ident: u16,
     probes_sent: u64,
+    rtt_sum_us: u64,
     /// Source address probes are sent from (a registered vantage).
     source: Addr,
     /// Retries after a timeout before giving up on a probe.
@@ -72,28 +158,41 @@ pub struct Prober<'n> {
 
 /// Where a prober's answers come from.
 enum Backend<'n> {
-    /// A live (simulated) network.
-    Live(&'n mut Network),
+    /// A live transport (exclusive, shared-borrow, or owned network).
+    Live(Box<dyn ProbeTransport + Send + 'n>),
     /// A previously recorded probe archive; `misses` counts lookups the
     /// archive could not answer (returned as timeouts).
     Replay { log: ProbeLog, misses: u64 },
 }
 
 impl<'n> Prober<'n> {
-    /// Create a prober on a network. `icmp_ident` distinguishes concurrent
-    /// measurement processes.
+    /// Create a prober with exclusive access to a network. `icmp_ident`
+    /// distinguishes concurrent measurement processes.
     pub fn new(net: &'n mut Network, icmp_ident: u16) -> Self {
-        let source = net.vantage_addr();
+        Prober::over(net, icmp_ident)
+    }
+
+    /// Create a prober over any [`ProbeTransport`] — a `&Network` shared
+    /// with other workers, a [`SharedNetwork`] handle, an owned network.
+    pub fn over<T: ProbeTransport + Send + 'n>(transport: T, icmp_ident: u16) -> Self {
+        let source = transport.vantage_addr();
         Prober {
-            backend: Backend::Live(net),
+            backend: Backend::Live(Box::new(transport)),
             icmp_ident,
             seq: 0,
             ip_ident: 0,
             probes_sent: 0,
+            rtt_sum_us: 0,
             source,
             retries: 1,
             recording: None,
         }
+    }
+
+    /// Create a `'static` prober over an owned [`SharedNetwork`] handle
+    /// (for spawned threads and other `'static` contexts).
+    pub fn shared(net: SharedNetwork, icmp_ident: u16) -> Prober<'static> {
+        Prober::over(net, icmp_ident)
     }
 
     /// Create a prober that answers from a recorded archive instead of a
@@ -106,6 +205,7 @@ impl<'n> Prober<'n> {
             seq: 0,
             ip_ident: 0,
             probes_sent: 0,
+            rtt_sum_us: 0,
             source,
             retries: 1,
             recording: None,
@@ -153,13 +253,23 @@ impl<'n> Prober<'n> {
         self.probes_sent
     }
 
+    /// Cumulative measured RTT over every probe sent, microseconds
+    /// (timeouts contribute the timeout budget). Together with
+    /// [`Prober::probes_sent`] this gives per-worker latency accounting.
+    pub fn rtt_total_us(&self) -> u64 {
+        self.rtt_sum_us
+    }
+
     /// The underlying network (e.g. for epoch changes in experiments).
     ///
     /// # Panics
-    /// Panics for replay probers, which have no network.
+    /// Panics for replay probers (no network) and for shared transports,
+    /// which cannot grant exclusive access.
     pub fn network_mut(&mut self) -> &mut Network {
         match &mut self.backend {
-            Backend::Live(net) => net,
+            Backend::Live(t) => t
+                .as_network_mut()
+                .expect("transport does not hold the network exclusively"),
             Backend::Replay { .. } => panic!("replay prober has no network"),
         }
     }
@@ -167,10 +277,10 @@ impl<'n> Prober<'n> {
     /// Shared view of the network.
     ///
     /// # Panics
-    /// Panics for replay probers, which have no network.
+    /// Panics for replay probers and transports with no network behind them.
     pub fn network(&self) -> &Network {
         match &self.backend {
-            Backend::Live(net) => net,
+            Backend::Live(t) => t.as_network().expect("transport exposes no network"),
             Backend::Replay { .. } => panic!("replay prober has no network"),
         }
     }
@@ -192,7 +302,7 @@ impl<'n> Prober<'n> {
             self.ip_ident = self.ip_ident.wrapping_add(1);
             self.probes_sent += 1;
             last = match &mut self.backend {
-                Backend::Live(net) => {
+                Backend::Live(transport) => {
                     let wire = encode_probe(
                         self.source,
                         dst,
@@ -202,8 +312,8 @@ impl<'n> Prober<'n> {
                         flow_label,
                         self.ip_ident,
                     );
-                    let delivery = net
-                        .send(wire)
+                    let delivery = transport
+                        .transmit(wire)
                         .expect("prober always emits well-formed probes");
                     ProbeResult {
                         reply: parse_reply(delivery.response.as_ref(), self.icmp_ident),
@@ -224,6 +334,7 @@ impl<'n> Prober<'n> {
                     }
                 },
             };
+            self.rtt_sum_us += last.rtt_us;
             if let Some(log) = &mut self.recording {
                 log.push(dst, ttl, flow_label, last.reply.into(), last.rtt_us);
             }
@@ -289,15 +400,23 @@ mod tests {
         build(ScenarioConfig::tiny(42))
     }
 
-    /// Find a block with decent density for tests.
+    /// Find a block with decent density and live hosts for tests (block
+    /// outages can silence an entire /24 at probe epochs, so density alone
+    /// does not guarantee anyone answers).
     fn dense_block(s: &netsim::Scenario) -> netsim::Block24 {
         *s.network
             .allocated_blocks()
             .iter()
             .find(|b| {
-                s.network.block_profile(**b).map(|p| p.density).unwrap_or(0.0) > 0.3
+                let profile = *s.network.block_profile(**b).unwrap();
+                profile.density > 0.3
                     && s.truth.blocks[b].homogeneous
                     && s.truth.pops[s.truth.blocks[b].pop as usize].responsive
+                    && !s
+                        .network
+                        .oracle()
+                        .active_in_block(**b, &profile, s.network.epoch())
+                        .is_empty()
             })
             .expect("tiny scenario has a dense homogeneous block")
     }
@@ -307,7 +426,10 @@ mod tests {
         let mut s = scenario();
         let blk = dense_block(&s);
         let profile = *s.network.block_profile(blk).unwrap();
-        let active = s.network.oracle().active_in_block(blk, &profile, s.network.epoch());
+        let active = s
+            .network
+            .oracle()
+            .active_in_block(blk, &profile, s.network.epoch());
         assert!(!active.is_empty());
         let mut p = Prober::new(&mut s.network, 77);
         let r = p.probe(active[0], 64, 0x1000);

@@ -76,25 +76,21 @@ pub struct ProbeLog {
 
 mod entries_serde {
     use super::*;
-    use serde::{Deserializer, Serializer};
 
     type Pairs = Vec<(ProbeKey, Vec<(RecordedReply, u64)>)>;
     type Entries = HashMap<ProbeKey, VecDeque<(RecordedReply, u64)>>;
 
-    pub fn serialize<S: Serializer>(
-        map: &Entries,
-        ser: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize(map: &Entries) -> serde::Value {
         let mut pairs: Pairs = map
             .iter()
-            .map(|(&k, v)| (k, v.iter().copied().collect()))
+            .map(|(&k, v)| (k, v.iter().cloned().collect()))
             .collect();
         pairs.sort_by_key(|&(k, _)| k);
-        serde::Serialize::serialize(&pairs, ser)
+        serde::Serialize::to_value(&pairs)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(de: D) -> Result<Entries, D::Error> {
-        let pairs: Pairs = serde::Deserialize::deserialize(de)?;
+    pub fn deserialize(v: &serde::Value) -> Result<Entries, serde::Error> {
+        let pairs: Pairs = serde::Deserialize::from_value(v)?;
         Ok(pairs
             .into_iter()
             .map(|(k, v)| (k, v.into_iter().collect()))
@@ -218,7 +214,16 @@ mod tests {
     #[test]
     fn log_serializes() {
         let mut log = ProbeLog::new();
-        log.push(Addr(1), 2, 3, RecordedReply::Echo { from: Addr(1), ttl: 60 }, 5);
+        log.push(
+            Addr(1),
+            2,
+            3,
+            RecordedReply::Echo {
+                from: Addr(1),
+                ttl: 60,
+            },
+            5,
+        );
         let json = serde_json::to_string(&log).unwrap();
         let back: ProbeLog = serde_json::from_str(&json).unwrap();
         assert_eq!(back.count, 1);

@@ -93,7 +93,10 @@ mod tests {
         let r1 = path(vec![a(1), a(2)]);
         let r2 = path(vec![a(1), a(3)]);
         let r3 = path(vec![a(4), a(5)]);
-        assert!(route_sets_identical(&[r1.clone(), r2.clone()], &[r2.clone(), r3.clone()]));
+        assert!(route_sets_identical(
+            &[r1.clone(), r2.clone()],
+            &[r2.clone(), r3.clone()]
+        ));
         assert!(!route_sets_identical(&[r1], &[r3]));
     }
 

@@ -39,19 +39,18 @@ impl ZmapSnapshot {
     }
 }
 
-/// Scan every address of the given blocks at the snapshot epoch (0),
-/// restoring the network's current epoch afterwards.
+/// Scan every address of the given blocks with an existing prober, at
+/// whatever epoch the prober's transport is currently in.
 ///
-/// Uses a single probe per address (ZMap is one-shot), TTL 64.
-pub fn scan(net: &mut Network, blocks: &[Block24]) -> ZmapSnapshot {
-    let saved_epoch = net.epoch();
-    net.set_epoch(0);
-    let mut prober = Prober::new(net, 0x5CA0);
+/// This is the transport-generic core of the scan: the prober may sit on an
+/// exclusive network, a shared borrow, or a replay log. One probe per
+/// address (ZMap is one-shot), TTL 64; the prober's retry setting is
+/// forced to 0 for the duration and restored afterwards.
+pub fn scan_with(prober: &mut Prober<'_>, blocks: &[Block24]) -> ZmapSnapshot {
+    let saved_retries = prober.retries;
+    let probes_before = prober.probes_sent();
     prober.retries = 0;
-    let mut snapshot = ZmapSnapshot {
-        epoch: 0,
-        ..Default::default()
-    };
+    let mut snapshot = ZmapSnapshot::default();
     for &block in blocks {
         let mut hits = Vec::new();
         for host in 1u8..=254 {
@@ -66,7 +65,22 @@ pub fn scan(net: &mut Network, blocks: &[Block24]) -> ZmapSnapshot {
             snapshot.active.insert(block, hits);
         }
     }
-    snapshot.probes = prober.probes_sent();
+    snapshot.probes = prober.probes_sent() - probes_before;
+    prober.retries = saved_retries;
+    snapshot
+}
+
+/// Scan every address of the given blocks at the snapshot epoch (0),
+/// restoring the network's current epoch afterwards.
+///
+/// Uses a single probe per address (ZMap is one-shot), TTL 64.
+pub fn scan(net: &mut Network, blocks: &[Block24]) -> ZmapSnapshot {
+    let saved_epoch = net.epoch();
+    net.set_epoch(0);
+    let mut prober = Prober::new(net, 0x5CA0);
+    let mut snapshot = scan_with(&mut prober, blocks);
+    snapshot.epoch = 0;
+    drop(prober);
     net.set_epoch(saved_epoch);
     snapshot
 }

@@ -106,16 +106,16 @@ impl<'t> RdnsDb<'t> {
                 // which is what makes stratified sampling win (Fig 12).
                 let pop_h = mix2(self.seed ^ 0xCAB, pop_id as u64);
                 let n_types = 1 + pick(mix2(pop_h, 1), 3); // 1..=3 types
-                let type_idx = pick(mix2(pop_h, 2 + pick(h, n_types) as u64), CABLE_PATTERNS.len());
+                let type_idx = pick(
+                    mix2(pop_h, 2 + pick(h, n_types) as u64),
+                    CABLE_PATTERNS.len(),
+                );
                 let host_type = CABLE_PATTERNS[type_idx];
                 // Cable schemes are regional: `cpe-….kc.res.rr.com` and
                 // `cpe-….nyc.res.rr.com` are distinct naming patterns, so
                 // the pattern token includes the region.
                 RdnsName {
-                    name: format!(
-                        "{host_type}-{a}-{b}-{c}-{d}.{}.{}",
-                        pop.region, spec.domain
-                    ),
+                    name: format!("{host_type}-{a}-{b}-{c}-{d}.{}.{}", pop.region, spec.domain),
                     pattern: Some(format!("{host_type}.{}", pop.region)),
                 }
             }
@@ -130,7 +130,10 @@ impl<'t> RdnsDb<'t> {
         let mut out = Vec::with_capacity(count);
         for (&block, bt) in &self.truth.blocks {
             let spec = &self.truth.as_list[bt.as_idx as usize];
-            if matches!(spec.rdns, RdnsScheme::CellCust | RdnsScheme::Omed | RdnsScheme::None) {
+            if matches!(
+                spec.rdns,
+                RdnsScheme::CellCust | RdnsScheme::Omed | RdnsScheme::None
+            ) {
                 continue;
             }
             for host in [7u8, 133] {

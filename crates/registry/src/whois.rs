@@ -45,8 +45,15 @@ const SYLLABLES: &[&str] = &[
 
 /// Street-name fragments for customer addresses.
 const PLACES: &[&str] = &[
-    "Cheongwon-Gu", "Jincheon-Eup", "Munbaek-Myeon", "Cheongju-Si", "Jincheon-Gun", "Seongnam-Si",
-    "Mapo-Gu", "Haeundae-Gu", "Suseong-Gu",
+    "Cheongwon-Gu",
+    "Jincheon-Eup",
+    "Munbaek-Myeon",
+    "Cheongju-Si",
+    "Jincheon-Gun",
+    "Seongnam-Si",
+    "Mapo-Gu",
+    "Haeundae-Gu",
+    "Suseong-Gu",
 ];
 
 impl<'t> Whois<'t> {
@@ -132,12 +139,7 @@ mod tests {
     fn homogeneous_block_has_single_allocated_record() {
         let s = build(ScenarioConfig::tiny(42));
         let w = Whois::new(&s.truth, 42);
-        let (&block, _) = s
-            .truth
-            .blocks
-            .iter()
-            .find(|(_, t)| t.homogeneous)
-            .unwrap();
+        let (&block, _) = s.truth.blocks.iter().find(|(_, t)| t.homogeneous).unwrap();
         let records = w.query(block);
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].network_type, "ALLOCATED");
@@ -167,8 +169,7 @@ mod tests {
             assert!(!r.org_name.is_empty());
         }
         // Distinct customers get distinct names (with high probability).
-        let names: std::collections::HashSet<_> =
-            records.iter().map(|r| &r.org_name).collect();
+        let names: std::collections::HashSet<_> = records.iter().map(|r| &r.org_name).collect();
         assert!(names.len() >= 2 || records.len() == 1);
     }
 

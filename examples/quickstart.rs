@@ -4,12 +4,37 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Two ways in, shown below:
+//!
+//! 1. the one-liner [`experiments::Pipeline::builder()`], which runs the
+//!    paper's whole measurement sequence (scan → selection → calibration →
+//!    concurrent classification), and
+//! 2. the manual walkthrough over a [`netsim::SharedNetwork`] handle, the
+//!    same thread-safe engine the pipeline's workers probe concurrently.
 
 use hobbit::{classify_block, select_block, ConfidenceTable, HobbitConfig};
 use netsim::build::{build, ScenarioConfig};
+use netsim::SharedNetwork;
 use probe::{zmap, Prober};
 
 fn main() {
+    // ── Route 1: the fluent pipeline builder ────────────────────────────
+    let p = experiments::Pipeline::builder().seed(42).scale(0.01).run();
+    println!(
+        "pipeline: {} blocks selected, {} classified homogeneous, {} probes",
+        p.selected.len(),
+        p.homog_blocks().len(),
+        p.classify_probes
+    );
+    for w in &p.worker_stats {
+        println!(
+            "  worker: {} blocks, {} probes, {} steals",
+            w.blocks, w.probes, w.steals
+        );
+    }
+
+    // ── Route 2: the manual walkthrough ─────────────────────────────────
     // A small deterministic internet: ~2k /24 blocks, full ground truth.
     let mut scenario = build(ScenarioConfig::small(42));
     println!(
@@ -28,7 +53,10 @@ fn main() {
     );
 
     // Step 2: classify the first blocks that pass the selection criteria.
-    let mut prober = Prober::new(&mut scenario.network, 0x42);
+    // The prober talks to the network through a shared handle — hand out
+    // clones of `net` to as many threads as you like.
+    let net = SharedNetwork::new(scenario.network);
+    let mut prober = Prober::shared(net.clone(), 0x42);
     let table = ConfidenceTable::empty(); // no calibration: probe all actives
     let cfg = HobbitConfig::default();
     let mut shown = 0;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gauntlet: format, lint, build, test.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh --fast   # skip the release build (lint + debug tests)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ "$FAST" == 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --offline --release
+fi
+
+echo "==> cargo test -q"
+cargo test --offline -q
+
+echo "==> OK"

@@ -1,0 +1,123 @@
+//! Workspace tests for the shared concurrent network engine.
+//!
+//! Two properties the redesign promises:
+//!
+//! 1. **Thread-count independence** — the pipeline's output is a function of
+//!    the seed alone. Every per-block probe sequence derives its identity
+//!    from the block address, never from which worker or shard ran it, so
+//!    `threads(1)` and `threads(8)` must produce byte-identical results.
+//! 2. **Engine safety under contention** — many workers hammering one
+//!    [`netsim::SharedNetwork`] observe exactly the replies a sequential
+//!    prober would, and the engine's probe accounting stays exact.
+
+use netsim::build::{build, ScenarioConfig};
+use netsim::{Block24, SharedNetwork};
+use probe::{ProbeReply, Prober};
+
+/// `threads(1)` and `threads(8)` runs of the same seed must agree on every
+/// byte of output: selection, measurements, probe totals, aggregates.
+#[test]
+fn pipeline_is_byte_identical_across_thread_counts() {
+    let single = experiments::Pipeline::builder()
+        .seed(7)
+        .scale(0.01)
+        .threads(1)
+        .run();
+    let eight = experiments::Pipeline::builder()
+        .seed(7)
+        .scale(0.01)
+        .threads(8)
+        .run();
+
+    assert_eq!(single.selected.len(), eight.selected.len());
+    // Byte-identical: the full Debug rendering of every measurement —
+    // classification, last-hop set, probe counts, per-destination detail —
+    // must match, not just the headline labels.
+    assert_eq!(
+        format!("{:?}", single.measurements),
+        format!("{:?}", eight.measurements),
+        "measurements differ between threads=1 and threads=8"
+    );
+    assert_eq!(single.classify_probes, eight.classify_probes);
+    assert_eq!(single.calibration_probes, eight.calibration_probes);
+    assert_eq!(
+        format!("{:?}", single.classification_counts()),
+        format!("{:?}", eight.classification_counts())
+    );
+    assert_eq!(
+        format!("{:?}", single.aggregates()),
+        format!("{:?}", eight.aggregates())
+    );
+
+    // Worker accounting partitions the same work either way.
+    let blocks: usize = eight.worker_stats.iter().map(|w| w.blocks).sum();
+    assert_eq!(blocks, eight.selected.len());
+    let probes: u64 = eight.worker_stats.iter().map(|w| w.probes).sum();
+    assert_eq!(probes, eight.classify_probes);
+}
+
+/// Eight threads hammer one shared engine. Each must see exactly the replies
+/// a sequential prober sees on a pristine copy of the same network, and the
+/// engine's carried-probe counter must equal the sum of all senders.
+#[test]
+fn shared_engine_is_consistent_under_contention() {
+    const THREADS: usize = 8;
+
+    let scenario = build(ScenarioConfig::small(99));
+    // Targets: a spread of addresses across the allocated space, responsive
+    // and unresponsive alike (timeouts exercise the retry path).
+    let dsts: Vec<_> = scenario
+        .truth
+        .blocks
+        .keys()
+        .take(12)
+        .flat_map(|b: &Block24| (1..=5u8).map(|h| b.addr(h)))
+        .collect();
+
+    // Sequential baseline on a pristine clone.
+    let mut baseline_net = scenario.network.clone();
+    let mut baseline = Prober::new(&mut baseline_net, 0x7000);
+    let expected: Vec<ProbeReply> = dsts
+        .iter()
+        .map(|&dst| baseline.probe(dst, 64, 0).reply)
+        .collect();
+    let probes_per_run = baseline.probes_sent();
+    drop(baseline);
+    assert_eq!(baseline_net.probes_carried(), probes_per_run);
+
+    // Concurrent: every thread probes the full target list through its own
+    // prober over a clone of the one shared handle.
+    let shared = SharedNetwork::new(scenario.network);
+    let sent: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let net = shared.clone();
+                let dsts = &dsts;
+                let expected = &expected;
+                s.spawn(move || {
+                    let mut prober = Prober::shared(net, 0x7100 + t as u16);
+                    for (&dst, want) in dsts.iter().zip(expected) {
+                        let got = prober.probe(dst, 64, 0).reply;
+                        assert_eq!(
+                            &got, want,
+                            "thread {t} saw a different reply for {dst} than \
+                             the sequential baseline"
+                        );
+                    }
+                    prober.probes_sent()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    assert_eq!(sent, probes_per_run * THREADS as u64);
+    let net = shared
+        .try_unwrap()
+        .expect("all worker handles were dropped");
+    assert_eq!(
+        net.probes_carried(),
+        sent,
+        "engine accounting lost or double-counted probes under contention"
+    );
+}

@@ -10,18 +10,17 @@ use netsim::Block24;
 use probe::Prober;
 use std::collections::BTreeMap;
 
-fn args() -> experiments::ExpArgs {
-    experiments::ExpArgs {
-        seed: 42,
-        scale: 0.02,
-        json: false,
-        threads: 4,
-    }
+fn pipeline() -> experiments::Pipeline {
+    experiments::Pipeline::builder()
+        .seed(42)
+        .scale(0.02)
+        .threads(4)
+        .run()
 }
 
 #[test]
 fn homogeneity_verdicts_are_precise() {
-    let p = experiments::run_pipeline(&args());
+    let p = pipeline();
     let mut verdicts = 0usize;
     let mut correct = 0usize;
     for m in &p.measurements {
@@ -42,7 +41,7 @@ fn homogeneity_verdicts_are_precise() {
 
 #[test]
 fn heterogeneous_flags_are_precise_and_compositions_match_truth() {
-    let p = experiments::run_pipeline(&args());
+    let p = pipeline();
     let mut flagged = 0usize;
     let mut correct = 0usize;
     let mut comp_checked = 0usize;
@@ -71,7 +70,7 @@ fn heterogeneous_flags_are_precise_and_compositions_match_truth() {
 
 #[test]
 fn aggregates_are_pure_and_recall_pops() {
-    let p = experiments::run_pipeline(&args());
+    let p = pipeline();
     let aggs = p.aggregates();
     // Purity: every aggregate's blocks come from one ground-truth PoP.
     let mut impure = 0usize;
@@ -100,7 +99,7 @@ fn aggregates_are_pure_and_recall_pops() {
 
 #[test]
 fn mcl_clusters_respect_pops_and_reprobing_confirms() {
-    let mut p = experiments::run_pipeline(&args());
+    let mut p = pipeline();
     let aggs = p.aggregates();
     let (clustering, _) = sweep_inflation(&aggs, &[1.4, 2.0]);
     // Clusters of aggregates must not mix PoPs either (similarity edges
@@ -155,9 +154,8 @@ fn mcl_clusters_respect_pops_and_reprobing_confirms() {
 
 #[test]
 fn table1_shape_tracks_the_paper() {
-    let p = experiments::run_pipeline(&args());
-    let counts: BTreeMap<Classification, usize> =
-        p.classification_counts().into_iter().collect();
+    let p = pipeline();
+    let counts: BTreeMap<Classification, usize> = p.classification_counts().into_iter().collect();
     let total: usize = counts.values().sum();
     let pct = |c: Classification| 100.0 * counts[&c] as f64 / total as f64;
 
@@ -186,14 +184,17 @@ fn table1_shape_tracks_the_paper() {
         + counts[&Classification::Hierarchical];
     let homog = counts[&Classification::SameLasthop] + counts[&Classification::NonHierarchical];
     let share = homog as f64 / analyzable as f64;
-    assert!((0.80..=0.97).contains(&share), "homogeneous share {share:.3}");
+    assert!(
+        (0.80..=0.97).contains(&share),
+        "homogeneous share {share:.3}"
+    );
 }
 
 #[test]
 fn probing_cost_is_modest() {
     // Hobbit's selling point: classification costs a handful of probes per
     // destination, far below full per-TTL traceroutes.
-    let p = experiments::run_pipeline(&args());
+    let p = pipeline();
     let dests: usize = p.measurements.iter().map(|m| m.dests_probed).sum();
     let per_dest = p.classify_probes as f64 / dests.max(1) as f64;
     assert!(

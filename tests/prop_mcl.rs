@@ -6,10 +6,7 @@ use netsim::{Addr, Block24};
 use proptest::prelude::*;
 
 fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
-    proptest::collection::vec(
-        (0..n as u32, 0..n as u32, 0.05f64..1.0),
-        0..(n * 2).max(1),
-    )
+    proptest::collection::vec((0..n as u32, 0..n as u32, 0.05f64..1.0), 0..(n * 2).max(1))
 }
 
 proptest! {

@@ -78,7 +78,7 @@ proptest! {
 /// Forwarding invariants on a built scenario (fixed seed, sampled dests).
 #[test]
 fn echo_reachability_is_ttl_monotone() {
-    let mut s = build(ScenarioConfig::tiny(5));
+    let s = build(ScenarioConfig::tiny(5));
     let vantage = s.network.vantage_addr();
     let blocks = s.network.allocated_blocks();
     let mut checked = 0;
@@ -88,7 +88,9 @@ fn echo_reachability_is_ttl_monotone() {
             .network
             .oracle()
             .active_in_block(*b, &profile, s.network.epoch());
-        let Some(&dst) = actives.first() else { continue };
+        let Some(&dst) = actives.first() else {
+            continue;
+        };
         // Find the minimal TTL that gets an echo; all larger TTLs must too
         // (the scenario uses no per-packet balancing).
         let mut first_echo = None;
@@ -119,8 +121,8 @@ fn echo_reachability_is_ttl_monotone() {
 /// The same probe (all fields equal) always gets the same answer.
 #[test]
 fn probing_is_deterministic() {
-    let mut s1 = build(ScenarioConfig::tiny(9));
-    let mut s2 = build(ScenarioConfig::tiny(9));
+    let s1 = build(ScenarioConfig::tiny(9));
+    let s2 = build(ScenarioConfig::tiny(9));
     let vantage = s1.network.vantage_addr();
     for b in s1.network.allocated_blocks().iter().take(20) {
         let dst = b.addr(33);

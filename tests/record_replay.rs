@@ -24,7 +24,11 @@ fn classification_reproduces_from_a_probe_archive() {
             .collect();
         (results, prober.take_log().expect("recording on"))
     };
-    assert!(log.count > 1000, "a real archive, got {} attempts", log.count);
+    assert!(
+        log.count > 1000,
+        "a real archive, got {} attempts",
+        log.count
+    );
 
     // Replay from the archive: the network is gone.
     drop(scenario);

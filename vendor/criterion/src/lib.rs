@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness API the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, `criterion_group!`, `criterion_main!` — with simple
+//! wall-clock timing: each benchmark runs a short warm-up, then a fixed
+//! number of timed iterations, and prints min/mean per-iteration time.
+//! There is no statistical analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; drives timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            self.elapsed += dt;
+            if dt < self.min {
+                self.min = dt;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+        min: Duration::MAX,
+    };
+    f(&mut b);
+    if b.elapsed.is_zero() && b.min == Duration::MAX {
+        println!("{label:<50} (no iterations recorded)");
+    } else {
+        let mean = b.elapsed / (iters as u32);
+        println!(
+            "{label:<50} mean {mean:>12.3?}   min {:>12.3?}   ({iters} iters)",
+            b.min
+        );
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.iters, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            iters: self.iters,
+        }
+    }
+}
+
+/// A named group of benchmarks (from [`Criterion::benchmark_group`]).
+pub struct BenchmarkGroup {
+    name: String,
+    iters: u64,
+}
+
+impl BenchmarkGroup {
+    /// Reduce/raise the per-benchmark iteration count (criterion's
+    /// `sample_size` analogue).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = n.max(2) as u64;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.into_id()),
+            self.iters,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.iters, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("mul", |b| b.iter(|| black_box(3u64) * black_box(4)));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

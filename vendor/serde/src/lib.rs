@@ -1,0 +1,549 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based `Serializer`/`Deserializer` machinery,
+//! this stand-in serializes through a concrete JSON-like [`Value`] tree:
+//!
+//! * [`Serialize`] — `fn to_value(&self) -> Value`
+//! * [`Deserialize`] — `fn from_value(&Value) -> Result<Self, Error>`
+//!
+//! The companion `serde_derive` proc-macro derives both traits for the
+//! struct/enum shapes used in this workspace (named structs, newtype and
+//! tuple structs, and externally-tagged enums with unit/tuple/struct
+//! variants, plus `#[serde(with = "module")]` field overrides), and
+//! `serde_json` renders/parses `Value` as JSON text.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Serialization error (also used by `serde_json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Number {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        // Sort the rendered elements so output is deterministic regardless
+        // of hash order.
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(crate::value::value_cmp);
+        Value::Array(items)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+            self.3.to_value(),
+        ])
+    }
+}
+
+/// Render a map key `Value` as an object-key string (JSON object keys are
+/// strings; numeric and string keys round-trip, like `serde_json`).
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => other.to_string(),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(key_to_string(&k.to_value()), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(key_to_string(&k.to_value()), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+fn expected(what: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {what}, got {got}"))
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .ok_or_else(|| expected("unsigned integer", v))?,
+                    _ => return Err(expected("unsigned integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => {
+                        n.as_i64().ok_or_else(|| expected("integer", v))?
+                    }
+                    _ => return Err(expected("integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => n.as_f64().ok_or_else(|| expected("number", v)),
+            _ => Err(expected("number", v)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(expected("bool", v)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(expected("string", v)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(expected("null", v)),
+        }
+    }
+}
+
+/// `&'static str` deserializes by leaking the parsed string. This mirrors
+/// how the workspace uses it: roster/whois constants deserialized rarely
+/// (tests only), where a small intentional leak is acceptable.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+fn as_array(v: &Value) -> Result<&[Value], Error> {
+    match v {
+        Value::Array(items) => Ok(items),
+        _ => Err(expected("array", v)),
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        as_array(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        as_array(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        as_array(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashSet<T, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        as_array(v)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = as_array(v)?;
+        if items.len() != 2 {
+            return Err(Error::custom("expected 2-element array"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = as_array(v)?;
+        if items.len() != 3 {
+            return Err(Error::custom("expected 3-element array"));
+        }
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+/// Reverse of [`key_to_string`]: candidate `Value`s a key string may have
+/// come from, tried in order.
+fn key_candidates(s: &str) -> Vec<Value> {
+    let mut c = vec![Value::String(s.to_string())];
+    if let Ok(u) = s.parse::<u64>() {
+        c.push(Value::Number(Number::U64(u)));
+    } else if let Ok(i) = s.parse::<i64>() {
+        c.push(Value::Number(Number::I64(i)));
+    } else if let Ok(f) = s.parse::<f64>() {
+        c.push(Value::Number(Number::F64(f)));
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        c.push(Value::Bool(b));
+    }
+    c
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    let mut last = Error::custom("uninhabited key");
+    for cand in key_candidates(s) {
+        match K::from_value(&cand) {
+            Ok(k) => return Ok(k),
+            Err(e) => last = e,
+        }
+    }
+    Err(Error::custom(format!("cannot parse map key {s:?}: {last}")))
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(expected("object", v)),
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(expected("object", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, HashMap, VecDeque};
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&0.5f64.to_value()).unwrap(), 0.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn numeric_map_keys_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(42u32, vec![1u8, 2]);
+        let v = m.to_value();
+        let back: BTreeMap<u32, Vec<u8>> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn string_map_keys_roundtrip() {
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1usize);
+        m.insert("7".to_string(), 2usize); // numeric-looking string key stays a string
+        let back: HashMap<String, usize> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let dq: VecDeque<(u8, u16)> = vec![(1, 2), (3, 4)].into();
+        let back: VecDeque<(u8, u16)> = Deserialize::from_value(&dq.to_value()).unwrap();
+        assert_eq!(back, dq);
+    }
+
+    #[test]
+    fn integer_out_of_range_is_error() {
+        assert!(u8::from_value(&300u32.to_value()).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the Value-tree `serde::Serialize` / `serde::Deserialize` traits
+//! (see the vendored `serde` crate) without `syn`/`quote`: the input token
+//! stream is parsed by hand. Supported shapes — exactly what this
+//! workspace uses:
+//!
+//! * named structs (with optional `#[serde(with = "module")]` per field)
+//! * tuple structs (newtype and general)
+//! * unit structs
+//! * externally-tagged enums with unit, tuple, and struct variants
+//!
+//! Generics are not supported and produce a compile error naming the type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes, visibility, and doc comments until the
+    // `struct` / `enum` keyword.
+    let mut keyword = None;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    keyword = Some(s);
+                    break;
+                }
+                // `pub` or other modifiers: skip (and any `(crate)` group).
+            }
+            _ => {}
+        }
+    }
+    let keyword = keyword.expect("derive input must be a struct or enum");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after `{keyword}`, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic type `{name}` is not supported");
+        }
+    }
+    let shape = if keyword == "enum" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("expected struct body for `{name}`, got {other:?}"),
+        }
+    };
+    Input { name, shape }
+}
+
+/// Extract a `with = "module"` override from a `#[serde(...)]` attribute
+/// group's inner stream, if present.
+fn serde_with_from_attr(attr_group: TokenStream) -> Option<String> {
+    let mut iter = attr_group.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let toks: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            if id.to_string() == "with" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let s = lit.to_string();
+                        return Some(s.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse `name: Type, ...` fields from a brace group's stream, skipping
+/// attributes (capturing `#[serde(with = ...)]`) and visibility. Commas
+/// inside angle brackets (generic types) do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Per-field: attributes and visibility first.
+        let mut with = None;
+        let name = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        if let Some(w) = serde_with_from_attr(g.stream()) {
+                            with = Some(w);
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Skip optional `(crate)` / `(super)` restriction.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in field position: {other}"),
+            }
+        };
+        // Expect `:`, then consume the type until a top-level comma.
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, with });
+    }
+}
+
+/// Count the fields of a tuple struct/variant (top-level commas + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in stream {
+        any = true;
+        trailing_comma = false;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes/doc comments before the variant name.
+        let name = loop {
+            match iter.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next(); // attribute group
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in variant position: {other}"),
+            }
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume up to and including the separating comma (skips any
+        // explicit discriminant, which this workspace does not use).
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn ser_field_expr(f: &Field, access: &str) -> String {
+    match &f.with {
+        Some(path) => format!("{path}::serialize({access})"),
+        None => format!("::serde::Serialize::to_value({access})"),
+    }
+}
+
+fn de_field_expr(f: &Field, value_expr: &str) -> String {
+    match &f.with {
+        Some(path) => format!("{path}::deserialize({value_expr})?"),
+        None => format!("::serde::Deserialize::from_value({value_expr})?"),
+    }
+}
+
+fn missing(name: &str, field: &str) -> String {
+    format!(".ok_or_else(|| ::serde::Error::custom(\"missing field `{field}` in {name}\"))?")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut __m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                let expr = ser_field_expr(f, &format!("&self.{}", f.name));
+                s.push_str(&format!(
+                    "__m.insert(\"{}\".to_string(), {});\n",
+                    f.name, expr
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let mut __m = ::std::collections::BTreeMap::new();\n\
+                         __m.insert(\"{vname}\".to_string(), ::serde::Serialize::to_value(__f0));\n\
+                         ::serde::Value::Object(__m)\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __inner = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields {
+                            let expr = ser_field_expr(f, &f.name);
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{}\".to_string(), {});\n",
+                                f.name, expr
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n{inner}\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(\"{vname}\".to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n"
+            );
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let getter = format!("__obj.get(\"{}\"){}", f.name, missing(name, &f.name));
+                    format!("{}: {}", f.name, de_field_expr(f, &getter))
+                })
+                .collect();
+            s.push_str(&format!("Ok({name} {{ {} }})", inits.join(", ")));
+            s
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let __items = match __v {{ ::serde::Value::Array(a) => a, _ => \
+                 return Err(::serde::Error::custom(\"expected array for {name}\")) }};\n\
+                 if __items.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\")); }}\n"
+            );
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", inits.join(", ")));
+            s
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                    }
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__val)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = match __val {{ ::serde::Value::Array(a) => a, _ => \
+                             return Err(::serde::Error::custom(\"expected array for {name}::{vname}\")) }};\n\
+                             if __items.len() != {n} {{ return Err(::serde::Error::custom(\
+                             \"wrong arity for {name}::{vname}\")); }}\n\
+                             Ok({name}::{vname}({}))\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let getter = format!(
+                                    "__inner.get(\"{}\"){}",
+                                    f.name,
+                                    missing(&format!("{name}::{vname}"), &f.name)
+                                );
+                                format!("{}: {}", f.name, de_field_expr(f, &getter))
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __inner = __val.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\
+                             Ok({name}::{vname} {{ {} }})\n}}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n}},\n\
+                 ::serde::Value::Object(__m) => {{\n\
+                 let (__tag, __val) = __m.iter().next().ok_or_else(|| \
+                 ::serde::Error::custom(\"empty object for enum {name}\"))?;\n\
+                 match __tag.as_str() {{\n{payload_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant {{__other:?}}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::custom(\"expected string or object for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,333 @@
+//! Offline stand-in for `serde_json`, rendering and parsing the vendored
+//! `serde` crate's [`Value`] tree as JSON text.
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+use serde::{Deserialize, Serialize};
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstruct a deserializable type from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Compact JSON text for any serializable value.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Two-space-indented JSON text for any serializable value.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::from_value(&value)
+}
+
+/// Build a [`Value`] literal.
+///
+/// Supports `null`, scalars/expressions, flat arrays, and objects with
+/// string-literal keys and expression values — the shapes this workspace
+/// uses. Object/array values may be any `Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $item:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item).unwrap() ),* ])
+    };
+    ({ $( $key:literal : $val:expr ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert($key.to_string(), $crate::to_value(&$val).unwrap()); )*
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+mod parse {
+    use super::{Error, Map, Number, Value};
+
+    pub fn parse(s: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::custom(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Result<u8, Error> {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::custom("unexpected end of JSON"))?;
+            self.pos += 1;
+            Ok(b)
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            let got = self.bump()?;
+            if got != b {
+                return Err(Error::custom(format!(
+                    "expected {:?} at byte {}, got {:?}",
+                    b as char,
+                    self.pos - 1,
+                    got as char
+                )));
+            }
+            Ok(())
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+            for &b in word.as_bytes() {
+                self.expect(b)?;
+            }
+            Ok(v)
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self
+                .peek()
+                .ok_or_else(|| Error::custom("unexpected end of JSON"))?
+            {
+                b'n' => self.literal("null", Value::Null),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'"' => self.string().map(Value::String),
+                b'[' => self.array(),
+                b'{' => self.object(),
+                b'-' | b'0'..=b'9' => self.number(),
+                other => Err(Error::custom(format!(
+                    "unexpected character {:?} at byte {}",
+                    other as char, self.pos
+                ))),
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bump()? {
+                    b',' => continue,
+                    b']' => return Ok(Value::Array(items)),
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected ',' or ']', got {:?}",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut m = Map::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(m));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                m.insert(key, val);
+                self.skip_ws();
+                match self.bump()? {
+                    b',' => continue,
+                    b'}' => return Ok(Value::Object(m)),
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected ',' or '}}', got {:?}",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                // Fast path: run of plain bytes.
+                while let Some(b) = self.peek() {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?,
+                );
+                match self.bump()? {
+                    b'"' => return Ok(out),
+                    b'\\' => match self.bump()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let d = self.bump()?;
+                                code = code * 16
+                                    + (d as char)
+                                        .to_digit(16)
+                                        .ok_or_else(|| Error::custom("bad \\u escape"))?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape \\{}", other as char)))
+                        }
+                    },
+                    _ => unreachable!("loop exits only on quote or backslash"),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::custom("invalid number"))?;
+            let n = if is_float {
+                Number::F64(
+                    text.parse::<f64>()
+                        .map_err(|_| Error::custom(format!("invalid number {text:?}")))?,
+                )
+            } else if let Ok(u) = text.parse::<u64>() {
+                Number::U64(u)
+            } else if let Ok(i) = text.parse::<i64>() {
+                Number::I64(i)
+            } else {
+                Number::F64(
+                    text.parse::<f64>()
+                        .map_err(|_| Error::custom(format!("invalid number {text:?}")))?,
+                )
+            };
+            Ok(Value::Number(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"a":[1,2.5,-3],"b":"x\ny","c":null,"d":true}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["b"].as_str(), Some("x\ny"));
+        assert!(v["c"].is_null());
+        assert_eq!(v["d"].as_bool(), Some(true));
+        let rendered = to_string(&v).unwrap();
+        let again: Value = from_str(&rendered).unwrap();
+        assert_eq!(again, v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3).as_i64(), Some(3));
+        assert_eq!(json!("s").as_str(), Some("s"));
+        let obj = json!({"metric": "x", "n": 4usize});
+        assert_eq!(obj["metric"].as_str(), Some("x"));
+        assert_eq!(obj["n"].as_u64(), Some(4));
+        let arr = json!([1, 2, 3]);
+        assert_eq!(arr.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn typed_roundtrip_via_text() {
+        let data: Vec<(u32, String)> = vec![(1, "a".into()), (2, "b".into())];
+        let text = to_string(&data).unwrap();
+        let back: Vec<(u32, String)> = from_str(&text).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn pretty_is_parseable() {
+        let v = json!({"a": vec![1, 2], "b": 0.5});
+        let back: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_integral_keeps_floatness() {
+        let v = to_value(3.0f64).unwrap();
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "3.0");
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, 3.0);
+    }
+}
