@@ -12,6 +12,7 @@ fn micro_args() -> ExpArgs {
         scale: 0.008,
         json: false,
         threads: 2,
+        faults: None,
     }
 }
 

@@ -49,7 +49,7 @@ fn bench_confidence(c: &mut Criterion) {
     let mut group = c.benchmark_group("confidence");
     group.sample_size(10);
     group.bench_function("table_build", |b| {
-        b.iter(|| ConfidenceTable::build(&dataset, 24, 16, 0.95, 7))
+        b.iter(|| ConfidenceTable::build(&dataset, 24, 16, 0.95, 8, 7))
     });
     group.bench_function("detects_homogeneous", |b| {
         let obs = synthetic_obs(60, 3);
@@ -72,7 +72,7 @@ fn bench_classification(c: &mut Criterion) {
                 per_addr: synthetic_obs(40, 2 + i % 4),
             })
             .collect();
-        ConfidenceTable::build(&dataset, 40, 24, 0.95, 7)
+        ConfidenceTable::build(&dataset, 40, 24, 0.95, 8, 7)
     };
     let empty = ConfidenceTable::empty();
 

@@ -13,7 +13,7 @@
 
 use crate::confidence::ConfidenceTable;
 use crate::hierarchy::{LasthopGroups, Relationship};
-use crate::schedule::probing_order;
+use crate::schedule::{probing_order, reprobe_order};
 use crate::select::SelectedBlock;
 use netsim::{Addr, Block24};
 use probe::{probe_lasthop_with_hint, LasthopOutcome, Prober, StoppingRule};
@@ -77,6 +77,17 @@ pub struct HobbitConfig {
     pub min_active: usize,
     /// Seed for the probing order shuffle.
     pub seed: u64,
+    /// Per-probe retries the worker's prober uses (raised when the network
+    /// is lossy; 1 matches the historical prober default).
+    pub prober_retries: u32,
+    /// Lifetime retry budget handed to the worker's prober.
+    pub retry_budget: u64,
+    /// Targeted reprobe rounds over destinations that timed out, attempted
+    /// when the first pass ends without a verdict. Each round revisits only
+    /// the still-unresolved destinations, so a transiently lost answer
+    /// degrades the measurement gracefully instead of silently shrinking a
+    /// last-hop group. 0 disables reprobing.
+    pub reprobe_rounds: usize,
 }
 
 impl Default for HobbitConfig {
@@ -86,6 +97,9 @@ impl Default for HobbitConfig {
             same_lasthop_min: 6,
             min_active: 4,
             seed: 0x40BB17,
+            prober_retries: 1,
+            retry_budget: probe::prober::DEFAULT_RETRY_BUDGET,
+            reprobe_rounds: 1,
         }
     }
 }
@@ -108,6 +122,11 @@ pub struct BlockMeasurement {
     pub dests_resolved: usize,
     /// Destinations that echoed but whose last-hop stayed anonymous.
     pub dests_anonymous: usize,
+    /// Destinations probed that never answered (timed out even after any
+    /// reprobe rounds) — the gracefully-degraded remainder.
+    pub dests_unresolved: usize,
+    /// Targeted reprobe attempts spent on initially unresolved destinations.
+    pub reprobes: usize,
     /// Probe packets spent on this block.
     pub probes_used: u64,
 }
@@ -119,6 +138,27 @@ impl BlockMeasurement {
     }
 }
 
+/// Re-test the grouping after a new resolution; `Some` means probing can
+/// stop early with this verdict (paper §3.3's termination conditions).
+fn early_verdict(
+    per_dest: &[(Addr, Vec<Addr>)],
+    table: &ConfidenceTable,
+    cfg: &HobbitConfig,
+) -> Option<Classification> {
+    let groups = LasthopGroups::build(per_dest.iter().map(|(a, l)| (*a, l.as_slice())));
+    match groups.relationship() {
+        Relationship::NonHierarchical => Some(Classification::NonHierarchical),
+        Relationship::SingleGroup => {
+            (per_dest.len() >= cfg.same_lasthop_min).then_some(Classification::SameLasthop)
+        }
+        // Without a table entry: probe all active addresses (paper §3.5).
+        Relationship::Hierarchical => match table.required_probes(groups.cardinality()) {
+            Some(required) if per_dest.len() >= required => Some(Classification::Hierarchical),
+            _ => None,
+        },
+    }
+}
+
 /// Classify one selected /24 by probing.
 pub fn classify_block(
     prober: &mut Prober<'_>,
@@ -126,11 +166,14 @@ pub fn classify_block(
     table: &ConfidenceTable,
     cfg: &HobbitConfig,
 ) -> BlockMeasurement {
+    prober.retries = cfg.prober_retries;
+    prober.retry_budget = cfg.retry_budget;
     let probes_before = prober.probes_sent();
     let order = probing_order(sel, cfg.seed);
     let mut per_dest: Vec<(Addr, Vec<Addr>)> = Vec::new();
     let mut anonymous = 0usize;
     let mut probed = 0usize;
+    let mut unresolved: Vec<Addr> = Vec::new();
     let mut verdict: Option<Classification> = None;
     // Destinations of one /24 sit at the same hop distance; resolve it once
     // and seed the remaining destinations (saves the per-destination echo
@@ -153,30 +196,52 @@ pub fn classify_block(
                 anonymous += 1;
                 continue;
             }
-            LasthopOutcome::Unresponsive => continue,
+            // A silent destination is not evidence about the block's
+            // routing: mark it unresolved for the targeted reprobe pass
+            // instead of letting it shrink a last-hop group.
+            LasthopOutcome::Unresponsive => {
+                unresolved.push(dst);
+                continue;
+            }
         }
-        let groups = LasthopGroups::build(per_dest.iter().map(|(a, l)| (*a, l.as_slice())));
-        match groups.relationship() {
-            Relationship::NonHierarchical => {
-                verdict = Some(Classification::NonHierarchical);
-                break;
-            }
-            Relationship::SingleGroup => {
-                if per_dest.len() >= cfg.same_lasthop_min {
-                    verdict = Some(Classification::SameLasthop);
-                    break;
-                }
-            }
-            Relationship::Hierarchical => {
-                if let Some(required) = table.required_probes(groups.cardinality()) {
-                    if per_dest.len() >= required {
-                        verdict = Some(Classification::Hierarchical);
+        if let Some(v) = early_verdict(&per_dest, table, cfg) {
+            verdict = Some(v);
+            break;
+        }
+    }
+
+    // Graceful degradation: probing ended without a verdict while some
+    // destinations never answered — give exactly those another chance
+    // (a lost answer may be churn or transient loss, not absence).
+    let mut reprobes = 0usize;
+    for _round in 0..cfg.reprobe_rounds {
+        if verdict.is_some() || unresolved.is_empty() {
+            break;
+        }
+        let mut still: Vec<Addr> = Vec::new();
+        for dst in reprobe_order(sel.block, &unresolved, cfg.seed) {
+            reprobes += 1;
+            let r = probe_lasthop_with_hint(prober, dst, cfg.rule, dist_hint);
+            match r.outcome {
+                LasthopOutcome::Found {
+                    lasthops,
+                    dst_distance,
+                } => {
+                    dist_hint = Some(dst_distance.saturating_sub(1).max(1));
+                    per_dest.push((dst, lasthops));
+                    if let Some(v) = early_verdict(&per_dest, table, cfg) {
+                        verdict = Some(v);
                         break;
                     }
                 }
-                // No table entry: probe all active addresses (paper §3.5).
+                LasthopOutcome::AnonymousLasthop { dst_distance } => {
+                    dist_hint = Some(dst_distance.saturating_sub(1).max(1));
+                    anonymous += 1;
+                }
+                LasthopOutcome::Unresponsive => still.push(dst),
             }
         }
+        unresolved = still;
     }
 
     let classification = verdict.unwrap_or_else(|| {
@@ -223,6 +288,8 @@ pub fn classify_block(
         lasthop_set,
         dests_resolved: per_dest.len(),
         dests_anonymous: anonymous,
+        dests_unresolved: probed - per_dest.len() - anonymous,
+        reprobes,
         per_dest,
         dests_probed: probed,
         probes_used: prober.probes_sent() - probes_before,
@@ -373,6 +440,11 @@ mod tests {
         if let Some(m) = w.classify(block) {
             assert!(m.dests_resolved <= m.dests_probed);
             assert_eq!(m.dests_resolved, m.per_dest.len());
+            assert_eq!(
+                m.dests_probed,
+                m.dests_resolved + m.dests_anonymous + m.dests_unresolved,
+                "every probed destination is resolved, anonymous, or unresolved"
+            );
             let set: std::collections::BTreeSet<Addr> = m
                 .per_dest
                 .iter()
@@ -381,5 +453,89 @@ mod tests {
             assert_eq!(m.lasthop_set, set.into_iter().collect::<Vec<_>>());
             assert!(m.probes_used > 0);
         }
+    }
+
+    /// Classify every snapshot block on a faulted network with the given
+    /// config, returning the measurements.
+    fn classify_all_with(
+        seed: u64,
+        faults: netsim::FaultConfig,
+        cfg: &HobbitConfig,
+    ) -> Vec<BlockMeasurement> {
+        let mut w = World::new(seed);
+        w.scenario.network.set_faults(faults);
+        let blocks: Vec<Block24> = w.snapshot.blocks().collect();
+        let mut out = Vec::new();
+        for b in blocks {
+            let Ok(sel) = select_block(&w.snapshot, b) else {
+                continue;
+            };
+            let mut prober = Prober::new(&mut w.scenario.network, 0x0B17);
+            out.push(classify_block(
+                &mut prober,
+                &sel,
+                &ConfidenceTable::empty(),
+                cfg,
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn lossy_network_triggers_targeted_reprobes() {
+        // Heavy link loss and no per-probe retries: first-pass timeouts are
+        // common, so the reprobe pass must engage — and win some answers
+        // back (each reprobe is a fresh draw against the loss process).
+        let cfg = HobbitConfig {
+            prober_retries: 0,
+            reprobe_rounds: 2,
+            ..HobbitConfig::default()
+        };
+        let ms = classify_all_with(42, netsim::FaultConfig::lossy(0.10, 0.5), &cfg);
+        let reprobes: usize = ms.iter().map(|m| m.reprobes).sum();
+        assert!(reprobes > 0, "loss must leave unresolved dests to reprobe");
+        for m in &ms {
+            assert_eq!(
+                m.dests_probed,
+                m.dests_resolved + m.dests_anonymous + m.dests_unresolved
+            );
+        }
+    }
+
+    #[test]
+    fn zero_reprobe_rounds_disable_the_second_pass() {
+        let cfg = HobbitConfig {
+            prober_retries: 0,
+            reprobe_rounds: 0,
+            ..HobbitConfig::default()
+        };
+        let ms = classify_all_with(42, netsim::FaultConfig::lossy(0.10, 0.5), &cfg);
+        assert!(ms.iter().all(|m| m.reprobes == 0));
+    }
+
+    #[test]
+    fn reprobing_recovers_unresolved_destinations() {
+        let base = HobbitConfig {
+            prober_retries: 0,
+            reprobe_rounds: 0,
+            ..HobbitConfig::default()
+        };
+        let with_reprobe = HobbitConfig {
+            reprobe_rounds: 2,
+            ..base
+        };
+        let faults = netsim::FaultConfig::lossy(0.10, 0.5);
+        let without: usize = classify_all_with(42, faults, &base)
+            .iter()
+            .map(|m| m.dests_unresolved)
+            .sum();
+        let with: usize = classify_all_with(42, faults, &with_reprobe)
+            .iter()
+            .map(|m| m.dests_unresolved)
+            .sum();
+        assert!(
+            with < without,
+            "reprobing should resolve some lost destinations ({with} vs {without})"
+        );
     }
 }

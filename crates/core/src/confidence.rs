@@ -77,11 +77,18 @@ impl ConfidenceTable {
     /// (The paper draws enough samples for a 1% margin at 99% confidence —
     /// 16,588 per cell; pass that as `samples_per_combo * blocks` scale or a
     /// smaller number for quick runs.)
+    ///
+    /// `min_samples` is the trust threshold lookups enforce: cells with
+    /// fewer samples answer `None`. It used to be hard-coded to 8 here
+    /// while [`ConfidenceTable::empty`] used 1 — callers tuning
+    /// `samples_per_combo` below 8 silently got a table that never
+    /// answered.
     pub fn build(
         dataset: &[BlockLasthopData],
         max_probed: usize,
         samples_per_combo: usize,
         level: f64,
+        min_samples: u64,
         seed: u64,
     ) -> Self {
         let mut cells: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
@@ -111,7 +118,7 @@ impl ConfidenceTable {
         ConfidenceTable {
             cells,
             level,
-            min_samples: 8,
+            min_samples,
         }
     }
 
@@ -206,7 +213,7 @@ mod tests {
     #[test]
     fn confidence_increases_with_probes() {
         let data = vec![interleaved_block(60, 4)];
-        let table = ConfidenceTable::build(&data, 32, 150, 0.95, 7);
+        let table = ConfidenceTable::build(&data, 32, 150, 0.95, 8, 7);
         let low = table.confidence(4, 5).expect("cell populated");
         let high = table.confidence(4, 24).expect("cell populated");
         assert!(high > low, "conf(24)={high} ≤ conf(5)={low}");
@@ -216,7 +223,7 @@ mod tests {
     #[test]
     fn required_probes_exists_for_cardinality_4() {
         let data = vec![interleaved_block(60, 4)];
-        let table = ConfidenceTable::build(&data, 32, 150, 0.95, 7);
+        let table = ConfidenceTable::build(&data, 32, 150, 0.95, 8, 7);
         let req = table.required_probes(4).expect("reachable confidence");
         assert!((8..=32).contains(&req), "required {req}");
     }
@@ -228,7 +235,7 @@ mod tests {
         // address and accept the residual (these blocks feed the
         // "different but hierarchical" row of Table 1).
         let data = vec![interleaved_block(40, 2)];
-        let table = ConfidenceTable::build(&data, 36, 150, 0.95, 7);
+        let table = ConfidenceTable::build(&data, 36, 150, 0.95, 8, 7);
         assert!(table.required_probes(2).is_none());
         let mid = table.confidence(2, 20).expect("cell populated");
         assert!((0.3..0.8).contains(&mid), "k=2 plateau, got {mid}");
@@ -245,7 +252,7 @@ mod tests {
     #[test]
     fn single_lasthop_blocks_always_detect() {
         let data = vec![single_block(30)];
-        let table = ConfidenceTable::build(&data, 16, 100, 0.95, 7);
+        let table = ConfidenceTable::build(&data, 16, 100, 0.95, 8, 7);
         for n in 4..=16 {
             assert_eq!(table.confidence(1, n), Some(1.0), "n={n}");
         }
@@ -253,10 +260,24 @@ mod tests {
     }
 
     #[test]
+    fn min_samples_is_honored_not_hardcoded() {
+        // Regression: build() used to pin min_samples at 8 regardless of
+        // how few samples the caller asked for, so quick tables (fewer
+        // than 8 samples per cell) never answered a single lookup.
+        let data = vec![single_block(20)];
+        let sparse = ConfidenceTable::build(&data, 8, 4, 0.95, 8, 7);
+        assert!(sparse.confidence(1, 4).is_none(), "4 < 8 samples: distrust");
+        let trusted = ConfidenceTable::build(&data, 8, 4, 0.95, 4, 7);
+        assert_eq!(trusted.min_samples, 4);
+        assert_eq!(trusted.confidence(1, 4), Some(1.0));
+        assert_eq!(trusted.required_probes(1), Some(4));
+    }
+
+    #[test]
     fn table_is_deterministic_per_seed() {
         let data = vec![interleaved_block(30, 3)];
-        let a = ConfidenceTable::build(&data, 12, 50, 0.95, 1);
-        let b = ConfidenceTable::build(&data, 12, 50, 0.95, 1);
+        let a = ConfidenceTable::build(&data, 12, 50, 0.95, 8, 1);
+        let b = ConfidenceTable::build(&data, 12, 50, 0.95, 8, 1);
         assert_eq!(a.rows(), b.rows());
     }
 }

@@ -72,6 +72,8 @@ mod tests {
             dests_probed: per_dest.len(),
             dests_resolved: per_dest.len(),
             dests_anonymous: 0,
+            dests_unresolved: 0,
+            reprobes: 0,
             probes_used: 0,
             per_dest,
         }

@@ -3,7 +3,7 @@
 //! end of each round, so early terminations still represent the whole /24.
 
 use crate::select::SelectedBlock;
-use netsim::Addr;
+use netsim::{Addr, Block24};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -38,10 +38,24 @@ pub fn probing_order(sel: &SelectedBlock, seed: u64) -> Vec<Addr> {
     order
 }
 
+/// Order a targeted reprobe round over destinations that stayed unresolved.
+///
+/// Input order is irrelevant (the list is sorted before shuffling), so the
+/// schedule depends only on the block, the seed, and the *set* of
+/// unresolved addresses — a worker that collected them in any order
+/// reprobes them identically.
+pub fn reprobe_order(block: Block24, unresolved: &[Addr], seed: u64) -> Vec<Addr> {
+    let mut order: Vec<Addr> = unresolved.to_vec();
+    order.sort();
+    order.dedup();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((block.0 as u64) << 8) ^ 0x5EC0);
+    order.shuffle(&mut rng);
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::Block24;
 
     fn sel(hosts_per_quarter: [&[u8]; 4]) -> SelectedBlock {
         let block = Block24(0x0A_0102);
@@ -74,6 +88,24 @@ mod tests {
         let s = sel([&[1, 2], &[70], &[130], &[200, 201]]);
         assert_eq!(probing_order(&s, 9), probing_order(&s, 9));
         assert_ne!(probing_order(&s, 9), probing_order(&s, 10));
+    }
+
+    #[test]
+    fn reprobe_order_is_a_permutation_independent_of_input_order() {
+        let block = Block24(0x0A_0102);
+        let fwd: Vec<Addr> = [1u8, 9, 40, 77, 130, 200]
+            .iter()
+            .map(|&h| block.addr(h))
+            .collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        let a = reprobe_order(block, &fwd, 7);
+        let b = reprobe_order(block, &rev, 7);
+        assert_eq!(a, b, "schedule depends on the set, not collection order");
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(sorted, fwd);
+        assert_ne!(reprobe_order(block, &fwd, 7), reprobe_order(block, &fwd, 8));
     }
 
     #[test]

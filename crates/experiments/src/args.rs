@@ -12,6 +12,11 @@ pub struct ExpArgs {
     pub json: bool,
     /// Worker threads for the probing phase (0 = all cores).
     pub threads: usize,
+    /// Fault injection `(link_loss, icmp_rate)`: per-link drop probability
+    /// and ICMP token-bucket refill rate, applied to the classification
+    /// phase (the snapshot scan stays loss-free so selection is comparable
+    /// to a fault-free run). `None` leaves the network ideal.
+    pub faults: Option<(f64, f64)>,
 }
 
 impl Default for ExpArgs {
@@ -21,6 +26,7 @@ impl Default for ExpArgs {
             scale: 0.12,
             json: false,
             threads: 0,
+            faults: None,
         }
     }
 }
@@ -35,11 +41,15 @@ pub enum ParseOutcome {
 }
 
 /// Usage text shared by every binary.
-pub const USAGE: &str = "usage: <experiment> [--seed N] [--scale F] [--threads N] [--json]\n\
---seed N     scenario seed (default 42)\n\
---scale F    scenario scale, 1.0 = paper-size (default 0.12)\n\
---threads N  probing worker threads (default: all cores)\n\
---json       machine-readable output";
+pub const USAGE: &str =
+    "usage: <experiment> [--seed N] [--scale F] [--threads N] [--faults L,R] [--json]\n\
+--seed N      scenario seed (default 42)\n\
+--scale F     scenario scale, 1.0 = paper-size (default 0.12)\n\
+--threads N   probing worker threads (default: all cores)\n\
+--faults L,R  inject faults into classification probing: per-link loss\n\
+\u{20}             probability L and ICMP token-bucket refill rate R\n\
+\u{20}             (e.g. --faults 0.02,0.5); default: none\n\
+--json        machine-readable output";
 
 impl ExpArgs {
     /// Parse from `std::env::args`. Unknown flags abort with usage help.
@@ -71,6 +81,10 @@ impl ExpArgs {
                 "--seed" => args.seed = expect_value(&mut it, "--seed")?,
                 "--scale" => args.scale = expect_value(&mut it, "--scale")?,
                 "--threads" => args.threads = expect_value(&mut it, "--threads")?,
+                "--faults" => {
+                    let v: String = expect_value(&mut it, "--faults")?;
+                    args.faults = Some(parse_faults(&v)?);
+                }
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
                 other => return Err(ParseOutcome::Error(format!("unknown flag {other:?}"))),
@@ -81,6 +95,25 @@ impl ExpArgs {
         }
         Ok(args)
     }
+}
+
+/// Parse a `--faults loss,rate` value: loss in `[0, 1)`, rate in `(0, 1]`.
+fn parse_faults(v: &str) -> Result<(f64, f64), ParseOutcome> {
+    let bad = || ParseOutcome::Error(format!("invalid value {v:?} for --faults (want loss,rate)"));
+    let (l, r) = v.split_once(',').ok_or_else(bad)?;
+    let loss: f64 = l.trim().parse().map_err(|_| bad())?;
+    let rate: f64 = r.trim().parse().map_err(|_| bad())?;
+    if !(0.0..1.0).contains(&loss) {
+        return Err(ParseOutcome::Error(format!(
+            "--faults loss must be in [0, 1), got {loss}"
+        )));
+    }
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(ParseOutcome::Error(format!(
+            "--faults rate must be in (0, 1], got {rate}"
+        )));
+    }
+    Ok((loss, rate))
 }
 
 fn expect_value<T: std::str::FromStr>(
@@ -122,6 +155,33 @@ mod tests {
     fn help_is_not_an_error() {
         assert!(matches!(parse(&["--help"]), Err(ParseOutcome::Help)));
         assert!(matches!(parse(&["-h"]), Err(ParseOutcome::Help)));
+    }
+
+    #[test]
+    fn faults_flag_parses_loss_and_rate() {
+        let a = parse(&["--faults", "0.02,0.5"]).unwrap();
+        assert_eq!(a.faults, Some((0.02, 0.5)));
+        assert_eq!(parse(&[]).unwrap().faults, None);
+        // Whitespace around the comma is tolerated.
+        let b = parse(&["--faults", "0.05, 0.25"]).unwrap();
+        assert_eq!(b.faults, Some((0.05, 0.25)));
+    }
+
+    #[test]
+    fn faults_flag_rejects_malformed_and_out_of_range() {
+        assert!(matches!(parse(&["--faults"]), Err(ParseOutcome::Error(_))));
+        assert!(matches!(
+            parse(&["--faults", "0.02"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        assert!(matches!(
+            parse(&["--faults", "1.5,0.5"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        assert!(matches!(
+            parse(&["--faults", "0.02,0"]),
+            Err(ParseOutcome::Error(_))
+        ));
     }
 
     #[test]

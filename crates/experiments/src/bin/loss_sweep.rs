@@ -1,0 +1,6 @@
+//! Sweeps injected packet loss and reports classification verdict
+//! stability against a loss-free baseline (see DESIGN.md fault model).
+fn main() {
+    let args = experiments::ExpArgs::parse();
+    experiments::exps::loss_sweep::run(&args).print(args.json);
+}

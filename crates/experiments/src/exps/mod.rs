@@ -12,6 +12,7 @@ pub mod figure8;
 pub mod figure9;
 pub mod hobbit_map;
 pub mod longitudinal;
+pub mod loss_sweep;
 pub mod multivantage;
 pub mod scenario_info;
 pub mod section2;

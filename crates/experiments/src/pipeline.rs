@@ -34,7 +34,7 @@ use hobbit::{
 };
 use netsim::build::{build, Scenario, ScenarioConfig};
 use netsim::hash::mix2;
-use netsim::{Addr, Block24, SharedNetwork};
+use netsim::{Addr, Block24, FaultConfig, NetworkStats, SharedNetwork};
 use probe::{zmap, Prober, StoppingRule, ZmapSnapshot};
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -69,6 +69,9 @@ pub struct Pipeline {
     pub calibration_probes: u64,
     /// Per-worker accounting from the classification phase.
     pub worker_stats: Vec<WorkerStats>,
+    /// Network-side carry/drop counters at the end of the run (all zeros
+    /// unless fault injection was enabled).
+    pub net_stats: NetworkStats,
 }
 
 /// Number of blocks surveyed to calibrate the confidence table.
@@ -106,6 +109,21 @@ impl PipelineBuilder {
         self
     }
 
+    /// Inject faults into the probing phases: per-link loss probability
+    /// `loss` and ICMP token-bucket refill rate `rate`. The ZMap snapshot
+    /// is taken before faults switch on, so selection matches a loss-free
+    /// run, and classification probers get extra retries to compensate.
+    pub fn faults(mut self, loss: f64, rate: f64) -> Self {
+        self.args.faults = Some((loss, rate));
+        self
+    }
+
+    /// Keep the network ideal (the default; undoes [`PipelineBuilder::faults`]).
+    pub fn no_faults(mut self) -> Self {
+        self.args.faults = None;
+        self
+    }
+
     /// Take every knob from parsed CLI arguments at once.
     pub fn args(mut self, args: &ExpArgs) -> Self {
         self.args = args.clone();
@@ -125,6 +143,14 @@ impl PipelineBuilder {
         let PipelineBuilder { args, scenario } = self;
         let mut scenario = scenario.unwrap_or_else(|| build(scenario_config(&args)));
         let snapshot = zmap::scan_all(&mut scenario.network);
+
+        // Faults switch on only after the snapshot: selection inputs stay
+        // identical to a loss-free run, so verdicts compare block-for-block.
+        if let Some((loss, rate)) = args.faults {
+            scenario
+                .network
+                .set_faults(FaultConfig::lossy(loss as f32, rate as f32));
+        }
 
         let mut selected = Vec::new();
         let (mut reject_too_few, mut reject_uncovered) = (0usize, 0usize);
@@ -149,6 +175,9 @@ impl PipelineBuilder {
                 .collect();
             let mut dataset: Vec<BlockLasthopData> = Vec::new();
             let mut prober = Prober::new(&mut scenario.network, 0xCA11);
+            if args.faults.is_some() {
+                prober.retries = FAULTED_RETRIES;
+            }
             for sel in sample {
                 let survey = survey_block(&mut prober, sel, StoppingRule::confidence95(), false);
                 if survey.per_addr_lasthops.len() >= 8
@@ -158,13 +187,18 @@ impl PipelineBuilder {
                 }
             }
             calibration_probes = prober.probes_sent();
-            ConfidenceTable::build(&dataset, 50, 24, 0.95, args.seed ^ 0xF16)
+            ConfidenceTable::build(&dataset, 50, 24, 0.95, 8, args.seed ^ 0xF16)
         };
 
         // --- Classification over ONE shared network, work-stealing workers.
         let threads = effective_threads(args.threads, selected.len());
         let hobbit_cfg = HobbitConfig {
             seed: args.seed ^ 0x0B17,
+            prober_retries: if args.faults.is_some() {
+                FAULTED_RETRIES
+            } else {
+                HobbitConfig::default().prober_retries
+            },
             ..Default::default()
         };
         let Scenario {
@@ -179,6 +213,7 @@ impl PipelineBuilder {
         let network = shared
             .try_unwrap()
             .expect("all worker handles are dropped when the scope ends");
+        let net_stats = network.net_stats();
         let scenario = Scenario {
             network,
             truth,
@@ -196,9 +231,16 @@ impl PipelineBuilder {
             classify_probes,
             calibration_probes,
             worker_stats,
+            net_stats,
         }
     }
 }
+
+/// Per-probe retries used when fault injection is on. Three retries bound
+/// the residual per-call loss well below a percent at the sweep's loss
+/// rates, and a token bucket refilling at rate `r` denies a stream at most
+/// `ceil(1/r) - 1` times in a row — so rate ≥ 0.25 is always recovered.
+pub const FAULTED_RETRIES: u32 = 3;
 
 /// Resolve a thread-count argument (0 = all cores) against the work size.
 fn effective_threads(requested: usize, tasks: usize) -> usize {
@@ -223,6 +265,12 @@ pub struct WorkerStats {
     pub rtt_us: u64,
     /// Blocks this worker stole from another worker's queue.
     pub steals: u64,
+    /// Probe attempts that got no answer.
+    pub drops: u64,
+    /// Retries this worker's probers spent.
+    pub retries: u64,
+    /// Simulated backoff wait accumulated before retries, microseconds.
+    pub backoff_us: u64,
 }
 
 /// The ICMP ident a block's classification prober uses. Derived from the
@@ -309,6 +357,9 @@ pub fn classify_blocks(
                         stats.probes += prober.probes_sent();
                         stats.rtt_us += prober.rtt_total_us();
                         stats.steals += stolen as u64;
+                        stats.drops += prober.drops();
+                        stats.retries += prober.retries_used();
+                        stats.backoff_us += prober.backoff_total_us();
                         out.push((idx, m));
                     }
                     (out, stats)
@@ -356,6 +407,23 @@ impl Pipeline {
     /// Identical-set aggregates of the homogeneous blocks (Section 5).
     pub fn aggregates(&self) -> Vec<Aggregate> {
         aggregate_identical(&self.homog_blocks())
+    }
+
+    /// Classification-phase probe attempts that got no answer (sum over
+    /// workers).
+    pub fn total_drops(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.drops).sum()
+    }
+
+    /// Classification-phase retries spent (sum over workers).
+    pub fn total_retries(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.retries).sum()
+    }
+
+    /// Classification-phase simulated backoff wait, microseconds (sum over
+    /// workers).
+    pub fn total_backoff_us(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.backoff_us).sum()
     }
 
     /// Snapshot-active addresses of a block.
@@ -468,6 +536,7 @@ mod tests {
             scale: 0.01,
             json: false,
             threads: 2,
+            faults: None,
         };
         #[allow(deprecated)]
         let a = run(&args);
@@ -483,11 +552,60 @@ mod tests {
             scale: 0.01,
             json: false,
             threads: 2,
+            faults: None,
         };
         let scenario = build(scenario_config(&args));
         let a = tiny().scenario(scenario).run();
         let b = tiny().run();
         assert_eq!(a.measurements.len(), b.measurements.len());
+    }
+
+    #[test]
+    fn fault_free_run_reports_zero_injected_drops() {
+        // Without --faults the injected mechanisms stay silent. The
+        // scenario's own Bernoulli rate-limited routers may still eat some
+        // ICMP errors (icmp_loss_drops) — that is baseline realism, not
+        // injection — and probers still time out on genuinely silent hosts.
+        let p = tiny().run();
+        assert_eq!(p.net_stats.link_drops, 0, "{:?}", p.net_stats);
+        assert_eq!(p.net_stats.rate_limited_drops, 0, "{:?}", p.net_stats);
+        assert!(p.net_stats.probes_carried > 0);
+        assert_eq!(
+            p.total_drops(),
+            p.worker_stats.iter().map(|w| w.drops).sum()
+        );
+    }
+
+    #[test]
+    fn faulted_run_reports_drops_retries_and_backoff() {
+        let p = tiny().faults(0.02, 0.5).run();
+        // The network saw injected faults...
+        assert!(p.net_stats.link_drops > 0, "{:?}", p.net_stats);
+        assert!(p.net_stats.probes_carried > 0);
+        // ...and the probers accounted for the lost answers.
+        assert!(p.total_drops() > 0);
+        assert!(p.total_retries() > 0);
+        assert!(p.total_backoff_us() > 0);
+        // Totals are exactly the per-worker sums (the report contract).
+        assert_eq!(
+            p.total_drops(),
+            p.worker_stats.iter().map(|w| w.drops).sum()
+        );
+        assert_eq!(
+            p.total_retries(),
+            p.worker_stats.iter().map(|w| w.retries).sum()
+        );
+        assert_eq!(
+            p.total_backoff_us(),
+            p.worker_stats.iter().map(|w| w.backoff_us).sum()
+        );
+        // Faults must not disturb the snapshot phase.
+        let clean = tiny().run();
+        assert_eq!(
+            p.snapshot.total_active(),
+            clean.snapshot.total_active(),
+            "snapshot is taken before faults switch on"
+        );
     }
 
     #[test]

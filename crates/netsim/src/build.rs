@@ -14,6 +14,7 @@
 //! score Hobbit's inferences — something the paper itself could not do.
 
 use crate::addr::{Addr, Block24, Prefix};
+use crate::fault::FaultConfig;
 use crate::hash::{mix2, unit_f64};
 use crate::host::{HostKind, HostProfile, TtlMix};
 use crate::roster::{paper_roster, AsSpec, OrgType};
@@ -65,6 +66,9 @@ pub struct ScenarioConfig {
     /// Extra vantage points besides the primary (paper §6.1: probing from
     /// several sources reveals paths chosen by source-hashing balancers).
     pub extra_vantages: usize,
+    /// Fault injection (seeded link loss, ICMP token buckets); inactive by
+    /// default so every scenario starts on the pristine substrate.
+    pub faults: FaultConfig,
     /// The AS roster.
     pub roster: Vec<AsSpec>,
 }
@@ -89,6 +93,7 @@ impl ScenarioConfig {
             intra_fan: 2,
             lh_fan_weights: [0.20, 0.07, 0.38, 0.35],
             extra_vantages: 0,
+            faults: FaultConfig::none(),
             roster: paper_roster(),
         }
     }
@@ -635,6 +640,7 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
         b.build_as(as_idx as u16, spec, total_hetero);
     }
 
+    b.net.set_faults(b.cfg.faults);
     Scenario {
         network: b.net,
         truth: b.truth,

@@ -6,6 +6,7 @@
 //! this bottleneck.
 
 use crate::addr::Addr;
+use crate::fault::FaultCounters;
 use crate::hash::{mix3, unit_f64};
 use crate::host::HostKind;
 use crate::route::{FlowKey, NextHop, RouterId};
@@ -106,7 +107,7 @@ impl Network {
             key.flow_label as u64,
         );
 
-        let outcome = self.walk(&key, ip.ttl, entry_router);
+        let outcome = self.walk(&key, ip.ttl, entry_router, nonce);
         Ok(match outcome {
             Outcome::Expired { at, hops } => {
                 self.router_error(at, hops, ICMP_TIME_EXCEEDED, &ip, &echo, nonce)
@@ -120,10 +121,17 @@ impl Network {
     }
 
     /// Walk the forwarding path for a flow, decrementing TTL at each router.
-    fn walk(&self, key: &FlowKey, ttl: u8, entry: RouterId) -> Outcome {
+    ///
+    /// When fault injection is on, each hop transition is a seeded
+    /// per-link loss draw: keyed by the link (current router, hop index)
+    /// and the probe nonce, so a given probe's fate is a pure function of
+    /// its wire bytes — identical at any thread count — while retries
+    /// (fresh seq/ident, fresh nonce) are independent draws.
+    fn walk(&self, key: &FlowKey, ttl: u8, entry: RouterId, nonce: u64) -> Outcome {
         let mut ttl = ttl as u32;
         let mut cur = entry;
         let mut hops = 0u32;
+        let link_loss = self.faults.link_loss;
         loop {
             hops += 1;
             if hops > MAX_HOPS {
@@ -132,6 +140,19 @@ impl Network {
             if ttl == 0 {
                 // The probe never had budget to reach the first router.
                 return Outcome::Dropped;
+            }
+            if link_loss > 0.0 {
+                let draw = mix3(
+                    self.seed ^ 0x11AC,
+                    ((hops as u64) << 32) | cur.0 as u64,
+                    nonce,
+                );
+                if unit_f64(draw) < link_loss as f64 {
+                    // Lost on the wire into `cur`: no Time Exceeded, no
+                    // delivery — the prober just sees silence.
+                    FaultCounters::bump(&self.fault_counters.link_drops);
+                    return Outcome::Dropped;
+                }
             }
             ttl -= 1;
             if ttl == 0 {
@@ -163,11 +184,27 @@ impl Network {
         if !router.responsive {
             return timeout();
         }
-        if router.icmp_loss > 0.0 {
-            let drop = unit_f64(mix3(self.seed ^ 0x5A, at.0 as u64, nonce));
-            if drop < router.icmp_loss as f64 {
-                return timeout();
+        match self.faults.icmp_rate {
+            // Token-bucket rate limiting at every responsive router; the
+            // bucket is per probe stream (router, prober ident, target /24)
+            // so admission never depends on worker-thread interleaving.
+            Some(rate) => {
+                let stream = (at.0, probe_echo.ident, probe_ip.dst.block24().0);
+                if !self.buckets.admit(stream, rate, self.faults.icmp_burst) {
+                    FaultCounters::bump(&self.fault_counters.rate_limited_drops);
+                    return timeout();
+                }
             }
+            // Legacy behavior: scenario-flagged routers suppress replies
+            // with a stateless Bernoulli draw.
+            None if router.icmp_loss > 0.0 => {
+                let drop = unit_f64(mix3(self.seed ^ 0x5A, at.0 as u64, nonce));
+                if drop < router.icmp_loss as f64 {
+                    FaultCounters::bump(&self.fault_counters.icmp_loss_drops);
+                    return timeout();
+                }
+            }
+            None => {}
         }
         let err = IcmpError {
             icmp_type,
@@ -471,6 +508,86 @@ mod tests {
         let _ = net.send(probe(&net, Addr::new(10, 0, 0, 5), 64));
         let _ = net.send(probe(&net, Addr::new(10, 0, 0, 6), 64));
         assert_eq!(net.probes_carried(), 2);
+    }
+
+    #[test]
+    fn link_loss_drops_some_probes_deterministically() {
+        use crate::fault::FaultConfig;
+        let mut net = chain();
+        net.set_faults(FaultConfig {
+            link_loss: 0.2,
+            ..FaultConfig::none()
+        });
+        let dst = Addr::new(10, 0, 0, 5);
+        let outcomes: Vec<bool> = (0..100u16)
+            .map(|seq| {
+                let p = encode_probe(net.vantage_addr(), dst, 64, 7, seq, 0xAAAA, seq);
+                net.send(p).unwrap().response.is_some()
+            })
+            .collect();
+        let answered = outcomes.iter().filter(|&&a| a).count();
+        // 4 hops at 20% per-link loss ≈ 41% end-to-end survival per probe.
+        assert!((20..75).contains(&answered), "answered {answered}/100");
+        assert!(net.net_stats().link_drops > 0);
+        // Byte-identical probes meet byte-identical fates on a fresh clone.
+        let replayed = chain();
+        let mut net2 = replayed;
+        net2.set_faults(FaultConfig {
+            link_loss: 0.2,
+            ..FaultConfig::none()
+        });
+        let again: Vec<bool> = (0..100u16)
+            .map(|seq| {
+                let p = encode_probe(net2.vantage_addr(), dst, 64, 7, seq, 0xAAAA, seq);
+                net2.send(p).unwrap().response.is_some()
+            })
+            .collect();
+        assert_eq!(outcomes, again);
+    }
+
+    #[test]
+    fn token_bucket_rate_limits_icmp_errors() {
+        let mut net = chain();
+        net.set_faults(crate::fault::FaultConfig::lossy(0.0, 0.25));
+        let dst = Addr::new(10, 0, 0, 5);
+        let mut answered = 0;
+        let mut worst_run = 0;
+        let mut run = 0;
+        for seq in 0..100u16 {
+            let p = encode_probe(net.vantage_addr(), dst, 2, 7, seq, 0xAAAA, seq);
+            if net.send(p).unwrap().response.is_some() {
+                answered += 1;
+                run = 0;
+            } else {
+                run += 1;
+                worst_run = worst_run.max(run);
+            }
+        }
+        // Burst of 4 passes, then throttled to ~1 in 4.
+        assert!((20..50).contains(&answered), "answered {answered}/100");
+        // Refill 0.25 bounds consecutive denials at 3 — the guarantee the
+        // prober's retry budget leans on.
+        assert!(worst_run <= 3, "saw {worst_run} consecutive denials");
+        assert!(net.net_stats().rate_limited_drops > 0);
+        // A different prober ident is a separate stream with a fresh burst.
+        let p = encode_probe(net.vantage_addr(), dst, 2, 8, 0, 0xAAAA, 0);
+        assert!(net.send(p).unwrap().response.is_some());
+    }
+
+    #[test]
+    fn legacy_bernoulli_drops_are_counted() {
+        let mut net = chain();
+        net.router_mut(RouterId(1)).icmp_loss = 0.5;
+        let dst = Addr::new(10, 0, 0, 5);
+        for seq in 0..50u16 {
+            let p = encode_probe(net.vantage_addr(), dst, 2, 7, seq, 0xAAAA, seq);
+            let _ = net.send(p);
+        }
+        let stats = net.net_stats();
+        assert!(stats.icmp_loss_drops > 0);
+        assert_eq!(stats.rate_limited_drops, 0);
+        assert_eq!(stats.link_drops, 0);
+        assert_eq!(stats.probes_carried, 50);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::addr::{Addr, Block24};
 use crate::concurrent::WarmedSet;
+use crate::fault::{FaultConfig, FaultCounters, NetworkStats, TokenBuckets};
 use crate::hash::mix2;
 use crate::host::{HostOracle, HostProfile};
 use crate::route::{NextHop, NextHopGroup, RouteTable, RouterId};
@@ -80,6 +81,12 @@ pub struct Network {
     pub(crate) warmed: WarmedSet,
     /// Total probe packets the network has carried (cost accounting).
     pub(crate) probes_carried: AtomicU64,
+    /// Fault-injection knobs (inactive by default).
+    pub(crate) faults: FaultConfig,
+    /// Per-stream ICMP rate-limit buckets (used when faults enable them).
+    pub(crate) buckets: TokenBuckets,
+    /// Drop accounting for the fault layer.
+    pub(crate) fault_counters: FaultCounters,
 }
 
 impl Clone for Network {
@@ -96,6 +103,9 @@ impl Clone for Network {
             epoch: self.epoch,
             warmed: self.warmed.clone(),
             probes_carried: AtomicU64::new(self.probes_carried.load(Ordering::Relaxed)),
+            faults: self.faults,
+            buckets: self.buckets.clone(),
+            fault_counters: self.fault_counters.clone(),
         }
     }
 }
@@ -116,6 +126,9 @@ impl Network {
             epoch: 1,
             warmed: WarmedSet::new(),
             probes_carried: AtomicU64::new(0),
+            faults: FaultConfig::none(),
+            buckets: TokenBuckets::new(),
+            fault_counters: FaultCounters::default(),
         }
     }
 
@@ -216,8 +229,35 @@ impl Network {
     pub fn set_epoch(&mut self, epoch: u32) {
         if epoch != self.epoch {
             self.warmed.clear();
+            // Rate-limit buckets refill while the campaign is idle.
+            self.buckets.clear();
         }
         self.epoch = epoch;
+    }
+
+    /// The active fault-injection configuration.
+    pub fn faults(&self) -> FaultConfig {
+        self.faults
+    }
+
+    /// Install a fault-injection configuration. Resets token-bucket state
+    /// (but not the drop counters, which are cumulative).
+    pub fn set_faults(&mut self, faults: FaultConfig) {
+        self.faults = faults;
+        self.buckets.clear();
+    }
+
+    /// Snapshot the probe and fault accounting.
+    pub fn net_stats(&self) -> NetworkStats {
+        NetworkStats {
+            probes_carried: self.probes_carried(),
+            link_drops: self.fault_counters.link_drops.load(Ordering::Relaxed),
+            rate_limited_drops: self
+                .fault_counters
+                .rate_limited_drops
+                .load(Ordering::Relaxed),
+            icmp_loss_drops: self.fault_counters.icmp_loss_drops.load(Ordering::Relaxed),
+        }
     }
 
     /// Host oracle (for ground-truth checks in tests).

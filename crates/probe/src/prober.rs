@@ -7,7 +7,7 @@
 //! exclusively borrowed network, a shared `&Network` inside scoped worker
 //! threads, or an owned [`SharedNetwork`] handle.
 
-use crate::record::ProbeLog;
+use crate::record::{ProbeLog, RecordedCall, RecordedReply};
 use bytes::Bytes;
 use netsim::forward::encode_probe;
 use netsim::wire::{IcmpEcho, IcmpError, Ipv4Header, ICMP_ECHO_REPLY, ICMP_TIME_EXCEEDED};
@@ -152,8 +152,37 @@ pub struct Prober<'n> {
     source: Addr,
     /// Retries after a timeout before giving up on a probe.
     pub retries: u32,
-    /// When recording, every attempt lands here.
+    /// Total retries this prober may spend across its lifetime. Each retry
+    /// consumes one unit; at zero, probes get a single attempt regardless
+    /// of [`Prober::retries`]. Bounds worst-case load on lossy paths.
+    pub retry_budget: u64,
+    /// First-retry backoff delay, microseconds. Doubles per retry.
+    pub backoff_base_us: u64,
+    /// Ceiling on a single backoff delay, microseconds.
+    pub backoff_cap_us: u64,
+    /// Attempts that got no answer (each timed-out attempt, incl. retries).
+    drops: u64,
+    /// Retries actually spent.
+    retries_used: u64,
+    /// Total simulated backoff wait, microseconds.
+    backoff_us: u64,
+    /// When recording, every probe call lands here.
     recording: Option<ProbeLog>,
+}
+
+/// Default lifetime retry budget: generous for ordinary runs, finite so a
+/// pathological loss regime cannot balloon probe counts unboundedly.
+pub const DEFAULT_RETRY_BUDGET: u64 = 1 << 16;
+/// Default first-retry backoff (100 ms, the classic ping interval).
+pub const DEFAULT_BACKOFF_BASE_US: u64 = 100_000;
+/// Default backoff ceiling (1.6 s = base doubled four times).
+pub const DEFAULT_BACKOFF_CAP_US: u64 = 1_600_000;
+
+/// Simulated wait before retry number `retry_index` (1-based): exponential
+/// in the retry index, capped.
+fn backoff_delay(base_us: u64, cap_us: u64, retry_index: u32) -> u64 {
+    let shift = retry_index.saturating_sub(1).min(16);
+    base_us.saturating_mul(1u64 << shift).min(cap_us)
 }
 
 /// Where a prober's answers come from.
@@ -185,6 +214,12 @@ impl<'n> Prober<'n> {
             rtt_sum_us: 0,
             source,
             retries: 1,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            backoff_base_us: DEFAULT_BACKOFF_BASE_US,
+            backoff_cap_us: DEFAULT_BACKOFF_CAP_US,
+            drops: 0,
+            retries_used: 0,
+            backoff_us: 0,
             recording: None,
         }
     }
@@ -208,6 +243,12 @@ impl<'n> Prober<'n> {
             rtt_sum_us: 0,
             source,
             retries: 1,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            backoff_base_us: DEFAULT_BACKOFF_BASE_US,
+            backoff_cap_us: DEFAULT_BACKOFF_CAP_US,
+            drops: 0,
+            retries_used: 0,
+            backoff_us: 0,
             recording: None,
         }
     }
@@ -260,6 +301,23 @@ impl<'n> Prober<'n> {
         self.rtt_sum_us
     }
 
+    /// Attempts that got no answer (every timed-out attempt, including
+    /// retries that also timed out).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Retries actually spent (attempts beyond the first per probe call).
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used
+    }
+
+    /// Total simulated backoff wait accumulated before retries,
+    /// microseconds.
+    pub fn backoff_total_us(&self) -> u64 {
+        self.backoff_us
+    }
+
     /// The underlying network (e.g. for epoch changes in experiments).
     ///
     /// # Panics
@@ -289,58 +347,117 @@ impl<'n> Prober<'n> {
     ///
     /// `flow_label` is the Paris flow identifier (the ICMP checksum the
     /// probe carries); keep it constant to stay on one per-flow path, vary
-    /// it to explore siblings. Labels are masked into `0..=0xfffe` because
-    /// `0xffff` is not a representable internet checksum.
+    /// it to explore siblings. `0xffff` is not a representable internet
+    /// checksum, so that label is remapped to `0xfffe` — a dedicated
+    /// overflow slot rather than `0`, which would collide with the real
+    /// label 0 and silently merge two distinct flows.
+    ///
+    /// On timeout the prober retries up to [`Prober::retries`] times,
+    /// waiting a capped exponentially growing backoff before each retry
+    /// (accumulated in [`Prober::backoff_total_us`]); retries also draw on
+    /// the lifetime [`Prober::retry_budget`].
     pub fn probe(&mut self, dst: Addr, ttl: u8, flow_label: u16) -> ProbeResult {
-        let flow_label = if flow_label == 0xffff { 0 } else { flow_label };
+        let flow_label = if flow_label == 0xffff {
+            0xfffe
+        } else {
+            flow_label
+        };
+        match &self.backend {
+            Backend::Live(_) => self.live_probe(dst, ttl, flow_label),
+            Backend::Replay { .. } => self.replay_probe(dst, ttl, flow_label),
+        }
+    }
+
+    /// Live path: attempt, back off, retry while the budget allows.
+    fn live_probe(&mut self, dst: Addr, ttl: u8, flow_label: u16) -> ProbeResult {
+        let record = self.recording.is_some();
+        let mut attempts: RecordedCall = Vec::new();
+        let mut attempt: u32 = 0;
+        let last = loop {
+            self.seq = self.seq.wrapping_add(1);
+            self.ip_ident = self.ip_ident.wrapping_add(1);
+            self.probes_sent += 1;
+            let Backend::Live(transport) = &mut self.backend else {
+                unreachable!("live_probe is only called on live backends");
+            };
+            let wire = encode_probe(
+                self.source,
+                dst,
+                ttl,
+                self.icmp_ident,
+                self.seq,
+                flow_label,
+                self.ip_ident,
+            );
+            let delivery = transport
+                .transmit(wire)
+                .expect("prober always emits well-formed probes");
+            let result = ProbeResult {
+                reply: parse_reply(delivery.response.as_ref(), self.icmp_ident),
+                rtt_us: delivery.rtt_us,
+            };
+            self.rtt_sum_us += result.rtt_us;
+            if record {
+                attempts.push((result.reply.into(), result.rtt_us));
+            }
+            if result.reply.responded() {
+                break result;
+            }
+            self.drops += 1;
+            if attempt >= self.retries || self.retry_budget == 0 {
+                break result;
+            }
+            attempt += 1;
+            self.retry_budget -= 1;
+            self.retries_used += 1;
+            self.backoff_us += backoff_delay(self.backoff_base_us, self.backoff_cap_us, attempt);
+        };
+        if let Some(log) = &mut self.recording {
+            log.push_call(dst, ttl, flow_label, attempts);
+        }
+        last
+    }
+
+    /// Replay path: consume exactly one recorded call — the whole attempt
+    /// sequence the live run made — so the FIFO stays aligned even when the
+    /// replaying prober's retry settings differ from the recording run's.
+    fn replay_probe(&mut self, dst: Addr, ttl: u8, flow_label: u16) -> ProbeResult {
+        let popped = {
+            let Backend::Replay { log, misses } = &mut self.backend else {
+                unreachable!("replay_probe is only called on replay backends");
+            };
+            let call = log.pop_call(dst, ttl, flow_label);
+            if call.is_none() {
+                *misses += 1;
+            }
+            call
+        };
+        let attempts = popped.unwrap_or_else(|| vec![(RecordedReply::Timeout, netsim::TIMEOUT_US)]);
         let mut last = ProbeResult {
             reply: ProbeReply::Timeout,
             rtt_us: netsim::TIMEOUT_US,
         };
-        for _attempt in 0..=self.retries {
+        for (i, &(reply, rtt_us)) in attempts.iter().enumerate() {
+            if i > 0 {
+                self.retry_budget = self.retry_budget.saturating_sub(1);
+                self.retries_used += 1;
+                self.backoff_us +=
+                    backoff_delay(self.backoff_base_us, self.backoff_cap_us, i as u32);
+            }
             self.seq = self.seq.wrapping_add(1);
             self.ip_ident = self.ip_ident.wrapping_add(1);
             self.probes_sent += 1;
-            last = match &mut self.backend {
-                Backend::Live(transport) => {
-                    let wire = encode_probe(
-                        self.source,
-                        dst,
-                        ttl,
-                        self.icmp_ident,
-                        self.seq,
-                        flow_label,
-                        self.ip_ident,
-                    );
-                    let delivery = transport
-                        .transmit(wire)
-                        .expect("prober always emits well-formed probes");
-                    ProbeResult {
-                        reply: parse_reply(delivery.response.as_ref(), self.icmp_ident),
-                        rtt_us: delivery.rtt_us,
-                    }
-                }
-                Backend::Replay { log, misses } => match log.pop(dst, ttl, flow_label) {
-                    Some((reply, rtt_us)) => ProbeResult {
-                        reply: reply.into(),
-                        rtt_us,
-                    },
-                    None => {
-                        *misses += 1;
-                        ProbeResult {
-                            reply: ProbeReply::Timeout,
-                            rtt_us: netsim::TIMEOUT_US,
-                        }
-                    }
-                },
+            self.rtt_sum_us += rtt_us;
+            last = ProbeResult {
+                reply: reply.into(),
+                rtt_us,
             };
-            self.rtt_sum_us += last.rtt_us;
-            if let Some(log) = &mut self.recording {
-                log.push(dst, ttl, flow_label, last.reply.into(), last.rtt_us);
+            if !last.reply.responded() {
+                self.drops += 1;
             }
-            if last.reply.responded() {
-                break;
-            }
+        }
+        if let Some(log) = &mut self.recording {
+            log.push_call(dst, ttl, flow_label, attempts);
         }
         last
     }
@@ -471,5 +588,73 @@ mod tests {
         p.retries = 3;
         let _ = p.probe(blk.addr(0), 64, 0); // .0 never hosts anyone
         assert_eq!(p.probes_sent(), 4, "1 try + 3 retries");
+    }
+
+    #[test]
+    fn flow_label_0xffff_remaps_to_0xfffe_not_0() {
+        // Regression: 0xffff used to fold onto 0, silently merging two
+        // distinct Paris flows. The recorded call's key shows the wire label.
+        let mut s = scenario();
+        let blk = dense_block(&s);
+        let dst = blk.addr(10);
+        let mut p = Prober::new(&mut s.network, 77);
+        p.start_recording();
+        let _ = p.probe(dst, 64, 0xffff);
+        let _ = p.probe(dst, 64, 0);
+        let log = p.take_log().unwrap();
+        assert_eq!(log.calls_for(dst, 64, 0xfffe), 1, "0xffff lands on 0xfffe");
+        assert_eq!(log.calls_for(dst, 64, 0), 1, "label 0 keeps its own key");
+        assert_eq!(
+            log.calls_for(dst, 64, 0xffff),
+            0,
+            "0xffff is never on the wire"
+        );
+    }
+
+    #[test]
+    fn backoff_accumulates_exponentially_with_cap() {
+        let mut s = scenario();
+        let blk = dense_block(&s);
+        let mut p = Prober::new(&mut s.network, 77);
+        p.retries = 3;
+        p.backoff_base_us = 100;
+        p.backoff_cap_us = 1_000;
+        let _ = p.probe(blk.addr(0), 64, 0); // .0 never answers
+        assert_eq!(p.drops(), 4, "every timed-out attempt is a drop");
+        assert_eq!(p.retries_used(), 3);
+        assert_eq!(p.backoff_total_us(), 100 + 200 + 400);
+
+        // With a low cap, later delays clamp.
+        p.backoff_cap_us = 150;
+        let before = p.backoff_total_us();
+        let _ = p.probe(blk.addr(0), 64, 1);
+        assert_eq!(p.backoff_total_us() - before, 100 + 150 + 150);
+    }
+
+    #[test]
+    fn retry_budget_caps_lifetime_retries() {
+        let mut s = scenario();
+        let blk = dense_block(&s);
+        let mut p = Prober::new(&mut s.network, 77);
+        p.retries = 3;
+        p.retry_budget = 1;
+        let _ = p.probe(blk.addr(0), 64, 0);
+        assert_eq!(p.probes_sent(), 2, "budget allows exactly one retry");
+        assert_eq!(p.retries_used(), 1);
+        assert_eq!(p.retry_budget, 0);
+        let _ = p.probe(blk.addr(0), 64, 1);
+        assert_eq!(p.probes_sent(), 3, "exhausted budget means single attempts");
+    }
+
+    #[test]
+    fn probe_once_leaves_loss_counters_consistent() {
+        let mut s = scenario();
+        let blk = dense_block(&s);
+        let mut p = Prober::new(&mut s.network, 77);
+        let _ = p.probe_once(blk.addr(0), 64, 0);
+        assert_eq!(p.probes_sent(), 1);
+        assert_eq!(p.drops(), 1);
+        assert_eq!(p.retries_used(), 0);
+        assert_eq!(p.backoff_total_us(), 0);
     }
 }

@@ -2,10 +2,14 @@
 //! of real measurement archives (CAIDA's warts files, the paper's own
 //! traceroute datasets).
 //!
-//! A [`ProbeLog`] captures every probe attempt a [`Prober`] makes, keyed by
-//! `(dst, ttl, flow_label)`. Replaying the log answers the same questions
-//! in the same order, so any analysis that ran against the live network
-//! reproduces bit-for-bit from the archive — without the network.
+//! A [`ProbeLog`] captures every [`Prober::probe`](crate::Prober::probe)
+//! *call* a prober makes, keyed by `(dst, ttl, flow_label)`. Each call is
+//! stored as its full attempt sequence (first try plus any retries), so
+//! replay consumes exactly one recorded call per `probe()` — regardless of
+//! how the replaying prober's own retry settings are configured. Storing
+//! bare attempts instead (the original design) desynchronized the FIFO the
+//! moment recording and replay disagreed about retry counts: a replayed
+//! retry would pop the *next call's* first attempt.
 
 use crate::prober::ProbeReply;
 use netsim::Addr;
@@ -58,27 +62,33 @@ impl From<RecordedReply> for ProbeReply {
     }
 }
 
-/// The key a probe attempt is filed under.
+/// The key a probe call is filed under.
 pub type ProbeKey = (Addr, u8, u16);
 
-/// An archive of probe attempts.
+/// One `probe()` call's attempt sequence: the first try plus any retries,
+/// each with its reply and measured RTT.
+pub type RecordedCall = Vec<(RecordedReply, u64)>;
+
+/// An archive of probe calls.
 ///
-/// Attempts with the same key are stored in order; replay consumes them
-/// FIFO, so retry sequences (which reuse the key) reproduce faithfully.
+/// Calls with the same key are stored in order; replay consumes them FIFO,
+/// one whole call (with its full attempt sequence) per `probe()`.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct ProbeLog {
     /// Stored as a pair list because JSON map keys must be strings.
     #[serde(with = "entries_serde")]
-    entries: HashMap<ProbeKey, VecDeque<(RecordedReply, u64)>>,
-    /// Total attempts recorded.
+    entries: HashMap<ProbeKey, VecDeque<RecordedCall>>,
+    /// Total attempts recorded (over all calls).
     pub count: u64,
+    /// Total `probe()` calls recorded.
+    pub calls: u64,
 }
 
 mod entries_serde {
     use super::*;
 
-    type Pairs = Vec<(ProbeKey, Vec<(RecordedReply, u64)>)>;
-    type Entries = HashMap<ProbeKey, VecDeque<(RecordedReply, u64)>>;
+    type Pairs = Vec<(ProbeKey, Vec<RecordedCall>)>;
+    type Entries = HashMap<ProbeKey, VecDeque<RecordedCall>>;
 
     pub fn serialize(map: &Entries) -> serde::Value {
         let mut pairs: Pairs = map
@@ -104,23 +114,45 @@ impl ProbeLog {
         Self::default()
     }
 
-    /// Record one attempt.
-    pub fn push(&mut self, dst: Addr, ttl: u8, flow_label: u16, reply: RecordedReply, rtt_us: u64) {
+    /// Record one complete `probe()` call (its whole attempt sequence).
+    /// Empty calls are ignored.
+    pub fn push_call(&mut self, dst: Addr, ttl: u8, flow_label: u16, attempts: RecordedCall) {
+        if attempts.is_empty() {
+            return;
+        }
+        self.count += attempts.len() as u64;
+        self.calls += 1;
         self.entries
             .entry((dst, ttl, flow_label))
             .or_default()
-            .push_back((reply, rtt_us));
-        self.count += 1;
+            .push_back(attempts);
     }
 
-    /// Consume the next recorded attempt for a key, if any.
-    pub fn pop(&mut self, dst: Addr, ttl: u8, flow_label: u16) -> Option<(RecordedReply, u64)> {
+    /// Record a single-attempt call (convenience for hand-built logs).
+    pub fn push(&mut self, dst: Addr, ttl: u8, flow_label: u16, reply: RecordedReply, rtt_us: u64) {
+        self.push_call(dst, ttl, flow_label, vec![(reply, rtt_us)]);
+    }
+
+    /// Consume the next recorded call for a key, if any.
+    pub fn pop_call(&mut self, dst: Addr, ttl: u8, flow_label: u16) -> Option<RecordedCall> {
         self.entries.get_mut(&(dst, ttl, flow_label))?.pop_front()
     }
 
-    /// Remaining (unconsumed) attempts.
+    /// Unconsumed calls remaining for one key (0 when absent).
+    pub fn calls_for(&self, dst: Addr, ttl: u8, flow_label: u16) -> usize {
+        self.entries
+            .get(&(dst, ttl, flow_label))
+            .map(VecDeque::len)
+            .unwrap_or(0)
+    }
+
+    /// Remaining (unconsumed) attempts over all calls.
     pub fn remaining(&self) -> usize {
-        self.entries.values().map(VecDeque::len).sum()
+        self.entries
+            .values()
+            .flat_map(|calls| calls.iter())
+            .map(Vec::len)
+            .sum()
     }
 
     /// Distinct destinations in the log.
@@ -161,15 +193,39 @@ mod tests {
         let mut log = ProbeLog::new();
         let d = Addr(7);
         log.push(d, 4, 1, RecordedReply::Timeout, 100);
-        log.push(d, 4, 1, RecordedReply::Echo { from: d, ttl: 55 }, 200);
-        assert_eq!(log.count, 2);
-        assert_eq!(log.pop(d, 4, 1), Some((RecordedReply::Timeout, 100)));
-        assert_eq!(
-            log.pop(d, 4, 1),
-            Some((RecordedReply::Echo { from: d, ttl: 55 }, 200))
+        log.push_call(
+            d,
+            4,
+            1,
+            vec![
+                (RecordedReply::Timeout, 100),
+                (RecordedReply::Echo { from: d, ttl: 55 }, 200),
+            ],
         );
-        assert_eq!(log.pop(d, 4, 1), None);
-        assert_eq!(log.pop(d, 5, 1), None);
+        assert_eq!(log.count, 3);
+        assert_eq!(log.calls, 2);
+        assert_eq!(log.calls_for(d, 4, 1), 2);
+        assert_eq!(
+            log.pop_call(d, 4, 1),
+            Some(vec![(RecordedReply::Timeout, 100)])
+        );
+        assert_eq!(
+            log.pop_call(d, 4, 1),
+            Some(vec![
+                (RecordedReply::Timeout, 100),
+                (RecordedReply::Echo { from: d, ttl: 55 }, 200),
+            ])
+        );
+        assert_eq!(log.pop_call(d, 4, 1), None);
+        assert_eq!(log.pop_call(d, 5, 1), None);
+    }
+
+    #[test]
+    fn empty_calls_are_not_recorded() {
+        let mut log = ProbeLog::new();
+        log.push_call(Addr(1), 1, 1, Vec::new());
+        assert_eq!(log.calls, 0);
+        assert_eq!(log.remaining(), 0);
     }
 
     #[test]
@@ -202,6 +258,55 @@ mod tests {
     }
 
     #[test]
+    fn replay_is_immune_to_retry_config_mismatch() {
+        // The original per-attempt FIFO desynchronized here: a replayed
+        // retry popped the next call's first attempt. Record two calls to
+        // one key with retries=0, then replay with retries=3 — each
+        // `probe()` must consume exactly one recorded call.
+        let d = Addr(9);
+        let mut log = ProbeLog::new();
+        log.push_call(d, 64, 1, vec![(RecordedReply::Timeout, 100)]);
+        log.push_call(
+            d,
+            64,
+            1,
+            vec![(RecordedReply::Echo { from: d, ttl: 60 }, 200)],
+        );
+
+        let mut rp = Prober::replayer(log, 5, Addr(0));
+        rp.retries = 3; // more retries than were recorded
+        let first = rp.probe(d, 64, 1);
+        assert_eq!(first.reply, ProbeReply::Timeout);
+        let second = rp.probe(d, 64, 1);
+        assert_eq!(second.reply, ProbeReply::Echo { from: d, ttl: 60 });
+        assert_eq!(rp.replay_misses(), 0, "no call may bleed into the next");
+        assert_eq!(rp.probes_sent(), 2);
+    }
+
+    #[test]
+    fn replay_roundtrips_a_retried_call() {
+        // A live call that timed out twice then answered replays as one
+        // call with identical accounting.
+        let d = Addr(11);
+        let attempts = vec![
+            (RecordedReply::Timeout, netsim::TIMEOUT_US),
+            (RecordedReply::Timeout, netsim::TIMEOUT_US),
+            (RecordedReply::Echo { from: d, ttl: 50 }, 42_000),
+        ];
+        let mut log = ProbeLog::new();
+        log.push_call(d, 64, 0, attempts);
+
+        let mut rp = Prober::replayer(log, 5, Addr(0));
+        let r = rp.probe(d, 64, 0);
+        assert_eq!(r.reply, ProbeReply::Echo { from: d, ttl: 50 });
+        assert_eq!(rp.probes_sent(), 3, "all recorded attempts replay");
+        assert_eq!(rp.drops(), 2);
+        assert_eq!(rp.retries_used(), 2);
+        assert!(rp.backoff_total_us() > 0);
+        assert_eq!(rp.replay_misses(), 0);
+    }
+
+    #[test]
     fn replay_miss_is_a_timeout() {
         let log = ProbeLog::new();
         let mut rp = Prober::replayer(log, 5, Addr(0));
@@ -214,19 +319,26 @@ mod tests {
     #[test]
     fn log_serializes() {
         let mut log = ProbeLog::new();
-        log.push(
+        log.push_call(
             Addr(1),
             2,
             3,
-            RecordedReply::Echo {
-                from: Addr(1),
-                ttl: 60,
-            },
-            5,
+            vec![
+                (RecordedReply::Timeout, 9),
+                (
+                    RecordedReply::Echo {
+                        from: Addr(1),
+                        ttl: 60,
+                    },
+                    5,
+                ),
+            ],
         );
         let json = serde_json::to_string(&log).unwrap();
         let back: ProbeLog = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.count, 1);
-        assert_eq!(back.remaining(), 1);
+        assert_eq!(back.count, 2);
+        assert_eq!(back.calls, 1);
+        assert_eq!(back.remaining(), 2);
+        assert_eq!(back.calls_for(Addr(1), 2, 3), 1);
     }
 }

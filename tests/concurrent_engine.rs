@@ -56,6 +56,38 @@ fn pipeline_is_byte_identical_across_thread_counts() {
     assert_eq!(probes, eight.classify_probes);
 }
 
+/// Thread-count independence must also hold with fault injection on: loss
+/// draws hash the probe nonce (never wall-clock or arrival order) and rate
+/// limiting buckets per probe stream, so which worker classifies a block
+/// cannot change what that block observes.
+#[test]
+fn faulted_pipeline_is_byte_identical_across_thread_counts() {
+    let run = |threads| {
+        experiments::Pipeline::builder()
+            .seed(7)
+            .scale(0.01)
+            .threads(threads)
+            .faults(0.02, 0.5)
+            .run()
+    };
+    let single = run(1);
+    let eight = run(8);
+
+    assert_eq!(
+        format!("{:?}", single.measurements),
+        format!("{:?}", eight.measurements),
+        "faulted measurements differ between threads=1 and threads=8"
+    );
+    assert_eq!(single.classify_probes, eight.classify_probes);
+    // Fault accounting is deterministic too: the workers collectively see
+    // the same drops/retries/backoff, and the network the same drop mix.
+    assert_eq!(single.total_drops(), eight.total_drops());
+    assert_eq!(single.total_retries(), eight.total_retries());
+    assert_eq!(single.total_backoff_us(), eight.total_backoff_us());
+    assert_eq!(single.net_stats, eight.net_stats);
+    assert!(single.net_stats.link_drops > 0, "faults were live");
+}
+
 /// Eight threads hammer one shared engine. Each must see exactly the replies
 /// a sequential prober sees on a pristine copy of the same network, and the
 /// engine's carried-probe counter must equal the sum of all senders.

@@ -1,0 +1,89 @@
+//! Workspace tests for fault injection and loss-resilient probing.
+//!
+//! The acceptance bar: with seeded 2% per-link loss plus ICMP rate
+//! limiting on every responsive router (last-hops included), the
+//! homogeneous/heterogeneous verdicts must match a loss-free run of the
+//! same scenario on at least 95% of probed /24s, and the fault counters
+//! must be exact (totals are per-worker sums, with nothing lost).
+
+use experiments::Pipeline;
+
+fn baseline() -> Pipeline {
+    Pipeline::builder().seed(7).scale(0.01).threads(4).run()
+}
+
+fn faulted(loss: f64, rate: f64) -> Pipeline {
+    Pipeline::builder()
+        .seed(7)
+        .scale(0.01)
+        .threads(4)
+        .faults(loss, rate)
+        .run()
+}
+
+#[test]
+fn verdicts_survive_two_percent_loss_with_rate_limiting() {
+    let clean = baseline();
+    let lossy = faulted(0.02, 0.5);
+
+    // Same snapshot, same selection: faults switch on after the scan.
+    assert_eq!(clean.selected.len(), lossy.selected.len());
+    assert_eq!(clean.measurements.len(), lossy.measurements.len());
+
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (a, b) in clean.measurements.iter().zip(&lossy.measurements) {
+        assert_eq!(a.block, b.block);
+        total += 1;
+        if a.classification.is_homogeneous() == b.classification.is_homogeneous() {
+            agree += 1;
+        }
+    }
+    let frac = agree as f64 / total.max(1) as f64;
+    assert!(
+        frac >= 0.95,
+        "verdict agreement {agree}/{total} = {frac:.3} under 2% loss"
+    );
+
+    // The faults were real, not a no-op configuration.
+    assert!(lossy.net_stats.link_drops > 0, "{:?}", lossy.net_stats);
+    assert!(
+        lossy.net_stats.rate_limited_drops > 0,
+        "token buckets must throttle some ICMP errors: {:?}",
+        lossy.net_stats
+    );
+    assert!(lossy.total_drops() > clean.total_drops());
+}
+
+#[test]
+fn fault_counters_sum_exactly_across_workers() {
+    let p = faulted(0.02, 0.5);
+    let drops: u64 = p.worker_stats.iter().map(|w| w.drops).sum();
+    let retries: u64 = p.worker_stats.iter().map(|w| w.retries).sum();
+    let backoff: u64 = p.worker_stats.iter().map(|w| w.backoff_us).sum();
+    assert_eq!(p.total_drops(), drops);
+    assert_eq!(p.total_retries(), retries);
+    assert_eq!(p.total_backoff_us(), backoff);
+    assert!(drops > 0 && retries > 0 && backoff > 0);
+    // Every retry followed a drop, and probes outnumber retries.
+    assert!(retries <= drops);
+    assert!(p.classify_probes > retries);
+}
+
+#[test]
+fn degradation_is_graceful_not_silent() {
+    // Lost answers must surface as explicit unresolved counts (after the
+    // reprobe pass), never vanish from the accounting.
+    let p = faulted(0.05, 0.25);
+    for m in &p.measurements {
+        assert_eq!(
+            m.dests_probed,
+            m.dests_resolved + m.dests_anonymous + m.dests_unresolved,
+            "block {}: probed dests must be fully accounted",
+            m.block
+        );
+    }
+    // At 5% loss some blocks exercise the targeted reprobe pass.
+    let reprobes: usize = p.measurements.iter().map(|m| m.reprobes).sum();
+    assert!(reprobes > 0, "reprobe pass should engage under heavy loss");
+}
