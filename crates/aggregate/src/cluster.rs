@@ -4,6 +4,7 @@
 use crate::identical::Aggregate;
 use crate::similarity::similarity_edges;
 use mcl::{mcl_by_components, Clustering, MclParams};
+use obs::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// A clustering of aggregates plus its quality diagnostics.
@@ -105,6 +106,30 @@ pub fn sweep_inflation(
         }
     }
     (best.expect("at least one candidate"), diagnostics)
+}
+
+/// [`sweep_inflation`], reporting the winning clustering's shape through
+/// `rec`: `aggregate.sweep_candidates`, `aggregate.clusters`,
+/// `aggregate.unclustered` counters and an `aggregate.cluster_size`
+/// histogram. MCL is deterministic, so these are safe outside the metrics
+/// document's `timing` key.
+pub fn sweep_inflation_observed(
+    aggs: &[Aggregate],
+    candidates: &[f64],
+    rec: &dyn Recorder,
+) -> (AggregateClustering, Vec<(f64, f64)>) {
+    let (best, diagnostics) = sweep_inflation(aggs, candidates);
+    rec.counter("aggregate.sweep_candidates")
+        .add(candidates.len() as u64);
+    rec.counter("aggregate.clusters")
+        .add(best.clusters.len() as u64);
+    rec.counter("aggregate.unclustered")
+        .add(best.unclustered() as u64);
+    let sizes = rec.histogram("aggregate.cluster_size");
+    for c in &best.clusters {
+        sizes.record(c.len() as u64);
+    }
+    (best, diagnostics)
 }
 
 #[cfg(test)]

@@ -30,9 +30,13 @@ pub mod rule;
 pub mod similarity;
 
 pub use adjacency::{contiguous_runs, figure8_positions, first_last_lcp, neighbor_lcp_lens, Run};
-pub use cluster::{cluster_aggregates, sweep_inflation, AggregateClustering};
+pub use cluster::{
+    cluster_aggregates, sweep_inflation, sweep_inflation_observed, AggregateClustering,
+};
 pub use dataset::{DatasetBlock, HobbitDataset};
 pub use identical::{aggregate_identical, size_histogram, Aggregate, HomogBlock};
-pub use reprobe::{reprobe_block, validate_cluster, ClusterValidation, ReprobeConfig};
+pub use reprobe::{
+    reprobe_block, validate_cluster, validate_cluster_observed, ClusterValidation, ReprobeConfig,
+};
 pub use rule::{rule_matches, RuleParams};
 pub use similarity::{pairwise_scores, similarity, similarity_edges};

@@ -11,6 +11,7 @@
 use crate::identical::Aggregate;
 use hobbit::select::SelectedBlock;
 use netsim::{Addr, Block24};
+use obs::Recorder;
 use probe::{probe_lasthop, LasthopOutcome, Prober, StoppingRule};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -147,6 +148,33 @@ where
         total_pairs: total,
         probes_used: prober.probes_sent() - before,
     }
+}
+
+/// [`validate_cluster`], reporting the outcome through `rec`:
+/// `aggregate.validated_clusters`, `aggregate.reprobe_pairs`,
+/// `aggregate.reprobe_identical_pairs`, `aggregate.reprobe_probes`
+/// counters and an `aggregate.pairs_per_cluster` histogram.
+pub fn validate_cluster_observed<F>(
+    prober: &mut Prober<'_>,
+    aggs: &[Aggregate],
+    members: &[u32],
+    cfg: &ReprobeConfig,
+    selector: F,
+    rec: &dyn Recorder,
+) -> ClusterValidation
+where
+    F: FnMut(Block24) -> Option<SelectedBlock>,
+{
+    let v = validate_cluster(prober, aggs, members, cfg, selector);
+    rec.counter("aggregate.validated_clusters").inc();
+    rec.counter("aggregate.reprobe_pairs")
+        .add(v.total_pairs as u64);
+    rec.counter("aggregate.reprobe_identical_pairs")
+        .add(v.identical_pairs as u64);
+    rec.counter("aggregate.reprobe_probes").add(v.probes_used);
+    rec.histogram("aggregate.pairs_per_cluster")
+        .record(v.total_pairs as u64);
+    v
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ fn micro_args() -> ExpArgs {
         json: false,
         threads: 2,
         faults: None,
+        ..Default::default()
     }
 }
 

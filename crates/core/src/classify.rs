@@ -16,6 +16,7 @@ use crate::hierarchy::{LasthopGroups, Relationship};
 use crate::schedule::{probing_order, reprobe_order};
 use crate::select::SelectedBlock;
 use netsim::{Addr, Block24};
+use obs::{Counter, Histogram, Recorder};
 use probe::{probe_lasthop_with_hint, LasthopOutcome, Prober, StoppingRule};
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +64,26 @@ impl Classification {
             Classification::Hierarchical => "Different but hierarchical",
         }
     }
+
+    /// Kebab-case slug used in metric names (`classify.verdict.<slug>`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Classification::TooFewActive => "too-few-active",
+            Classification::UnresponsiveLasthop => "unresponsive-lasthop",
+            Classification::SameLasthop => "same-lasthop",
+            Classification::NonHierarchical => "non-hierarchical",
+            Classification::Hierarchical => "hierarchical",
+        }
+    }
+
+    /// Every classification outcome, in declaration order.
+    pub const ALL: [Classification; 5] = [
+        Classification::TooFewActive,
+        Classification::UnresponsiveLasthop,
+        Classification::SameLasthop,
+        Classification::NonHierarchical,
+        Classification::Hierarchical,
+    ];
 }
 
 /// Tunable parameters of the classifier.
@@ -135,6 +156,66 @@ impl BlockMeasurement {
     /// Rebuild the last-hop grouping from the stored observations.
     pub fn groups(&self) -> LasthopGroups {
         LasthopGroups::build(self.per_dest.iter().map(|(a, l)| (*a, l.as_slice())))
+    }
+}
+
+/// Pre-interned classification metrics: per-block outcome counters and
+/// size histograms, bumped once per classified block. All of these are
+/// deterministic across thread counts (classification itself is
+/// byte-identical at any worker count), so they live outside the metrics
+/// document's `timing` key.
+#[derive(Clone, Debug)]
+pub struct ClassifyObs {
+    blocks: Counter,
+    dests_probed: Counter,
+    dests_resolved: Counter,
+    dests_anonymous: Counter,
+    dests_unresolved: Counter,
+    reprobes: Counter,
+    reprobe_passes: Counter,
+    verdicts: [Counter; 5],
+    probes_per_block: Histogram,
+    dests_per_block: Histogram,
+}
+
+impl ClassifyObs {
+    /// Intern the standard `classify.*` metrics in `rec`. All verdict
+    /// counters are interned up front so the document schema does not
+    /// depend on which outcomes a particular run happens to produce.
+    pub fn bind(rec: &dyn Recorder) -> Self {
+        ClassifyObs {
+            blocks: rec.counter("classify.blocks"),
+            dests_probed: rec.counter("classify.dests_probed"),
+            dests_resolved: rec.counter("classify.dests_resolved"),
+            dests_anonymous: rec.counter("classify.dests_anonymous"),
+            dests_unresolved: rec.counter("classify.dests_unresolved"),
+            reprobes: rec.counter("classify.reprobes"),
+            reprobe_passes: rec.counter("classify.reprobe_passes"),
+            verdicts: Classification::ALL
+                .map(|c| rec.counter(&format!("classify.verdict.{}", c.slug()))),
+            probes_per_block: rec.histogram("classify.probes_per_block"),
+            dests_per_block: rec.histogram("classify.dests_per_block"),
+        }
+    }
+
+    /// Record one finished block measurement.
+    pub fn record(&self, m: &BlockMeasurement) {
+        self.blocks.inc();
+        self.dests_probed.add(m.dests_probed as u64);
+        self.dests_resolved.add(m.dests_resolved as u64);
+        self.dests_anonymous.add(m.dests_anonymous as u64);
+        self.dests_unresolved.add(m.dests_unresolved as u64);
+        self.reprobes.add(m.reprobes as u64);
+        if m.reprobes > 0 {
+            self.reprobe_passes.inc();
+        }
+        let idx = Classification::ALL
+            .iter()
+            .position(|&c| c == m.classification)
+            .expect("ALL covers every classification");
+        self.verdicts[idx].inc();
+        self.probes_per_block.record(m.probes_used);
+        self.dests_per_block.record(m.dests_probed as u64);
     }
 }
 
@@ -294,6 +375,20 @@ pub fn classify_block(
         dests_probed: probed,
         probes_used: prober.probes_sent() - probes_before,
     }
+}
+
+/// [`classify_block`], reporting the finished measurement through `obs`
+/// (bind once per worker with [`ClassifyObs::bind`]).
+pub fn classify_block_observed(
+    prober: &mut Prober<'_>,
+    sel: &SelectedBlock,
+    table: &ConfidenceTable,
+    cfg: &HobbitConfig,
+    obs: &ClassifyObs,
+) -> BlockMeasurement {
+    let m = classify_block(prober, sel, table, cfg);
+    obs.record(&m);
+    m
 }
 
 #[cfg(test)]

@@ -274,6 +274,64 @@ mod tests {
     }
 
     #[test]
+    fn min_samples_zero_trusts_even_empty_cells_vacuously() {
+        // min_samples = 0 means every *populated* cell answers; lookups
+        // outside the sampled range still miss (there is no cell at all),
+        // so the degenerate threshold cannot fabricate confidence.
+        let data = vec![single_block(20)];
+        let t = ConfidenceTable::build(&data, 8, 1, 0.95, 0, 7);
+        assert_eq!(t.min_samples, 0);
+        assert_eq!(t.confidence(1, 4), Some(1.0), "one sample is enough at 0");
+        assert!(
+            t.confidence(1, 100).is_none(),
+            "unsampled cell still misses"
+        );
+        assert!(t.confidence(9, 4).is_none(), "unknown cardinality misses");
+    }
+
+    #[test]
+    fn min_samples_one_accepts_single_sample_cells() {
+        let data = vec![single_block(20)];
+        let t = ConfidenceTable::build(&data, 8, 1, 0.95, 1, 7);
+        for n in 4..=8 {
+            assert_eq!(t.confidence(1, n), Some(1.0), "n={n}");
+        }
+        assert_eq!(t.required_probes(1), Some(4));
+        // The same cells under a stricter threshold all distrust.
+        let strict = ConfidenceTable::build(&data, 8, 1, 0.95, 2, 7);
+        assert!(strict.confidence(1, 4).is_none());
+        assert!(strict.required_probes(1).is_none());
+    }
+
+    #[test]
+    fn required_probes_monotone_as_level_tightens() {
+        // Tightening the confidence target can only demand more (or equally
+        // many) probed destinations: required_probes is the first n whose
+        // empirical confidence clears the level, and the cells themselves
+        // do not depend on the level.
+        let data = vec![interleaved_block(60, 4)];
+        let levels = [0.50, 0.80, 0.90, 0.95];
+        let required: Vec<usize> = levels
+            .iter()
+            .map(|&lvl| {
+                ConfidenceTable::build(&data, 32, 150, lvl, 8, 7)
+                    .required_probes(4)
+                    .unwrap_or_else(|| panic!("level {lvl} unreachable"))
+            })
+            .collect();
+        for pair in required.windows(2) {
+            assert!(
+                pair[0] <= pair[1],
+                "required probes must not shrink as the level tightens: {required:?}"
+            );
+        }
+        assert!(
+            required[0] < required[3],
+            "0.50 vs 0.95 should genuinely differ on k=4 interleaving: {required:?}"
+        );
+    }
+
+    #[test]
     fn table_is_deterministic_per_seed() {
         let data = vec![interleaved_block(30, 3)];
         let a = ConfidenceTable::build(&data, 12, 50, 0.95, 8, 1);

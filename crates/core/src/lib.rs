@@ -32,7 +32,10 @@ pub mod schedule;
 pub mod select;
 pub mod survey;
 
-pub use classify::{classify_block, BlockMeasurement, Classification, HobbitConfig};
+pub use classify::{
+    classify_block, classify_block_observed, BlockMeasurement, Classification, ClassifyObs,
+    HobbitConfig,
+};
 pub use confidence::{detects_homogeneous, BlockLasthopData, ConfidenceTable};
 pub use hetero::{very_likely_heterogeneous, SubBlockComposition};
 pub use hierarchy::{LasthopGroups, Relationship};

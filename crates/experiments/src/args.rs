@@ -17,6 +17,10 @@ pub struct ExpArgs {
     /// phase (the snapshot scan stays loss-free so selection is comparable
     /// to a fault-free run). `None` leaves the network ideal.
     pub faults: Option<(f64, f64)>,
+    /// Write the versioned metrics document (JSON) to this path.
+    pub metrics: Option<String>,
+    /// Print the hierarchical span tree (wall-clock per phase) on stderr.
+    pub trace_spans: bool,
 }
 
 impl Default for ExpArgs {
@@ -27,6 +31,8 @@ impl Default for ExpArgs {
             json: false,
             threads: 0,
             faults: None,
+            metrics: None,
+            trace_spans: false,
         }
     }
 }
@@ -43,12 +49,16 @@ pub enum ParseOutcome {
 /// Usage text shared by every binary.
 pub const USAGE: &str =
     "usage: <experiment> [--seed N] [--scale F] [--threads N] [--faults L,R] [--json]\n\
+\u{20}                   [--metrics OUT.json] [--trace-spans]\n\
 --seed N      scenario seed (default 42)\n\
 --scale F     scenario scale, 1.0 = paper-size (default 0.12)\n\
 --threads N   probing worker threads (default: all cores)\n\
 --faults L,R  inject faults into classification probing: per-link loss\n\
 \u{20}             probability L and ICMP token-bucket refill rate R\n\
-\u{20}             (e.g. --faults 0.02,0.5); default: none\n\
+\u{20}             (e.g. --faults 0.02,0.5; R may be `tb` for the default\n\
+\u{20}             token-bucket rate 0.5); default: none\n\
+--metrics F   write the versioned metrics document (JSON) to F\n\
+--trace-spans print per-phase wall-clock spans on stderr\n\
 --json        machine-readable output";
 
 impl ExpArgs {
@@ -85,6 +95,8 @@ impl ExpArgs {
                     let v: String = expect_value(&mut it, "--faults")?;
                     args.faults = Some(parse_faults(&v)?);
                 }
+                "--metrics" => args.metrics = Some(expect_value(&mut it, "--metrics")?),
+                "--trace-spans" => args.trace_spans = true,
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
                 other => return Err(ParseOutcome::Error(format!("unknown flag {other:?}"))),
@@ -97,12 +109,20 @@ impl ExpArgs {
     }
 }
 
-/// Parse a `--faults loss,rate` value: loss in `[0, 1)`, rate in `(0, 1]`.
+/// Default ICMP token-bucket refill rate selected by `--faults L,tb`.
+pub const DEFAULT_FAULT_RATE: f64 = 0.5;
+
+/// Parse a `--faults loss,rate` value: loss in `[0, 1)`, rate in `(0, 1]`
+/// or the literal `tb` for the default token-bucket rate.
 fn parse_faults(v: &str) -> Result<(f64, f64), ParseOutcome> {
     let bad = || ParseOutcome::Error(format!("invalid value {v:?} for --faults (want loss,rate)"));
     let (l, r) = v.split_once(',').ok_or_else(bad)?;
     let loss: f64 = l.trim().parse().map_err(|_| bad())?;
-    let rate: f64 = r.trim().parse().map_err(|_| bad())?;
+    let rate: f64 = if r.trim() == "tb" {
+        DEFAULT_FAULT_RATE
+    } else {
+        r.trim().parse().map_err(|_| bad())?
+    };
     if !(0.0..1.0).contains(&loss) {
         return Err(ParseOutcome::Error(format!(
             "--faults loss must be in [0, 1), got {loss}"
@@ -165,6 +185,20 @@ mod tests {
         // Whitespace around the comma is tolerated.
         let b = parse(&["--faults", "0.05, 0.25"]).unwrap();
         assert_eq!(b.faults, Some((0.05, 0.25)));
+        // `tb` selects the default token-bucket rate.
+        let c = parse(&["--faults", "0.02,tb"]).unwrap();
+        assert_eq!(c.faults, Some((0.02, DEFAULT_FAULT_RATE)));
+    }
+
+    #[test]
+    fn metrics_and_trace_spans_flags_parse() {
+        let a = parse(&["--metrics", "m.json", "--trace-spans"]).unwrap();
+        assert_eq!(a.metrics.as_deref(), Some("m.json"));
+        assert!(a.trace_spans);
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.metrics, None);
+        assert!(!d.trace_spans);
+        assert!(matches!(parse(&["--metrics"]), Err(ParseOutcome::Error(_))));
     }
 
     #[test]

@@ -9,11 +9,12 @@ use crate::args::ExpArgs;
 use crate::pipeline::{self, Pipeline};
 use crate::report::Report;
 use aggregate::{
-    pairwise_scores, rule_matches, sweep_inflation, validate_cluster, Aggregate,
+    pairwise_scores, rule_matches, sweep_inflation_observed, validate_cluster_observed, Aggregate,
     AggregateClustering, ClusterValidation, ReprobeConfig, RuleParams,
 };
 use analysis::Ecdf;
 use hobbit::select_block;
+use obs::{NullRecorder, Recorder};
 use probe::Prober;
 use serde_json::json;
 
@@ -40,8 +41,17 @@ pub fn cluster_and_validate(
     max_clusters: usize,
     max_pairs: usize,
 ) -> (Vec<Aggregate>, AggregateClustering, Vec<ClusterOutcome>) {
+    // Post-pipeline phases report into the run's registry (if any); the
+    // Arc clone keeps the recorder independent of the &mut borrows below.
+    let obs = p.obs.clone();
+    let null = NullRecorder;
+    let rec: &dyn Recorder = obs.as_deref().map(|r| r as &dyn Recorder).unwrap_or(&null);
+
     let aggs = p.aggregates();
-    let (clustering, _) = sweep_inflation(&aggs, &INFLATIONS);
+    let (clustering, _) = {
+        let _s = obs.as_ref().map(|r| r.span("run/cluster"));
+        sweep_inflation_observed(&aggs, &INFLATIONS, rec)
+    };
     let cfg = ReprobeConfig {
         max_pairs_per_cluster: max_pairs,
         seed,
@@ -54,7 +64,9 @@ pub fn cluster_and_validate(
     p.scenario.network.set_epoch(reprobe_epoch);
     let snapshot = p.snapshot.clone();
     let mut outcomes = Vec::new();
+    let _reprobe_span = obs.as_ref().map(|r| r.span("run/reprobe"));
     let mut prober = Prober::new(&mut p.scenario.network, 0xF9);
+    prober.observe(rec);
     let rule_params = RuleParams::default();
     for (idx, members) in clustering
         .clusters
@@ -63,9 +75,14 @@ pub fn cluster_and_validate(
         .filter(|(_, c)| c.len() > 1)
         .take(max_clusters)
     {
-        let validation = validate_cluster(&mut prober, &aggs, members, &cfg, |b| {
-            select_block(&snapshot, b).ok()
-        });
+        let validation = validate_cluster_observed(
+            &mut prober,
+            &aggs,
+            members,
+            &cfg,
+            |b| select_block(&snapshot, b).ok(),
+            rec,
+        );
         if validation.total_pairs == 0 {
             continue;
         }

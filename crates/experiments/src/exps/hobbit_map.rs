@@ -73,6 +73,13 @@ pub fn build_dataset(args: &ExpArgs) -> (HobbitDataset, Report) {
         "largest block (/24s)",
         dataset.blocks.first().map(|b| b.size()).unwrap_or(0),
     );
+    if let Some(reg) = p.obs.as_deref() {
+        r.worker_rollup(&p.worker_stats);
+        r.phase_rollup(reg);
+    }
+    // Refresh the metrics document now that aggregation and reprobing have
+    // reported into the registry too.
+    p.emit_observability(args);
     (dataset, r)
 }
 

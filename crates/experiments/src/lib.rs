@@ -20,5 +20,7 @@ pub mod exps;
 pub use args::ExpArgs;
 #[allow(deprecated)]
 pub use pipeline::run as run_pipeline;
-pub use pipeline::{classify_blocks, Pipeline, PipelineBuilder, WorkerStats};
+pub use pipeline::{
+    classify_blocks, classify_blocks_observed, Pipeline, PipelineBuilder, WorkerStats,
+};
 pub use report::Report;

@@ -29,15 +29,19 @@
 use crate::args::ExpArgs;
 use aggregate::{aggregate_identical, Aggregate, HomogBlock};
 use hobbit::{
-    classify_block, detects_homogeneous, select_block, survey_block, BlockLasthopData,
-    BlockMeasurement, ConfidenceTable, HobbitConfig, SelectReject, SelectedBlock,
+    classify_block_observed, detects_homogeneous, select_block, survey_block, BlockLasthopData,
+    BlockMeasurement, ClassifyObs, ConfidenceTable, HobbitConfig, SelectReject, SelectedBlock,
 };
 use netsim::build::{build, Scenario, ScenarioConfig};
 use netsim::hash::mix2;
 use netsim::{Addr, Block24, FaultConfig, NetworkStats, SharedNetwork};
-use probe::{zmap, Prober, StoppingRule, ZmapSnapshot};
+use obs::{NullRecorder, Recorder, Registry, SpanTimer};
+use probe::{zmap, ProbeObs, Prober, StoppingRule, ZmapSnapshot};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// The recorder unobserved runs report into (retains nothing).
+static NULL_RECORDER: NullRecorder = NullRecorder;
 
 /// Derive the scenario configuration from the common arguments.
 pub fn scenario_config(args: &ExpArgs) -> ScenarioConfig {
@@ -72,6 +76,11 @@ pub struct Pipeline {
     /// Network-side carry/drop counters at the end of the run (all zeros
     /// unless fault injection was enabled).
     pub net_stats: NetworkStats,
+    /// The metrics registry the run reported into, when observability was
+    /// enabled ([`PipelineBuilder::observe`], `--metrics`, `--trace-spans`).
+    /// Post-pipeline phases (aggregation, reprobing) keep reporting into it
+    /// via [`Pipeline::recorder`].
+    pub obs: Option<Arc<Registry>>,
 }
 
 /// Number of blocks surveyed to calibrate the confidence table.
@@ -88,6 +97,7 @@ pub const CALIBRATION_BLOCKS: usize = 120;
 pub struct PipelineBuilder {
     args: ExpArgs,
     scenario: Option<Scenario>,
+    observe: bool,
 }
 
 impl PipelineBuilder {
@@ -130,6 +140,14 @@ impl PipelineBuilder {
         self
     }
 
+    /// Collect metrics and span timings into a [`Registry`] kept on
+    /// [`Pipeline::obs`], even without `--metrics`/`--trace-spans` (either
+    /// of those flags enables observation automatically).
+    pub fn observe(mut self) -> Self {
+        self.observe = true;
+        self
+    }
+
     /// Run over a prebuilt scenario instead of building one from the seed
     /// and scale (reusing one world across pipeline runs; the scenario's
     /// network ends up wrapped in a [`SharedNetwork`] for classification).
@@ -140,9 +158,32 @@ impl PipelineBuilder {
 
     /// Execute the pipeline.
     pub fn run(self) -> Pipeline {
-        let PipelineBuilder { args, scenario } = self;
-        let mut scenario = scenario.unwrap_or_else(|| build(scenario_config(&args)));
-        let snapshot = zmap::scan_all(&mut scenario.network);
+        let PipelineBuilder {
+            args,
+            scenario,
+            observe,
+        } = self;
+        let observing = observe || args.metrics.is_some() || args.trace_spans;
+        let obs: Option<Arc<Registry>> = observing.then(|| Arc::new(Registry::new()));
+        let rec: &dyn Recorder = obs
+            .as_deref()
+            .map(|r| r as &dyn Recorder)
+            .unwrap_or(&NULL_RECORDER);
+
+        let run_span = obs.as_ref().map(|r| r.span("run"));
+        let mut scenario = {
+            let _s = obs.as_ref().map(|r| r.span("run/build"));
+            scenario.unwrap_or_else(|| build(scenario_config(&args)))
+        };
+        // Attach the recorder before the first probe so the network-side
+        // counters carry the whole run regardless of thread count.
+        if let Some(reg) = obs.as_deref() {
+            scenario.network.set_recorder(reg);
+        }
+        let snapshot = {
+            let _s = obs.as_ref().map(|r| r.span("run/snapshot"));
+            zmap::scan_all(&mut scenario.network)
+        };
 
         // Faults switch on only after the snapshot: selection inputs stay
         // identical to a loss-free run, so verdicts compare block-for-block.
@@ -154,12 +195,22 @@ impl PipelineBuilder {
 
         let mut selected = Vec::new();
         let (mut reject_too_few, mut reject_uncovered) = (0usize, 0usize);
-        for block in snapshot.blocks() {
-            match select_block(&snapshot, block) {
-                Ok(sel) => selected.push(sel),
-                Err(SelectReject::TooFewActive) => reject_too_few += 1,
-                Err(SelectReject::UncoveredQuarter) => reject_uncovered += 1,
+        {
+            let _s = obs.as_ref().map(|r| r.span("run/select"));
+            for block in snapshot.blocks() {
+                match select_block(&snapshot, block) {
+                    Ok(sel) => selected.push(sel),
+                    Err(SelectReject::TooFewActive) => reject_too_few += 1,
+                    Err(SelectReject::UncoveredQuarter) => reject_uncovered += 1,
+                }
             }
+        }
+        if let Some(reg) = obs.as_deref() {
+            reg.counter("select.selected").add(selected.len() as u64);
+            reg.counter("select.reject_too_few")
+                .add(reject_too_few as u64);
+            reg.counter("select.reject_uncovered")
+                .add(reject_uncovered as u64);
         }
 
         // --- Calibration: survey a spread-out sample of selected blocks
@@ -167,6 +218,7 @@ impl PipelineBuilder {
         // feed the confidence table (the paper's Section 3.2 procedure).
         let calibration_probes;
         let confidence = {
+            let _s = obs.as_ref().map(|r| r.span("run/calibrate"));
             let stride = (selected.len() / CALIBRATION_BLOCKS).max(1);
             let sample: Vec<&SelectedBlock> = selected
                 .iter()
@@ -175,6 +227,7 @@ impl PipelineBuilder {
                 .collect();
             let mut dataset: Vec<BlockLasthopData> = Vec::new();
             let mut prober = Prober::new(&mut scenario.network, 0xCA11);
+            prober.observe(rec);
             if args.faults.is_some() {
                 prober.retries = FAULTED_RETRIES;
             }
@@ -187,6 +240,11 @@ impl PipelineBuilder {
                 }
             }
             calibration_probes = prober.probes_sent();
+            if let Some(reg) = obs.as_deref() {
+                reg.counter("calibrate.dataset_blocks")
+                    .add(dataset.len() as u64);
+                reg.counter("calibrate.probes").add(calibration_probes);
+            }
             ConfidenceTable::build(&dataset, 50, 24, 0.95, 8, args.seed ^ 0xF16)
         };
 
@@ -207,8 +265,10 @@ impl PipelineBuilder {
             config,
         } = scenario;
         let shared = SharedNetwork::new(network);
-        let (measurements, worker_stats) =
-            classify_blocks(&shared, &selected, &confidence, &hobbit_cfg, threads);
+        let (measurements, worker_stats) = {
+            let _s = obs.as_ref().map(|r| r.span("run/classify"));
+            classify_blocks_observed(&shared, &selected, &confidence, &hobbit_cfg, threads, rec)
+        };
         let classify_probes = worker_stats.iter().map(|w| w.probes).sum();
         let network = shared
             .try_unwrap()
@@ -220,7 +280,8 @@ impl PipelineBuilder {
             config,
         };
 
-        Pipeline {
+        drop(run_span);
+        let pipeline = Pipeline {
             scenario,
             snapshot,
             selected,
@@ -232,7 +293,10 @@ impl PipelineBuilder {
             calibration_probes,
             worker_stats,
             net_stats,
-        }
+            obs,
+        };
+        pipeline.emit_observability(&args);
+        pipeline
     }
 }
 
@@ -334,10 +398,29 @@ pub fn classify_blocks(
     cfg: &HobbitConfig,
     threads: usize,
 ) -> (Vec<BlockMeasurement>, Vec<WorkerStats>) {
+    classify_blocks_observed(net, selected, confidence, cfg, threads, &NULL_RECORDER)
+}
+
+/// [`classify_blocks`], reporting through `rec`: every worker's prober
+/// shares one set of pre-interned `probe.*` handles and every verdict bumps
+/// the `classify.*` metrics (all deterministic across thread counts), each
+/// block's classification is timed as a `run/classify/block` span, and the
+/// scheduling-dependent shape of the run — thread count, steals, per-worker
+/// shares — goes under the metrics document's `timing` key.
+pub fn classify_blocks_observed(
+    net: &SharedNetwork,
+    selected: &[SelectedBlock],
+    confidence: &ConfidenceTable,
+    cfg: &HobbitConfig,
+    threads: usize,
+    rec: &dyn Recorder,
+) -> (Vec<BlockMeasurement>, Vec<WorkerStats>) {
     let threads = effective_threads(threads, selected.len());
     if selected.is_empty() {
         return (Vec::new(), vec![WorkerStats::default(); threads]);
     }
+    let probe_obs = ProbeObs::bind(rec);
+    let classify_obs = ClassifyObs::bind(rec);
     let queues = StealQueues::new(selected.len(), threads);
     let mut slots: Vec<Option<BlockMeasurement>> = (0..selected.len()).map(|_| None).collect();
     let mut worker_stats = Vec::with_capacity(threads);
@@ -346,13 +429,23 @@ pub fn classify_blocks(
             .map(|w| {
                 let queues = &queues;
                 let handle = net.clone();
+                let probe_obs = probe_obs.clone();
+                let classify_obs = classify_obs.clone();
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut stats = WorkerStats::default();
                     while let Some((idx, stolen)) = queues.next(w) {
+                        let _block_span = SpanTimer::start(rec, "run/classify/block");
                         let sel = &selected[idx];
                         let mut prober = Prober::shared(handle.clone(), block_ident(sel.block));
-                        let m = classify_block(&mut prober, sel, confidence, cfg);
+                        prober.set_obs(probe_obs.clone());
+                        let m = classify_block_observed(
+                            &mut prober,
+                            sel,
+                            confidence,
+                            cfg,
+                            &classify_obs,
+                        );
                         stats.blocks += 1;
                         stats.probes += prober.probes_sent();
                         stats.rtt_us += prober.rtt_total_us();
@@ -374,6 +467,16 @@ pub fn classify_blocks(
             worker_stats.push(stats);
         }
     });
+    rec.timing_value("scheduling/threads", threads as u64);
+    rec.timing_value(
+        "scheduling/steals",
+        worker_stats.iter().map(|s| s.steals).sum(),
+    );
+    for (i, s) in worker_stats.iter().enumerate() {
+        rec.timing_value(&format!("scheduling/worker{i:02}/blocks"), s.blocks as u64);
+        rec.timing_value(&format!("scheduling/worker{i:02}/probes"), s.probes);
+        rec.timing_value(&format!("scheduling/worker{i:02}/steals"), s.steals);
+    }
     let mut measurements: Vec<BlockMeasurement> = slots
         .into_iter()
         .map(|s| s.expect("every selected block is classified exactly once"))
@@ -393,6 +496,34 @@ impl Pipeline {
     /// Start configuring a pipeline run.
     pub fn builder() -> PipelineBuilder {
         PipelineBuilder::default()
+    }
+
+    /// The recorder post-pipeline phases should report through: the run's
+    /// registry when observability is on, a [`NullRecorder`] otherwise.
+    pub fn recorder(&self) -> &dyn Recorder {
+        self.obs
+            .as_deref()
+            .map(|r| r as &dyn Recorder)
+            .unwrap_or(&NULL_RECORDER)
+    }
+
+    /// Write the outputs selected by `args`: the span tree to stderr
+    /// (`--trace-spans`) and the versioned metrics document (`--metrics`).
+    /// `run` calls this once; binaries that report post-pipeline metrics
+    /// (aggregation, reprobing) call it again to refresh the file. No-op
+    /// when the pipeline ran unobserved.
+    pub fn emit_observability(&self, args: &ExpArgs) {
+        let Some(reg) = self.obs.as_deref() else {
+            return;
+        };
+        if args.trace_spans {
+            eprint!("{}", reg.render_span_tree());
+        }
+        if let Some(path) = &args.metrics {
+            if let Err(e) = std::fs::write(path, reg.export_pretty()) {
+                eprintln!("warning: could not write metrics to {path}: {e}");
+            }
+        }
     }
 
     /// Measurements classified homogeneous, as aggregation inputs.
@@ -537,6 +668,7 @@ mod tests {
             json: false,
             threads: 2,
             faults: None,
+            ..Default::default()
         };
         #[allow(deprecated)]
         let a = run(&args);
@@ -553,6 +685,7 @@ mod tests {
             json: false,
             threads: 2,
             faults: None,
+            ..Default::default()
         };
         let scenario = build(scenario_config(&args));
         let a = tiny().scenario(scenario).run();

@@ -26,10 +26,10 @@
 //! probe crate's backoff layer builds on).
 
 use crate::hash::mix2;
+use obs::{Counter, Recorder};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default token-bucket capacity (burst size), in ICMP replies.
 pub const DEFAULT_ICMP_BURST: f32 = 4.0;
@@ -164,29 +164,41 @@ impl std::fmt::Debug for TokenBuckets {
 }
 
 /// Thread-safe fault accounting (interior mutability, like the network's
-/// carried-probe counter).
+/// carried-probe counter). The counters are [`obs::Counter`] handles so a
+/// recorder can intern them by name; until one is attached they are
+/// detached free-standing atomics.
 #[derive(Debug, Default)]
 pub(crate) struct FaultCounters {
     /// Probes dropped in flight by injected link loss.
-    pub(crate) link_drops: AtomicU64,
+    pub(crate) link_drops: Counter,
     /// ICMP errors suppressed by a token bucket.
-    pub(crate) rate_limited_drops: AtomicU64,
+    pub(crate) rate_limited_drops: Counter,
     /// ICMP errors suppressed by legacy Bernoulli `icmp_loss`.
-    pub(crate) icmp_loss_drops: AtomicU64,
+    pub(crate) icmp_loss_drops: Counter,
 }
 
 impl FaultCounters {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Re-home the counters in `rec`'s registry (carrying current values
+    /// over), so fault drops show up in the exported metrics document.
+    pub(crate) fn attach(&mut self, rec: &dyn Recorder) {
+        for (name, c) in [
+            ("net.link_drops", &mut self.link_drops),
+            ("net.rate_limited_drops", &mut self.rate_limited_drops),
+            ("net.icmp_loss_drops", &mut self.icmp_loss_drops),
+        ] {
+            let interned = rec.counter(name);
+            interned.add(c.get());
+            *c = interned;
+        }
     }
 }
 
 impl Clone for FaultCounters {
     fn clone(&self) -> Self {
         FaultCounters {
-            link_drops: AtomicU64::new(self.link_drops.load(Ordering::Relaxed)),
-            rate_limited_drops: AtomicU64::new(self.rate_limited_drops.load(Ordering::Relaxed)),
-            icmp_loss_drops: AtomicU64::new(self.icmp_loss_drops.load(Ordering::Relaxed)),
+            link_drops: self.link_drops.fork(),
+            rate_limited_drops: self.rate_limited_drops.fork(),
+            icmp_loss_drops: self.icmp_loss_drops.fork(),
         }
     }
 }

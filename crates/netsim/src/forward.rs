@@ -6,7 +6,6 @@
 //! this bottleneck.
 
 use crate::addr::Addr;
-use crate::fault::FaultCounters;
 use crate::hash::{mix3, unit_f64};
 use crate::host::HostKind;
 use crate::route::{FlowKey, NextHop, RouterId};
@@ -150,7 +149,7 @@ impl Network {
                 if unit_f64(draw) < link_loss as f64 {
                     // Lost on the wire into `cur`: no Time Exceeded, no
                     // delivery — the prober just sees silence.
-                    FaultCounters::bump(&self.fault_counters.link_drops);
+                    self.fault_counters.link_drops.inc();
                     return Outcome::Dropped;
                 }
             }
@@ -191,7 +190,7 @@ impl Network {
             Some(rate) => {
                 let stream = (at.0, probe_echo.ident, probe_ip.dst.block24().0);
                 if !self.buckets.admit(stream, rate, self.faults.icmp_burst) {
-                    FaultCounters::bump(&self.fault_counters.rate_limited_drops);
+                    self.fault_counters.rate_limited_drops.inc();
                     return timeout();
                 }
             }
@@ -200,7 +199,7 @@ impl Network {
             None if router.icmp_loss > 0.0 => {
                 let drop = unit_f64(mix3(self.seed ^ 0x5A, at.0 as u64, nonce));
                 if drop < router.icmp_loss as f64 {
-                    FaultCounters::bump(&self.fault_counters.icmp_loss_drops);
+                    self.fault_counters.icmp_loss_drops.inc();
                     return timeout();
                 }
             }

@@ -12,9 +12,9 @@ use crate::hash::mix2;
 use crate::host::{HostOracle, HostProfile};
 use crate::route::{NextHop, NextHopGroup, RouteTable, RouterId};
 use crate::rtt::RttModel;
+use obs::{Counter, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A router in the simulated internet.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -80,7 +80,7 @@ pub struct Network {
     /// Cellular radio state: addresses that have been woken by a probe.
     pub(crate) warmed: WarmedSet,
     /// Total probe packets the network has carried (cost accounting).
-    pub(crate) probes_carried: AtomicU64,
+    pub(crate) probes_carried: Counter,
     /// Fault-injection knobs (inactive by default).
     pub(crate) faults: FaultConfig,
     /// Per-stream ICMP rate-limit buckets (used when faults enable them).
@@ -102,7 +102,7 @@ impl Clone for Network {
             seed: self.seed,
             epoch: self.epoch,
             warmed: self.warmed.clone(),
-            probes_carried: AtomicU64::new(self.probes_carried.load(Ordering::Relaxed)),
+            probes_carried: self.probes_carried.fork(),
             faults: self.faults,
             buckets: self.buckets.clone(),
             fault_counters: self.fault_counters.clone(),
@@ -125,7 +125,7 @@ impl Network {
             seed,
             epoch: 1,
             warmed: WarmedSet::new(),
-            probes_carried: AtomicU64::new(0),
+            probes_carried: Counter::new(),
             faults: FaultConfig::none(),
             buckets: TokenBuckets::new(),
             fault_counters: FaultCounters::default(),
@@ -251,13 +251,23 @@ impl Network {
     pub fn net_stats(&self) -> NetworkStats {
         NetworkStats {
             probes_carried: self.probes_carried(),
-            link_drops: self.fault_counters.link_drops.load(Ordering::Relaxed),
-            rate_limited_drops: self
-                .fault_counters
-                .rate_limited_drops
-                .load(Ordering::Relaxed),
-            icmp_loss_drops: self.fault_counters.icmp_loss_drops.load(Ordering::Relaxed),
+            link_drops: self.fault_counters.link_drops.get(),
+            rate_limited_drops: self.fault_counters.rate_limited_drops.get(),
+            icmp_loss_drops: self.fault_counters.icmp_loss_drops.get(),
         }
+    }
+
+    /// Report the network's counters through `rec` from now on: the
+    /// carried-probe and fault-drop counters are re-interned in the
+    /// recorder's registry (current values carried over), so every later
+    /// probe shows up in the exported metrics document. Attach *before*
+    /// the first probe so runs with different thread counts agree on the
+    /// counter values.
+    pub fn set_recorder(&mut self, rec: &dyn Recorder) {
+        let interned = rec.counter("net.probes_carried");
+        interned.add(self.probes_carried.get());
+        self.probes_carried = interned;
+        self.fault_counters.attach(rec);
     }
 
     /// Host oracle (for ground-truth checks in tests).
@@ -267,12 +277,12 @@ impl Network {
 
     /// Count of probe packets carried so far.
     pub fn probes_carried(&self) -> u64 {
-        self.probes_carried.load(Ordering::Relaxed)
+        self.probes_carried.get()
     }
 
     /// Record one carried probe (thread-safe; called from `send`).
     pub(crate) fn record_carried_probe(&self) {
-        self.probes_carried.fetch_add(1, Ordering::Relaxed);
+        self.probes_carried.inc();
     }
 
     /// Per-router ECMP salt.

@@ -1,0 +1,557 @@
+//! Cross-crate observability: a thread-safe metrics registry (counters,
+//! gauges, log2-bucketed histograms), hierarchical span timing, and the
+//! [`Recorder`] interface every measurement crate reports through.
+//!
+//! # Design
+//!
+//! Hot paths never read the wall clock: a [`Counter`] or [`Histogram`]
+//! update is one relaxed atomic op on a pre-interned handle. Wall-clock
+//! reads happen only at span boundaries ([`SpanTimer`] enter/exit), which
+//! sit at phase granularity, not per probe.
+//!
+//! # Determinism contract
+//!
+//! Metric *values* — counter totals, gauge levels, histogram bucket tallies
+//! — must be byte-identical across thread counts for the same seed. The
+//! pipeline guarantees this by deriving every per-probe quantity from
+//! scenario state rather than scheduling (see DESIGN.md §10). Quantities
+//! that *are* scheduling-dependent — wall-clock durations, work-steal
+//! counts, per-worker shares — are reported via [`Recorder::record_span`]
+//! and [`Recorder::timing_value`] and exported under the top-level
+//! `timing` key, which determinism comparisons strip.
+
+#![warn(missing_docs)]
+
+use parking_lot::Mutex;
+use serde_json::{Map, Number, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version tag of the exported metrics document.
+pub const SCHEMA: &str = "hobbit-metrics/v1";
+
+/// Number of histogram buckets: bucket `k` holds values whose bit length
+/// is `k`, i.e. `[2^(k-1), 2^k)`, with bucket 0 reserved for zero.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Log2 bucket index for a value: 0 for 0, otherwise the bit length
+/// (so 1 → 1, 2..=3 → 2, 4..=7 → 3, ...).
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic (handles are cheap and `Send + Sync`); [`Counter::fork`] makes
+/// an independent copy with the same current value.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// An independent counter starting at this counter's current value
+    /// (deep copy — used by `Clone` impls of structs that snapshot state).
+    pub fn fork(&self) -> Self {
+        Counter(Arc::new(AtomicU64::new(self.get())))
+    }
+}
+
+/// A signed gauge (a level, not a total).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// An independent gauge at this gauge's current level.
+    pub fn fork(&self) -> Self {
+        let g = Gauge::new();
+        g.set(self.get());
+        g
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A histogram with fixed log2 buckets (see [`bucket_index`]). Like
+/// [`Counter`], cloning shares state and recording is lock-free.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(bucket index, tally)` pairs, ascending.
+    pub fn bucket_counts(&self) -> Vec<(usize, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect()
+    }
+
+    /// An independent histogram with the same tallies.
+    pub fn fork(&self) -> Self {
+        let h = Histogram::new();
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            h.0.buckets[i].store(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        h.0.count.store(self.count(), Ordering::Relaxed);
+        h.0.sum.store(self.sum(), Ordering::Relaxed);
+        h
+    }
+}
+
+/// The one interface instrumented code reports through.
+///
+/// `counter`/`gauge`/`histogram` intern a metric by name and return a
+/// shared handle; calling twice with the same name must return handles
+/// over the same state. Handles should be obtained once, outside hot
+/// loops, then bumped lock-free.
+///
+/// The two `timing` methods record scheduling-dependent data (wall-clock
+/// spans, per-worker shares). Implementations that don't track timing can
+/// keep the no-op defaults.
+pub trait Recorder: Send + Sync {
+    /// Intern (or look up) a counter by name.
+    fn counter(&self, name: &str) -> Counter;
+    /// Intern (or look up) a gauge by name.
+    fn gauge(&self, name: &str) -> Gauge;
+    /// Intern (or look up) a histogram by name.
+    fn histogram(&self, name: &str) -> Histogram;
+    /// Record a completed span: `path` is `/`-separated (`run/classify`),
+    /// `us` the wall-clock duration. Timing-only — excluded from the
+    /// determinism contract.
+    fn record_span(&self, _path: &str, _us: u64) {}
+    /// Accumulate a scheduling-dependent scalar under the `timing` key
+    /// (work-steal counts, per-worker totals). Excluded from the
+    /// determinism contract.
+    fn timing_value(&self, _path: &str, _v: u64) {}
+}
+
+/// A recorder that retains nothing: every call returns a fresh detached
+/// handle, so instrumented code pays one atomic op and moves on.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn counter(&self, _name: &str) -> Counter {
+        Counter::new()
+    }
+    fn gauge(&self, _name: &str) -> Gauge {
+        Gauge::new()
+    }
+    fn histogram(&self, _name: &str) -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// An RAII span: created at phase entry, records its wall-clock duration
+/// to the recorder on drop. The only wall-clock reads in the system.
+pub struct SpanTimer<'a> {
+    rec: &'a dyn Recorder,
+    path: String,
+    start: Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Enter a span at `path` (e.g. `run/classify/block`).
+    pub fn start(rec: &'a dyn Recorder, path: impl Into<String>) -> Self {
+        SpanTimer {
+            rec,
+            path: path.into(),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        let us = self.start.elapsed().as_micros() as u64;
+        self.rec.record_span(&self.path, us);
+    }
+}
+
+/// Aggregated timing of one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many times the span was entered.
+    pub count: u64,
+    /// Total wall-clock microseconds across entries.
+    pub total_us: u64,
+}
+
+/// The concrete metrics registry: interns metrics by name, aggregates
+/// span timings by path, and exports a versioned JSON document.
+///
+/// Interning takes a mutex, so handles should be obtained once per phase
+/// or worker; updates through the returned handles are lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    timing_values: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Enter a span; its duration is recorded when the guard drops.
+    pub fn span(&self, path: impl Into<String>) -> SpanTimer<'_> {
+        SpanTimer::start(self, path)
+    }
+
+    /// Span timings as `(path, stat)` rows, sorted by path (preorder of
+    /// the span tree, since a parent path is a prefix of its children).
+    pub fn span_rows(&self) -> Vec<(String, SpanStat)> {
+        self.spans
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Scheduling-dependent scalars as `(path, value)` rows, sorted.
+    pub fn timing_rows(&self) -> Vec<(String, u64)> {
+        self.timing_values
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Render the span tree as indented text, one line per path:
+    /// `name  count  total_ms`.
+    pub fn render_span_tree(&self) -> String {
+        let mut out = String::new();
+        for (path, stat) in self.span_rows() {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(&path);
+            out.push_str(&format!(
+                "{}{}  x{}  {:.3} ms\n",
+                "  ".repeat(depth),
+                name,
+                stat.count,
+                stat.total_us as f64 / 1000.0
+            ));
+        }
+        out
+    }
+
+    /// Export the versioned metrics document. Everything outside the
+    /// `timing` key is deterministic across thread counts; `timing` holds
+    /// span durations and scheduling-dependent values.
+    pub fn export(&self) -> Value {
+        let mut root = Map::new();
+        root.insert("schema".into(), Value::String(SCHEMA.into()));
+
+        let mut counters = Map::new();
+        for (name, c) in self.counters.lock().iter() {
+            counters.insert(name.clone(), Value::Number(Number::U64(c.get())));
+        }
+        root.insert("counters".into(), Value::Object(counters));
+
+        let mut gauges = Map::new();
+        for (name, g) in self.gauges.lock().iter() {
+            gauges.insert(name.clone(), Value::Number(Number::I64(g.get())));
+        }
+        root.insert("gauges".into(), Value::Object(gauges));
+
+        let mut hists = Map::new();
+        for (name, h) in self.histograms.lock().iter() {
+            let mut entry = Map::new();
+            entry.insert("count".into(), Value::Number(Number::U64(h.count())));
+            entry.insert("sum".into(), Value::Number(Number::U64(h.sum())));
+            let buckets = h
+                .bucket_counts()
+                .into_iter()
+                .map(|(i, n)| {
+                    Value::Array(vec![
+                        Value::Number(Number::U64(i as u64)),
+                        Value::Number(Number::U64(n)),
+                    ])
+                })
+                .collect();
+            entry.insert("buckets".into(), Value::Array(buckets));
+            hists.insert(name.clone(), Value::Object(entry));
+        }
+        root.insert("histograms".into(), Value::Object(hists));
+
+        let mut timing = Map::new();
+        let mut spans = Map::new();
+        for (path, stat) in self.span_rows() {
+            let mut entry = Map::new();
+            entry.insert("count".into(), Value::Number(Number::U64(stat.count)));
+            entry.insert("total_us".into(), Value::Number(Number::U64(stat.total_us)));
+            spans.insert(path, Value::Object(entry));
+        }
+        timing.insert("spans".into(), Value::Object(spans));
+        let mut values = Map::new();
+        for (path, v) in self.timing_rows() {
+            values.insert(path, Value::Number(Number::U64(v)));
+        }
+        timing.insert("values".into(), Value::Object(values));
+        root.insert("timing".into(), Value::Object(timing));
+
+        Value::Object(root)
+    }
+
+    /// [`Registry::export`] rendered as two-space-indented JSON. Key
+    /// order is sorted (BTreeMap), so the text is byte-deterministic for
+    /// equal metric values.
+    pub fn export_pretty(&self) -> String {
+        self.export().to_json_pretty()
+    }
+}
+
+impl Recorder for Registry {
+    fn counter(&self, name: &str) -> Counter {
+        self.counters.lock().entry(name.into()).or_default().clone()
+    }
+
+    fn gauge(&self, name: &str) -> Gauge {
+        self.gauges.lock().entry(name.into()).or_default().clone()
+    }
+
+    fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .lock()
+            .entry(name.into())
+            .or_default()
+            .clone()
+    }
+
+    fn record_span(&self, path: &str, us: u64) {
+        let mut spans = self.spans.lock();
+        let stat = spans.entry(path.into()).or_default();
+        stat.count += 1;
+        stat.total_us += us;
+    }
+
+    fn timing_value(&self, path: &str, v: u64) {
+        *self.timing_values.lock().entry(path.into()).or_default() += v;
+    }
+}
+
+/// Strip the `timing` key from an exported metrics document, leaving only
+/// the deterministic content (what byte-identity tests compare).
+pub fn strip_timing(doc: &Value) -> Value {
+    match doc {
+        Value::Object(m) => {
+            let mut out = Map::new();
+            for (k, v) in m {
+                if k != "timing" {
+                    out.insert(k.clone(), v.clone());
+                }
+            }
+            Value::Object(out)
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counter_handles_share_state_and_fork_detaches() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 4);
+        let f = a.fork();
+        a.inc();
+        assert_eq!(f.get(), 4, "fork is a snapshot");
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        let f = g.fork();
+        g.add(1);
+        assert_eq!(f.get(), 7);
+    }
+
+    #[test]
+    fn histogram_tallies_and_fork() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 5, 300] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 307);
+        assert_eq!(h.bucket_counts(), vec![(0, 1), (1, 2), (3, 1), (9, 1)]);
+        let f = h.fork();
+        h.record(1);
+        assert_eq!(f.count(), 5);
+        assert_eq!(f.bucket_counts(), vec![(0, 1), (1, 2), (3, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn null_recorder_detaches() {
+        let n = NullRecorder;
+        n.counter("x").add(5);
+        assert_eq!(n.counter("x").get(), 0);
+    }
+
+    #[test]
+    fn spans_aggregate_by_path() {
+        let reg = Registry::new();
+        {
+            let _run = reg.span("run");
+            for _ in 0..3 {
+                let _p = reg.span("run/phase");
+            }
+        }
+        let rows = reg.span_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "run");
+        assert_eq!(rows[0].1.count, 1);
+        assert_eq!(rows[1].0, "run/phase");
+        assert_eq!(rows[1].1.count, 3);
+        let tree = reg.render_span_tree();
+        assert!(tree.contains("run"));
+        assert!(tree.contains("  phase"));
+    }
+
+    #[test]
+    fn export_shape_and_strip_timing() {
+        let reg = Registry::new();
+        reg.counter("probe.sent").add(42);
+        reg.gauge("net.level").set(-2);
+        reg.histogram("probe.rtt_us").record(1000);
+        reg.record_span("run", 1234);
+        reg.timing_value("scheduling/steals", 7);
+
+        let doc = reg.export();
+        assert_eq!(doc["schema"].as_str(), Some(SCHEMA));
+        assert_eq!(doc["counters"]["probe.sent"].as_u64(), Some(42));
+        assert_eq!(doc["gauges"]["net.level"].as_i64(), Some(-2));
+        assert_eq!(doc["histograms"]["probe.rtt_us"]["count"].as_u64(), Some(1));
+        assert_eq!(
+            doc["timing"]["spans"]["run"]["total_us"].as_u64(),
+            Some(1234)
+        );
+        assert_eq!(
+            doc["timing"]["values"]["scheduling/steals"].as_u64(),
+            Some(7)
+        );
+
+        let stripped = strip_timing(&doc);
+        assert!(stripped.get("timing").is_none());
+        assert_eq!(stripped["counters"]["probe.sent"].as_u64(), Some(42));
+    }
+
+    #[test]
+    fn export_is_byte_deterministic_for_equal_values() {
+        let build = || {
+            let reg = Registry::new();
+            reg.counter("b").add(2);
+            reg.counter("a").add(1);
+            reg.histogram("h").record(9);
+            strip_timing(&reg.export()).to_json_pretty()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -29,7 +29,7 @@ pub mod zmap;
 pub use lasthop::{probe_lasthop, probe_lasthop_with_hint, LasthopOutcome, LasthopProbe};
 pub use mda::{enumerate_hop, enumerate_paths, MdaPaths, StoppingRule};
 pub use ping::{ping_series, PingSeries};
-pub use prober::{ProbeReply, ProbeResult, ProbeTransport, Prober};
+pub use prober::{ProbeObs, ProbeReply, ProbeResult, ProbeTransport, Prober};
 pub use record::{ProbeLog, RecordedCall, RecordedReply};
 pub use traceroute::{paris_traceroute, Traceroute};
 pub use types::{route_sets_equal, route_sets_identical, Hop, Path};

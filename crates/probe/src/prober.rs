@@ -12,6 +12,7 @@ use bytes::Bytes;
 use netsim::forward::encode_probe;
 use netsim::wire::{IcmpEcho, IcmpError, Ipv4Header, ICMP_ECHO_REPLY, ICMP_TIME_EXCEEDED};
 use netsim::{Addr, Delivery, Network, SendError, SharedNetwork};
+use obs::{Counter, Histogram, Recorder};
 
 /// Anything that can carry a probe packet and return the response.
 ///
@@ -136,6 +137,39 @@ pub struct ProbeResult {
     pub rtt_us: u64,
 }
 
+/// Pre-interned observability handles for a prober — one atomic bump per
+/// event, no registry lookups in the probe path. Several probers (e.g.
+/// all classification workers) may share one set of handles: the counters
+/// then aggregate across them, which is exactly what the metrics document
+/// wants, while each prober's own `probes_sent()`-style accessors stay
+/// per-prober.
+#[derive(Clone, Debug)]
+pub struct ProbeObs {
+    /// `probe.sent` — probe packets sent (including retries).
+    pub probes_sent: Counter,
+    /// `probe.drops` — attempts that got no answer.
+    pub drops: Counter,
+    /// `probe.retries` — retries spent.
+    pub retries: Counter,
+    /// `probe.backoff_us` — simulated backoff wait, microseconds.
+    pub backoff_us: Counter,
+    /// `probe.rtt_us` — per-probe round-trip time, microseconds.
+    pub rtt_us: Histogram,
+}
+
+impl ProbeObs {
+    /// Intern the standard probe metrics in `rec`.
+    pub fn bind(rec: &dyn Recorder) -> Self {
+        ProbeObs {
+            probes_sent: rec.counter("probe.sent"),
+            drops: rec.counter("probe.drops"),
+            retries: rec.counter("probe.retries"),
+            backoff_us: rec.counter("probe.backoff_us"),
+            rtt_us: rec.histogram("probe.rtt_us"),
+        }
+    }
+}
+
 /// A measurement process bound to a network.
 ///
 /// Tracks the probes it sends (the paper reports measurement loads; Figure
@@ -168,6 +202,8 @@ pub struct Prober<'n> {
     backoff_us: u64,
     /// When recording, every probe call lands here.
     recording: Option<ProbeLog>,
+    /// Shared metric handles mirroring the per-prober accounting.
+    obs: Option<ProbeObs>,
 }
 
 /// Default lifetime retry budget: generous for ordinary runs, finite so a
@@ -221,6 +257,7 @@ impl<'n> Prober<'n> {
             retries_used: 0,
             backoff_us: 0,
             recording: None,
+            obs: None,
         }
     }
 
@@ -250,6 +287,7 @@ impl<'n> Prober<'n> {
             retries_used: 0,
             backoff_us: 0,
             recording: None,
+            obs: None,
         }
     }
 
@@ -287,6 +325,19 @@ impl<'n> Prober<'n> {
     /// The source address this prober stamps on probes.
     pub fn source(&self) -> Addr {
         self.source
+    }
+
+    /// Mirror this prober's accounting into `rec` from now on (interns the
+    /// standard `probe.*` metrics). The per-prober accessors
+    /// ([`Prober::probes_sent`] etc.) keep their own totals either way.
+    pub fn observe(&mut self, rec: &dyn Recorder) {
+        self.obs = Some(ProbeObs::bind(rec));
+    }
+
+    /// Attach pre-interned metric handles. Workers share one [`ProbeObs`]
+    /// so their counters aggregate without registry lookups per probe.
+    pub fn set_obs(&mut self, obs: ProbeObs) {
+        self.obs = Some(obs);
     }
 
     /// Total probe packets sent (including retries).
@@ -397,6 +448,10 @@ impl<'n> Prober<'n> {
                 rtt_us: delivery.rtt_us,
             };
             self.rtt_sum_us += result.rtt_us;
+            if let Some(o) = &self.obs {
+                o.probes_sent.inc();
+                o.rtt_us.record(result.rtt_us);
+            }
             if record {
                 attempts.push((result.reply.into(), result.rtt_us));
             }
@@ -404,13 +459,21 @@ impl<'n> Prober<'n> {
                 break result;
             }
             self.drops += 1;
+            if let Some(o) = &self.obs {
+                o.drops.inc();
+            }
             if attempt >= self.retries || self.retry_budget == 0 {
                 break result;
             }
             attempt += 1;
             self.retry_budget -= 1;
             self.retries_used += 1;
-            self.backoff_us += backoff_delay(self.backoff_base_us, self.backoff_cap_us, attempt);
+            let wait = backoff_delay(self.backoff_base_us, self.backoff_cap_us, attempt);
+            self.backoff_us += wait;
+            if let Some(o) = &self.obs {
+                o.retries.inc();
+                o.backoff_us.add(wait);
+            }
         };
         if let Some(log) = &mut self.recording {
             log.push_call(dst, ttl, flow_label, attempts);
@@ -441,19 +504,30 @@ impl<'n> Prober<'n> {
             if i > 0 {
                 self.retry_budget = self.retry_budget.saturating_sub(1);
                 self.retries_used += 1;
-                self.backoff_us +=
-                    backoff_delay(self.backoff_base_us, self.backoff_cap_us, i as u32);
+                let wait = backoff_delay(self.backoff_base_us, self.backoff_cap_us, i as u32);
+                self.backoff_us += wait;
+                if let Some(o) = &self.obs {
+                    o.retries.inc();
+                    o.backoff_us.add(wait);
+                }
             }
             self.seq = self.seq.wrapping_add(1);
             self.ip_ident = self.ip_ident.wrapping_add(1);
             self.probes_sent += 1;
             self.rtt_sum_us += rtt_us;
+            if let Some(o) = &self.obs {
+                o.probes_sent.inc();
+                o.rtt_us.record(rtt_us);
+            }
             last = ProbeResult {
                 reply: reply.into(),
                 rtt_us,
             };
             if !last.reply.responded() {
                 self.drops += 1;
+                if let Some(o) = &self.obs {
+                    o.drops.inc();
+                }
             }
         }
         if let Some(log) = &mut self.recording {
@@ -609,6 +683,27 @@ mod tests {
             0,
             "0xffff is never on the wire"
         );
+    }
+
+    #[test]
+    fn flow_label_remap_is_consistent_between_live_and_replay() {
+        // Regression companion to the wire-key test above: both the live
+        // and the replay backend apply the 0xffff → 0xfffe remap, so a run
+        // recorded under the overflow label replays under it too, and the
+        // overflow label is just an alias for the 0xfffe flow.
+        let mut s = scenario();
+        let blk = dense_block(&s);
+        let dst = blk.addr(10);
+        let mut p = Prober::new(&mut s.network, 77);
+        p.start_recording();
+        let live = p.probe(dst, 64, 0xffff);
+        let log = p.take_log().unwrap();
+
+        let mut r = Prober::replayer(log, 77, p.source());
+        let replayed = r.probe(dst, 64, 0xffff);
+        assert_eq!(replayed.reply, live.reply);
+        assert_eq!(replayed.rtt_us, live.rtt_us);
+        assert_eq!(r.replay_misses(), 0, "remapped label must hit the log");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property tests for the aggregation algebra (paper Sections 5–6):
+//! the similarity score is a symmetric [0, 1] measure, identical-set
+//! aggregation partitions its input, and MCL clustering does not depend
+//! on the order the aggregates are presented in.
+
+use aggregate::{aggregate_identical, cluster_aggregates, similarity, Aggregate, HomogBlock};
+use netsim::{Addr, Block24};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A sorted, deduplicated last-hop set over a small router universe
+/// (small so random sets actually intersect).
+fn arb_lasthops(max_len: usize) -> impl Strategy<Value = Vec<Addr>> {
+    collection::btree_set(0u32..40, 0..max_len.max(1))
+        .prop_map(|s| s.into_iter().map(|n| Addr(0x0A00_0000 + n)).collect())
+}
+
+/// Homogeneous /24s with distinct block addresses and random last-hop
+/// sets (some empty, some shared between blocks).
+fn arb_homog_blocks() -> impl Strategy<Value = Vec<HomogBlock>> {
+    (
+        collection::btree_set(0u32..4096, 0..24),
+        collection::vec(arb_lasthops(5), 24),
+    )
+        .prop_map(|(ids, sets)| {
+            ids.into_iter()
+                .zip(sets)
+                .map(|(id, lhs)| HomogBlock::new(Block24(id), lhs))
+                .collect()
+        })
+}
+
+/// Canonical form of a clustering of aggregates: each cluster becomes the
+/// sorted set of its member aggregates' block lists, and the clusters
+/// themselves are sorted — invariant under any relabeling of both.
+fn canonical_clusters(aggs: &[Aggregate], clusters: &[Vec<u32>]) -> BTreeSet<Vec<Vec<Block24>>> {
+    clusters
+        .iter()
+        .map(|c| {
+            let mut members: Vec<Vec<Block24>> =
+                c.iter().map(|&i| aggs[i as usize].blocks.clone()).collect();
+            members.sort();
+            members
+        })
+        .collect()
+}
+
+proptest! {
+    /// `similarity` is symmetric, bounded to [0, 1], and 1 on identity.
+    #[test]
+    fn similarity_is_a_symmetric_unit_measure(
+        a in arb_lasthops(8),
+        b in arb_lasthops(8),
+    ) {
+        let s_ab = similarity(&a, &b);
+        let s_ba = similarity(&b, &a);
+        prop_assert_eq!(s_ab, s_ba, "similarity must be symmetric");
+        prop_assert!((0.0..=1.0).contains(&s_ab), "out of range: {s_ab}");
+        if !a.is_empty() {
+            prop_assert_eq!(similarity(&a, &a), 1.0);
+        }
+        // Disjointness in either direction means score 0.
+        if a.iter().all(|x| !b.contains(x)) {
+            prop_assert_eq!(s_ab, 0.0);
+        }
+    }
+
+    /// Identical-set aggregation partitions the input: every block with a
+    /// non-empty last-hop set lands in exactly one aggregate, every
+    /// aggregate's set equals its members' sets, and distinct aggregates
+    /// carry distinct sets.
+    #[test]
+    fn aggregation_is_a_partition(blocks in arb_homog_blocks()) {
+        let aggs = aggregate_identical(&blocks);
+
+        let mut seen: BTreeSet<Block24> = BTreeSet::new();
+        for a in &aggs {
+            prop_assert!(!a.lasthops.is_empty(), "empty-set aggregate");
+            for &b in &a.blocks {
+                prop_assert!(seen.insert(b), "{b:?} appears in two aggregates");
+            }
+        }
+        let expected: BTreeSet<Block24> = blocks
+            .iter()
+            .filter(|hb| !hb.lasthops.is_empty())
+            .map(|hb| hb.block)
+            .collect();
+        prop_assert_eq!(seen, expected, "aggregates must cover exactly the non-empty blocks");
+
+        // Membership is by set identity, and sets identify aggregates.
+        let mut sets: BTreeSet<&[Addr]> = BTreeSet::new();
+        for a in &aggs {
+            prop_assert!(sets.insert(&a.lasthops), "two aggregates share a set");
+            for &b in &a.blocks {
+                let hb = blocks.iter().find(|hb| hb.block == b).unwrap();
+                prop_assert_eq!(&hb.lasthops, &a.lasthops);
+            }
+        }
+    }
+
+    /// MCL clustering is invariant under permutation of the aggregate
+    /// list: the same blocks end up clustered together regardless of
+    /// presentation order.
+    #[test]
+    fn mcl_clustering_is_permutation_invariant(
+        blocks in arb_homog_blocks(),
+        perm_seed in any::<u64>(),
+    ) {
+        let aggs = aggregate_identical(&blocks);
+        let base = cluster_aggregates(&aggs, 2.0);
+
+        // Fisher–Yates with the deterministic test generator.
+        let mut shuffled = aggs.clone();
+        let mut g = Gen::new(perm_seed);
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, g.below(i + 1));
+        }
+        let permuted = cluster_aggregates(&shuffled, 2.0);
+
+        prop_assert_eq!(
+            canonical_clusters(&aggs, &base.clusters),
+            canonical_clusters(&shuffled, &permuted.clusters),
+            "clustering must not depend on input order"
+        );
+    }
+}

@@ -9,8 +9,22 @@
 
 use std::ops::{Range, RangeInclusive};
 
-/// Number of cases each `proptest!` test runs.
+/// Default number of cases each `proptest!` test runs.
 pub const CASES: usize = 64;
+
+/// Number of cases each `proptest!` test runs: the `PROPTEST_CASES`
+/// environment variable when set to a positive integer (CI cranks this
+/// up), otherwise [`CASES`]. Read once per process.
+pub fn cases() -> usize {
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(CASES)
+    })
+}
 
 /// Deterministic generator handed to strategies (SplitMix64 core).
 pub struct Gen {
@@ -362,7 +376,8 @@ pub mod prelude {
 }
 
 /// Define property tests: each `fn name(pat in strategy, ...) { body }`
-/// becomes a `#[test]` running [`CASES`] deterministic cases.
+/// becomes a `#[test]` running [`cases`]`()` deterministic cases
+/// ([`CASES`] by default; override with `PROPTEST_CASES`).
 #[macro_export]
 macro_rules! proptest {
     ($( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
@@ -370,7 +385,7 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let mut __gen = $crate::Gen::from_name(stringify!($name));
-                for __case in 0..$crate::CASES {
+                for __case in 0..$crate::cases() {
                     $(let $pat = $crate::Strategy::generate(&($strat), &mut __gen);)*
                     $body
                 }
@@ -424,6 +439,19 @@ mod tests {
         #[test]
         fn mapped_strategy_applies(p in arb_pair()) {
             prop_assert!(p.1 <= 32);
+        }
+    }
+
+    #[test]
+    fn cases_env_override_or_default() {
+        let n = super::cases();
+        match std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            Some(want) => assert_eq!(n, want),
+            None => assert_eq!(n, super::CASES),
         }
     }
 
