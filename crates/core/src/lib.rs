@@ -40,6 +40,6 @@ pub use confidence::{detects_homogeneous, BlockLasthopData, ConfidenceTable};
 pub use hetero::{very_likely_heterogeneous, SubBlockComposition};
 pub use hierarchy::{LasthopGroups, Relationship};
 pub use probe::types::Hop;
-pub use schedule::probing_order;
+pub use schedule::{probing_order, reprobe_order};
 pub use select::{select_all, select_block, SelectReject, SelectedBlock};
 pub use survey::{survey_block, BlockSurvey};

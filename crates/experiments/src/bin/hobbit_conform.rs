@@ -1,0 +1,12 @@
+//! Differential conformance campaign: production classification vs the
+//! `testkit` reference oracle over the golden corpus plus fresh fuzzed
+//! scenarios, shrinking any divergence to a minimal persisted seed file.
+//! Exits non-zero when any scenario diverges.
+fn main() {
+    let args = experiments::exps::conform::ConformArgs::parse();
+    let (report, failures) = experiments::exps::conform::run(&args);
+    report.print(args.json);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

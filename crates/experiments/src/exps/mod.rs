@@ -1,5 +1,6 @@
 //! One module per paper artifact. Each exposes `run(&ExpArgs) -> Report`.
 
+pub mod conform;
 pub mod figure10;
 pub mod figure11;
 pub mod figure12;

@@ -18,6 +18,7 @@ pub mod report;
 pub mod exps;
 
 pub use args::ExpArgs;
+#[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use pipeline::run as run_pipeline;
 pub use pipeline::{

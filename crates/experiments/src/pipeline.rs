@@ -65,6 +65,9 @@ pub struct Pipeline {
     pub reject_uncovered: usize,
     /// The calibrated confidence table (Figure 4).
     pub confidence: ConfidenceTable,
+    /// The classifier configuration the run used (needed to replay
+    /// verdicts, e.g. by [`Pipeline::verify_conformance`]).
+    pub hobbit_cfg: HobbitConfig,
     /// Per-block classification results, in block order.
     pub measurements: Vec<BlockMeasurement>,
     /// Probe packets spent on classification (sum over workers).
@@ -288,6 +291,7 @@ impl PipelineBuilder {
             reject_too_few,
             reject_uncovered,
             confidence,
+            hobbit_cfg,
             measurements,
             classify_probes,
             calibration_probes,
@@ -486,6 +490,10 @@ pub fn classify_blocks_observed(
 }
 
 /// Run the full pipeline from parsed CLI arguments.
+///
+/// Only built with the `legacy-api` feature — new code should use
+/// [`Pipeline::builder`].
+#[cfg(feature = "legacy-api")]
 #[deprecated(note = "use `Pipeline::builder()` — e.g. \
 `Pipeline::builder().args(&args).run()`")]
 pub fn run(args: &ExpArgs) -> Pipeline {
@@ -524,6 +532,47 @@ impl Pipeline {
                 eprintln!("warning: could not write metrics to {path}: {e}");
             }
         }
+    }
+
+    /// Replay every measurement through the `testkit` reference oracle —
+    /// same recorded evidence, same confidence table, same classifier
+    /// config — and report through the run's recorder as `conform.checked`
+    /// / `conform.mismatches`. Returns one human-readable line per
+    /// divergence; empty means the optimized engine and the naive oracle
+    /// agree block-for-block (verdict, stopping point, and last-hop set).
+    pub fn verify_conformance(&self) -> Vec<String> {
+        let rec = self.recorder();
+        let checked = rec.counter("conform.checked");
+        let mismatched = rec.counter("conform.mismatches");
+        let mut out = Vec::new();
+        for m in &self.measurements {
+            checked.inc();
+            let oracle = testkit::replay_verdict(m, &self.confidence, &self.hobbit_cfg);
+            if let Some((at, v)) = oracle.premature {
+                mismatched.inc();
+                out.push(format!(
+                    "block {}: verdict {v:?} already fired after {at}/{} resolutions",
+                    m.block,
+                    m.per_dest.len()
+                ));
+            }
+            if oracle.classification != m.classification {
+                mismatched.inc();
+                out.push(format!(
+                    "block {}: production {:?}, oracle {:?}",
+                    m.block, m.classification, oracle.classification
+                ));
+            }
+            let naive = testkit::naive_lasthop_set(&m.per_dest);
+            if naive != m.lasthop_set {
+                mismatched.inc();
+                out.push(format!(
+                    "block {}: recorded last-hop set {:?}, oracle recomputes {naive:?}",
+                    m.block, m.lasthop_set
+                ));
+            }
+        }
+        out
     }
 
     /// Measurements classified homogeneous, as aggregation inputs.
@@ -660,6 +709,7 @@ mod tests {
         assert_eq!(a.classify_probes, b.classify_probes);
     }
 
+    #[cfg(feature = "legacy-api")]
     #[test]
     fn deprecated_run_shim_matches_builder() {
         let args = ExpArgs {
@@ -753,6 +803,23 @@ mod tests {
         }
         assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
         assert!(q.next(0).is_none());
+    }
+
+    #[test]
+    fn pipeline_conforms_to_oracle() {
+        let p = tiny().observe().run();
+        let issues = p.verify_conformance();
+        assert!(issues.is_empty(), "{issues:?}");
+        let reg = p.obs.as_deref().unwrap();
+        assert_eq!(
+            reg.counter_value("conform.checked"),
+            Some(p.measurements.len() as u64)
+        );
+        assert_eq!(reg.counter_value("conform.mismatches"), Some(0));
+        // Faults change the evidence, never the verdict-evidence contract.
+        let f = tiny().faults(0.02, 0.5).run();
+        let issues = f.verify_conformance();
+        assert!(issues.is_empty(), "{issues:?}");
     }
 
     #[test]

@@ -320,6 +320,19 @@ impl Network {
         out.sort();
         out
     }
+
+    /// [`Network::true_lasthop_set`], mapped to the routers' primary
+    /// interface addresses (sorted) — directly comparable to a measured
+    /// last-hop set when no router aliases its replies.
+    pub fn true_lasthop_addrs(&self, dst: Addr) -> Vec<Addr> {
+        let mut out: Vec<Addr> = self
+            .true_lasthop_set(dst)
+            .into_iter()
+            .map(|id| self.router(id).addr)
+            .collect();
+        out.sort();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +374,16 @@ mod tests {
         let net = tiny();
         let set = net.true_lasthop_set(Addr::new(10, 0, 0, 7));
         assert_eq!(set, vec![RouterId(1), RouterId(2)]);
+    }
+
+    #[test]
+    fn true_lasthop_addrs_map_ids_to_interfaces() {
+        let net = tiny();
+        let addrs = net.true_lasthop_addrs(Addr::new(10, 0, 0, 7));
+        assert_eq!(
+            addrs,
+            vec![Addr::new(10, 255, 0, 2), Addr::new(10, 255, 0, 3)]
+        );
     }
 
     #[test]

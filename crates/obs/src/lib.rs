@@ -283,6 +283,14 @@ impl Registry {
         SpanTimer::start(self, path)
     }
 
+    /// Read a counter's current value without interning it: `None` when no
+    /// counter of that name has been created yet (distinct from an
+    /// existing counter sitting at zero). Lets tests and reports assert on
+    /// a metric without the read itself creating the metric.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.lock().get(name).map(|c| c.get())
+    }
+
     /// Span timings as `(path, stat)` rows, sorted by path (preorder of
     /// the span tree, since a parent path is a prefix of its children).
     pub fn span_rows(&self) -> Vec<(String, SpanStat)> {
@@ -435,6 +443,18 @@ pub fn strip_timing(doc: &Value) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_value_reads_without_interning() {
+        let reg = Registry::new();
+        assert_eq!(reg.counter_value("absent"), None);
+        // The read above must not have created the metric.
+        assert_eq!(reg.counter_value("absent"), None);
+        let c = reg.counter("present");
+        assert_eq!(reg.counter_value("present"), Some(0));
+        c.add(3);
+        assert_eq!(reg.counter_value("present"), Some(3));
+    }
 
     #[test]
     fn bucket_index_is_bit_length() {

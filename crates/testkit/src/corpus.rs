@@ -1,0 +1,360 @@
+//! The golden corpus: hand-enumerated scenarios covering the taxonomy,
+//! seed-file I/O, and pinned-expectation checking.
+//!
+//! Each corpus entry is one JSON file in `tests/corpus/` holding a
+//! [`ScenarioSpec`] plus the classification report it must keep producing
+//! (verdict and last-hop set per planted /24). `hobbit-conform --regen`
+//! rewrites the expectations after an intentional behaviour change — the
+//! regeneration itself refuses to pin a report the oracle disagrees with.
+
+use crate::diff::DiffReport;
+use crate::scenario::{BlockKind, BlockSpec, PolicySpec, PopSpec, ScenarioSpec};
+use hobbit::Classification;
+use netsim::{Addr, Block24};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Pinned expectation for one planted /24.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpectedBlock {
+    /// The block.
+    pub block: Block24,
+    /// The pinned verdict.
+    pub verdict: Classification,
+    /// The pinned (sorted) last-hop interface set.
+    pub lasthops: Vec<Addr>,
+}
+
+/// One golden-corpus seed file: a scenario and the report it must produce.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// Stable entry name (also the file stem).
+    pub name: String,
+    /// The scenario.
+    pub spec: ScenarioSpec,
+    /// Expected verdict and last-hop set per classified block, in block
+    /// order.
+    pub expected: Vec<ExpectedBlock>,
+}
+
+impl CorpusEntry {
+    /// Pin a differential run's report as this entry's expectation.
+    pub fn from_report(name: &str, spec: &ScenarioSpec, report: &DiffReport) -> Self {
+        CorpusEntry {
+            name: name.to_string(),
+            spec: spec.clone(),
+            expected: report
+                .measurements
+                .iter()
+                .map(|m| ExpectedBlock {
+                    block: m.block,
+                    verdict: m.classification,
+                    lasthops: m.lasthop_set.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Compare a fresh report against the pinned expectations; returns one
+    /// human-readable line per deviation (empty = conformant).
+    pub fn check(&self, report: &DiffReport) -> Vec<String> {
+        let mut out = Vec::new();
+        let got: Vec<ExpectedBlock> =
+            CorpusEntry::from_report(&self.name, &self.spec, report).expected;
+        if got.len() != self.expected.len() {
+            out.push(format!(
+                "{}: {} blocks classified, {} pinned",
+                self.name,
+                got.len(),
+                self.expected.len()
+            ));
+        }
+        for want in &self.expected {
+            match got.iter().find(|g| g.block == want.block) {
+                None => out.push(format!("{}: block {:?} missing", self.name, want.block)),
+                Some(g) => {
+                    if g.verdict != want.verdict {
+                        out.push(format!(
+                            "{}: block {:?} verdict {:?}, pinned {:?}",
+                            self.name, want.block, g.verdict, want.verdict
+                        ));
+                    }
+                    if g.lasthops != want.lasthops {
+                        out.push(format!(
+                            "{}: block {:?} lasthops {:?}, pinned {:?}",
+                            self.name, want.block, g.lasthops, want.lasthops
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Write the entry as pretty JSON to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("corpus entry serializes");
+        fs::write(path, json + "\n")
+    }
+
+    /// Read an entry back from `path`, validating the embedded spec.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let json = fs::read_to_string(path)?;
+        let entry: CorpusEntry = serde_json::from_str(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        entry
+            .spec
+            .validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
+        Ok(entry)
+    }
+}
+
+/// Load every `*.json` corpus entry under `dir`, sorted by name.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusEntry>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            out.push(CorpusEntry::load(&path)?);
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(out)
+}
+
+fn pop(fan: u8, policy: PolicySpec) -> PopSpec {
+    PopSpec {
+        fan,
+        policy,
+        responsive: true,
+        alt_addr: false,
+    }
+}
+
+fn homog(pop: u8, density_pct: u8) -> BlockSpec {
+    BlockSpec {
+        kind: BlockKind::Homog { pop },
+        density_pct,
+    }
+}
+
+fn split(lens: &[u8], density_pct: u8) -> BlockSpec {
+    BlockSpec {
+        kind: BlockKind::Split {
+            lens: lens.to_vec(),
+        },
+        density_pct,
+    }
+}
+
+fn spec(seed: u64, transit: bool, pops: Vec<PopSpec>, blocks: Vec<BlockSpec>) -> ScenarioSpec {
+    ScenarioSpec {
+        seed,
+        transit,
+        pops,
+        blocks,
+        link_loss: 0.0,
+        icmp_rate: 0.0,
+    }
+}
+
+/// The golden scenarios: one per taxonomy cell the classifier must keep
+/// handling identically. Names are stable — they are the corpus file stems.
+pub fn golden_specs() -> Vec<(&'static str, ScenarioSpec)> {
+    use PolicySpec::{PerDestination, PerFlow, PerSrcDest};
+    vec![
+        // Single last hop: the SameLasthop row.
+        (
+            "single-lasthop",
+            spec(101, false, vec![pop(1, PerDestination)], vec![homog(0, 90)]),
+        ),
+        // Per-destination fans: NonHierarchical at growing cardinality.
+        (
+            "fan2-perdest",
+            spec(102, false, vec![pop(2, PerDestination)], vec![homog(0, 90)]),
+        ),
+        (
+            "fan3-perdest",
+            spec(103, false, vec![pop(3, PerDestination)], vec![homog(0, 90)]),
+        ),
+        (
+            "fan4-perdest",
+            spec(104, false, vec![pop(4, PerDestination)], vec![homog(0, 90)]),
+        ),
+        // Per-flow fans: Paris probing sticks to one path per destination.
+        (
+            "fan2-perflow",
+            spec(105, false, vec![pop(2, PerFlow)], vec![homog(0, 90)]),
+        ),
+        (
+            "fan3-perflow",
+            spec(106, false, vec![pop(3, PerFlow)], vec![homog(0, 90)]),
+        ),
+        // Source/destination hashing (one vantage: degenerates to per-dest).
+        (
+            "fan2-persrcdest",
+            spec(107, false, vec![pop(2, PerSrcDest)], vec![homog(0, 90)]),
+        ),
+        // Genuinely heterogeneous tilings: Hierarchical, never NonHierarchical.
+        (
+            "split-25-25",
+            spec(108, false, vec![], vec![split(&[25, 25], 90)]),
+        ),
+        (
+            "split-25-26-26",
+            spec(109, false, vec![], vec![split(&[25, 26, 26], 90)]),
+        ),
+        (
+            "split-26x4",
+            spec(110, false, vec![], vec![split(&[26, 26, 26, 26], 90)]),
+        ),
+        (
+            "split-mixed",
+            spec(111, false, vec![], vec![split(&[27, 27, 26, 25], 90)]),
+        ),
+        // Anonymous last hop: routers deliver but never answer TTL-exceeded.
+        (
+            "anonymous-lasthop",
+            spec(
+                112,
+                false,
+                vec![PopSpec {
+                    responsive: false,
+                    ..pop(2, PerDestination)
+                }],
+                vec![homog(0, 90)],
+            ),
+        ),
+        // Alternating reply interfaces must not change the verdict shape.
+        (
+            "alt-addr-fan2",
+            spec(
+                113,
+                false,
+                vec![PopSpec {
+                    alt_addr: true,
+                    ..pop(2, PerDestination)
+                }],
+                vec![homog(0, 90)],
+            ),
+        ),
+        // Sparse population: the selection/too-few-active edge.
+        (
+            "sparse-block",
+            spec(114, false, vec![pop(1, PerDestination)], vec![homog(0, 2)]),
+        ),
+        // Upstream per-flow transit diversity above the last hop.
+        (
+            "transit-fan2",
+            spec(115, true, vec![pop(2, PerDestination)], vec![homog(0, 90)]),
+        ),
+        // Two PoPs, three blocks: mixed verdicts in one run.
+        (
+            "multi-pop-mixed",
+            spec(
+                116,
+                false,
+                vec![pop(1, PerDestination), pop(3, PerFlow)],
+                vec![homog(0, 85), homog(1, 70), split(&[25, 25], 90)],
+            ),
+        ),
+        // Two homogeneous blocks behind one PoP: identical-set aggregation.
+        (
+            "aggregate-pair",
+            spec(
+                117,
+                false,
+                vec![pop(2, PerDestination)],
+                vec![homog(0, 90), homog(0, 80)],
+            ),
+        ),
+        // Fault rows: loss and rate limiting, retried by the pipeline.
+        (
+            "faulted-loss",
+            spec(118, false, vec![pop(2, PerDestination)], vec![homog(0, 90)])
+                .with_faults(0.02, 0.0),
+        ),
+        (
+            "faulted-rate",
+            spec(119, false, vec![pop(2, PerDestination)], vec![homog(0, 90)])
+                .with_faults(0.0, 0.5),
+        ),
+        // Everything at once.
+        (
+            "kitchen-sink",
+            spec(
+                120,
+                true,
+                vec![pop(3, PerFlow), pop(2, PerDestination)],
+                vec![
+                    homog(0, 90),
+                    split(&[25, 26, 27, 27], 85),
+                    homog(1, 3),
+                    homog(1, 95),
+                ],
+            )
+            .with_faults(0.02, 0.0),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_specs_validate_and_names_are_unique() {
+        let specs = golden_specs();
+        assert!(specs.len() >= 20, "corpus shrank to {}", specs.len());
+        let mut names: Vec<&str> = specs.iter().map(|(n, _)| *n).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate corpus names");
+        for (name, s) in &specs {
+            s.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn entry_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("testkit-corpus-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let (name, s) = &golden_specs()[0];
+        let entry = CorpusEntry {
+            name: name.to_string(),
+            spec: s.clone(),
+            expected: vec![ExpectedBlock {
+                block: ScenarioSpec::block24(0),
+                verdict: Classification::SameLasthop,
+                lasthops: vec![Addr::new(10, 100, 0, 10)],
+            }],
+        };
+        let path = dir.join(format!("{name}.json"));
+        entry.save(&path).unwrap();
+        let back = CorpusEntry::load(&path).unwrap();
+        assert_eq!(back, entry);
+        let all = load_dir(&dir).unwrap();
+        assert_eq!(all, vec![entry]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_invalid_specs() {
+        let dir = std::env::temp_dir().join(format!("testkit-corpus-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        let mut entry = CorpusEntry {
+            name: "bad".into(),
+            spec: golden_specs()[0].1.clone(),
+            expected: vec![],
+        };
+        entry.spec.blocks[0].density_pct = 0;
+        let json = serde_json::to_string(&entry).unwrap();
+        fs::write(&path, json).unwrap();
+        assert!(CorpusEntry::load(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+//! # testkit — differential conformance tooling for the Hobbit pipeline
+//!
+//! The production classifier is optimized: work-stealing workers over one
+//! shared network, early-terminating probing, union-find group merging,
+//! fault-resilient retries. None of that machinery should ever change a
+//! *verdict* — the paper's classification is a pure function of the
+//! evidence a block yields. This crate checks that claim the way MDA-Lite
+//! was validated against full stochastic MDA: an independent, deliberately
+//! naive reimplementation ([`oracle`]) is run over the same measurements
+//! and every divergence is a bug in one of the two.
+//!
+//! The pieces:
+//!
+//! * [`oracle`] — single-threaded, O(n²) reimplementations of last-hop
+//!   grouping, the hierarchy test, strict-disjoint subnet detection,
+//!   identical-set aggregation, and a replay of the classifier's
+//!   early-termination state machine. Shares no code with `hobbit`'s
+//!   production paths beyond the `core` data types.
+//! * [`scenario`] — a serializable scenario grammar ([`ScenarioSpec`])
+//!   with a seeded generator and a miniature topology builder producing
+//!   netsim networks with *known ground-truth labels*.
+//! * [`diff`] — the differential runner: production classification (injected
+//!   by the caller, so this crate stays independent of `experiments`)
+//!   versus the oracle, block by block, across thread counts.
+//! * [`shrink`] — a greedy delta-debugging shrinker that reduces a failing
+//!   scenario to a minimal reproducer.
+//! * [`corpus`] — seed-file I/O and the golden corpus definitions checked
+//!   into `tests/corpus/`.
+//!
+//! [`ScenarioSpec`]: scenario::ScenarioSpec
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod diff;
+pub mod oracle;
+pub mod scenario;
+pub mod shrink;
+
+pub use corpus::{golden_specs, CorpusEntry, ExpectedBlock};
+pub use diff::{run_spec, ClassifyRef, ConformObs, DiffReport, Mismatch};
+pub use oracle::{
+    naive_aggregate, naive_disjoint_aligned, naive_lasthop_set, naive_merged_groups,
+    naive_relationship, replay_verdict, OracleVerdict,
+};
+pub use scenario::{build_world, gen_spec, BlockKind, BlockSpec, PopSpec, ScenarioSpec, World};
+pub use shrink::shrink;

@@ -1,0 +1,517 @@
+//! The scenario grammar: a small, serializable description of a synthetic
+//! internet with *known ground-truth labels*, plus a seeded generator and
+//! the builder that turns a spec into a netsim [`Network`].
+//!
+//! A [`ScenarioSpec`] plants each phenomenon the classifier must handle:
+//! homogeneous /24s served by one PoP (fanned out per-destination,
+//! per-flow, or per-source/destination), genuinely heterogeneous /24s split
+//! into /25–/27 sub-blocks with distinct route entries, anonymous last-hop
+//! routers, alternating reply interfaces, sparse host populations, and
+//! injected faults. Specs are plain data — the shrinker edits them and the
+//! corpus serializes them.
+
+use netsim::host::TtlMix;
+use netsim::route::{NextHop, NextHopGroup};
+use netsim::{Addr, Block24, FaultConfig, HostKind, HostProfile, LbPolicy, Network, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// First planted /24: `12.0.0.0/24`; block `i` is `12.0.i.0/24`.
+pub const BLOCK_BASE: u32 = 0x0C_0000;
+
+/// Sub-block tilings of a /24 the generator may plant (prefix lengths in
+/// base-address order; each tiling covers the /24 exactly).
+pub const TILINGS: [&[u8]; 5] = [
+    &[25, 25],
+    &[25, 26, 26],
+    &[26, 26, 26, 26],
+    &[25, 26, 27, 27],
+    &[27, 27, 26, 25],
+];
+
+/// Load-balancing policy of a PoP's fan-out (serializable mirror of the
+/// netsim [`LbPolicy`] subset the scenarios use).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Hash the destination address only.
+    PerDestination,
+    /// Hash the flow identifier (Paris probes stick to one path).
+    PerFlow,
+    /// Hash source and destination addresses.
+    PerSrcDest,
+}
+
+impl PolicySpec {
+    /// The netsim policy this spec names.
+    pub fn to_policy(self) -> LbPolicy {
+        match self {
+            PolicySpec::PerDestination => LbPolicy::PerDestination,
+            PolicySpec::PerFlow => LbPolicy::PerFlow,
+            PolicySpec::PerSrcDest => LbPolicy::PerSrcDest,
+        }
+    }
+}
+
+/// One point of presence: an aggregation router fanning out over `fan`
+/// last-hop routers.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PopSpec {
+    /// Number of last-hop routers (1 = no balancing at the last stage).
+    pub fan: u8,
+    /// How the aggregation router spreads destinations over the fan.
+    pub policy: PolicySpec,
+    /// Whether the last-hop routers answer TTL-exceeded at all; `false`
+    /// plants anonymous last hops (the paper's "unresponsive last-hop" row).
+    pub responsive: bool,
+    /// Whether last-hop routers alternate between two reply interfaces
+    /// (a classic traceroute artifact; must not change any verdict).
+    pub alt_addr: bool,
+}
+
+/// What one planted /24 contains.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// The whole /24 behind one PoP: homogeneous ground truth.
+    Homog {
+        /// Index into [`ScenarioSpec::pops`].
+        pop: u8,
+    },
+    /// The /24 split into sub-blocks with distinct route entries, each
+    /// behind its own last-hop router: heterogeneous ground truth.
+    Split {
+        /// Tiling prefix lengths in base-address order (25..=27, covering
+        /// the /24 exactly — see [`TILINGS`]).
+        lens: Vec<u8>,
+    },
+}
+
+/// One planted /24.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    /// What the block contains.
+    pub kind: BlockKind,
+    /// Host density in percent (1..=100) — low densities plant the
+    /// too-few-active / uncovered-quarter selection outcomes.
+    pub density_pct: u8,
+}
+
+/// A complete scenario description. Plain data: serializable, editable by
+/// the shrinker, buildable into a [`Network`] via [`build_world`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Seed for the network's deterministic hashing (ECMP, hosts, RTT).
+    pub seed: u64,
+    /// Insert a per-flow balanced transit pair between the gateway and the
+    /// PoPs (path diversity upstream of the last hop).
+    pub transit: bool,
+    /// The points of presence homogeneous blocks attach to.
+    pub pops: Vec<PopSpec>,
+    /// The planted /24s; block `i` is `12.0.i.0/24`.
+    pub blocks: Vec<BlockSpec>,
+    /// Per-link loss probability injected after the snapshot (0 = off).
+    pub link_loss: f32,
+    /// ICMP token-bucket refill rate injected after the snapshot (0 = off).
+    pub icmp_rate: f32,
+}
+
+impl ScenarioSpec {
+    /// The fault configuration the runner applies after the snapshot.
+    pub fn faults(&self) -> FaultConfig {
+        if self.icmp_rate > 0.0 {
+            FaultConfig::lossy(self.link_loss, self.icmp_rate)
+        } else {
+            FaultConfig {
+                link_loss: self.link_loss,
+                ..FaultConfig::none()
+            }
+        }
+    }
+
+    /// A copy with the given fault knobs (the sweep's axis).
+    pub fn with_faults(&self, link_loss: f32, icmp_rate: f32) -> Self {
+        ScenarioSpec {
+            link_loss,
+            icmp_rate,
+            ..self.clone()
+        }
+    }
+
+    /// The planted /24 of block index `i`.
+    pub fn block24(i: usize) -> Block24 {
+        Block24(BLOCK_BASE + i as u32)
+    }
+
+    /// Check the spec is buildable: PoP references in range, fans positive,
+    /// densities in 1..=100, tilings aligned and covering exactly one /24.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("no blocks".into());
+        }
+        if self.blocks.len() > 64 || self.pops.len() > 32 {
+            return Err("spec too large for the address plan".into());
+        }
+        for (i, pop) in self.pops.iter().enumerate() {
+            if pop.fan == 0 || pop.fan > 8 {
+                return Err(format!("pop {i}: fan {} out of range 1..=8", pop.fan));
+            }
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.density_pct == 0 || b.density_pct > 100 {
+                return Err(format!("block {i}: density {}%", b.density_pct));
+            }
+            match &b.kind {
+                BlockKind::Homog { pop } => {
+                    if *pop as usize >= self.pops.len() {
+                        return Err(format!("block {i}: pop {pop} out of range"));
+                    }
+                }
+                BlockKind::Split { lens } => {
+                    let mut offset: u32 = 0;
+                    for &len in lens {
+                        if !(25..=27).contains(&len) {
+                            return Err(format!("block {i}: sub-prefix /{len}"));
+                        }
+                        let size = 1u32 << (32 - len);
+                        if !offset.is_multiple_of(size) {
+                            return Err(format!("block {i}: /{len} misaligned at +{offset}"));
+                        }
+                        offset += size;
+                    }
+                    if offset != 256 {
+                        return Err(format!("block {i}: tiling covers {offset}/256"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Ground truth for one planted /24.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TruthLabel {
+    /// One PoP serves the whole /24 — homogeneous.
+    Homogeneous {
+        /// Index into the spec's PoP list.
+        pop: usize,
+    },
+    /// Distinct route entries split the /24 — heterogeneous. A correct
+    /// classifier may fail to *prove* heterogeneity, but it must never call
+    /// such a block non-hierarchical (the paper's soundness direction).
+    Heterogeneous {
+        /// The planted sub-block prefixes.
+        subs: Vec<Prefix>,
+    },
+}
+
+/// A built scenario: the network plus the planted truth.
+pub struct World {
+    /// The simulated internet.
+    pub network: Network,
+    /// Ground-truth label per planted /24.
+    pub truth: BTreeMap<Block24, TruthLabel>,
+    /// Primary last-hop interface addresses per PoP (sorted).
+    pub pop_lasthops: Vec<Vec<Addr>>,
+}
+
+/// Build a spec into a network with ground truth.
+///
+/// # Panics
+/// Panics if the spec fails [`ScenarioSpec::validate`] — generator- and
+/// corpus-produced specs always pass; hand-edited specs should be
+/// validated first.
+pub fn build_world(spec: &ScenarioSpec) -> World {
+    spec.validate().expect("buildable spec");
+    let mut net = Network::new(spec.seed, Addr::new(128, 8, 128, 10));
+    let campus = net.add_router(Addr::new(10, 90, 0, 1));
+    let gw = net.add_router(Addr::new(10, 90, 0, 2));
+    let transit = spec.transit.then(|| {
+        (
+            net.add_router(Addr::new(10, 91, 0, 1)),
+            net.add_router(Addr::new(10, 91, 0, 2)),
+        )
+    });
+
+    // PoPs: one aggregation router fanning out over the last-hop routers.
+    let mut pop_aggs = Vec::new();
+    let mut pop_lhs = Vec::new();
+    let mut pop_lasthops = Vec::new();
+    for (i, pop) in spec.pops.iter().enumerate() {
+        let agg = net.add_router(Addr::new(10, 100, i as u8, 1));
+        let mut lhs = Vec::new();
+        let mut addrs = Vec::new();
+        for j in 0..pop.fan {
+            let addr = Addr::new(10, 100, i as u8, 10 + j);
+            let id = net.add_router(addr);
+            net.router_mut(id).responsive = pop.responsive;
+            if pop.alt_addr {
+                net.router_mut(id).alt_addr = Some(Addr::new(10, 100, i as u8, 100 + j));
+            }
+            lhs.push(id);
+            addrs.push(addr);
+        }
+        addrs.sort();
+        pop_aggs.push(agg);
+        pop_lhs.push(lhs);
+        pop_lasthops.push(addrs);
+    }
+
+    // Route a prefix from the vantage chain down to an entry router.
+    let chain = |net: &mut Network, prefix: Prefix, entry| {
+        net.install_route(campus, prefix, NextHopGroup::single(NextHop::Router(gw)));
+        match transit {
+            Some((t1, t2)) => {
+                net.install_route(
+                    gw,
+                    prefix,
+                    NextHopGroup::ecmp(
+                        vec![NextHop::Router(t1), NextHop::Router(t2)],
+                        LbPolicy::PerFlow,
+                    ),
+                );
+                net.install_route(t1, prefix, NextHopGroup::single(NextHop::Router(entry)));
+                net.install_route(t2, prefix, NextHopGroup::single(NextHop::Router(entry)));
+            }
+            None => {
+                net.install_route(gw, prefix, NextHopGroup::single(NextHop::Router(entry)));
+            }
+        }
+    };
+
+    let mut truth = BTreeMap::new();
+    for (b, block_spec) in spec.blocks.iter().enumerate() {
+        let block = ScenarioSpec::block24(b);
+        let p24 = block.prefix();
+        match &block_spec.kind {
+            BlockKind::Homog { pop } => {
+                let i = *pop as usize;
+                chain(&mut net, p24, pop_aggs[i]);
+                let hops: Vec<NextHop> = pop_lhs[i].iter().map(|&id| NextHop::Router(id)).collect();
+                let group = if hops.len() == 1 {
+                    NextHopGroup::single(hops[0])
+                } else {
+                    NextHopGroup::ecmp(hops, spec.pops[i].policy.to_policy())
+                };
+                net.install_route(pop_aggs[i], p24, group);
+                for &lh in &pop_lhs[i] {
+                    net.install_route(lh, p24, NextHopGroup::single(NextHop::Deliver));
+                }
+                truth.insert(block, TruthLabel::Homogeneous { pop: i });
+            }
+            BlockKind::Split { lens } => {
+                // A hub router holds one route entry per sub-block, each
+                // pointing at a dedicated last-hop router.
+                let hub = net.add_router(Addr::new(10, 120, b as u8, 1));
+                chain(&mut net, p24, hub);
+                let mut subs = Vec::new();
+                let mut offset: u32 = 0;
+                for (j, &len) in lens.iter().enumerate() {
+                    let sub = Prefix::new(Addr(block.first().0 + offset), len);
+                    offset += 1u32 << (32 - len);
+                    let lh = net.add_router(Addr::new(10, 120, b as u8, 10 + j as u8));
+                    net.install_route(hub, sub, NextHopGroup::single(NextHop::Router(lh)));
+                    net.install_route(lh, sub, NextHopGroup::single(NextHop::Deliver));
+                    subs.push(sub);
+                }
+                truth.insert(block, TruthLabel::Heterogeneous { subs });
+            }
+        }
+        net.set_block_profile(
+            block,
+            HostProfile {
+                density: block_spec.density_pct as f32 / 100.0,
+                churn: 0.0,
+                ttl_mix: TtlMix::Mixed,
+                kind: HostKind::Residential,
+                base_rtt_us: 15_000,
+                quiet_prob: 0.0,
+            },
+        );
+    }
+
+    World {
+        network: net,
+        truth,
+        pop_lasthops,
+    }
+}
+
+/// Deterministic generator helpers over the scenario seed.
+fn roll(seed: u64, tag: u64, n: usize) -> usize {
+    netsim::hash::pick(netsim::hash::mix2(seed, tag), n)
+}
+
+fn chance(seed: u64, tag: u64, p: f64) -> bool {
+    netsim::hash::unit_f64(netsim::hash::mix2(seed, tag)) < p
+}
+
+/// Generate a scenario from a seed. Small on purpose (2–5 blocks, 1–3
+/// PoPs): the conformance sweep runs hundreds of these, and the shrinker
+/// prefers starting near minimal.
+///
+/// Faults are left off — the sweep turns them on per run via
+/// [`ScenarioSpec::with_faults`].
+pub fn gen_spec(seed: u64) -> ScenarioSpec {
+    let n_pops = 1 + roll(seed, 0x01, 3);
+    let pops = (0..n_pops)
+        .map(|i| {
+            let tag = 0x10 + i as u64;
+            let policy = match roll(seed, tag, 10) {
+                0..=3 => PolicySpec::PerDestination,
+                4..=7 => PolicySpec::PerFlow,
+                _ => PolicySpec::PerSrcDest,
+            };
+            PopSpec {
+                fan: 1 + roll(seed, tag ^ 0xFA0, 3) as u8,
+                policy,
+                responsive: !chance(seed, tag ^ 0x0FF, 0.15),
+                alt_addr: chance(seed, tag ^ 0xA17, 0.15),
+            }
+        })
+        .collect::<Vec<_>>();
+    let n_blocks = 2 + roll(seed, 0x02, 4);
+    let blocks = (0..n_blocks)
+        .map(|b| {
+            let tag = 0x100 + b as u64;
+            let kind = if chance(seed, tag, 0.3) {
+                BlockKind::Split {
+                    lens: TILINGS[roll(seed, tag ^ 0x71E, TILINGS.len())].to_vec(),
+                }
+            } else {
+                BlockKind::Homog {
+                    pop: roll(seed, tag ^ 0xB0, n_pops) as u8,
+                }
+            };
+            // Mostly dense blocks; a sparse minority plants the selection
+            // rejects (too few active / uncovered quarter).
+            let density_pct = if chance(seed, tag ^ 0xDE, 0.15) {
+                1 + roll(seed, tag ^ 0x5BA, 3) as u8
+            } else {
+                40 + roll(seed, tag ^ 0xDE2, 61) as u8
+            };
+            BlockSpec { kind, density_pct }
+        })
+        .collect::<Vec<_>>();
+    ScenarioSpec {
+        seed,
+        transit: chance(seed, 0x03, 0.3),
+        pops,
+        blocks,
+        link_loss: 0.0,
+        icmp_rate: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_pop_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            seed: 7,
+            transit: false,
+            pops: vec![PopSpec {
+                fan: 2,
+                policy: PolicySpec::PerDestination,
+                responsive: true,
+                alt_addr: false,
+            }],
+            blocks: vec![
+                BlockSpec {
+                    kind: BlockKind::Homog { pop: 0 },
+                    density_pct: 90,
+                },
+                BlockSpec {
+                    kind: BlockKind::Split { lens: vec![25, 25] },
+                    density_pct: 90,
+                },
+            ],
+            link_loss: 0.0,
+            icmp_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn built_world_matches_planted_truth() {
+        let spec = single_pop_spec();
+        let world = build_world(&spec);
+        // Homogeneous block: every address's true last-hop set is the PoP's
+        // full fan (per-destination balancing spreads over both).
+        let b0 = ScenarioSpec::block24(0);
+        for host in [1u8, 100, 200] {
+            let addrs = world.network.true_lasthop_addrs(b0.addr(host));
+            assert_eq!(addrs, world.pop_lasthops[0]);
+        }
+        // Split block: sub-blocks reach distinct single last-hops.
+        let b1 = ScenarioSpec::block24(1);
+        let low = world.network.true_lasthop_addrs(b1.addr(10));
+        let high = world.network.true_lasthop_addrs(b1.addr(200));
+        assert_eq!(low.len(), 1);
+        assert_eq!(high.len(), 1);
+        assert_ne!(low, high);
+        match &world.truth[&b1] {
+            TruthLabel::Heterogeneous { subs } => {
+                assert_eq!(subs.len(), 2);
+                assert!(subs[0].contains(b1.addr(10)));
+                assert!(subs[1].contains(b1.addr(200)));
+            }
+            other => panic!("expected heterogeneous truth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generated_specs_validate() {
+        for seed in 0..200u64 {
+            let spec = gen_spec(seed);
+            spec.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generator_covers_the_taxonomy() {
+        let specs: Vec<ScenarioSpec> = (0..300).map(gen_spec).collect();
+        assert!(specs.iter().any(|s| s.transit));
+        assert!(specs.iter().any(|s| s
+            .blocks
+            .iter()
+            .any(|b| matches!(b.kind, BlockKind::Split { .. }))));
+        assert!(specs.iter().any(|s| s.pops.iter().any(|p| !p.responsive)));
+        assert!(specs.iter().any(|s| s.pops.iter().any(|p| p.alt_addr)));
+        assert!(specs.iter().any(|s| s
+            .pops
+            .iter()
+            .any(|p| p.policy == PolicySpec::PerFlow && p.fan > 1)));
+        assert!(specs
+            .iter()
+            .any(|s| s.blocks.iter().any(|b| b.density_pct <= 3)));
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = gen_spec(99).with_faults(0.02, 0.5);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let mut spec = single_pop_spec();
+        spec.blocks[0].kind = BlockKind::Homog { pop: 9 };
+        assert!(spec.validate().is_err());
+        let mut spec = single_pop_spec();
+        spec.blocks[1].kind = BlockKind::Split {
+            lens: vec![25, 26], // covers 192/256
+        };
+        assert!(spec.validate().is_err());
+        let mut spec = single_pop_spec();
+        spec.blocks[1].kind = BlockKind::Split {
+            lens: vec![26, 25, 26], // /25 misaligned at +64
+        };
+        assert!(spec.validate().is_err());
+        let mut spec = single_pop_spec();
+        spec.blocks[0].density_pct = 0;
+        assert!(spec.validate().is_err());
+    }
+}

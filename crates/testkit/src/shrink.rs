@@ -1,0 +1,207 @@
+//! Greedy delta-debugging over [`ScenarioSpec`]s.
+//!
+//! A failing scenario from the fuzzer typically carries blocks, PoPs, and
+//! knobs that have nothing to do with the divergence. The shrinker edits
+//! the *spec* (networks are append-only; the world is rebuilt from the
+//! shrunk spec on every probe) and keeps any edit under which the failure
+//! predicate still holds, looping to a fixpoint. The result is the seed
+//! file worth reading: usually one block, one PoP, default knobs.
+
+use crate::scenario::{BlockKind, PolicySpec, ScenarioSpec};
+
+/// Upper bound on shrink passes — each pass must remove something to
+/// continue, so this only triggers on a pathological oscillating predicate.
+const MAX_PASSES: usize = 32;
+
+/// Candidate edits, simplest-result-first. Each returns `None` when it
+/// does not apply to the spec (already simplified, or would invalidate it).
+fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    let mut push = |cand: ScenarioSpec| {
+        if cand != *spec && cand.validate().is_ok() {
+            out.push(cand);
+        }
+    };
+
+    // Drop one block at a time (biggest structural win first).
+    if spec.blocks.len() > 1 {
+        for i in 0..spec.blocks.len() {
+            let mut c = spec.clone();
+            c.blocks.remove(i);
+            push(c);
+        }
+    }
+    // Switch faults off.
+    if spec.link_loss > 0.0 || spec.icmp_rate > 0.0 {
+        push(spec.with_faults(0.0, 0.0));
+    }
+    // Drop the transit pair.
+    if spec.transit {
+        let mut c = spec.clone();
+        c.transit = false;
+        push(c);
+    }
+    // Simplify each PoP one knob at a time.
+    for i in 0..spec.pops.len() {
+        if spec.pops[i].fan > 1 {
+            let mut c = spec.clone();
+            c.pops[i].fan = 1;
+            push(c);
+        }
+        if spec.pops[i].policy != PolicySpec::PerDestination {
+            let mut c = spec.clone();
+            c.pops[i].policy = PolicySpec::PerDestination;
+            push(c);
+        }
+        if !spec.pops[i].responsive {
+            let mut c = spec.clone();
+            c.pops[i].responsive = true;
+            push(c);
+        }
+        if spec.pops[i].alt_addr {
+            let mut c = spec.clone();
+            c.pops[i].alt_addr = false;
+            push(c);
+        }
+    }
+    // Simplify each block: full density, splits collapsed to the first PoP.
+    for i in 0..spec.blocks.len() {
+        if spec.blocks[i].density_pct != 100 {
+            let mut c = spec.clone();
+            c.blocks[i].density_pct = 100;
+            push(c);
+        }
+        if matches!(spec.blocks[i].kind, BlockKind::Split { .. }) && !spec.pops.is_empty() {
+            let mut c = spec.clone();
+            c.blocks[i].kind = BlockKind::Homog { pop: 0 };
+            push(c);
+        }
+    }
+    // Prune PoPs no block references, remapping the survivors' indices.
+    let used: Vec<bool> = (0..spec.pops.len())
+        .map(|i| {
+            spec.blocks
+                .iter()
+                .any(|b| matches!(b.kind, BlockKind::Homog { pop } if pop as usize == i))
+        })
+        .collect();
+    if used.iter().any(|u| !u) {
+        let mut remap = vec![0u8; spec.pops.len()];
+        let mut next = 0u8;
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let mut c = spec.clone();
+        c.pops = spec
+            .pops
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| u)
+            .map(|(p, _)| p.clone())
+            .collect();
+        for b in &mut c.blocks {
+            if let BlockKind::Homog { pop } = &mut b.kind {
+                *pop = remap[*pop as usize];
+            }
+        }
+        push(c);
+    }
+    out
+}
+
+/// Greedily shrink `spec` to a minimal scenario on which `fails` still
+/// returns `true`. The input must itself fail; the result is a local
+/// minimum — no single candidate edit keeps it failing.
+///
+/// `fails` is called once per candidate edit, so with the differential
+/// runner inside it the cost is one full build/probe/classify cycle per
+/// probe — fine at the scenario sizes the generator emits.
+pub fn shrink(spec: &ScenarioSpec, fails: &dyn Fn(&ScenarioSpec) -> bool) -> ScenarioSpec {
+    debug_assert!(fails(spec), "shrink input must fail");
+    let mut current = spec.clone();
+    for _ in 0..MAX_PASSES {
+        let mut improved = false;
+        for cand in candidates(&current) {
+            if fails(&cand) {
+                current = cand;
+                improved = true;
+                break; // restart candidate enumeration from the smaller spec
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{gen_spec, BlockSpec, PopSpec};
+
+    #[test]
+    fn shrinks_to_single_offending_block() {
+        // Failure predicate: "some block is a Split" — the minimal failing
+        // spec is one split block with no PoPs left.
+        let mut spec = gen_spec(4).with_faults(0.05, 0.4);
+        spec.blocks.push(BlockSpec {
+            kind: BlockKind::Split { lens: vec![25, 25] },
+            density_pct: 55,
+        });
+        let fails = |s: &ScenarioSpec| {
+            s.blocks
+                .iter()
+                .any(|b| matches!(b.kind, BlockKind::Split { .. }))
+        };
+        let min = shrink(&spec, &fails);
+        assert!(fails(&min));
+        assert_eq!(min.blocks.len(), 1);
+        assert!(min.pops.is_empty());
+        assert!(!min.transit);
+        assert_eq!(min.link_loss, 0.0);
+        assert_eq!(min.icmp_rate, 0.0);
+        assert_eq!(min.blocks[0].density_pct, 100);
+    }
+
+    #[test]
+    fn shrunk_spec_is_locally_minimal() {
+        let spec = gen_spec(11);
+        // Failure tied to a property the shrinker's edits preserve last:
+        // "at least two blocks".
+        let fails = |s: &ScenarioSpec| s.blocks.len() >= 2;
+        let min = shrink(&spec, &fails);
+        assert_eq!(min.blocks.len(), 2);
+        for cand in candidates(&min) {
+            assert!(
+                !fails(&cand) || cand == min,
+                "not minimal: {cand:?} still fails"
+            );
+        }
+    }
+
+    #[test]
+    fn already_minimal_spec_is_untouched() {
+        let spec = ScenarioSpec {
+            seed: 3,
+            transit: false,
+            pops: vec![PopSpec {
+                fan: 1,
+                policy: PolicySpec::PerDestination,
+                responsive: true,
+                alt_addr: false,
+            }],
+            blocks: vec![BlockSpec {
+                kind: BlockKind::Homog { pop: 0 },
+                density_pct: 100,
+            }],
+            link_loss: 0.0,
+            icmp_rate: 0.0,
+        };
+        let min = shrink(&spec, &|_| true);
+        assert_eq!(min, spec);
+    }
+}

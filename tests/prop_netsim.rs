@@ -75,14 +75,25 @@ proptest! {
     }
 }
 
+/// Sample budget for the hand-rolled sweeps below, derived from
+/// [`proptest::cases`] so `PROPTEST_CASES` governs every test in this
+/// file — the macro-generated ones and these — uniformly.
+fn sweep_budget(divisor: usize, floor: usize) -> usize {
+    proptest::cases().div_ceil(divisor).max(floor)
+}
+
 /// Forwarding invariants on a built scenario (fixed seed, sampled dests).
 #[test]
 fn echo_reachability_is_ttl_monotone() {
     let s = build(ScenarioConfig::tiny(5));
     let vantage = s.network.vantage_addr();
     let blocks = s.network.allocated_blocks();
+    let samples = sweep_budget(4, 6);
+    // Spread the samples across the whole allocation rather than probing a
+    // contiguous run of blocks.
+    let step = (blocks.len() / samples).max(1);
     let mut checked = 0;
-    for b in blocks.iter().step_by(7).take(12) {
+    for b in blocks.iter().step_by(step).take(samples) {
         let profile = *s.network.block_profile(*b).unwrap();
         let actives = s
             .network
@@ -115,7 +126,11 @@ fn echo_reachability_is_ttl_monotone() {
         assert!(first_echo.is_some(), "{dst} unreachable at any TTL");
         checked += 1;
     }
-    assert!(checked >= 5, "too few destinations checked");
+    // Sparse blocks may skip; at least half the sample must have resolved.
+    assert!(
+        checked >= samples.div_ceil(2),
+        "too few destinations checked: {checked}/{samples}"
+    );
 }
 
 /// The same probe (all fields equal) always gets the same answer.
@@ -124,7 +139,12 @@ fn probing_is_deterministic() {
     let s1 = build(ScenarioConfig::tiny(9));
     let s2 = build(ScenarioConfig::tiny(9));
     let vantage = s1.network.vantage_addr();
-    for b in s1.network.allocated_blocks().iter().take(20) {
+    for b in s1
+        .network
+        .allocated_blocks()
+        .iter()
+        .take(sweep_budget(1, 8))
+    {
         let dst = b.addr(33);
         let p = encode_probe(vantage, dst, 12, 3, 1, 0xBEEF, 5);
         let d1 = s1.network.send(p.clone()).unwrap();
