@@ -200,7 +200,10 @@ mod tests {
         );
         // A later epoch flips some blocks quiet; events must appear and be
         // consistent with the recorded states.
-        prober.network_mut().set_epoch(7);
+        prober
+            .network_mut()
+            .expect("test prober owns its network exclusively")
+            .set_epoch(7);
         let (scans2, events2) = monitor.scan(&mut prober);
         for e in &events2 {
             let now = scans2.iter().find(|s| s.block_id == e.block_id).unwrap();

@@ -126,7 +126,7 @@ impl Default for HobbitConfig {
 }
 
 /// The measurement record for one /24.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct BlockMeasurement {
     /// The measured block.
     pub block: Block24,
@@ -262,6 +262,12 @@ pub fn classify_block(
     let mut dist_hint: Option<u8> = None;
 
     for dst in order {
+        // Cooperative cancellation (supervision watchdog): abandon the
+        // block between destinations. The partial measurement is discarded
+        // by the supervisor, so breaking early never changes a verdict.
+        if prober.is_cancelled() {
+            break;
+        }
         probed += 1;
         let r = probe_lasthop_with_hint(prober, dst, cfg.rule, dist_hint);
         match r.outcome {
@@ -296,11 +302,14 @@ pub fn classify_block(
     // (a lost answer may be churn or transient loss, not absence).
     let mut reprobes = 0usize;
     for _round in 0..cfg.reprobe_rounds {
-        if verdict.is_some() || unresolved.is_empty() {
+        if verdict.is_some() || unresolved.is_empty() || prober.is_cancelled() {
             break;
         }
         let mut still: Vec<Addr> = Vec::new();
         for dst in reprobe_order(sel.block, &unresolved, cfg.seed) {
+            if prober.is_cancelled() {
+                break;
+            }
             reprobes += 1;
             let r = probe_lasthop_with_hint(prober, dst, cfg.rule, dist_hint);
             match r.outcome {

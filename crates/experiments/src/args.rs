@@ -21,6 +21,15 @@ pub struct ExpArgs {
     pub metrics: Option<String>,
     /// Print the hierarchical span tree (wall-clock per phase) on stderr.
     pub trace_spans: bool,
+    /// Checkpoint the run into a journal under this directory; a killed
+    /// run can later be picked up with `--resume`.
+    pub run_dir: Option<String>,
+    /// Resume from the `--run-dir` journal instead of starting fresh
+    /// (seed/scale/faults come from the journal's meta record).
+    pub resume: bool,
+    /// Per-block watchdog deadline in seconds; a block past its budget is
+    /// cancelled cooperatively, requeued, and eventually quarantined.
+    pub deadline: Option<f64>,
 }
 
 impl Default for ExpArgs {
@@ -33,6 +42,9 @@ impl Default for ExpArgs {
             faults: None,
             metrics: None,
             trace_spans: false,
+            run_dir: None,
+            resume: false,
+            deadline: None,
         }
     }
 }
@@ -49,7 +61,8 @@ pub enum ParseOutcome {
 /// Usage text shared by every binary.
 pub const USAGE: &str =
     "usage: <experiment> [--seed N] [--scale F] [--threads N] [--faults L,R] [--json]\n\
-\u{20}                   [--metrics OUT.json] [--trace-spans]\n\
+\u{20}                   [--metrics OUT.json] [--trace-spans] [--run-dir DIR] [--resume]\n\
+\u{20}                   [--deadline SECS]\n\
 --seed N      scenario seed (default 42)\n\
 --scale F     scenario scale, 1.0 = paper-size (default 0.12)\n\
 --threads N   probing worker threads (default: all cores)\n\
@@ -59,6 +72,12 @@ pub const USAGE: &str =
 \u{20}             token-bucket rate 0.5); default: none\n\
 --metrics F   write the versioned metrics document (JSON) to F\n\
 --trace-spans print per-phase wall-clock spans on stderr\n\
+--run-dir DIR checkpoint finished blocks into DIR/journal.wal as they\n\
+\u{20}             complete, so a killed run can be resumed\n\
+--resume      resume from the --run-dir journal: skip checkpointed\n\
+\u{20}             blocks; seed/scale/faults come from the journal\n\
+--deadline S  per-block watchdog deadline in seconds (default 30);\n\
+\u{20}             blocks past it are cancelled, requeued, then quarantined\n\
 --json        machine-readable output";
 
 impl ExpArgs {
@@ -97,6 +116,9 @@ impl ExpArgs {
                 }
                 "--metrics" => args.metrics = Some(expect_value(&mut it, "--metrics")?),
                 "--trace-spans" => args.trace_spans = true,
+                "--run-dir" => args.run_dir = Some(expect_value(&mut it, "--run-dir")?),
+                "--resume" => args.resume = true,
+                "--deadline" => args.deadline = Some(expect_value(&mut it, "--deadline")?),
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
                 other => return Err(ParseOutcome::Error(format!("unknown flag {other:?}"))),
@@ -104,6 +126,12 @@ impl ExpArgs {
         }
         if args.scale <= 0.0 {
             return Err(ParseOutcome::Error("--scale must be positive".into()));
+        }
+        if args.resume && args.run_dir.is_none() {
+            return Err(ParseOutcome::Error("--resume requires --run-dir".into()));
+        }
+        if args.deadline.is_some_and(|d| d <= 0.0) {
+            return Err(ParseOutcome::Error("--deadline must be positive".into()));
         }
         Ok(args)
     }
@@ -214,6 +242,27 @@ mod tests {
         ));
         assert!(matches!(
             parse(&["--faults", "0.02,0"]),
+            Err(ParseOutcome::Error(_))
+        ));
+    }
+
+    #[test]
+    fn run_dir_resume_and_deadline_parse() {
+        let a = parse(&["--run-dir", "runs/x", "--resume", "--deadline", "2.5"]).unwrap();
+        assert_eq!(a.run_dir.as_deref(), Some("runs/x"));
+        assert!(a.resume);
+        assert_eq!(a.deadline, Some(2.5));
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.run_dir, None);
+        assert!(!d.resume);
+        assert_eq!(d.deadline, None);
+    }
+
+    #[test]
+    fn resume_without_run_dir_rejected() {
+        assert!(matches!(parse(&["--resume"]), Err(ParseOutcome::Error(_))));
+        assert!(matches!(
+            parse(&["--run-dir", "x", "--deadline", "0"]),
             Err(ParseOutcome::Error(_))
         ));
     }

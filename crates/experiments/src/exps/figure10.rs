@@ -17,7 +17,8 @@ use serde_json::json;
 pub fn run(args: &ExpArgs) -> Report {
     let mut p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("figure10", "Cluster-size distribution change from MCL");
-    let (aggs, _clustering, outcomes) = cluster_and_validate(&mut p, args.seed, 80, 40);
+    let seed = p.seed;
+    let (aggs, _clustering, outcomes) = cluster_and_validate(&mut p, seed, 80, 40);
 
     let before = aggs.clone();
     // Merge aggregates of clusters confirmed homogeneous by reprobing.

@@ -75,8 +75,8 @@ pub fn run(args: &ExpArgs) -> Report {
     r.info("total distinct links", dataset.all_links().len());
 
     let ks = [1usize, 2, 4, 8, 16, 32];
-    let base = coverage_curve(&dataset, &per_24, &ks, args.seed);
-    let agg_curve = coverage_curve(&dataset, &hobbit_groups, &ks, args.seed);
+    let base = coverage_curve(&dataset, &per_24, &ks, p.seed);
+    let agg_curve = coverage_curve(&dataset, &hobbit_groups, &ks, p.seed);
 
     let to_json = |c: &[analysis::CoveragePoint]| -> Vec<serde_json::Value> {
         c.iter()

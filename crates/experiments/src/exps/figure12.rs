@@ -16,7 +16,7 @@ use serde_json::json;
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
     let p = pipeline::Pipeline::builder().args(args).run();
-    let registry = Registry::new(&p.scenario.truth, args.seed);
+    let registry = Registry::new(&p.scenario.truth, p.seed);
     let mut r = Report::new("figure12", "Stratified vs random sampling (rDNS patterns)");
 
     // The cable ISP's blocks, grouped into Hobbit blocks (aggregates).
@@ -60,7 +60,7 @@ pub fn run(args: &ExpArgs) -> Report {
         return r;
     }
 
-    let rows = fig12(&registry.rdns, &strata, &[1, 2, 4], 25, args.seed);
+    let rows = fig12(&registry.rdns, &strata, &[1, 2, 4], 25, p.seed);
     let series: Vec<serde_json::Value> = rows
         .iter()
         .map(|row| {

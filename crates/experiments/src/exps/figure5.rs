@@ -49,7 +49,7 @@ pub fn run(args: &ExpArgs) -> Report {
     r.note(format!(
         "paper counts are at 3.37M probed blocks; this run probed {} (scale {})",
         p.measurements.len(),
-        args.scale
+        p.scale
     ));
     r
 }

@@ -27,7 +27,7 @@ pub const EXPECTED: [(&str, bool); 5] = [
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
     let mut p = pipeline::Pipeline::builder().args(args).run();
-    let registry = Registry::new(&p.scenario.truth, args.seed);
+    let registry = Registry::new(&p.scenario.truth, p.seed);
     let mut r = Report::new("figure6", "First-ping delay signatures of big blocks");
 
     let aggs = p.aggregates();
@@ -63,7 +63,7 @@ pub fn run(args: &ExpArgs) -> Report {
             20, // sampled /24s (paper: 200)
             6,  // addresses per /24
             20, // pings per address (paper: 20)
-            args.seed,
+            p.seed,
         );
         let e = Ecdf::new(deltas.clone());
         let over_half = 1.0 - e.eval(0.5);

@@ -15,7 +15,7 @@ use serde_json::json;
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
     let p = pipeline::Pipeline::builder().args(args).run();
-    let registry = Registry::new(&p.scenario.truth, args.seed);
+    let registry = Registry::new(&p.scenario.truth, p.seed);
     let mut r = Report::new("figure8", "Adjacency visualization of the top 9 blocks");
     let aggs = p.aggregates();
 

@@ -101,7 +101,8 @@ pub fn cluster_and_validate(
 pub fn run(args: &ExpArgs) -> Report {
     let mut p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("figure9", "Identical-pair ratios: rule-matched vs rest");
-    let (_, clustering, outcomes) = cluster_and_validate(&mut p, args.seed, 60, 60);
+    let seed = p.seed;
+    let (_, clustering, outcomes) = cluster_and_validate(&mut p, seed, 60, 60);
 
     r.info("non-trivial MCL clusters", clustering.non_trivial().count());
     r.info("clusters validated by reprobing", outcomes.len());

@@ -16,7 +16,8 @@ use aggregate::{Aggregate, HobbitDataset};
 pub fn build_dataset(args: &ExpArgs) -> (HobbitDataset, Report) {
     let mut p = pipeline::Pipeline::builder().args(args).run();
     let mut r = Report::new("hobbit_map", "The Hobbit homogeneous-blocks dataset");
-    let (aggs, _clustering, outcomes) = cluster_and_validate(&mut p, args.seed, 120, 40);
+    let seed = p.seed;
+    let (aggs, _clustering, outcomes) = cluster_and_validate(&mut p, seed, 120, 40);
 
     // Merge aggregates of clusters confirmed homogeneous by reprobing.
     let mut merged_away: std::collections::HashSet<u32> = Default::default();
@@ -45,7 +46,7 @@ pub fn build_dataset(args: &ExpArgs) -> (HobbitDataset, Report) {
             validated_flags.push(false);
         }
     }
-    let dataset = HobbitDataset::from_aggregates(args.seed, &finals, &|_| false);
+    let dataset = HobbitDataset::from_aggregates(p.seed, &finals, &|_| false);
     // `from_aggregates` reorders by size; recompute flags by membership.
     let validated_sets: std::collections::HashSet<Vec<netsim::Block24>> = finals
         .iter()

@@ -71,7 +71,7 @@ pub fn run(args: &ExpArgs) -> Report {
     );
     r.note(format!(
         "scale={} → {} probed blocks vs paper's 3.37M; shapes, not magnitudes, are comparable",
-        args.scale, total
+        p.scale, total
     ));
     if let Some(reg) = p.obs.as_deref() {
         r.worker_rollup(&p.worker_stats);

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
     let p = pipeline::Pipeline::builder().args(args).run();
-    let registry = Registry::new(&p.scenario.truth, args.seed);
+    let registry = Registry::new(&p.scenario.truth, p.seed);
     let mut r = Report::new("table3", "Top ASes holding heterogeneous /24 blocks");
 
     let mut per_as: BTreeMap<u32, (String, String, String, usize)> = BTreeMap::new();

@@ -16,7 +16,7 @@ use serde_json::json;
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
     let p = pipeline::Pipeline::builder().args(args).run();
-    let registry = Registry::new(&p.scenario.truth, args.seed);
+    let registry = Registry::new(&p.scenario.truth, p.seed);
     let mut r = Report::new("table4", "WHOIS records of a split /24 (KRNIC-style)");
 
     // First measured heterogeneous block belonging to a Korean AS.

@@ -33,7 +33,7 @@ pub const PAPER_TOP: [(usize, &str); 15] = [
 /// Run the experiment.
 pub fn run(args: &ExpArgs) -> Report {
     let p = pipeline::Pipeline::builder().args(args).run();
-    let registry = Registry::new(&p.scenario.truth, args.seed);
+    let registry = Registry::new(&p.scenario.truth, p.seed);
     let mut r = Report::new("table5", "Top 15 largest homogeneous blocks");
     let aggs = p.aggregates();
 
@@ -86,7 +86,7 @@ pub fn run(args: &ExpArgs) -> Report {
     if let Some(top) = aggs.first() {
         r.row(
             "largest block size (/24s)",
-            (1251.0 * args.scale.min(1.0)).round() as usize,
+            (1251.0 * p.scale.min(1.0)).round() as usize,
             top.size(),
         );
     }
@@ -94,7 +94,7 @@ pub fn run(args: &ExpArgs) -> Report {
         "allocated big-site sizes are the paper's scaled by --scale (here {}); the observed \
          aggregates run smaller because selection, churn, and quiet periods hide members — \
          the same attrition a live measurement has",
-        args.scale
+        p.scale
     ));
     r
 }

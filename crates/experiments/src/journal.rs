@@ -1,0 +1,595 @@
+//! The run journal: an append-only, versioned, fsync-batched write-ahead
+//! log of completed per-/24 classification outcomes.
+//!
+//! A pipeline started with a `--run-dir` checkpoints every finished block
+//! measurement (and every quarantine decision) as a CRC-framed record in
+//! `<run_dir>/journal.wal`. A crashed or killed run resumes by replaying
+//! the journal: finished blocks are skipped, everything else is
+//! re-measured, and — because every block's probe stream depends only on
+//! the block address and the scenario seed (DESIGN.md §8) — the resumed
+//! run's report is byte-identical to an uninterrupted one.
+//!
+//! # On-disk format (`hobbit-journal/v1`)
+//!
+//! A journal is a flat sequence of records, each framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: `len` bytes of JSON]
+//! ```
+//!
+//! where `crc32` is the IEEE CRC-32 of the payload bytes. The first record
+//! is always an [`Entry::Meta`] naming the schema, seed, scale, and fault
+//! configuration; replaying under different settings is refused. Appends
+//! are batched: the file is `fsync`ed every [`JournalWriter::fsync_batch`]
+//! appends and on [`JournalWriter::flush`], so a crash loses at most one
+//! batch of *acknowledged* work — which resume simply re-measures.
+//!
+//! # Torn-write tolerance
+//!
+//! A kill mid-append leaves a trailing partial record. The reader treats
+//! any incomplete or CRC-failing record as the end of the valid prefix
+//! (everything after the first bad frame is suspect by WAL convention),
+//! reports it via [`JournalReplay::truncated`], and
+//! [`JournalWriter::resume`] physically truncates the file back to the
+//! valid prefix before appending again.
+
+use hobbit::BlockMeasurement;
+use netsim::Block24;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Version tag carried by every journal's meta record.
+pub const JOURNAL_SCHEMA: &str = "hobbit-journal/v1";
+
+/// File name of the journal inside a run directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// Default number of appends between fsyncs. Small enough that a crash
+/// re-measures at most a few blocks, large enough to amortize the sync.
+pub const DEFAULT_FSYNC_BATCH: u64 = 8;
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), bitwise — the journal frames a
+/// few records per block, so table-free throughput is ample.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The run configuration a journal was written under. Replay refuses to
+/// resume into a run with different settings — the journal's measurements
+/// would not match what the resumed pipeline re-derives.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunMeta {
+    /// Journal schema version ([`JOURNAL_SCHEMA`]).
+    pub schema: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Scenario scale.
+    pub scale: f64,
+    /// Whether fault injection was on.
+    pub faulted: bool,
+    /// Injected per-link loss probability (0 when `faulted` is false).
+    pub fault_loss: f64,
+    /// Injected ICMP token-bucket refill rate (0 when `faulted` is false).
+    pub fault_rate: f64,
+}
+
+impl RunMeta {
+    /// Meta record for a run with the given knobs.
+    pub fn new(seed: u64, scale: f64, faults: Option<(f64, f64)>) -> Self {
+        RunMeta {
+            schema: JOURNAL_SCHEMA.to_string(),
+            seed,
+            scale,
+            faulted: faults.is_some(),
+            fault_loss: faults.map(|(l, _)| l).unwrap_or(0.0),
+            fault_rate: faults.map(|(_, r)| r).unwrap_or(0.0),
+        }
+    }
+
+    /// The fault knobs as the pipeline consumes them.
+    pub fn faults(&self) -> Option<(f64, f64)> {
+        self.faulted.then_some((self.fault_loss, self.fault_rate))
+    }
+}
+
+/// One journal record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Entry {
+    /// Run configuration; always the first record.
+    Meta(RunMeta),
+    /// A finished block classification: `index` is the block's position in
+    /// the deterministic selection order (kept for diagnostics; replay
+    /// keys on the measurement's block address).
+    Block {
+        /// Position in the selection order.
+        index: u64,
+        /// The completed measurement.
+        measurement: BlockMeasurement,
+    },
+    /// A block the supervisor gave up on (panic or stall past the requeue
+    /// budget). Informational: resume re-attempts quarantined blocks.
+    Quarantine {
+        /// Position in the selection order.
+        index: u64,
+        /// The quarantined block.
+        block: Block24,
+        /// Attempts spent before quarantining.
+        attempts: u32,
+        /// Human-readable reason (panic message or "stalled").
+        reason: String,
+    },
+    /// A graceful shutdown drained in-flight work and flushed; the run is
+    /// intentionally incomplete.
+    Shutdown,
+}
+
+/// A simulated crash point for the testkit harness: the writer "dies"
+/// once `after_block_appends` block records have been appended — losing
+/// everything since the last fsync, exactly like a real kill — optionally
+/// leaving a torn partial record at the tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Die when this many [`Entry::Block`] records have been appended.
+    pub after_block_appends: u64,
+    /// Leave a partial frame of the next record at the tail.
+    pub torn: bool,
+}
+
+/// Everything a journal replay recovered.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// The meta record, when one was recovered.
+    pub meta: Option<RunMeta>,
+    /// Recovered block measurements in journal (completion) order.
+    pub blocks: Vec<BlockMeasurement>,
+    /// Recovered quarantine records `(index, block, attempts, reason)`.
+    pub quarantines: Vec<(u64, Block24, u32, String)>,
+    /// Whether a shutdown marker was recovered (the run drained cleanly).
+    pub shutdown: bool,
+    /// Byte length of the valid record prefix.
+    pub valid_len: u64,
+    /// Whether a trailing partial/corrupt record was dropped.
+    pub truncated: bool,
+    /// Total records recovered.
+    pub entries: u64,
+}
+
+/// Encode one record frame (header + JSON payload).
+fn encode_entry(entry: &Entry) -> std::io::Result<Vec<u8>> {
+    let payload = serde_json::to_string(entry)
+        .map_err(|e| std::io::Error::other(format!("journal encode: {e:?}")))?;
+    let payload = payload.into_bytes();
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Replay a journal file. Missing file ⇒ an empty replay (fresh run).
+/// A trailing partial or CRC-failing record is dropped, not an error.
+pub fn read_journal(path: &Path) -> std::io::Result<JournalReplay> {
+    let mut replay = JournalReplay::default();
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(replay),
+        Err(e) => return Err(e),
+    }
+    let mut pos = 0usize;
+    loop {
+        if pos + 8 > bytes.len() {
+            replay.truncated |= pos != bytes.len();
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if pos + 8 + len > bytes.len() {
+            replay.truncated = true;
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            replay.truncated = true;
+            break;
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_) => {
+                replay.truncated = true;
+                break;
+            }
+        };
+        let entry: Entry = match serde_json::from_str(text) {
+            Ok(e) => e,
+            Err(_) => {
+                replay.truncated = true;
+                break;
+            }
+        };
+        match entry {
+            Entry::Meta(m) => replay.meta = Some(m),
+            Entry::Block { measurement, .. } => replay.blocks.push(measurement),
+            Entry::Quarantine {
+                index,
+                block,
+                attempts,
+                reason,
+            } => replay.quarantines.push((index, block, attempts, reason)),
+            Entry::Shutdown => replay.shutdown = true,
+        }
+        replay.entries += 1;
+        pos += 8 + len;
+        replay.valid_len = pos as u64;
+    }
+    Ok(replay)
+}
+
+/// The append half of the journal. Thread-unsafe by design — the pipeline
+/// serializes appends through a mutex so completion order (which is
+/// scheduling-dependent) only affects record order, never content.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    /// Appends between fsyncs (1 = sync every record).
+    pub fsync_batch: u64,
+    since_sync: u64,
+    /// File length covered by the last fsync — what a kill is guaranteed
+    /// to preserve.
+    synced_len: u64,
+    len: u64,
+    appends: u64,
+    block_appends: u64,
+    fsyncs: u64,
+    crash: Option<CrashPoint>,
+    crashed: bool,
+}
+
+impl JournalWriter {
+    /// Start a fresh journal in `run_dir` (created if missing), writing
+    /// the meta record immediately.
+    pub fn create(run_dir: &Path, meta: &RunMeta) -> std::io::Result<Self> {
+        std::fs::create_dir_all(run_dir)?;
+        let path = run_dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut w = JournalWriter {
+            file,
+            path,
+            fsync_batch: DEFAULT_FSYNC_BATCH,
+            since_sync: 0,
+            synced_len: 0,
+            len: 0,
+            appends: 0,
+            block_appends: 0,
+            fsyncs: 0,
+            crash: None,
+            crashed: false,
+        };
+        w.append(&Entry::Meta(meta.clone()))?;
+        w.flush()?;
+        Ok(w)
+    }
+
+    /// Reopen an existing journal for appending: replay it, drop any torn
+    /// tail (physically truncating the file to the valid prefix), and
+    /// return the writer positioned after the last valid record.
+    pub fn resume(run_dir: &Path) -> std::io::Result<(Self, JournalReplay)> {
+        let path = run_dir.join(JOURNAL_FILE);
+        let replay = read_journal(&path)?;
+        let mut file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(replay.valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        file.sync_data()?;
+        let w = JournalWriter {
+            file,
+            path,
+            fsync_batch: DEFAULT_FSYNC_BATCH,
+            since_sync: 0,
+            synced_len: replay.valid_len,
+            len: replay.valid_len,
+            appends: 0,
+            block_appends: 0,
+            fsyncs: 1,
+            crash: None,
+            crashed: false,
+        };
+        Ok((w, replay))
+    }
+
+    /// Arm a simulated crash (testkit harness).
+    pub fn set_crash_point(&mut self, cp: CrashPoint) {
+        self.crash = Some(cp);
+    }
+
+    /// Whether the simulated crash has fired. Once true, every append and
+    /// flush is a silent no-op — the "process" is dead.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this writer (this process only).
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Block records appended through this writer.
+    pub fn block_appends(&self) -> u64 {
+        self.block_appends
+    }
+
+    /// fsyncs issued by this writer.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Simulate the armed kill: everything past the last fsync is lost
+    /// (the page cache died with the process), and a torn crash leaves a
+    /// partial frame of `next` at the tail.
+    fn simulate_crash(&mut self, torn_frame: Option<&[u8]>) -> std::io::Result<()> {
+        self.crashed = true;
+        self.file.set_len(self.synced_len)?;
+        self.file.seek(SeekFrom::Start(self.synced_len))?;
+        if let Some(frame) = torn_frame {
+            // Keep the header and roughly half the payload — a frame whose
+            // declared length exceeds the bytes on disk.
+            let keep = (8 + (frame.len() - 8) / 2).min(frame.len().saturating_sub(1));
+            self.file.write_all(&frame[..keep])?;
+        }
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Append one record, honoring the fsync batch and any armed crash
+    /// point. After a (simulated) crash this is a silent no-op.
+    pub fn append(&mut self, entry: &Entry) -> std::io::Result<()> {
+        if self.crashed {
+            return Ok(());
+        }
+        let frame = encode_entry(entry)?;
+        let is_block = matches!(entry, Entry::Block { .. });
+        if is_block {
+            if let Some(cp) = self.crash {
+                if self.block_appends >= cp.after_block_appends {
+                    return self.simulate_crash(cp.torn.then_some(&frame[..]));
+                }
+            }
+        }
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        self.appends += 1;
+        if is_block {
+            self.block_appends += 1;
+        }
+        self.since_sync += 1;
+        if self.since_sync >= self.fsync_batch {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force an fsync of everything appended so far (no-op after a crash).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.crashed || self.since_sync == 0 {
+            return Ok(());
+        }
+        self.sync()
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.synced_len = self.len;
+        self.since_sync = 0;
+        self.fsyncs += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hobbit::Classification;
+    use netsim::Addr;
+
+    fn measurement(block: u32, n: usize) -> BlockMeasurement {
+        let block = Block24(block);
+        let lh = Addr::new(10, 0, 0, 1);
+        BlockMeasurement {
+            block,
+            classification: Classification::SameLasthop,
+            lasthop_set: vec![lh],
+            per_dest: (0..n)
+                .map(|i| (block.addr(i as u8 + 1), vec![lh]))
+                .collect(),
+            dests_probed: n,
+            dests_resolved: n,
+            dests_anonymous: 0,
+            dests_unresolved: 0,
+            reprobes: 0,
+            probes_used: (n * 3) as u64,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hobbit-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello"), 0x3610_A686);
+    }
+
+    #[test]
+    fn journal_roundtrips_blocks_and_meta() {
+        let dir = tmpdir("roundtrip");
+        let meta = RunMeta::new(42, 0.01, Some((0.02, 0.5)));
+        let mut w = JournalWriter::create(&dir, &meta).unwrap();
+        for i in 0..5u64 {
+            w.append(&Entry::Block {
+                index: i,
+                measurement: measurement(0x0A_0100 + i as u32, 4),
+            })
+            .unwrap();
+        }
+        w.append(&Entry::Quarantine {
+            index: 9,
+            block: Block24(0x0A_0200),
+            attempts: 3,
+            reason: "injected panic".into(),
+        })
+        .unwrap();
+        w.flush().unwrap();
+
+        let r = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(r.meta.as_ref(), Some(&meta));
+        assert_eq!(r.meta.unwrap().faults(), Some((0.02, 0.5)));
+        assert_eq!(r.blocks.len(), 5);
+        assert_eq!(r.blocks[3], measurement(0x0A_0103, 4));
+        assert_eq!(r.quarantines.len(), 1);
+        assert_eq!(r.quarantines[0].3, "injected panic");
+        assert!(!r.truncated);
+        assert!(!r.shutdown);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_preserves_only_fsynced_records() {
+        let dir = tmpdir("kill");
+        let meta = RunMeta::new(7, 0.01, None);
+        let mut w = JournalWriter::create(&dir, &meta).unwrap();
+        w.fsync_batch = 2;
+        w.set_crash_point(CrashPoint {
+            after_block_appends: 5,
+            torn: false,
+        });
+        for i in 0..10u64 {
+            w.append(&Entry::Block {
+                index: i,
+                measurement: measurement(0x0A_0100 + i as u32, 4),
+            })
+            .unwrap();
+        }
+        assert!(w.crashed());
+        // The post-crash flush must be a dead no-op.
+        w.flush().unwrap();
+
+        let r = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        // 5 blocks appended before the kill; the meta+first-block batch
+        // synced at 2 appends, then blocks 2-3 synced. Block 4 sat in the
+        // unsynced tail and died with the process.
+        assert_eq!(r.blocks.len(), 4, "unsynced tail is lost");
+        assert!(!r.truncated, "no torn frame without `torn`");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_is_truncated_on_replay_and_resume() {
+        let dir = tmpdir("torn");
+        let meta = RunMeta::new(7, 0.01, None);
+        let mut w = JournalWriter::create(&dir, &meta).unwrap();
+        w.fsync_batch = 1;
+        w.set_crash_point(CrashPoint {
+            after_block_appends: 3,
+            torn: true,
+        });
+        for i in 0..6u64 {
+            w.append(&Entry::Block {
+                index: i,
+                measurement: measurement(0x0A_0100 + i as u32, 4),
+            })
+            .unwrap();
+        }
+        assert!(w.crashed());
+
+        let path = dir.join(JOURNAL_FILE);
+        let r = read_journal(&path).unwrap();
+        assert_eq!(r.blocks.len(), 3, "every synced block survives");
+        assert!(r.truncated, "the torn frame is detected and dropped");
+
+        // Resume truncates the tail physically and appends cleanly.
+        let (mut w2, replay) = JournalWriter::resume(&dir).unwrap();
+        assert_eq!(replay.blocks.len(), 3);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            replay.valid_len,
+            "resume drops the torn bytes from disk"
+        );
+        w2.append(&Entry::Block {
+            index: 3,
+            measurement: measurement(0x0A_0103, 4),
+        })
+        .unwrap();
+        w2.append(&Entry::Shutdown).unwrap();
+        w2.flush().unwrap();
+        let r2 = read_journal(&path).unwrap();
+        assert_eq!(r2.blocks.len(), 4);
+        assert!(r2.shutdown);
+        assert!(!r2.truncated);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_record_drops_the_suffix() {
+        let dir = tmpdir("corrupt");
+        let meta = RunMeta::new(7, 0.01, None);
+        let mut w = JournalWriter::create(&dir, &meta).unwrap();
+        w.fsync_batch = 1;
+        for i in 0..3u64 {
+            w.append(&Entry::Block {
+                index: i,
+                measurement: measurement(0x0A_0100 + i as u32, 4),
+            })
+            .unwrap();
+        }
+        w.flush().unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte in the second block record: CRC catches it,
+        // and everything after the bad frame is dropped.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = read_journal(&path).unwrap();
+        assert!(r.truncated);
+        assert!(r.blocks.len() < 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_an_empty_replay() {
+        let r = read_journal(Path::new("/nonexistent/journal.wal")).unwrap();
+        assert!(r.meta.is_none());
+        assert_eq!(r.entries, 0);
+        assert!(!r.truncated);
+    }
+}

@@ -12,12 +12,15 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod journal;
 pub mod pipeline;
 pub mod report;
+pub mod supervise;
 
 pub mod exps;
 
 pub use args::ExpArgs;
+pub use journal::{CrashPoint, JournalWriter, RunMeta, JOURNAL_SCHEMA};
 #[cfg(feature = "legacy-api")]
 #[allow(deprecated)]
 pub use pipeline::run as run_pipeline;
@@ -25,3 +28,7 @@ pub use pipeline::{
     classify_blocks, classify_blocks_observed, Pipeline, PipelineBuilder, WorkerStats,
 };
 pub use report::Report;
+pub use supervise::{
+    FaultInjector, InjectedFault, QuarantineReason, QuarantinedBlock, ShutdownSignal,
+    SuperviseConfig, SuperviseReport,
+};

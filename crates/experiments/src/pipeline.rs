@@ -27,6 +27,11 @@
 //! [`classify_blocks`], which takes the shared-network handle directly.
 
 use crate::args::ExpArgs;
+use crate::journal::{CrashPoint, Entry, JournalWriter, RunMeta, JOURNAL_SCHEMA};
+use crate::supervise::{
+    classify_blocks_supervised, FaultInjector, ShutdownSignal, SuperviseConfig, SuperviseHooks,
+    SuperviseObs, SuperviseReport,
+};
 use aggregate::{aggregate_identical, Aggregate, HomogBlock};
 use hobbit::{
     classify_block_observed, detects_homogeneous, select_block, survey_block, BlockLasthopData,
@@ -37,8 +42,11 @@ use netsim::hash::mix2;
 use netsim::{Addr, Block24, FaultConfig, NetworkStats, SharedNetwork};
 use obs::{NullRecorder, Recorder, Registry, SpanTimer};
 use probe::{zmap, ProbeObs, Prober, StoppingRule, ZmapSnapshot};
-use std::collections::VecDeque;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// The recorder unobserved runs report into (retains nothing).
 static NULL_RECORDER: NullRecorder = NullRecorder;
@@ -84,6 +92,17 @@ pub struct Pipeline {
     /// Post-pipeline phases (aggregation, reprobing) keep reporting into it
     /// via [`Pipeline::recorder`].
     pub obs: Option<Arc<Registry>>,
+    /// What supervision observed: quarantined blocks, requeues, caught
+    /// panics, watchdog cancellations, resumed-block count, and whether the
+    /// run was interrupted (simulated crash) or drained by a shutdown.
+    pub supervision: SuperviseReport,
+    /// The seed the run actually used. On `--resume` this comes from the
+    /// journal's meta record, which overrides the command line — report
+    /// text must quote this, not the caller's flags.
+    pub seed: u64,
+    /// The scale the run actually used (journal meta wins on resume, like
+    /// [`Pipeline::seed`]).
+    pub scale: f64,
 }
 
 /// Number of blocks surveyed to calibrate the confidence table.
@@ -96,11 +115,33 @@ pub const CALIBRATION_BLOCKS: usize = 120;
 /// let p = Pipeline::builder().seed(7).scale(0.02).threads(4).run();
 /// # let _ = p;
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct PipelineBuilder {
     args: ExpArgs,
     scenario: Option<Scenario>,
     observe: bool,
+    run_dir: Option<PathBuf>,
+    resume: bool,
+    supervise: Option<SuperviseConfig>,
+    injector: Option<FaultInjector>,
+    crash: Option<CrashPoint>,
+    shutdown: Option<ShutdownSignal>,
+}
+
+impl std::fmt::Debug for PipelineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineBuilder")
+            .field("args", &self.args)
+            .field("scenario", &self.scenario.is_some())
+            .field("observe", &self.observe)
+            .field("run_dir", &self.run_dir)
+            .field("resume", &self.resume)
+            .field("supervise", &self.supervise)
+            .field("injector", &self.injector.is_some())
+            .field("crash", &self.crash)
+            .field("shutdown", &self.shutdown)
+            .finish()
+    }
 }
 
 impl PipelineBuilder {
@@ -159,13 +200,112 @@ impl PipelineBuilder {
         self
     }
 
+    /// Checkpoint the run into a journal under `dir` (`--run-dir`): every
+    /// finished block classification is appended as it completes, so a
+    /// killed run can be picked up with [`PipelineBuilder::resume_from`].
+    pub fn run_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.run_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume a crashed or shut-down run from its `--run-dir` journal
+    /// (`--resume`). Seed, scale, and fault settings come from the
+    /// journal's meta record (overriding any builder values); blocks
+    /// already checkpointed are recovered instead of re-measured, and the
+    /// final report is byte-identical to an uninterrupted run.
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.run_dir = Some(dir.into());
+        self.resume = true;
+        self
+    }
+
+    /// Override the supervision knobs (per-block deadline, attempt budget,
+    /// watchdog poll interval). Supervision itself is always on.
+    pub fn supervise(mut self, cfg: SuperviseConfig) -> Self {
+        self.supervise = Some(cfg);
+        self
+    }
+
+    /// Sabotage classification attempts (testkit crash harness): the
+    /// injector decides per `(worker, task, attempt)` whether to panic or
+    /// stall. See [`crate::supervise::FaultInjector`].
+    pub fn inject(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Arm a simulated kill on the run's journal (requires a run dir):
+    /// after the configured number of block appends the journal drops its
+    /// unsynced tail — optionally leaving a torn record — and the run
+    /// reports itself interrupted. See [`CrashPoint`].
+    pub fn crash_point(mut self, cp: CrashPoint) -> Self {
+        self.crash = Some(cp);
+        self
+    }
+
+    /// Attach a graceful-shutdown signal: when requested, workers drain
+    /// their in-flight blocks, the journal gets a final checkpoint, and
+    /// the run returns early with [`SuperviseReport::shutdown`] set.
+    pub fn shutdown_signal(mut self, signal: ShutdownSignal) -> Self {
+        self.shutdown = Some(signal);
+        self
+    }
+
     /// Execute the pipeline.
     pub fn run(self) -> Pipeline {
         let PipelineBuilder {
-            args,
+            mut args,
             scenario,
             observe,
+            run_dir,
+            resume,
+            supervise,
+            injector,
+            crash,
+            shutdown,
         } = self;
+        let run_dir = run_dir.or_else(|| args.run_dir.as_ref().map(PathBuf::from));
+        let resume = resume || args.resume;
+        let mut sup_cfg = supervise.unwrap_or_default();
+        if let Some(secs) = args.deadline {
+            sup_cfg.deadline = Duration::from_secs_f64(secs);
+        }
+
+        // Open the journal first: on resume its meta record dictates seed,
+        // scale, and faults (the resumed world must be the crashed world).
+        let mut journal: Option<Mutex<JournalWriter>> = None;
+        let mut replayed: Vec<BlockMeasurement> = Vec::new();
+        let mut truncated_tail = false;
+        if let Some(dir) = &run_dir {
+            let writer = if resume {
+                let (w, replay) =
+                    JournalWriter::resume(dir).expect("resume: cannot open run-dir journal");
+                let meta = replay
+                    .meta
+                    .expect("resume: journal has no meta record (nothing was checkpointed)");
+                assert_eq!(
+                    meta.schema, JOURNAL_SCHEMA,
+                    "resume: journal written by an incompatible version"
+                );
+                args.seed = meta.seed;
+                args.scale = meta.scale;
+                args.faults = meta.faults();
+                replayed = replay.blocks;
+                truncated_tail = replay.truncated;
+                w
+            } else {
+                JournalWriter::create(dir, &RunMeta::new(args.seed, args.scale, args.faults))
+                    .expect("cannot create run-dir journal")
+            };
+            journal = Some(Mutex::new(writer));
+        }
+        if let Some(cp) = crash {
+            let j = journal
+                .as_ref()
+                .expect("a crash point needs a run dir to crash");
+            j.lock().unwrap().set_crash_point(cp);
+        }
+
         let observing = observe || args.metrics.is_some() || args.trace_spans;
         let obs: Option<Arc<Registry>> = observing.then(|| Arc::new(Registry::new()));
         let rec: &dyn Recorder = obs
@@ -251,8 +391,8 @@ impl PipelineBuilder {
             ConfidenceTable::build(&dataset, 50, 24, 0.95, 8, args.seed ^ 0xF16)
         };
 
-        // --- Classification over ONE shared network, work-stealing workers.
-        let threads = effective_threads(args.threads, selected.len());
+        // --- Classification over ONE shared network, work-stealing workers
+        // under supervision (panic isolation, stall watchdog, checkpoints).
         let hobbit_cfg = HobbitConfig {
             seed: args.seed ^ 0x0B17,
             prober_retries: if args.faults.is_some() {
@@ -268,11 +408,82 @@ impl PipelineBuilder {
             config,
         } = scenario;
         let shared = SharedNetwork::new(network);
-        let (measurements, worker_stats) = {
-            let _s = obs.as_ref().map(|r| r.span("run/classify"));
-            classify_blocks_observed(&shared, &selected, &confidence, &hobbit_cfg, threads, rec)
+
+        // Blocks recovered from the journal are skipped, not re-measured;
+        // every block's probe stream depends only on (block, seed), so the
+        // remaining blocks measure exactly what they would have anyway.
+        let sup_obs = SuperviseObs::bind(rec);
+        let mut skip = vec![false; selected.len()];
+        let mut prefilled: Vec<BlockMeasurement> = Vec::new();
+        if !replayed.is_empty() {
+            let index_of: HashMap<Block24, usize> = selected
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.block, i))
+                .collect();
+            for m in replayed {
+                match index_of.get(&m.block) {
+                    Some(&i) if !skip[i] => {
+                        skip[i] = true;
+                        prefilled.push(m);
+                    }
+                    _ => {} // duplicate record or stale selection — remeasure
+                }
+            }
+        }
+        let resumed_blocks = prefilled.len() as u64;
+        sup_obs.resumed.add(resumed_blocks);
+        if truncated_tail {
+            sup_obs.journal_truncated.inc();
+        }
+
+        let hooks = SuperviseHooks {
+            injector,
+            shutdown,
+            journal: journal.as_ref(),
+            skip: Some(&skip),
         };
-        let classify_probes = worker_stats.iter().map(|w| w.probes).sum();
+        let outcome = {
+            let _s = obs.as_ref().map(|r| r.span("run/classify"));
+            classify_blocks_supervised(
+                &shared,
+                &selected,
+                &confidence,
+                &hobbit_cfg,
+                args.threads,
+                rec,
+                &sup_cfg,
+                &hooks,
+            )
+        };
+        let mut measurements = outcome.measurements;
+        measurements.extend(prefilled);
+        measurements.sort_by_key(|m| m.block);
+        let worker_stats = outcome.worker_stats;
+        let mut supervision = outcome.report;
+        supervision.resumed_blocks = resumed_blocks;
+
+        // Journal epilogue: a crashed journal means the "process" died —
+        // nothing more may be written; otherwise seal and flush.
+        if let Some(j) = &journal {
+            let mut j = j.lock().unwrap();
+            if j.crashed() {
+                supervision.interrupted = true;
+            } else {
+                if supervision.shutdown {
+                    j.append(&Entry::Shutdown).expect("journal append");
+                }
+                j.flush().expect("journal flush");
+            }
+            sup_obs.journal_appends.add(j.appends());
+            sup_obs.journal_fsyncs.add(j.fsyncs());
+        }
+
+        // Probe spend is summed over measurements (each block's fresh
+        // prober makes `probes_used` exactly its probes sent), so the total
+        // is the same whether a block was measured now or recovered from
+        // the journal.
+        let classify_probes = measurements.iter().map(|m| m.probes_used).sum();
         let network = shared
             .try_unwrap()
             .expect("all worker handles are dropped when the scope ends");
@@ -298,6 +509,9 @@ impl PipelineBuilder {
             worker_stats,
             net_stats,
             obs,
+            supervision,
+            seed: args.seed,
+            scale: args.scale,
         };
         pipeline.emit_observability(&args);
         pipeline
@@ -311,7 +525,7 @@ impl PipelineBuilder {
 pub const FAULTED_RETRIES: u32 = 3;
 
 /// Resolve a thread-count argument (0 = all cores) against the work size.
-fn effective_threads(requested: usize, tasks: usize) -> usize {
+pub(crate) fn effective_threads(requested: usize, tasks: usize) -> usize {
     let n = if requested == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -345,7 +559,7 @@ pub struct WorkerStats {
 /// block address — never from the worker or shard id — so the probe stream
 /// a block sees is independent of the thread count and of which worker
 /// happens to classify it.
-fn block_ident(block: Block24) -> u16 {
+pub(crate) fn block_ident(block: Block24) -> u16 {
     0x4000 | (mix2(block.0 as u64, 0x1DE7) as u16 & 0x3FFF)
 }
 
@@ -353,26 +567,40 @@ fn block_ident(block: Block24) -> u16 {
 /// front of its own queue and, when empty, steals from the *back* of the
 /// fullest other queue — classic locality-preserving stealing, small
 /// enough to not need a lock-free library.
-struct StealQueues {
+pub(crate) struct StealQueues {
     queues: Vec<Mutex<VecDeque<usize>>>,
 }
 
 impl StealQueues {
     /// Split `tasks` task ids into `workers` contiguous chunks.
     fn new(tasks: usize, workers: usize) -> Self {
+        let ids: Vec<usize> = (0..tasks).collect();
+        StealQueues::from_tasks(&ids, workers)
+    }
+
+    /// Split an explicit task-id list into `workers` contiguous chunks
+    /// (the supervised engine passes only the not-yet-done tasks).
+    pub(crate) fn from_tasks(tasks: &[usize], workers: usize) -> Self {
         let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
-        let chunk = tasks.div_ceil(workers.max(1));
-        for t in 0..tasks {
-            queues[(t / chunk.max(1)).min(workers - 1)].push_back(t);
+        let chunk = tasks.len().div_ceil(workers.max(1));
+        for (pos, &t) in tasks.iter().enumerate() {
+            queues[(pos / chunk.max(1)).min(workers - 1)].push_back(t);
         }
         StealQueues {
             queues: queues.into_iter().map(Mutex::new).collect(),
         }
     }
 
+    /// Put a failed task back on `worker`'s own queue (bounded-requeue
+    /// supervision). Goes to the back, so fresh work runs first and a
+    /// repeatedly failing task cannot starve its queue.
+    pub(crate) fn requeue(&self, worker: usize, task: usize) {
+        self.queues[worker].lock().unwrap().push_back(task);
+    }
+
     /// Next task for `worker`: own queue first, then steal. Returns the
     /// task id and whether it was stolen; `None` when all queues are dry.
-    fn next(&self, worker: usize) -> Option<(usize, bool)> {
+    pub(crate) fn next(&self, worker: usize) -> Option<(usize, bool)> {
         if let Some(t) = self.queues[worker].lock().unwrap().pop_front() {
             return Some((t, false));
         }
@@ -500,10 +728,80 @@ pub fn run(args: &ExpArgs) -> Pipeline {
     Pipeline::builder().args(args).run()
 }
 
+/// The deterministic outcome of a run, serialized by
+/// [`Pipeline::canonical_report`]. Everything scheduling- or
+/// provenance-dependent — per-worker shares, steal counts, network carry
+/// totals, how many blocks came from a journal — is deliberately absent,
+/// which is what makes the rendering byte-identical across thread counts
+/// and across kill/resume cycles.
+#[derive(Serialize)]
+struct CanonicalReport {
+    schema: String,
+    seed: u64,
+    selected: u64,
+    reject_too_few: u64,
+    reject_uncovered: u64,
+    calibration_probes: u64,
+    classify_probes: u64,
+    classifications: Vec<(String, u64)>,
+    measurements: Vec<BlockMeasurement>,
+    /// `(index, block, attempts, reason)` — no panic detail, which names
+    /// the (scheduling-dependent) worker that caught it.
+    quarantined: Vec<(u64, Block24, u32, String)>,
+}
+
+/// Version tag of the canonical report document.
+pub const REPORT_SCHEMA: &str = "hobbit-report/v1";
+
 impl Pipeline {
     /// Start configuring a pipeline run.
     pub fn builder() -> PipelineBuilder {
         PipelineBuilder::default()
+    }
+
+    /// Resume a checkpointed run from its run directory: replays the
+    /// journal, skips every block already classified, re-measures the
+    /// rest, and returns a pipeline whose [`Pipeline::canonical_report`]
+    /// is byte-identical to an uninterrupted run's.
+    pub fn resume(run_dir: impl Into<PathBuf>) -> Pipeline {
+        Pipeline::builder().resume_from(run_dir).run()
+    }
+
+    /// Render the run's deterministic outcome as one JSON document. For a
+    /// fixed seed/scale/fault configuration the bytes are identical across
+    /// thread counts and across any kill→resume sequence (the acceptance
+    /// contract of the checkpoint subsystem); tests compare these strings
+    /// directly.
+    pub fn canonical_report(&self) -> String {
+        let report = CanonicalReport {
+            schema: REPORT_SCHEMA.to_string(),
+            seed: self.scenario.config.seed,
+            selected: self.selected.len() as u64,
+            reject_too_few: self.reject_too_few as u64,
+            reject_uncovered: self.reject_uncovered as u64,
+            calibration_probes: self.calibration_probes,
+            classify_probes: self.classify_probes,
+            classifications: self
+                .classification_counts()
+                .into_iter()
+                .map(|(c, n)| (c.label().to_string(), n as u64))
+                .collect(),
+            measurements: self.measurements.clone(),
+            quarantined: self
+                .supervision
+                .quarantined
+                .iter()
+                .map(|q| {
+                    (
+                        q.index as u64,
+                        q.block,
+                        q.attempts,
+                        q.reason.label().to_string(),
+                    )
+                })
+                .collect(),
+        };
+        serde_json::to_string(&report).expect("canonical report serializes")
     }
 
     /// The recorder post-pipeline phases should report through: the run's

@@ -1,0 +1,57 @@
+//! Cooperative cancellation for long-running measurements.
+//!
+//! A [`CancelToken`] is a cheaply clonable flag a supervisor raises when a
+//! measurement has exhausted its deadline budget (e.g. a pathological
+//! reprobe loop wedging a classification worker). The prober checks it at
+//! every retry decision, and the classifier checks it between
+//! destinations, so a cancelled block unwinds in bounded time without the
+//! supervisor having to kill the thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag: set once, observed by every clone.
+///
+/// Cancellation is *cooperative*: raising the token never interrupts
+/// anything by itself — probers and classifiers poll it at loop
+/// boundaries and abandon work early. A default token is never cancelled.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Raise the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn default_token_is_uncancelled() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+}

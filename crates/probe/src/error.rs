@@ -1,0 +1,67 @@
+//! Typed probe-layer errors.
+//!
+//! The prober's accessors and the measurement helpers used to `panic!` on
+//! recoverable conditions (asking a replay prober for its network, finding
+//! no active destination in a scenario). Supervision needs to distinguish
+//! *bugs* — which should abort a block and be quarantined — from *misuse*
+//! or absent data, which callers can handle. These variants are the
+//! recoverable half; genuine invariant violations still panic.
+
+use std::fmt;
+
+/// Why a probe-layer operation could not proceed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProbeError {
+    /// The prober answers from a recorded archive; there is no live
+    /// network behind it to expose.
+    ReplayHasNoNetwork,
+    /// The transport shares the network with other workers and cannot
+    /// grant exclusive (`&mut`) access.
+    SharedTransport,
+    /// The transport has no network behind it at all (e.g. a future
+    /// pcap-replay transport).
+    NoNetwork,
+    /// A scenario scan found no destination matching the requested
+    /// liveness/topology constraints.
+    NoActiveDestination,
+    /// The operation was abandoned because its cancel token fired (the
+    /// supervisor's watchdog reclaimed the block).
+    Cancelled,
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::ReplayHasNoNetwork => {
+                write!(f, "replay prober has no network behind it")
+            }
+            ProbeError::SharedTransport => {
+                write!(f, "transport does not hold the network exclusively")
+            }
+            ProbeError::NoNetwork => write!(f, "transport exposes no network"),
+            ProbeError::NoActiveDestination => {
+                write!(f, "no active destination matches the constraints")
+            }
+            ProbeError::Cancelled => write!(f, "operation cancelled by supervisor"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            ProbeError::ReplayHasNoNetwork.to_string(),
+            "replay prober has no network behind it"
+        );
+        assert_eq!(
+            ProbeError::NoActiveDestination.to_string(),
+            "no active destination matches the constraints"
+        );
+    }
+}

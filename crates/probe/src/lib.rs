@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cancel;
+pub mod error;
 pub mod lasthop;
 pub mod mda;
 pub mod ping;
@@ -26,6 +28,8 @@ pub mod traceroute;
 pub mod types;
 pub mod zmap;
 
+pub use cancel::CancelToken;
+pub use error::ProbeError;
 pub use lasthop::{probe_lasthop, probe_lasthop_with_hint, LasthopOutcome, LasthopProbe};
 pub use mda::{enumerate_hop, enumerate_paths, MdaPaths, StoppingRule};
 pub use ping::{ping_series, PingSeries};

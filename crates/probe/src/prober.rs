@@ -7,6 +7,8 @@
 //! exclusively borrowed network, a shared `&Network` inside scoped worker
 //! threads, or an owned [`SharedNetwork`] handle.
 
+use crate::cancel::CancelToken;
+use crate::error::ProbeError;
 use crate::record::{ProbeLog, RecordedCall, RecordedReply};
 use bytes::Bytes;
 use netsim::forward::encode_probe;
@@ -204,6 +206,10 @@ pub struct Prober<'n> {
     recording: Option<ProbeLog>,
     /// Shared metric handles mirroring the per-prober accounting.
     obs: Option<ProbeObs>,
+    /// Cooperative cancellation: once raised, retries stop immediately and
+    /// new probe calls return [`ProbeReply::Timeout`] without touching the
+    /// wire, so a supervised measurement unwinds in bounded time.
+    cancel: CancelToken,
 }
 
 /// Default lifetime retry budget: generous for ordinary runs, finite so a
@@ -258,6 +264,7 @@ impl<'n> Prober<'n> {
             backoff_us: 0,
             recording: None,
             obs: None,
+            cancel: CancelToken::default(),
         }
     }
 
@@ -288,6 +295,7 @@ impl<'n> Prober<'n> {
             backoff_us: 0,
             recording: None,
             obs: None,
+            cancel: CancelToken::default(),
         }
     }
 
@@ -369,29 +377,41 @@ impl<'n> Prober<'n> {
         self.backoff_us
     }
 
-    /// The underlying network (e.g. for epoch changes in experiments).
-    ///
-    /// # Panics
-    /// Panics for replay probers (no network) and for shared transports,
-    /// which cannot grant exclusive access.
-    pub fn network_mut(&mut self) -> &mut Network {
+    /// The underlying network (e.g. for epoch changes in experiments), or
+    /// a typed error when this prober cannot grant exclusive access:
+    /// [`ProbeError::ReplayHasNoNetwork`] for replay probers and
+    /// [`ProbeError::SharedTransport`] for shared transports. Callers that
+    /// *know* they hold an exclusive live network can `expect` the result;
+    /// supervision code matches on the variant instead of catching a panic.
+    pub fn network_mut(&mut self) -> Result<&mut Network, ProbeError> {
         match &mut self.backend {
-            Backend::Live(t) => t
-                .as_network_mut()
-                .expect("transport does not hold the network exclusively"),
-            Backend::Replay { .. } => panic!("replay prober has no network"),
+            Backend::Live(t) => t.as_network_mut().ok_or(ProbeError::SharedTransport),
+            Backend::Replay { .. } => Err(ProbeError::ReplayHasNoNetwork),
         }
     }
 
-    /// Shared view of the network.
-    ///
-    /// # Panics
-    /// Panics for replay probers and transports with no network behind them.
-    pub fn network(&self) -> &Network {
+    /// Shared view of the network: [`ProbeError::ReplayHasNoNetwork`] for
+    /// replay probers, [`ProbeError::NoNetwork`] for transports with no
+    /// network behind them.
+    pub fn network(&self) -> Result<&Network, ProbeError> {
         match &self.backend {
-            Backend::Live(t) => t.as_network().expect("transport exposes no network"),
-            Backend::Replay { .. } => panic!("replay prober has no network"),
+            Backend::Live(t) => t.as_network().ok_or(ProbeError::NoNetwork),
+            Backend::Replay { .. } => Err(ProbeError::ReplayHasNoNetwork),
         }
+    }
+
+    /// Attach a cancellation token. Once the token is raised, in-flight
+    /// retries stop (no further backoff is simulated) and subsequent probe
+    /// calls return [`ProbeReply::Timeout`] without touching the wire —
+    /// the cancelled block's partial work is discarded by the supervisor,
+    /// so the short-circuit never leaks into a recorded measurement.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// Whether this prober's cancel token has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
     }
 
     /// Send one probe (with retries on timeout) and parse the response.
@@ -421,6 +441,15 @@ impl<'n> Prober<'n> {
 
     /// Live path: attempt, back off, retry while the budget allows.
     fn live_probe(&mut self, dst: Addr, ttl: u8, flow_label: u16) -> ProbeResult {
+        if self.cancel.is_cancelled() {
+            // Cooperative cancellation: answer instantly without touching
+            // the wire or the accounting, so the enclosing measurement
+            // drains in microseconds and its result can be discarded.
+            return ProbeResult {
+                reply: ProbeReply::Timeout,
+                rtt_us: 0,
+            };
+        }
         let record = self.recording.is_some();
         let mut attempts: RecordedCall = Vec::new();
         let mut attempt: u32 = 0;
@@ -462,7 +491,7 @@ impl<'n> Prober<'n> {
             if let Some(o) = &self.obs {
                 o.drops.inc();
             }
-            if attempt >= self.retries || self.retry_budget == 0 {
+            if attempt >= self.retries || self.retry_budget == 0 || self.cancel.is_cancelled() {
                 break result;
             }
             attempt += 1;
@@ -739,6 +768,71 @@ mod tests {
         assert_eq!(p.retry_budget, 0);
         let _ = p.probe(blk.addr(0), 64, 1);
         assert_eq!(p.probes_sent(), 3, "exhausted budget means single attempts");
+    }
+
+    #[test]
+    fn cancelled_prober_short_circuits_without_accounting() {
+        let mut s = scenario();
+        let blk = dense_block(&s);
+        let mut p = Prober::new(&mut s.network, 77);
+        p.retries = 3;
+        let token = CancelToken::new();
+        p.set_cancel_token(token.clone());
+        token.cancel();
+        let r = p.probe(blk.addr(10), 64, 0x1000);
+        assert_eq!(r.reply, ProbeReply::Timeout);
+        assert_eq!(r.rtt_us, 0);
+        assert_eq!(p.probes_sent(), 0, "cancelled probes never hit the wire");
+        assert_eq!(p.drops(), 0);
+        assert_eq!(p.retries_used(), 0);
+        assert!(p.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_mid_call_stops_retries() {
+        // The token is raised before the call; an uncancelled prober with
+        // the same settings spends retries on the silent .0 address, so the
+        // cancelled one must send strictly fewer packets.
+        let mut s = scenario();
+        let blk = dense_block(&s);
+        let mut clean = Prober::new(&mut s.network, 77);
+        clean.retries = 3;
+        let _ = clean.probe(blk.addr(0), 64, 0);
+        assert_eq!(clean.probes_sent(), 4);
+        drop(clean);
+
+        let mut p = Prober::new(&mut s.network, 78);
+        p.retries = 3;
+        let token = CancelToken::new();
+        p.set_cancel_token(token.clone());
+        token.cancel();
+        let _ = p.probe(blk.addr(0), 64, 0);
+        assert_eq!(p.probes_sent(), 0);
+        assert_eq!(p.backoff_total_us(), 0, "no backoff is simulated");
+    }
+
+    #[test]
+    fn network_accessors_return_typed_errors() {
+        let mut s = scenario();
+        // Exclusive transport: both accessors succeed.
+        let mut p = Prober::new(&mut s.network, 77);
+        assert!(p.network().is_ok());
+        assert!(p.network_mut().is_ok());
+        let source = p.source();
+        drop(p);
+
+        // Replay prober: no network at all.
+        let mut r = Prober::replayer(ProbeLog::new(), 77, source);
+        assert_eq!(r.network().unwrap_err(), ProbeError::ReplayHasNoNetwork);
+        assert_eq!(r.network_mut().unwrap_err(), ProbeError::ReplayHasNoNetwork);
+
+        // Shared transport: shared view works, exclusive access does not.
+        let shared = netsim::SharedNetwork::new(s.network);
+        let mut q = Prober::shared(shared.clone(), 77);
+        assert!(q.network().is_ok());
+        assert_eq!(q.network_mut().unwrap_err(), ProbeError::SharedTransport);
+        drop(q);
+        let _ = shared.try_unwrap();
     }
 
     #[test]

@@ -95,7 +95,7 @@ mod tests {
     use super::*;
     use netsim::build::{build, ScenarioConfig};
 
-    fn active_dst(s: &netsim::Scenario) -> Addr {
+    fn try_active_dst(s: &netsim::Scenario) -> Result<Addr, crate::ProbeError> {
         for b in s.network.allocated_blocks() {
             let t = &s.truth.blocks[&b];
             if !t.homogeneous || !s.truth.pops[t.pop as usize].responsive {
@@ -104,10 +104,14 @@ mod tests {
             let p = *s.network.block_profile(b).unwrap();
             let act = s.network.oracle().active_in_block(b, &p, s.network.epoch());
             if let Some(&a) = act.first() {
-                return a;
+                return Ok(a);
             }
         }
-        panic!("no active destination");
+        Err(crate::ProbeError::NoActiveDestination)
+    }
+
+    fn active_dst(s: &netsim::Scenario) -> Addr {
+        try_active_dst(s).expect("tiny scenario has an active destination")
     }
 
     #[test]

@@ -26,18 +26,24 @@
 //!   scenario to a minimal reproducer.
 //! * [`corpus`] — seed-file I/O and the golden corpus definitions checked
 //!   into `tests/corpus/`.
+//! * [`crash`] — the kill/resume harness vocabulary: [`CrashPlan`]s (kill
+//!   after N journal appends, torn tail, worker panic/stall injection),
+//!   the standard kill-point sweep, and the byte-divergence locator used
+//!   by checkpoint/resume byte-identity assertions.
 //!
 //! [`ScenarioSpec`]: scenario::ScenarioSpec
 
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod crash;
 pub mod diff;
 pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 
 pub use corpus::{golden_specs, CorpusEntry, ExpectedBlock};
+pub use crash::{first_divergence, kill_points, CrashPlan};
 pub use diff::{run_spec, ClassifyRef, ConformObs, DiffReport, Mismatch};
 pub use oracle::{
     naive_aggregate, naive_disjoint_aligned, naive_lasthop_set, naive_merged_groups,

@@ -71,6 +71,14 @@ fn metrics_document_schema_is_pinned() {
         "classify.verdict.same-lasthop",
         "classify.verdict.non-hierarchical",
         "classify.verdict.hierarchical",
+        "supervise.panics_caught",
+        "supervise.stalls_cancelled",
+        "supervise.requeues",
+        "supervise.quarantined",
+        "supervise.resumed_blocks",
+        "journal.appends",
+        "journal.fsyncs",
+        "journal.truncated_tail",
     ] {
         assert!(
             doc["counters"].get(name).and_then(|v| v.as_u64()).is_some(),

@@ -1,0 +1,368 @@
+//! Kill/resume conformance sweep: a checkpointed pipeline run killed at an
+//! arbitrary journal point and resumed must produce a final report
+//! byte-identical to an uninterrupted run — at every tested thread count
+//! and fault level — and every resumed run must stay conform-clean against
+//! the reference oracle. Worker sabotage (panics, stalls) must quarantine
+//! or recover exactly the targeted block and nothing else.
+
+use experiments::journal::{read_journal, CrashPoint, JOURNAL_FILE};
+use experiments::supervise::{InjectedFault, SuperviseConfig, DEFAULT_ATTEMPT_BUDGET};
+use experiments::{Pipeline, PipelineBuilder, ShutdownSignal};
+use hobbit::Classification;
+use netsim::{Addr, Block24};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+use testkit::{first_divergence, kill_points};
+
+/// Thread counts every kill/resume cycle must agree across.
+const THREADS: &[usize] = &[1, 8];
+
+const SEED: u64 = 4242;
+const SCALE: f64 = 0.01;
+
+/// The loss level of the faulted half of the sweep (rate 0.5, as in the
+/// conformance sweep).
+const FAULT_LOSS: f64 = 0.02;
+
+fn base(loss: f64) -> PipelineBuilder {
+    let b = Pipeline::builder().seed(SEED).scale(SCALE);
+    if loss > 0.0 {
+        b.faults(loss, 0.5)
+    } else {
+        b
+    }
+}
+
+/// What the sweep needs from an uninterrupted run, computed once per loss
+/// level and shared across tests (the box may be single-core; baselines
+/// are the expensive part).
+struct Baseline {
+    report: String,
+    selected: Vec<Block24>,
+    measurements: Vec<(Block24, Classification, Vec<Addr>)>,
+}
+
+fn baseline(loss: f64) -> &'static Baseline {
+    static CLEAN: OnceLock<Baseline> = OnceLock::new();
+    static FAULTED: OnceLock<Baseline> = OnceLock::new();
+    let cell = if loss == 0.0 { &CLEAN } else { &FAULTED };
+    cell.get_or_init(|| {
+        let p = base(loss).threads(2).run();
+        let issues = p.verify_conformance();
+        assert!(issues.is_empty(), "baseline not conform-clean: {issues:?}");
+        assert!(
+            p.selected.len() > 50,
+            "scenario too small to sweep ({} blocks)",
+            p.selected.len()
+        );
+        Baseline {
+            report: p.canonical_report(),
+            selected: p.selected.iter().map(|s| s.block).collect(),
+            measurements: p
+                .measurements
+                .iter()
+                .map(|m| (m.block, m.classification, m.lasthop_set.clone()))
+                .collect(),
+        }
+    })
+}
+
+/// Run dirs live under `HOBBIT_RESUME_DIR` (CI points this at a workspace
+/// path so diverging run-dirs survive as artifacts) or the system temp
+/// dir. Passing tests remove their dirs; a failing test leaves its
+/// journal behind for post-mortem.
+fn run_dir(tag: &str) -> PathBuf {
+    let base = std::env::var_os("HOBBIT_RESUME_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let d = base.join(format!("hobbit-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn assert_identical(expect: &str, got: &str, what: &str) {
+    if let Some((pos, ctx)) = first_divergence(expect, got) {
+        panic!("{what}: reports diverge at {pos}: {ctx}");
+    }
+}
+
+/// One kill→resume cycle checked for byte-identity and oracle conformance.
+fn kill_resume_cycle(loss: f64, kp: u64, torn: bool, threads: usize) {
+    let bl = baseline(loss);
+    let total = bl.selected.len() as u64;
+    let tag = format!("sweep-l{}-k{kp}-t{threads}", (loss * 100.0) as u32);
+    let dir = run_dir(&tag);
+    let crashed = base(loss)
+        .threads(threads)
+        .run_dir(&dir)
+        .crash_point(CrashPoint {
+            after_block_appends: kp,
+            torn,
+        })
+        .run();
+    assert!(
+        crashed.supervision.interrupted,
+        "{tag}: kill at {kp}/{total} never fired"
+    );
+    let resumed = base(loss).threads(threads).resume_from(&dir).run();
+    assert!(!resumed.supervision.interrupted);
+    assert_eq!(
+        resumed.measurements.len(),
+        resumed.selected.len(),
+        "{tag}: resume left blocks unclassified"
+    );
+    assert_identical(&bl.report, &resumed.canonical_report(), &tag);
+    let issues = resumed.verify_conformance();
+    assert!(issues.is_empty(), "{tag}: {issues:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn sweep(loss: f64) {
+    let total = baseline(loss).selected.len() as u64;
+    for (i, &kp) in kill_points(total).iter().enumerate() {
+        // Alternate torn (mid-append) kills along the sweep.
+        let torn = i % 2 == 1;
+        for &threads in THREADS {
+            kill_resume_cycle(loss, kp, torn, threads);
+        }
+    }
+}
+
+#[test]
+fn kill_resume_sweep_is_byte_identical_lossless() {
+    sweep(0.0);
+}
+
+#[test]
+fn kill_resume_sweep_is_byte_identical_under_loss() {
+    sweep(FAULT_LOSS);
+}
+
+#[test]
+fn double_kill_then_resume_completes_identically() {
+    let bl = baseline(0.0);
+    let total = bl.selected.len() as u64;
+    let dir = run_dir("double-kill");
+    let first = base(0.0)
+        .threads(4)
+        .run_dir(&dir)
+        .crash_point(CrashPoint {
+            after_block_appends: total / 4,
+            torn: false,
+        })
+        .run();
+    assert!(first.supervision.interrupted);
+    // The second incarnation resumes — and dies again, torn, further in.
+    let second = base(0.0)
+        .threads(1)
+        .resume_from(&dir)
+        .crash_point(CrashPoint {
+            after_block_appends: total / 4,
+            torn: true,
+        })
+        .run();
+    assert!(second.supervision.interrupted);
+    assert!(second.supervision.resumed_blocks > 0);
+    let third = base(0.0).threads(8).resume_from(&dir).run();
+    assert!(!third.supervision.interrupted);
+    assert!(second.supervision.resumed_blocks < third.supervision.resumed_blocks);
+    assert_identical(&bl.report, &third.canonical_report(), "double-kill");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn uninterrupted_checkpointed_run_matches_plain_run() {
+    let bl = baseline(0.0);
+    let dir = run_dir("clean");
+    let journaled = base(0.0).threads(2).run_dir(&dir).run();
+    assert!(!journaled.supervision.interrupted);
+    assert_identical(
+        &bl.report,
+        &journaled.canonical_report(),
+        "checkpointing a run must not change its outcome",
+    );
+    // The sealed journal replays to the full measurement set.
+    let replay = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+    assert_eq!(replay.blocks.len(), journaled.measurements.len());
+    assert!(!replay.truncated);
+    // Resuming a *complete* journal re-measures nothing.
+    let resumed = Pipeline::builder().threads(1).resume_from(&dir).run();
+    assert_eq!(
+        resumed.supervision.resumed_blocks,
+        resumed.selected.len() as u64
+    );
+    assert_identical(
+        &bl.report,
+        &resumed.canonical_report(),
+        "complete-journal resume",
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn injected_panic_quarantines_only_that_block() {
+    let bl = baseline(0.0);
+    let victim = bl.selected.len() / 2;
+    let victim_block = bl.selected[victim];
+    let p = base(0.0)
+        .threads(2)
+        .inject(Arc::new(move |_w, task, _attempt| {
+            (task == victim).then_some(InjectedFault::Panic)
+        }))
+        .run();
+    // The poisoned block is quarantined after its full attempt budget;
+    // every other block classifies normally.
+    assert_eq!(p.measurements.len(), p.selected.len() - 1);
+    assert!(p.measurements.iter().all(|m| m.block != victim_block));
+    assert_eq!(p.supervision.quarantined.len(), 1);
+    let q = &p.supervision.quarantined[0];
+    assert_eq!(q.block, victim_block);
+    assert_eq!(q.attempts, DEFAULT_ATTEMPT_BUDGET);
+    assert!(q.detail.contains("injected fault"), "{:?}", q.detail);
+    assert_eq!(p.supervision.panics_caught, DEFAULT_ATTEMPT_BUDGET as u64);
+    assert!(p.supervision.requeues >= 1);
+    // The surviving measurements are untouched by the sabotage.
+    let surviving: Vec<_> = bl
+        .measurements
+        .iter()
+        .filter(|(b, _, _)| *b != victim_block)
+        .collect();
+    assert_eq!(surviving.len(), p.measurements.len());
+    for ((block, class, lasthops), m) in surviving.iter().zip(&p.measurements) {
+        assert_eq!(*block, m.block);
+        assert_eq!(*class, m.classification);
+        assert_eq!(*lasthops, m.lasthop_set);
+    }
+    let issues = p.verify_conformance();
+    assert!(issues.is_empty(), "{issues:?}");
+}
+
+#[test]
+fn transient_panic_is_requeued_and_invisible_in_the_report() {
+    let bl = baseline(0.0);
+    let victim = 3.min(bl.selected.len() - 1);
+    let p = base(0.0)
+        .threads(2)
+        .inject(Arc::new(move |_w, task, attempt| {
+            (task == victim && attempt == 0).then_some(InjectedFault::Panic)
+        }))
+        .run();
+    // One panic, one requeue, and the retry measures exactly what an
+    // unsabotaged run measures (the failed attempt never probed).
+    assert_eq!(p.supervision.panics_caught, 1);
+    assert_eq!(p.supervision.requeues, 1);
+    assert!(p.supervision.quarantined.is_empty());
+    assert_identical(
+        &bl.report,
+        &p.canonical_report(),
+        "a recovered transient panic",
+    );
+}
+
+#[test]
+fn stalled_block_is_cancelled_by_the_watchdog_and_recovered() {
+    let bl = baseline(0.0);
+    let victim = 1.min(bl.selected.len() - 1);
+    let p = base(0.0)
+        .threads(2)
+        .supervise(SuperviseConfig {
+            deadline: Duration::from_millis(400),
+            ..Default::default()
+        })
+        .inject(Arc::new(move |_w, task, attempt| {
+            (task == victim && attempt == 0).then_some(InjectedFault::Stall)
+        }))
+        .run();
+    assert!(p.supervision.stalls_cancelled >= 1);
+    assert!(p.supervision.requeues >= 1);
+    assert!(p.supervision.quarantined.is_empty());
+    assert_identical(
+        &bl.report,
+        &p.canonical_report(),
+        "a watchdog-recovered stall",
+    );
+}
+
+#[test]
+fn graceful_shutdown_drains_seals_and_resumes() {
+    let bl = baseline(0.0);
+    let dir = run_dir("shutdown");
+    let signal = ShutdownSignal::new();
+    let trigger = signal.clone();
+    let mid = bl.selected.len() / 2;
+    // Request shutdown from inside the phase (the injector runs as a worker
+    // picks up a block), so the request always lands mid-classification.
+    let p = base(0.0)
+        .threads(2)
+        .run_dir(&dir)
+        .shutdown_signal(signal)
+        .inject(Arc::new(move |_w, task, _attempt| {
+            if task == mid {
+                trigger.request();
+            }
+            None
+        }))
+        .run();
+    assert!(p.supervision.shutdown);
+    assert!(!p.supervision.interrupted);
+    assert!(
+        p.measurements.len() < p.selected.len(),
+        "shutdown should leave queued work undone"
+    );
+    // The journal is sealed: a shutdown marker, no torn tail, and every
+    // in-flight block drained into a checkpoint.
+    let replay = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+    assert!(replay.shutdown, "journal missing the shutdown marker");
+    assert!(!replay.truncated);
+    assert_eq!(replay.blocks.len(), p.measurements.len());
+    let resumed = base(0.0).threads(8).resume_from(&dir).run();
+    assert_identical(&bl.report, &resumed.canonical_report(), "shutdown+resume");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn supervision_metrics_are_exported_and_outcome_independent() {
+    let dir = run_dir("metrics");
+    let p = base(0.0).threads(2).run_dir(&dir).observe().run();
+    let reg = p.obs.as_deref().unwrap();
+    // Pre-interned schema: every supervision counter exists even though
+    // nothing went wrong in this run.
+    assert_eq!(reg.counter_value("supervise.panics_caught"), Some(0));
+    assert_eq!(reg.counter_value("supervise.stalls_cancelled"), Some(0));
+    assert_eq!(reg.counter_value("supervise.requeues"), Some(0));
+    assert_eq!(reg.counter_value("supervise.quarantined"), Some(0));
+    assert_eq!(reg.counter_value("supervise.resumed_blocks"), Some(0));
+    assert_eq!(reg.counter_value("journal.truncated_tail"), Some(0));
+    // Meta + one record per block, sealed with batched fsyncs.
+    assert_eq!(
+        reg.counter_value("journal.appends"),
+        Some(1 + p.measurements.len() as u64)
+    );
+    assert!(reg.counter_value("journal.fsyncs").unwrap() > 0);
+
+    // A resumed run reports what it recovered, and a torn tail is counted.
+    let killed_dir = run_dir("metrics-kill");
+    let _ = base(0.0)
+        .threads(2)
+        .run_dir(&killed_dir)
+        .crash_point(CrashPoint {
+            after_block_appends: 40,
+            torn: true,
+        })
+        .run();
+    let resumed = base(0.0)
+        .threads(2)
+        .resume_from(&killed_dir)
+        .observe()
+        .run();
+    let reg = resumed.obs.as_deref().unwrap();
+    assert_eq!(
+        reg.counter_value("supervise.resumed_blocks"),
+        Some(resumed.supervision.resumed_blocks)
+    );
+    assert!(resumed.supervision.resumed_blocks > 0);
+    assert_eq!(reg.counter_value("journal.truncated_tail"), Some(1));
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&killed_dir).unwrap();
+}
