@@ -47,32 +47,138 @@ impl Aggregate {
 
 /// Merge blocks with identical last-hop sets. Blocks with empty sets are
 /// dropped (nothing to aggregate on).
+///
+/// Flat path: one scan groups blocks through an open-addressing table
+/// keyed by a 64-bit mix of the set's fixed-width [`KEY_SLOTS`]-router
+/// prefix key, with a full slice comparison against each group's
+/// representative confirming (or probing past) every hash hit. Only the
+/// few thousand live slots are ever touched, so probes stay in cache; no
+/// global sort over the blocks is needed, because the presentation
+/// comparator below is a total order over distinct aggregates and fixes
+/// the output order on its own.
 pub fn aggregate_identical(blocks: &[HomogBlock]) -> Vec<Aggregate> {
-    let mut by_set: BTreeMap<&[Addr], Vec<Block24>> = BTreeMap::new();
-    for hb in blocks {
+    let cap = (blocks.len().max(2) * 2).next_power_of_two();
+    let shift = 64 - cap.trailing_zeros();
+    let mask = cap - 1;
+    // slot -> group id (MAX = empty); per group: a representative block
+    // index (its lasthops define the group) and a member count.
+    let mut slot_gid: Vec<u32> = vec![u32::MAX; cap];
+    let mut rep: Vec<u32> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    // Group id per input block, MAX for dropped empty-set blocks.
+    let mut gids: Vec<u32> = Vec::with_capacity(blocks.len());
+    for (i, hb) in blocks.iter().enumerate() {
         if hb.lasthops.is_empty() {
+            gids.push(u32::MAX);
             continue;
         }
-        by_set.entry(&hb.lasthops).or_default().push(hb.block);
-    }
-    let mut out: Vec<Aggregate> = by_set
-        .into_iter()
-        .map(|(set, mut member)| {
-            member.sort();
-            member.dedup();
-            Aggregate {
-                lasthops: set.to_vec(),
-                blocks: member,
+        let key = prefix_key(&hb.lasthops);
+        // Multiply each half before combining: a plain XOR of the halves
+        // self-cancels on structured router addresses (sets drawn from one
+        // PoP differ only in low bits), collapsing the table to one chain.
+        let mut h = ((key >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= (key as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut idx = (h >> shift) as usize;
+        let gid = loop {
+            let cur = slot_gid[idx];
+            if cur == u32::MAX {
+                slot_gid[idx] = rep.len() as u32;
+                rep.push(i as u32);
+                counts.push(0);
+                break rep.len() as u32 - 1;
             }
-        })
+            // Sets sharing a prefix key (or, rarely, a mixed hash) land on
+            // the same probe chain; the full comparison keeps grouping
+            // exact regardless.
+            if blocks[rep[cur as usize] as usize].lasthops == hb.lasthops {
+                break cur;
+            }
+            idx = (idx + 1) & mask;
+        };
+        counts[gid as usize] += 1;
+        gids.push(gid);
+    }
+    // Scatter member blocks into per-group segments of one flat array.
+    let mut cursor: Vec<u32> = Vec::with_capacity(counts.len());
+    let mut total = 0u32;
+    for &c in &counts {
+        cursor.push(total);
+        total += c;
+    }
+    let mut member: Vec<u32> = vec![0; total as usize];
+    for (hb, &gid) in blocks.iter().zip(&gids) {
+        if gid != u32::MAX {
+            let at = &mut cursor[gid as usize];
+            member[*at as usize] = hb.block.0;
+            *at += 1;
+        }
+    }
+    let mut out: Vec<Aggregate> = Vec::with_capacity(rep.len());
+    let mut seg_end = 0usize;
+    for (g, &c) in counts.iter().enumerate() {
+        let seg_start = seg_end;
+        seg_end += c as usize;
+        let seg = &mut member[seg_start..seg_end];
+        seg.sort_unstable();
+        let mut blocks_vec: Vec<Block24> = seg.iter().map(|&b| Block24(b)).collect();
+        blocks_vec.dedup();
+        out.push(Aggregate {
+            lasthops: blocks[rep[g] as usize].lasthops.clone(),
+            blocks: blocks_vec,
+        });
+    }
+    // Largest first: the presentation order of Table 5. Sort a compact
+    // (inverted size, first block, index) projection — a total order up to
+    // aggregates sharing size and first block, which a stable full
+    // comparison pass then resolves — keeping the 56-byte aggregates and
+    // their heap vectors out of the sort's comparisons and moves.
+    let mut order: Vec<(u32, u32, u32)> = out
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (u32::MAX - a.size() as u32, a.blocks[0].0, i as u32))
         .collect();
-    // Largest first: the presentation order of Table 5.
-    out.sort_by(|a, b| {
-        b.size()
-            .cmp(&a.size())
-            .then_with(|| a.blocks.cmp(&b.blocks))
-    });
-    out
+    order.sort_unstable();
+    let mut k = 0;
+    while k < order.len() {
+        let mut e = k + 1;
+        while e < order.len() && (order[e].0, order[e].1) == (order[k].0, order[k].1) {
+            e += 1;
+        }
+        if e - k > 1 {
+            // Ties in the projection resolve by full member comparison and —
+            // for degenerate equal-member aggregates — lexicographic set
+            // order, the order the old `BTreeMap` iteration emitted them in.
+            order[k..e].sort_by(|&(_, _, a), &(_, _, b)| {
+                let (x, y) = (&out[a as usize], &out[b as usize]);
+                x.blocks
+                    .cmp(&y.blocks)
+                    .then_with(|| x.lasthops.cmp(&y.lasthops))
+            });
+        }
+        k = e;
+    }
+    let mut taken: Vec<Option<Aggregate>> = out.into_iter().map(Some).collect();
+    order
+        .into_iter()
+        .map(|(_, _, idx)| taken[idx as usize].take().expect("permutation"))
+        .collect()
+}
+
+/// Routers packed into the grouping key of [`aggregate_identical`].
+const KEY_SLOTS: usize = 4;
+
+/// The first [`KEY_SLOTS`] routers of a sorted set packed big-endian into
+/// a `u128`, zero-padded. Injective for sets of at most [`KEY_SLOTS`]
+/// routers; longer sets share the key of their prefix and are told apart
+/// by the full slice comparison at each hash hit.
+fn prefix_key(set: &[Addr]) -> u128 {
+    let mut key = 0u128;
+    for slot in 0..KEY_SLOTS {
+        key = (key << 32) | set.get(slot).map_or(0, |a| a.0) as u128;
+    }
+    key
 }
 
 /// The power-of-two size histogram behind Figure 5: bucket `i` counts

@@ -10,14 +10,14 @@
 
 use crate::identical::Aggregate;
 use hobbit::select::SelectedBlock;
-use netsim::{Addr, Block24};
+use hobbit::RouterInterner;
+use netsim::Block24;
 use obs::Recorder;
 use probe::{probe_lasthop, LasthopOutcome, Prober, StoppingRule};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Reprobing parameters.
 #[derive(Clone, Copy, Debug)]
@@ -68,20 +68,23 @@ impl ClusterValidation {
 }
 
 /// Reprobe one /24 with the modified strategy: every snapshot-active
-/// address, full interface enumeration, no early stop. Returns the
-/// observed last-hop set.
+/// address, full interface enumeration, no early stop. Every observed
+/// last-hop router is interned into `routers`, and the block's set comes
+/// back as sorted, deduplicated ids — interning is a bijection, so id-set
+/// equality is address-set equality, which is all validation compares.
 pub fn reprobe_block(
     prober: &mut Prober<'_>,
     sel: &SelectedBlock,
     rule: StoppingRule,
-) -> Vec<Addr> {
-    let mut set: Vec<Addr> = Vec::new();
+    routers: &mut RouterInterner,
+) -> Vec<u32> {
+    let mut set: Vec<u32> = Vec::new();
     for dst in sel.actives() {
         if let LasthopOutcome::Found { lasthops, .. } = probe_lasthop(prober, dst, rule).outcome {
-            set.extend(lasthops);
+            set.extend(lasthops.iter().map(|&lh| routers.intern(lh)));
         }
     }
-    set.sort();
+    set.sort_unstable();
     set.dedup();
     set
 }
@@ -118,18 +121,30 @@ where
         pairs.shuffle(&mut rng);
         pairs.truncate(cfg.max_pairs_per_cluster);
     }
-    // Reprobe each distinct block once.
-    let mut sets: BTreeMap<Block24, Option<Vec<Addr>>> = BTreeMap::new();
+    // Reprobe each distinct block once, sharing one per-validation router
+    // id space: per-block sets live in a sorted Vec (binary-searched, no
+    // tree nodes) and pair comparison is dense id-vector equality.
+    let mut routers = RouterInterner::new();
+    let mut sets: Vec<(Block24, Option<Vec<u32>>)> = Vec::new();
     for &(a, b) in &pairs {
         for blk in [a, b] {
-            sets.entry(blk)
-                .or_insert_with(|| selector(blk).map(|sel| reprobe_block(prober, &sel, cfg.rule)));
+            if let Err(pos) = sets.binary_search_by_key(&blk, |&(b, _)| b) {
+                let ids =
+                    selector(blk).map(|sel| reprobe_block(prober, &sel, cfg.rule, &mut routers));
+                sets.insert(pos, (blk, ids));
+            }
         }
     }
+    let set_of = |blk: Block24| -> &Option<Vec<u32>> {
+        let pos = sets
+            .binary_search_by_key(&blk, |&(b, _)| b)
+            .expect("every paired block was reprobed");
+        &sets[pos].1
+    };
     let mut identical = 0usize;
     let mut total = 0usize;
     for &(a, b) in &pairs {
-        let (Some(sa), Some(sb)) = (&sets[&a], &sets[&b]) else {
+        let (Some(sa), Some(sb)) = (set_of(a), set_of(b)) else {
             continue;
         };
         // Pairs with an unobservable side (the block went quiet since the
@@ -183,6 +198,7 @@ mod tests {
     use hobbit::select::select_block;
     use netsim::build::{build, ScenarioConfig};
     use probe::zmap;
+    use std::collections::BTreeMap;
 
     #[test]
     fn reprobe_recovers_full_lasthop_set_of_multi_lh_pop() {
@@ -216,10 +232,16 @@ mod tests {
             v
         };
         let mut prober = Prober::new(&mut s.network, 0xAA);
-        let set = reprobe_block(&mut prober, &sel, StoppingRule::confidence95());
+        let mut routers = RouterInterner::new();
+        let set = reprobe_block(
+            &mut prober,
+            &sel,
+            StoppingRule::confidence95(),
+            &mut routers,
+        );
         assert!(!set.is_empty());
-        for lh in &set {
-            assert!(pop_lhs.contains(lh));
+        for &id in &set {
+            assert!(pop_lhs.contains(&routers.addr(id)));
         }
     }
 
@@ -273,7 +295,15 @@ mod tests {
         let mut s = build(ScenarioConfig::tiny(42));
         let snapshot = zmap::scan_all(&mut s.network);
         let mut picks: Vec<Block24> = Vec::new();
-        let mut seen_pops = std::collections::HashSet::new();
+        // Sorted-id set, same shape as the production interner index.
+        let mut seen_pops: Vec<u32> = Vec::new();
+        let mut first_of_pop = |pop: u32| match seen_pops.binary_search(&pop) {
+            Ok(_) => false,
+            Err(pos) => {
+                seen_pops.insert(pos, pop);
+                true
+            }
+        };
         let epoch = s.network.epoch();
         for b in snapshot.blocks() {
             let t = &s.truth.blocks[&b];
@@ -282,7 +312,7 @@ mod tests {
                 && s.truth.pops[t.pop as usize].responsive
                 && snapshot.active_in(b).len() >= 25
                 && s.network.oracle().active_in_block(b, &profile, epoch).len() >= 15
-                && seen_pops.insert(t.pop)
+                && first_of_pop(t.pop)
             {
                 picks.push(b);
                 if picks.len() == 2 {

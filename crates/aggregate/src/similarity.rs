@@ -7,8 +7,8 @@
 //! blocks as a weighted graph for MCL.
 
 use crate::identical::Aggregate;
+use hobbit::RouterInterner;
 use netsim::Addr;
-use std::collections::HashMap;
 
 /// The paper's similarity score between two last-hop sets (both sorted):
 /// `|A ∩ B| / max(|A|, |B|)`.
@@ -49,34 +49,75 @@ pub fn similarity(a: &[Addr], b: &[Addr]) -> f64 {
 /// inverted last-hop index, so disjoint aggregates cost nothing.
 /// Weight-1 edges cannot occur between distinct aggregates — identical
 /// sets were merged already (the paper's first pre-processing step).
+///
+/// The flat path: every last-hop router is interned into a per-run
+/// [`RouterInterner`] (dense `u32` ids assigned in address order, so each
+/// sorted last-hop set maps to a sorted id vector, stored back to back in
+/// one flat arena) and the inverted index is a dense `Vec` over ids.
+/// Pairs are enumerated per *lower* endpoint: for each aggregate, the
+/// higher-indexed co-members of its routers are gathered through
+/// monotonically advancing per-router cursors, and each candidate's
+/// *multiplicity* — how many inverted lists it was found in — is exactly
+/// `|SA ∩ SB|`, so no per-pair set merge is needed at all. This replaces
+/// the old hash-keyed global pair set with linear scans that stay in
+/// cache and emits edges already in `(lo, hi)` lexicographic order.
 pub fn similarity_edges(aggs: &[Aggregate]) -> Vec<(u32, u32, f64)> {
-    let mut by_lasthop: HashMap<Addr, Vec<u32>> = HashMap::new();
-    for (i, a) in aggs.iter().enumerate() {
-        for &lh in &a.lasthops {
-            by_lasthop.entry(lh).or_default().push(i as u32);
+    let interner = RouterInterner::build(aggs.iter().flat_map(|a| a.lasthops.iter().copied()));
+    // Interned sets, flattened: set `i` is flat[offsets[i]..offsets[i+1]].
+    let mut offsets: Vec<u32> = Vec::with_capacity(aggs.len() + 1);
+    let mut flat: Vec<u32> = Vec::new();
+    offsets.push(0);
+    for a in aggs {
+        flat.extend(
+            a.lasthops
+                .iter()
+                .map(|&lh| interner.id(lh).expect("interned")),
+        );
+        offsets.push(flat.len() as u32);
+    }
+    let set_of = |i: usize| &flat[offsets[i] as usize..offsets[i + 1] as usize];
+    let mut by_router: Vec<Vec<u32>> = vec![Vec::new(); interner.len()];
+    for i in 0..aggs.len() {
+        for &r in set_of(i) {
+            // Aggregates are scanned in index order, so each inverted list
+            // ascends and the cursor advance below is valid.
+            by_router[r as usize].push(i as u32);
         }
     }
-    let mut pairs: HashMap<(u32, u32), ()> = HashMap::new();
-    for members in by_lasthop.values() {
-        for i in 0..members.len() {
-            for j in 0..i {
-                let (a, b) = (members[j].min(members[i]), members[j].max(members[i]));
-                pairs.insert((a, b), ());
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    // Candidate multiplicities, reset via `uniq` after each endpoint.
+    let mut inter: Vec<u32> = vec![0; aggs.len()];
+    let mut uniq: Vec<u32> = Vec::new();
+    // Per-router cursor to the first inverted-list entry > lo; `lo` scans
+    // ascending, so each cursor only ever moves forward and the whole
+    // enumeration is linear in the number of (pair, shared router) hits.
+    let mut cursor: Vec<u32> = vec![0; interner.len()];
+    for lo in 0..aggs.len() {
+        uniq.clear();
+        for &r in set_of(lo) {
+            let members = &by_router[r as usize];
+            let mut cut = cursor[r as usize] as usize;
+            while cut < members.len() && members[cut] <= lo as u32 {
+                cut += 1;
+            }
+            cursor[r as usize] = cut as u32;
+            for &hi in &members[cut..] {
+                if inter[hi as usize] == 0 {
+                    uniq.push(hi);
+                }
+                inter[hi as usize] += 1;
             }
         }
+        uniq.sort_unstable();
+        let lo_len = set_of(lo).len();
+        for &hi in &uniq {
+            let shared = std::mem::take(&mut inter[hi as usize]) as usize;
+            let hi_len = (offsets[hi as usize + 1] - offsets[hi as usize]) as usize;
+            // Candidates share at least one router, so the weight is
+            // always positive (the paper omits zero-weight edges).
+            edges.push((lo as u32, hi, shared as f64 / lo_len.max(hi_len) as f64));
+        }
     }
-    let mut edges: Vec<(u32, u32, f64)> = pairs
-        .into_keys()
-        .map(|(i, j)| {
-            (
-                i,
-                j,
-                similarity(&aggs[i as usize].lasthops, &aggs[j as usize].lasthops),
-            )
-        })
-        .filter(|&(_, _, w)| w > 0.0)
-        .collect();
-    edges.sort_by_key(|&(i, j, _)| (i, j));
     edges
 }
 

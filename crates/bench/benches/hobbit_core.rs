@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hobbit::{
-    classify_block, detects_homogeneous, select_all, BlockLasthopData, ConfidenceTable,
-    HobbitConfig, LasthopGroups,
+    classify_block, detects_homogeneous, select_all, BlockLasthopData, BlockTable, ConfidenceTable,
+    HobbitConfig,
 };
 use netsim::build::{build, ScenarioConfig};
 use netsim::{Addr, Block24};
@@ -32,7 +32,8 @@ fn bench_hierarchy(c: &mut Criterion) {
             &obs,
             |b, obs| {
                 b.iter(|| {
-                    LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice()))).relationship()
+                    BlockTable::from_observations(obs.iter().map(|(a, l)| (*a, l.as_slice())))
+                        .relationship()
                 })
             },
         );

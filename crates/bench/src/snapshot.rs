@@ -1,0 +1,233 @@
+//! The `hobbit-bench/v1` snapshot format and its regression comparator.
+//!
+//! A snapshot is one JSON document produced by the `hobbit-bench` binary:
+//! a flat list of named scalar entries (throughputs, wall times) plus the
+//! `bench.*` observability counters recorded during the run. Snapshots are
+//! committed at the repository root (`BENCH_baseline.json`,
+//! `BENCH_flat.json`) so the before/after trajectory of the flat-layout
+//! kernels is part of history, and CI re-measures a reduced sweep and
+//! fails on regression via [`compare`].
+//!
+//! Entry names are hierarchical and scale-suffixed —
+//! `classify.group_verdicts.blocks_per_sec@100000` — so a reduced CI run
+//! (which only exercises the small scales) still intersects the committed
+//! full sweep on exactly the entries it re-measured.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Schema identifier stamped into every snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "hobbit-bench/v1";
+
+/// One measured scalar.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Hierarchical name, scale-suffixed: `aggregate.identical.blocks_per_sec@10000`.
+    pub name: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit label (`blocks_per_sec`, `probes_per_sec`, `ms`, ...).
+    pub unit: String,
+    /// Direction of goodness: `true` for throughputs, `false` for wall times.
+    pub higher_is_better: bool,
+}
+
+/// A full benchmark snapshot: schema + label + entries + counters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    /// Always [`SNAPSHOT_SCHEMA`]; checked on load.
+    pub schema: String,
+    /// Which kernel set produced it: `baseline` or `flat`.
+    pub label: String,
+    /// RNG seed the workloads were generated from.
+    pub seed: u64,
+    /// Measured entries, sorted by name.
+    pub entries: Vec<BenchEntry>,
+    /// `bench.*` counters from the run's [`obs::Registry`].
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl BenchSnapshot {
+    /// Start an empty snapshot for the given kernel label and seed.
+    pub fn new(label: impl Into<String>, seed: u64) -> Self {
+        BenchSnapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            label: label.into(),
+            seed,
+            entries: Vec::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Record one measurement, keeping `entries` sorted by name.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        value: f64,
+        unit: impl Into<String>,
+        higher_is_better: bool,
+    ) {
+        self.entries.push(BenchEntry {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+            higher_is_better,
+        });
+        self.entries.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Look an entry up by exact name.
+    pub fn get(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serialize to pretty JSON (trailing newline, stable field order).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("snapshot serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse and validate a snapshot document.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let snap: BenchSnapshot = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if snap.schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "unsupported snapshot schema {:?} (want {SNAPSHOT_SCHEMA:?})",
+                snap.schema
+            ));
+        }
+        Ok(snap)
+    }
+}
+
+/// One entry that got worse than the allowed tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Entry name.
+    pub name: String,
+    /// Committed (reference) value.
+    pub reference: f64,
+    /// Freshly measured value.
+    pub measured: f64,
+    /// measured/reference for throughputs, reference/measured for wall
+    /// times — i.e. < 1.0 always means "worse".
+    pub ratio: f64,
+}
+
+/// Outcome of [`compare`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CompareReport {
+    /// Entry names present in both snapshots (the gated set).
+    pub compared: Vec<String>,
+    /// Entries beyond the tolerance, worst first.
+    pub regressions: Vec<Regression>,
+}
+
+impl CompareReport {
+    /// Whether the gate passes (at least one comparable entry, none regressed).
+    pub fn pass(&self) -> bool {
+        !self.compared.is_empty() && self.regressions.is_empty()
+    }
+}
+
+/// Gate a fresh measurement against a committed reference snapshot.
+///
+/// Only entries present in *both* snapshots are compared (a reduced CI
+/// sweep measures a subset of the committed full sweep). An entry
+/// regresses when it is worse than the reference by more than
+/// `max_regress` (e.g. `0.10` = a 10% throughput loss or wall-time gain).
+pub fn compare(
+    reference: &BenchSnapshot,
+    measured: &BenchSnapshot,
+    max_regress: f64,
+) -> CompareReport {
+    let mut report = CompareReport::default();
+    for refe in &reference.entries {
+        let Some(got) = measured.get(&refe.name) else {
+            continue;
+        };
+        report.compared.push(refe.name.clone());
+        let ratio = if refe.higher_is_better {
+            got.value / refe.value
+        } else {
+            refe.value / got.value
+        };
+        if ratio.is_finite() && ratio < 1.0 - max_regress {
+            report.regressions.push(Regression {
+                name: refe.name.clone(),
+                reference: refe.value,
+                measured: got.value,
+                ratio,
+            });
+        }
+    }
+    report
+        .regressions
+        .sort_by(|a, b| a.ratio.partial_cmp(&b.ratio).unwrap());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(label: &str, entries: &[(&str, f64, bool)]) -> BenchSnapshot {
+        let mut s = BenchSnapshot::new(label, 7);
+        for &(name, v, hib) in entries {
+            s.push(name, v, if hib { "blocks_per_sec" } else { "ms" }, hib);
+        }
+        s
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut s = snap(
+            "flat",
+            &[("a.b@10", 123.5, true), ("mcl.wall_ms@10", 4.2, false)],
+        );
+        s.counters.insert("bench.entries".into(), 2);
+        let back = BenchSnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.schema, SNAPSHOT_SCHEMA);
+        assert_eq!(back.get("a.b@10").unwrap().value, 123.5);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let mut s = snap("flat", &[]);
+        s.schema = "hobbit-bench/v0".into();
+        assert!(BenchSnapshot::from_json(&s.to_json()).is_err());
+    }
+
+    #[test]
+    fn compare_gates_both_directions() {
+        let reference = snap("flat", &[("thr@1", 100.0, true), ("ms@1", 10.0, false)]);
+        // Within tolerance: 5% slower throughput, 5% slower wall time.
+        let ok = snap("flat", &[("thr@1", 95.0, true), ("ms@1", 10.5, false)]);
+        assert!(compare(&reference, &ok, 0.10).pass());
+        // Throughput regression beyond 10%.
+        let slow = snap("flat", &[("thr@1", 85.0, true), ("ms@1", 10.0, false)]);
+        let r = compare(&reference, &slow, 0.10);
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].name, "thr@1");
+        // Wall-time regression beyond 10%.
+        let lag = snap("flat", &[("thr@1", 100.0, true), ("ms@1", 12.0, false)]);
+        assert!(!compare(&reference, &lag, 0.10).pass());
+    }
+
+    #[test]
+    fn compare_uses_only_the_intersection() {
+        let reference = snap(
+            "flat",
+            &[("thr@10000", 100.0, true), ("thr@1000000", 90.0, true)],
+        );
+        let quick = snap("flat", &[("thr@10000", 99.0, true)]);
+        let r = compare(&reference, &quick, 0.10);
+        assert_eq!(r.compared, vec!["thr@10000".to_string()]);
+        assert!(r.pass());
+        // No overlap at all must not silently pass.
+        let empty = snap("flat", &[]);
+        assert!(!compare(&reference, &empty, 0.10).pass());
+    }
+}

@@ -12,7 +12,8 @@
 //!   observed cardinality.
 
 use crate::confidence::ConfidenceTable;
-use crate::hierarchy::{LasthopGroups, Relationship};
+use crate::hierarchy::Relationship;
+use crate::layout::BlockTable;
 use crate::schedule::{probing_order, reprobe_order};
 use crate::select::SelectedBlock;
 use netsim::{Addr, Block24};
@@ -153,9 +154,13 @@ pub struct BlockMeasurement {
 }
 
 impl BlockMeasurement {
-    /// Rebuild the last-hop grouping from the stored observations.
-    pub fn groups(&self) -> LasthopGroups {
-        LasthopGroups::build(self.per_dest.iter().map(|(a, l)| (*a, l.as_slice())))
+    /// Rebuild the dense last-hop table from the stored observations.
+    pub fn table(&self) -> BlockTable {
+        let mut t = BlockTable::new(self.block);
+        for (a, l) in &self.per_dest {
+            t.add(*a, l);
+        }
+        t
     }
 }
 
@@ -176,6 +181,8 @@ pub struct ClassifyObs {
     verdicts: [Counter; 5],
     probes_per_block: Histogram,
     dests_per_block: Histogram,
+    routers_per_block: Histogram,
+    dense_slots: Counter,
 }
 
 impl ClassifyObs {
@@ -195,6 +202,8 @@ impl ClassifyObs {
                 .map(|c| rec.counter(&format!("classify.verdict.{}", c.slug()))),
             probes_per_block: rec.histogram("classify.probes_per_block"),
             dests_per_block: rec.histogram("classify.dests_per_block"),
+            routers_per_block: rec.histogram("layout.routers_per_block"),
+            dense_slots: rec.counter("layout.dense_slots"),
         }
     }
 
@@ -216,25 +225,34 @@ impl ClassifyObs {
         self.verdicts[idx].inc();
         self.probes_per_block.record(m.probes_used);
         self.dests_per_block.record(m.dests_probed as u64);
+        // Dense-layout occupancy: distinct routers in the block's router
+        // table and host slots set in its observation bitset. Both derive
+        // from measurement content, so they stay thread-count-deterministic.
+        self.routers_per_block.record(m.lasthop_set.len() as u64);
+        self.dense_slots.add(m.dests_resolved as u64);
     }
 }
 
 /// Re-test the grouping after a new resolution; `Some` means probing can
 /// stop early with this verdict (paper §3.3's termination conditions).
-fn early_verdict(
-    per_dest: &[(Addr, Vec<Addr>)],
-    table: &ConfidenceTable,
+///
+/// `table` is the incrementally maintained dense grouping and `resolved`
+/// the number of destinations with a resolved last-hop — the classifier
+/// updates both per resolution instead of rebuilding a map each time.
+pub fn early_verdict(
+    table: &BlockTable,
+    resolved: usize,
+    conf: &ConfidenceTable,
     cfg: &HobbitConfig,
 ) -> Option<Classification> {
-    let groups = LasthopGroups::build(per_dest.iter().map(|(a, l)| (*a, l.as_slice())));
-    match groups.relationship() {
+    match table.relationship() {
         Relationship::NonHierarchical => Some(Classification::NonHierarchical),
         Relationship::SingleGroup => {
-            (per_dest.len() >= cfg.same_lasthop_min).then_some(Classification::SameLasthop)
+            (resolved >= cfg.same_lasthop_min).then_some(Classification::SameLasthop)
         }
         // Without a table entry: probe all active addresses (paper §3.5).
-        Relationship::Hierarchical => match table.required_probes(groups.cardinality()) {
-            Some(required) if per_dest.len() >= required => Some(Classification::Hierarchical),
+        Relationship::Hierarchical => match conf.required_probes(table.cardinality()) {
+            Some(required) if resolved >= required => Some(Classification::Hierarchical),
             _ => None,
         },
     }
@@ -244,7 +262,7 @@ fn early_verdict(
 pub fn classify_block(
     prober: &mut Prober<'_>,
     sel: &SelectedBlock,
-    table: &ConfidenceTable,
+    conf: &ConfidenceTable,
     cfg: &HobbitConfig,
 ) -> BlockMeasurement {
     prober.retries = cfg.prober_retries;
@@ -252,6 +270,10 @@ pub fn classify_block(
     let probes_before = prober.probes_sent();
     let order = probing_order(sel, cfg.seed);
     let mut per_dest: Vec<(Addr, Vec<Addr>)> = Vec::new();
+    // The dense grouping, maintained incrementally: each resolution appends
+    // to the block-local router table and flips host bits, so the per-
+    // resolution re-test never rebuilds a map from scratch.
+    let mut table = BlockTable::new(sel.block);
     let mut anonymous = 0usize;
     let mut probed = 0usize;
     let mut unresolved: Vec<Addr> = Vec::new();
@@ -276,6 +298,7 @@ pub fn classify_block(
                 dst_distance,
             } => {
                 dist_hint = Some(dst_distance.saturating_sub(1).max(1));
+                table.add(dst, &lasthops);
                 per_dest.push((dst, lasthops));
             }
             LasthopOutcome::AnonymousLasthop { dst_distance } => {
@@ -291,7 +314,7 @@ pub fn classify_block(
                 continue;
             }
         }
-        if let Some(v) = early_verdict(&per_dest, table, cfg) {
+        if let Some(v) = early_verdict(&table, per_dest.len(), conf, cfg) {
             verdict = Some(v);
             break;
         }
@@ -318,8 +341,9 @@ pub fn classify_block(
                     dst_distance,
                 } => {
                     dist_hint = Some(dst_distance.saturating_sub(1).max(1));
+                    table.add(dst, &lasthops);
                     per_dest.push((dst, lasthops));
-                    if let Some(v) = early_verdict(&per_dest, table, cfg) {
+                    if let Some(v) = early_verdict(&table, per_dest.len(), conf, cfg) {
                         verdict = Some(v);
                         break;
                     }
@@ -343,8 +367,7 @@ pub fn classify_block(
                 Classification::TooFewActive
             }
         } else {
-            let groups = LasthopGroups::build(per_dest.iter().map(|(a, l)| (*a, l.as_slice())));
-            match groups.relationship() {
+            match table.relationship() {
                 Relationship::NonHierarchical => Classification::NonHierarchical,
                 Relationship::SingleGroup => {
                     if per_dest.len() >= cfg.same_lasthop_min {
@@ -354,7 +377,7 @@ pub fn classify_block(
                     }
                 }
                 Relationship::Hierarchical => {
-                    match table.required_probes(groups.cardinality()) {
+                    match conf.required_probes(table.cardinality()) {
                         // The confidence table says we'd have needed more
                         // destinations than this block could offer.
                         Some(required) if per_dest.len() < required => Classification::TooFewActive,
@@ -365,12 +388,7 @@ pub fn classify_block(
         }
     });
 
-    let mut lasthop_set: Vec<Addr> = per_dest
-        .iter()
-        .flat_map(|(_, l)| l.iter().copied())
-        .collect();
-    lasthop_set.sort();
-    lasthop_set.dedup();
+    let lasthop_set = table.lasthop_set();
 
     BlockMeasurement {
         block: sel.block,
@@ -391,11 +409,11 @@ pub fn classify_block(
 pub fn classify_block_observed(
     prober: &mut Prober<'_>,
     sel: &SelectedBlock,
-    table: &ConfidenceTable,
+    conf: &ConfidenceTable,
     cfg: &HobbitConfig,
     obs: &ClassifyObs,
 ) -> BlockMeasurement {
-    let m = classify_block(prober, sel, table, cfg);
+    let m = classify_block(prober, sel, conf, cfg);
     obs.record(&m);
     m
 }

@@ -9,7 +9,8 @@
 //! The table then drives termination: probe until the success probability
 //! at the observed cardinality reaches the confidence level.
 
-use crate::hierarchy::{LasthopGroups, Relationship};
+use crate::hierarchy::Relationship;
+use crate::layout::BlockTable;
 use netsim::Addr;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -41,9 +42,9 @@ impl BlockLasthopData {
 /// Would Hobbit, given exactly these observations, recognize the block as
 /// homogeneous? (Common last-hop or a non-hierarchical grouping.)
 pub fn detects_homogeneous(per_addr: &[(Addr, Vec<Addr>)]) -> bool {
-    let groups = LasthopGroups::build(per_addr.iter().map(|(a, l)| (*a, l.as_slice())));
+    let table = BlockTable::from_observations(per_addr.iter().map(|(a, l)| (*a, l.as_slice())));
     matches!(
-        groups.relationship(),
+        table.relationship(),
         Relationship::SingleGroup | Relationship::NonHierarchical
     )
 }

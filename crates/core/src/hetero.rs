@@ -45,7 +45,7 @@ pub fn very_likely_heterogeneous(m: &BlockMeasurement) -> Option<SubBlockComposi
     if m.classification != Classification::Hierarchical {
         return None;
     }
-    let covers = m.groups().disjoint_and_aligned()?;
+    let covers = m.table().disjoint_and_aligned()?;
     Some(SubBlockComposition { subnets: covers })
 }
 

@@ -7,133 +7,39 @@
 //! represented as numeric ranges) are hierarchical too. Contrapositive: a
 //! **non-hierarchical** grouping can only come from load balancing — the
 //! /24 is homogeneous.
+//!
+//! The kernels here run over the dense [`BlockTable`] layout: group ranges
+//! are `(min, max)` host offsets read straight off 256-bit member bitsets,
+//! and the Section 4.2 alignment check intersects each candidate cover's
+//! range mask against the other groups' bitsets instead of scanning member
+//! lists.
 
-use netsim::{Addr, Prefix};
+use crate::layout::{BlockTable, HostSet};
+use netsim::Prefix;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
-/// Addresses grouped by last-hop router.
-///
-/// A destination observed with several last-hop routers (per-flow balancing
-/// at the final stage) joins every corresponding group — overlapping groups
-/// are themselves evidence of load balancing.
-///
-/// ```
-/// use hobbit::{LasthopGroups, Relationship};
-/// use netsim::Addr;
-///
-/// // Paper Figure 2(c): interleaved ranges can only come from load
-/// // balancing, so the /24 is homogeneous.
-/// let x = Addr::new(10, 0, 0, 1); // router X
-/// let y = Addr::new(10, 0, 0, 2); // router Y
-/// let d = |h| Addr::new(192, 0, 2, h);
-/// let obs = [
-///     (d(2),   vec![x]),
-///     (d(126), vec![y]),
-///     (d(130), vec![x]),
-///     (d(237), vec![y]),
-/// ];
-/// let groups = LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
-/// assert_eq!(groups.relationship(), Relationship::NonHierarchical);
-/// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-pub struct LasthopGroups {
-    groups: BTreeMap<Addr, Vec<Addr>>,
+/// Outcome of the range-relationship test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relationship {
+    /// At most one group: all addresses share a last-hop router.
+    SingleGroup,
+    /// Some pair of ranges partially overlaps: only load balancing can do
+    /// this, so the addresses are homogeneous.
+    NonHierarchical,
+    /// Every pair is disjoint or nested — consistent with distinct route
+    /// entries (but also reachable by unlucky load-balancer hashing).
+    Hierarchical,
 }
 
-impl LasthopGroups {
-    /// Build groups from per-destination last-hop observations.
-    pub fn build<'a, I>(observations: I) -> Self
-    where
-        I: IntoIterator<Item = (Addr, &'a [Addr])>,
-    {
-        let mut groups: BTreeMap<Addr, Vec<Addr>> = BTreeMap::new();
-        for (dst, lasthops) in observations {
-            for &lh in lasthops {
-                groups.entry(lh).or_default().push(dst);
-            }
-        }
-        for members in groups.values_mut() {
-            members.sort();
-            members.dedup();
-        }
-        LasthopGroups { groups }
-    }
+/// The `[min, max]` host-offset ranges of a set of merged groups.
+fn ranges(merged: &[HostSet]) -> Vec<(u8, u8)> {
+    merged
+        .iter()
+        .map(|s| (s.min().expect("groups are non-empty"), s.max().unwrap()))
+        .collect()
+}
 
-    /// Number of distinct last-hop routers (the /24's last-hop cardinality).
-    pub fn cardinality(&self) -> usize {
-        self.groups.len()
-    }
-
-    /// The distinct last-hop routers, ascending.
-    pub fn lasthops(&self) -> impl Iterator<Item = Addr> + '_ {
-        self.groups.keys().copied()
-    }
-
-    /// The member addresses of each group.
-    pub fn members(&self) -> impl Iterator<Item = (Addr, &[Addr])> {
-        self.groups.iter().map(|(&lh, v)| (lh, v.as_slice()))
-    }
-
-    /// Each group as its numeric range `[min, max]`.
-    pub fn ranges(&self) -> Vec<(Addr, Addr)> {
-        self.groups
-            .values()
-            .map(|v| {
-                (
-                    *v.first().expect("groups are non-empty"),
-                    *v.last().unwrap(),
-                )
-            })
-            .collect()
-    }
-
-    /// Merge groups that share a member address (transitively).
-    ///
-    /// Longest-prefix matching assigns each address to exactly one route
-    /// entry, so two last-hop routers serving the same destination must be
-    /// one entry's ECMP set: for the purpose of the route-entry hierarchy
-    /// test they are a single group.
-    #[allow(clippy::needless_range_loop)] // index loops pair i with find(i)
-    pub fn merged_members(&self) -> Vec<Vec<Addr>> {
-        let groups: Vec<&Vec<Addr>> = self.groups.values().collect();
-        let n = groups.len();
-        let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-            if parent[x] != x {
-                let root = find(parent, parent[x]);
-                parent[x] = root;
-            }
-            parent[x]
-        }
-        for i in 0..n {
-            for j in 0..i {
-                if shares_member(groups[i], groups[j]) {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    if ri != rj {
-                        parent[ri] = rj;
-                    }
-                }
-            }
-        }
-        let mut merged: BTreeMap<usize, Vec<Addr>> = BTreeMap::new();
-        for i in 0..n {
-            let root = find(&mut parent, i);
-            merged
-                .entry(root)
-                .or_default()
-                .extend(groups[i].iter().copied());
-        }
-        merged
-            .into_values()
-            .map(|mut v| {
-                v.sort();
-                v.dedup();
-                v
-            })
-            .collect()
-    }
-
+impl BlockTable {
     /// The relationship test, applied to the *merged* groups. Returns
     /// [`Relationship::NonHierarchical`] when some pair of merged ranges
     /// partially overlaps — only load balancing can do that —
@@ -141,14 +47,11 @@ impl LasthopGroups {
     /// (one route entry serves every address), and
     /// [`Relationship::Hierarchical`] otherwise.
     pub fn relationship(&self) -> Relationship {
-        let merged = self.merged_members();
+        let merged = self.merged_host_sets();
         if merged.len() <= 1 {
             return Relationship::SingleGroup;
         }
-        let ranges: Vec<(Addr, Addr)> = merged
-            .iter()
-            .map(|v| (*v.first().unwrap(), *v.last().unwrap()))
-            .collect();
+        let ranges = ranges(&merged);
         for i in 0..ranges.len() {
             for j in 0..i {
                 let (alo, ahi) = ranges[i];
@@ -171,14 +74,12 @@ impl LasthopGroups {
     ///
     /// On success, returns each group's covering subnet, sorted by base.
     pub fn disjoint_and_aligned(&self) -> Option<Vec<Prefix>> {
-        let merged = self.merged_members();
+        let block = self.block()?;
+        let merged = self.merged_host_sets();
         if merged.len() < 2 {
             return None;
         }
-        let ranges: Vec<(Addr, Addr)> = merged
-            .iter()
-            .map(|v| (*v.first().unwrap(), *v.last().unwrap()))
-            .collect();
+        let ranges = ranges(&merged);
         for i in 0..ranges.len() {
             for j in 0..i {
                 let (alo, ahi) = ranges[i];
@@ -188,17 +89,21 @@ impl LasthopGroups {
                 }
             }
         }
-        let covers: Vec<Prefix> = merged
+        // A sorted group's covering prefix is determined by its extremes, so
+        // two addresses suffice. All destinations share a /24, so every
+        // cover sits inside it and maps back to a host-offset range mask.
+        let covers: Vec<Prefix> = ranges
             .iter()
-            .map(|v| Prefix::covering(v).expect("non-empty group"))
+            .map(|&(lo, hi)| {
+                Prefix::covering(&[block.addr(lo), block.addr(hi)]).expect("non-empty group")
+            })
             .collect();
-        // Alignment: no cover may contain an address of another group.
+        // Alignment: no cover may contain an address of another group — one
+        // bitset intersection per (cover, group) pair.
         for (i, cover) in covers.iter().enumerate() {
+            let mask = HostSet::range(cover.first().host24(), cover.last().host24());
             for (j, members) in merged.iter().enumerate() {
-                if i == j {
-                    continue;
-                }
-                if members.iter().any(|&a| cover.contains(a)) {
+                if i != j && mask.intersects(members) {
                     return None;
                 }
             }
@@ -209,35 +114,10 @@ impl LasthopGroups {
     }
 }
 
-/// Whether two sorted member lists share an address.
-fn shares_member(a: &[Addr], b: &[Addr]) -> bool {
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => return true,
-        }
-    }
-    false
-}
-
-/// Outcome of the range-relationship test.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Relationship {
-    /// At most one group: all addresses share a last-hop router.
-    SingleGroup,
-    /// Some pair of ranges partially overlaps: only load balancing can do
-    /// this, so the addresses are homogeneous.
-    NonHierarchical,
-    /// Every pair is disjoint or nested — consistent with distinct route
-    /// entries (but also reachable by unlucky load-balancer hashing).
-    Hierarchical,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netsim::Addr;
 
     fn lh(n: u32) -> Addr {
         Addr(0x0A00_0000 + n)
@@ -247,86 +127,86 @@ mod tests {
         Addr::new(192, 0, 2, h)
     }
 
-    fn groups(obs: &[(Addr, Vec<Addr>)]) -> LasthopGroups {
-        LasthopGroups::build(obs.iter().map(|(a, v)| (*a, v.as_slice())))
+    fn table(obs: &[(Addr, Vec<Addr>)]) -> BlockTable {
+        BlockTable::from_observations(obs.iter().map(|(a, v)| (*a, v.as_slice())))
     }
 
     #[test]
     fn figure2a_disjoint_is_hierarchical() {
         // Paper Figure 2(a): X serves .2/.126, Y serves .130/.237 — disjoint.
-        let g = groups(&[
+        let t = table(&[
             (d(2), vec![lh(1)]),
             (d(126), vec![lh(1)]),
             (d(130), vec![lh(2)]),
             (d(237), vec![lh(2)]),
         ]);
-        assert_eq!(g.relationship(), Relationship::Hierarchical);
+        assert_eq!(t.relationship(), Relationship::Hierarchical);
     }
 
     #[test]
     fn figure2b_inclusive_is_hierarchical() {
         // Figure 2(b): one group's range contains the other's.
-        let g = groups(&[
+        let t = table(&[
             (d(2), vec![lh(1)]),
             (d(237), vec![lh(1)]),
             (d(126), vec![lh(2)]),
             (d(130), vec![lh(2)]),
         ]);
-        assert_eq!(g.relationship(), Relationship::Hierarchical);
+        assert_eq!(t.relationship(), Relationship::Hierarchical);
     }
 
     #[test]
     fn figure2c_interleaved_is_non_hierarchical() {
         // Figure 2(c): ranges partially overlap — load balancing.
-        let g = groups(&[
+        let t = table(&[
             (d(2), vec![lh(1)]),
             (d(130), vec![lh(1)]),
             (d(126), vec![lh(2)]),
             (d(237), vec![lh(2)]),
         ]);
-        assert_eq!(g.relationship(), Relationship::NonHierarchical);
+        assert_eq!(t.relationship(), Relationship::NonHierarchical);
     }
 
     #[test]
     fn single_lasthop_is_single_group() {
-        let g = groups(&[(d(2), vec![lh(1)]), (d(3), vec![lh(1)])]);
-        assert_eq!(g.relationship(), Relationship::SingleGroup);
-        assert_eq!(g.cardinality(), 1);
+        let t = table(&[(d(2), vec![lh(1)]), (d(3), vec![lh(1)])]);
+        assert_eq!(t.relationship(), Relationship::SingleGroup);
+        assert_eq!(t.cardinality(), 1);
     }
 
     #[test]
     fn multi_lasthop_destination_merges_groups() {
         // A destination behind both routers proves they are one ECMP set:
         // everything merges into one group (a single route entry).
-        let g = groups(&[
+        let t = table(&[
             (d(2), vec![lh(1)]),
             (d(100), vec![lh(1), lh(2)]),
             (d(200), vec![lh(2)]),
         ]);
-        assert_eq!(g.relationship(), Relationship::SingleGroup);
-        assert_eq!(g.merged_members().len(), 1);
+        assert_eq!(t.relationship(), Relationship::SingleGroup);
+        assert_eq!(t.merged_members().len(), 1);
     }
 
     #[test]
     fn merging_is_transitive() {
         // AB and BC chains merge A, B, C even though A and C never share.
-        let g = groups(&[(d(2), vec![lh(1), lh(2)]), (d(200), vec![lh(2), lh(3)])]);
-        assert_eq!(g.merged_members().len(), 1);
+        let t = table(&[(d(2), vec![lh(1), lh(2)]), (d(200), vec![lh(2), lh(3)])]);
+        assert_eq!(t.merged_members().len(), 1);
     }
 
     #[test]
     fn merged_heterogeneous_sub_pairs_stay_separate() {
         // Two /25 customers, each behind its own per-flow pair: the pairs
         // merge internally but not across, and the result is aligned.
-        let g = groups(&[
+        let t = table(&[
             (d(2), vec![lh(1), lh(2)]),
             (d(120), vec![lh(1), lh(2)]),
             (d(130), vec![lh(3), lh(4)]),
             (d(254), vec![lh(3), lh(4)]),
         ]);
-        assert_eq!(g.merged_members().len(), 2);
-        assert_eq!(g.relationship(), Relationship::Hierarchical);
-        let covers = g.disjoint_and_aligned().expect("aligned /25 split");
+        assert_eq!(t.merged_members().len(), 2);
+        assert_eq!(t.relationship(), Relationship::Hierarchical);
+        let covers = t.disjoint_and_aligned().expect("aligned /25 split");
         assert_eq!(covers.len(), 2);
     }
 
@@ -335,21 +215,21 @@ mod tests {
         // Per-flow balancing at the last stage: every destination sees both
         // routers. Distinct route entries cannot share an address, so the
         // two groups are one ECMP set — a single route entry.
-        let g = groups(&[(d(2), vec![lh(1), lh(2)]), (d(200), vec![lh(1), lh(2)])]);
-        assert_eq!(g.relationship(), Relationship::SingleGroup);
+        let t = table(&[(d(2), vec![lh(1), lh(2)]), (d(200), vec![lh(1), lh(2)])]);
+        assert_eq!(t.relationship(), Relationship::SingleGroup);
     }
 
     #[test]
     fn nested_with_shared_member_merges() {
         // Group 2's range is inside group 1's, but .100 belongs to both, so
         // they merge rather than counting as parent-child entries.
-        let g = groups(&[
+        let t = table(&[
             (d(2), vec![lh(1)]),
             (d(254), vec![lh(1)]),
             (d(100), vec![lh(1), lh(2)]),
             (d(120), vec![lh(2)]),
         ]);
-        assert_eq!(g.relationship(), Relationship::SingleGroup);
+        assert_eq!(t.relationship(), Relationship::SingleGroup);
     }
 
     #[test]
@@ -362,8 +242,8 @@ mod tests {
                 .enumerate()
                 .map(|(i, &g)| (d(10 + i as u8 * 50), vec![lh(g as u32)]))
                 .collect();
-            let g = groups(&obs);
-            assert_ne!(g.relationship(), Relationship::NonHierarchical, "{split:?}");
+            let t = table(&obs);
+            assert_ne!(t.relationship(), Relationship::NonHierarchical, "{split:?}");
         }
     }
 
@@ -371,13 +251,13 @@ mod tests {
     fn aligned_split_detected() {
         // .2-.125 behind one router, .129-.254 behind another: two aligned
         // /25 halves — the paper's worked example of true heterogeneity.
-        let g = groups(&[
+        let t = table(&[
             (d(2), vec![lh(1)]),
             (d(125), vec![lh(1)]),
             (d(129), vec![lh(2)]),
             (d(254), vec![lh(2)]),
         ]);
-        let covers = g.disjoint_and_aligned().expect("aligned split");
+        let covers = t.disjoint_and_aligned().expect("aligned split");
         assert_eq!(covers.len(), 2);
         assert_eq!(covers[0].to_string(), "192.0.2.0/25");
         assert_eq!(covers[1].to_string(), "192.0.2.128/25");
@@ -387,27 +267,27 @@ mod tests {
     fn unaligned_split_rejected() {
         // Paper's counter-example: second group <.127, .254> is disjoint
         // but .127 falls inside the first group's /25 cover.
-        let g = groups(&[
+        let t = table(&[
             (d(2), vec![lh(1)]),
             (d(125), vec![lh(1)]),
             (d(127), vec![lh(2)]),
             (d(254), vec![lh(2)]),
         ]);
-        assert_eq!(g.relationship(), Relationship::Hierarchical);
-        assert!(g.disjoint_and_aligned().is_none());
+        assert_eq!(t.relationship(), Relationship::Hierarchical);
+        assert!(t.disjoint_and_aligned().is_none());
     }
 
     #[test]
     fn nested_groups_not_aligned() {
-        let g = groups(&[
+        let t = table(&[
             (d(2), vec![lh(1)]),
             (d(254), vec![lh(1)]),
             (d(100), vec![lh(2)]),
             (d(120), vec![lh(2)]),
         ]);
-        assert_eq!(g.relationship(), Relationship::Hierarchical);
+        assert_eq!(t.relationship(), Relationship::Hierarchical);
         assert!(
-            g.disjoint_and_aligned().is_none(),
+            t.disjoint_and_aligned().is_none(),
             "inclusive, not disjoint"
         );
     }
@@ -423,7 +303,7 @@ mod tests {
                 (d(host.max(1)), vec![lh(which)])
             })
             .collect();
-        let full = groups(&all);
+        let full = table(&all);
         assert_eq!(full.relationship(), Relationship::Hierarchical);
         for skip in 0..all.len() {
             let subset: Vec<_> = all
@@ -432,8 +312,8 @@ mod tests {
                 .filter(|(i, _)| *i != skip)
                 .map(|(_, x)| x.clone())
                 .collect();
-            let g = groups(&subset);
-            assert_ne!(g.relationship(), Relationship::NonHierarchical);
+            let t = table(&subset);
+            assert_ne!(t.relationship(), Relationship::NonHierarchical);
         }
     }
 }

@@ -11,9 +11,10 @@
 //! 1. [`select`]: choose /24s from a ZMap snapshot (≥ 4 active addresses,
 //!    one per /26 quarter);
 //! 2. [`schedule`]: probe destinations round-robin across /26 quarters;
-//! 3. [`hierarchy`]: group destinations by last-hop router and test whether
-//!    the groups' numeric ranges are hierarchical — non-hierarchical
-//!    grouping proves load balancing, hence homogeneity;
+//! 3. [`layout`] + [`hierarchy`]: group destinations by last-hop router in
+//!    a dense per-/24 table (256-bit member bitsets, block-local router
+//!    ids) and test whether the groups' numeric ranges are hierarchical —
+//!    non-hierarchical grouping proves load balancing, hence homogeneity;
 //! 4. [`confidence`]: an empirical `<cardinality, #probed>` table bounds
 //!    the miss probability and drives termination (Figure 4);
 //! 5. [`classify`]: the per-block state machine producing Table 1 verdicts;
@@ -28,17 +29,19 @@ pub mod classify;
 pub mod confidence;
 pub mod hetero;
 pub mod hierarchy;
+pub mod layout;
 pub mod schedule;
 pub mod select;
 pub mod survey;
 
 pub use classify::{
-    classify_block, classify_block_observed, BlockMeasurement, Classification, ClassifyObs,
-    HobbitConfig,
+    classify_block, classify_block_observed, early_verdict, BlockMeasurement, Classification,
+    ClassifyObs, HobbitConfig,
 };
 pub use confidence::{detects_homogeneous, BlockLasthopData, ConfidenceTable};
 pub use hetero::{very_likely_heterogeneous, SubBlockComposition};
-pub use hierarchy::{LasthopGroups, Relationship};
+pub use hierarchy::Relationship;
+pub use layout::{intersect_count_sorted, BlockTable, HostSet, RouterInterner};
 pub use probe::types::Hop;
 pub use schedule::{probing_order, reprobe_order};
 pub use select::{select_all, select_block, SelectReject, SelectedBlock};

@@ -10,7 +10,7 @@
 use crate::args::ExpArgs;
 use crate::pipeline;
 use crate::report::Report;
-use hobbit::{select_block, survey_block, LasthopGroups, Relationship};
+use hobbit::{select_block, survey_block, BlockTable, Relationship};
 use netsim::Addr;
 use probe::{Path, Prober, StoppingRule};
 use std::collections::BTreeMap;
@@ -44,9 +44,9 @@ pub fn detects_by_paths(per_addr: &[(Addr, Vec<Path>)]) -> bool {
         pseudo.dedup();
         obs.push((*addr, pseudo));
     }
-    let g = LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+    let t = BlockTable::from_observations(obs.iter().map(|(a, l)| (*a, l.as_slice())));
     matches!(
-        g.relationship(),
+        t.relationship(),
         Relationship::SingleGroup | Relationship::NonHierarchical
     )
 }

@@ -21,9 +21,6 @@ pub mod exps;
 
 pub use args::ExpArgs;
 pub use journal::{CrashPoint, JournalWriter, RunMeta, JOURNAL_SCHEMA};
-#[cfg(feature = "legacy-api")]
-#[allow(deprecated)]
-pub use pipeline::run as run_pipeline;
 pub use pipeline::{
     classify_blocks, classify_blocks_observed, Pipeline, PipelineBuilder, WorkerStats,
 };

@@ -717,17 +717,6 @@ pub fn classify_blocks_observed(
     (measurements, worker_stats)
 }
 
-/// Run the full pipeline from parsed CLI arguments.
-///
-/// Only built with the `legacy-api` feature — new code should use
-/// [`Pipeline::builder`].
-#[cfg(feature = "legacy-api")]
-#[deprecated(note = "use `Pipeline::builder()` — e.g. \
-`Pipeline::builder().args(&args).run()`")]
-pub fn run(args: &ExpArgs) -> Pipeline {
-    Pipeline::builder().args(args).run()
-}
-
 /// The deterministic outcome of a run, serialized by
 /// [`Pipeline::canonical_report`]. Everything scheduling- or
 /// provenance-dependent — per-worker shares, steal counts, network carry
@@ -1004,24 +993,6 @@ mod tests {
             assert_eq!(x.classification, y.classification, "block {}", x.block);
             assert_eq!(x.lasthop_set, y.lasthop_set, "block {}", x.block);
         }
-        assert_eq!(a.classify_probes, b.classify_probes);
-    }
-
-    #[cfg(feature = "legacy-api")]
-    #[test]
-    fn deprecated_run_shim_matches_builder() {
-        let args = ExpArgs {
-            seed: 42,
-            scale: 0.01,
-            json: false,
-            threads: 2,
-            faults: None,
-            ..Default::default()
-        };
-        #[allow(deprecated)]
-        let a = run(&args);
-        let b = Pipeline::builder().args(&args).run();
-        assert_eq!(a.measurements.len(), b.measurements.len());
         assert_eq!(a.classify_probes, b.classify_probes);
     }
 

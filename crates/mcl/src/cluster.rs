@@ -153,26 +153,39 @@ pub fn connected_components(n: usize, edges: &[(u32, u32, f64)]) -> Vec<Vec<u32>
 
 /// Run MCL per connected component and merge the results. Equivalent to
 /// whole-graph MCL but with far smaller matrices (and trivially parallel).
+///
+/// Relabeling is flat: two dense `Vec`s map vertices to components and
+/// local indices, and one pass buckets the edge list by component — the
+/// whole pre-split is O(n + edges) instead of re-filtering the full edge
+/// list per component through a hash map.
 pub fn mcl_by_components(n: usize, edges: &[(u32, u32, f64)], params: &MclParams) -> Clustering {
     let comps = connected_components(n, edges);
+    // Dense vertex → (component, local index) tables.
+    let mut comp_of: Vec<u32> = vec![0; n];
+    let mut local_of: Vec<u32> = vec![0; n];
+    for (ci, comp) in comps.iter().enumerate() {
+        for (i, &v) in comp.iter().enumerate() {
+            comp_of[v as usize] = ci as u32;
+            local_of[v as usize] = i as u32;
+        }
+    }
+    // Bucket the edges by component in one pass. Both endpoints share a
+    // component by construction of connected_components.
+    let mut sub_edges: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); comps.len()];
+    for &(a, b, w) in edges {
+        sub_edges[comp_of[a as usize] as usize].push((
+            local_of[a as usize],
+            local_of[b as usize],
+            w,
+        ));
+    }
     let mut clusters = Vec::new();
     let mut max_iters = 0;
-    for comp in comps {
+    for (comp, sub_edges) in comps.into_iter().zip(sub_edges) {
         if comp.len() == 1 {
             clusters.push(comp);
             continue;
         }
-        // Relabel the component's vertices densely.
-        let index: std::collections::HashMap<u32, u32> = comp
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
-        let sub_edges: Vec<(u32, u32, f64)> = edges
-            .iter()
-            .filter(|(a, b, _)| index.contains_key(a) && index.contains_key(b))
-            .map(|&(a, b, w)| (index[&a], index[&b], w))
-            .collect();
         let sub = mcl(comp.len(), &sub_edges, params);
         max_iters = max_iters.max(sub.iterations);
         for cluster in sub.clusters {

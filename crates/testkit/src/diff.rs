@@ -268,7 +268,7 @@ pub fn run_spec(
             });
         }
         // Strict-disjoint subnet detection on the same evidence.
-        if naive_disjoint_aligned(&m.per_dest) != m.groups().disjoint_and_aligned() {
+        if naive_disjoint_aligned(&m.per_dest) != m.table().disjoint_and_aligned() {
             mismatches.push(Mismatch::Alignment { block: m.block });
         }
         // Soundness against the planted truth.

@@ -26,6 +26,10 @@
 //!   scenario to a minimal reproducer.
 //! * [`corpus`] — seed-file I/O and the golden corpus definitions checked
 //!   into `tests/corpus/`.
+//! * [`baseline`] — the pre-flat-layout `BTreeMap`/`HashMap` kernels kept
+//!   verbatim, for extensional-equality property tests against the dense
+//!   `hobbit::layout` path and for the `hobbit-bench --label baseline`
+//!   before/after measurement.
 //! * [`crash`] — the kill/resume harness vocabulary: [`CrashPlan`]s (kill
 //!   after N journal appends, torn tail, worker panic/stall injection),
 //!   the standard kill-point sweep, and the byte-divergence locator used
@@ -35,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod corpus;
 pub mod crash;
 pub mod diff;
@@ -42,6 +47,9 @@ pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 
+pub use baseline::{
+    baseline_aggregate_identical, baseline_early_verdict, baseline_similarity_edges, BaselineGroups,
+};
 pub use corpus::{golden_specs, CorpusEntry, ExpectedBlock};
 pub use crash::{first_divergence, kill_points, CrashPlan};
 pub use diff::{run_spec, ClassifyRef, ConformObs, DiffReport, Mismatch};

@@ -304,7 +304,7 @@ pub fn naive_aggregate(blocks: &[(Block24, Vec<Addr>)]) -> Vec<(Vec<Addr>, Vec<B
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hobbit::LasthopGroups;
+    use hobbit::BlockTable;
 
     fn lh(n: u32) -> Addr {
         Addr(0x0A00_0000 + n)
@@ -321,7 +321,7 @@ mod tests {
             .collect()
     }
 
-    /// The naive grouping agrees with production `LasthopGroups` on a
+    /// The naive grouping agrees with the production `BlockTable` on a
     /// spread of shapes, including transitive merges.
     #[test]
     fn grouping_matches_production() {
@@ -334,7 +334,8 @@ mod tests {
             obs(&[]),
         ];
         for per_dest in cases {
-            let prod = LasthopGroups::build(per_dest.iter().map(|(a, l)| (*a, l.as_slice())));
+            let prod =
+                BlockTable::from_observations(per_dest.iter().map(|(a, l)| (*a, l.as_slice())));
             let mut prod_merged = prod.merged_members();
             prod_merged.sort_by_key(|g| g.first().copied());
             assert_eq!(naive_merged_groups(&per_dest), prod_merged);

@@ -1,0 +1,176 @@
+//! Differential property tests: the flat dense-layout kernels
+//! (`hobbit::layout`, the sorted-`Vec` aggregation paths) must be
+//! extensionally equal to the pre-flat `BTreeMap`/`HashMap` kernels
+//! preserved verbatim in `testkit::baseline`, on arbitrary scenarios.
+//!
+//! This is independent of the conformance oracle: the oracle is a
+//! deliberately naive reimplementation of the *paper*, while `baseline`
+//! is the literal previous production code — together they pin the flat
+//! rewrite from two directions.
+
+use aggregate::{aggregate_identical, similarity_edges, Aggregate, HomogBlock};
+use hobbit::{early_verdict, BlockLasthopData, BlockTable, ConfidenceTable, HobbitConfig, HostSet};
+use netsim::{Addr, Block24};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use testkit::{
+    baseline_aggregate_identical, baseline_early_verdict, baseline_similarity_edges, BaselineGroups,
+};
+
+fn lh(i: usize) -> Addr {
+    Addr(0x0A00_0000 + i as u32)
+}
+
+/// Observations from (host, router-ids) assignments, possibly multihomed.
+fn obs_of(assignments: &[(u8, Vec<usize>)]) -> Vec<(Addr, Vec<Addr>)> {
+    assignments
+        .iter()
+        .map(|(h, gs)| {
+            (
+                Block24(0x0B_0000).addr(*h),
+                gs.iter().map(|&g| lh(g)).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Sort merged groups into a canonical set-of-sets for comparison (the
+/// two implementations enumerate union-find roots in different orders).
+fn canonical(mut groups: Vec<Vec<Addr>>) -> Vec<Vec<Addr>> {
+    groups.sort();
+    groups
+}
+
+/// A small calibrated confidence table so the Hierarchical early-exit
+/// branch is actually exercised (the empty table never terminates it).
+fn calibrated() -> ConfidenceTable {
+    let dataset: Vec<BlockLasthopData> = (0..8)
+        .map(|i| BlockLasthopData {
+            per_addr: (0..40)
+                .map(|j| {
+                    let host = (j % 254 + 1) as u8;
+                    (Block24(0x0C_0000).addr(host), vec![lh(j % (2 + i % 4))])
+                })
+                .collect(),
+        })
+        .collect();
+    ConfidenceTable::build(&dataset, 24, 16, 0.95, 8, 7)
+}
+
+proptest! {
+    /// Grouping, merging, cardinality, relationship and the §4.2
+    /// disjoint-aligned test agree between the flat table and the old
+    /// `BTreeMap` groups on arbitrary (multihomed) observations.
+    #[test]
+    fn flat_grouping_matches_baseline(
+        assignments in proptest::collection::vec(
+            (0u8..=255, proptest::collection::vec(0usize..8, 1..4)), 0..40),
+    ) {
+        let obs = obs_of(&assignments);
+        let table = BlockTable::from_observations(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+        let base = BaselineGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+        prop_assert_eq!(table.cardinality(), base.cardinality());
+        prop_assert_eq!(table.lasthop_set(), base.lasthops().collect::<Vec<_>>());
+        prop_assert_eq!(
+            canonical(table.merged_members()),
+            canonical(base.merged_members())
+        );
+        prop_assert_eq!(table.relationship(), base.relationship());
+        prop_assert_eq!(table.disjoint_and_aligned(), base.disjoint_and_aligned());
+    }
+
+    /// The incremental early-termination verdict equals the old
+    /// rebuild-from-scratch one at every prefix of a measurement stream,
+    /// under both the empty and a calibrated confidence table.
+    #[test]
+    fn flat_early_verdict_matches_baseline(
+        assignments in proptest::collection::vec(
+            (0u8..=255, proptest::collection::vec(0usize..6, 1..3)), 1..25),
+    ) {
+        let obs = obs_of(&assignments);
+        let cfg = HobbitConfig::default();
+        for conf in [ConfidenceTable::empty(), calibrated()] {
+            let mut table = BlockTable::new(Block24(0x0B_0000));
+            let mut per_dest: Vec<(Addr, Vec<Addr>)> = Vec::new();
+            for (dst, lasthops) in &obs {
+                table.add(*dst, lasthops);
+                per_dest.push((*dst, lasthops.clone()));
+                prop_assert_eq!(
+                    early_verdict(&table, per_dest.len(), &conf, &cfg),
+                    baseline_early_verdict(&per_dest, &conf, &cfg)
+                );
+            }
+        }
+    }
+
+    /// Interned-id similarity edges equal the old hash-indexed ones —
+    /// same pairs, same order, same weights.
+    #[test]
+    fn flat_similarity_matches_baseline(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..12, 0..6), 0..30),
+    ) {
+        let aggs: Vec<Aggregate> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Aggregate {
+                lasthops: s.iter().map(|&g| lh(g)).collect(),
+                blocks: vec![Block24(i as u32)],
+            })
+            .collect();
+        let plain: Vec<Vec<Addr>> = aggs.iter().map(|a| a.lasthops.clone()).collect();
+        prop_assert_eq!(similarity_edges(&aggs), baseline_similarity_edges(&plain));
+    }
+
+    /// Sort-based identical-set aggregation reproduces the `BTreeMap`
+    /// output exactly, including presentation order.
+    #[test]
+    fn flat_identical_matches_baseline(
+        blocks in proptest::collection::vec(
+            (0u32..50, proptest::collection::vec(0usize..6, 0..4)), 0..40),
+    ) {
+        let world: Vec<HomogBlock> = blocks
+            .iter()
+            .map(|(b, gs)| {
+                HomogBlock::new(Block24(*b), gs.iter().map(|&g| lh(g)).collect())
+            })
+            .collect();
+        let pairs: Vec<(Block24, Vec<Addr>)> = world
+            .iter()
+            .map(|b| (b.block, b.lasthops.clone()))
+            .collect();
+        let flat: Vec<(Vec<Addr>, Vec<Block24>)> = aggregate_identical(&world)
+            .into_iter()
+            .map(|a| (a.lasthops, a.blocks))
+            .collect();
+        prop_assert_eq!(flat, baseline_aggregate_identical(&pairs));
+    }
+
+    /// The 256-bit member bitset agrees with a `BTreeSet` model on every
+    /// queried operation.
+    #[test]
+    fn hostset_matches_set_model(
+        a in proptest::collection::btree_set(0u8..=255, 0..64),
+        b in proptest::collection::btree_set(0u8..=255, 0..64),
+        lo in 0u8..=255,
+        hi in 0u8..=255,
+    ) {
+        let of = |s: &BTreeSet<u8>| {
+            let mut hs = HostSet::default();
+            for &h in s {
+                hs.insert(h);
+            }
+            hs
+        };
+        let (ha, hb) = (of(&a), of(&b));
+        prop_assert_eq!(ha.count() as usize, a.len());
+        prop_assert_eq!(ha.min(), a.iter().next().copied());
+        prop_assert_eq!(ha.max(), a.iter().next_back().copied());
+        prop_assert_eq!(ha.iter().collect::<Vec<_>>(), a.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(ha.intersects(&hb), !a.is_disjoint(&b));
+        prop_assert_eq!(ha.intersection_count(&hb) as usize, a.intersection(&b).count());
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let mask = HostSet::range(lo, hi);
+        prop_assert_eq!(mask.intersection_count(&ha) as usize, a.range(lo..=hi).count());
+    }
+}

@@ -3,7 +3,7 @@
 //! (route-entry-structured) groups can NEVER look non-hierarchical, no
 //! matter which subset of addresses is probed.
 
-use hobbit::{LasthopGroups, Relationship};
+use hobbit::{BlockTable, Relationship};
 use netsim::{Addr, Block24, Prefix};
 use proptest::prelude::*;
 
@@ -44,7 +44,7 @@ fn route_entry_world(splits: u8, hosts: Vec<u8>) -> Vec<(Addr, Vec<Addr>)> {
 }
 
 fn relationship_of(obs: &[(Addr, Vec<Addr>)]) -> Relationship {
-    LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice()))).relationship()
+    BlockTable::from_observations(obs.iter().map(|(a, l)| (*a, l.as_slice()))).relationship()
 }
 
 proptest! {
@@ -93,7 +93,7 @@ proptest! {
                 (Block24(0x0D_0000).addr(*h), gs.iter().map(|&g| lh(g)).collect())
             })
             .collect();
-        let groups = LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+        let groups = BlockTable::from_observations(obs.iter().map(|(a, l)| (*a, l.as_slice())));
         let merged = groups.merged_members();
         let mut all: Vec<Addr> = merged.iter().flatten().copied().collect();
         all.sort();
@@ -126,7 +126,7 @@ proptest! {
             v
         };
         obs.push((Block24(0x0E_0000).addr(255), all_lhs));
-        let groups = LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+        let groups = BlockTable::from_observations(obs.iter().map(|(a, l)| (*a, l.as_slice())));
         prop_assert_eq!(groups.merged_members().len(), 1);
         prop_assert_eq!(groups.relationship(), Relationship::SingleGroup);
     }
@@ -141,7 +141,7 @@ proptest! {
             .iter()
             .map(|&(h, g)| (Block24(0x0F_0000).addr(h), vec![lh(g)]))
             .collect();
-        let groups = LasthopGroups::build(obs.iter().map(|(a, l)| (*a, l.as_slice())));
+        let groups = BlockTable::from_observations(obs.iter().map(|(a, l)| (*a, l.as_slice())));
         if let Some(covers) = groups.disjoint_and_aligned() {
             for i in 0..covers.len() {
                 for j in 0..i {
