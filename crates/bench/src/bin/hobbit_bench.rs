@@ -366,7 +366,13 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = compare(&reference, &snap, args.max_regress);
+        let report = match compare(&reference, &snap, args.max_regress) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("hobbit-bench: gate against {reference_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
         eprintln!(
             "gate: {} entries compared against {reference_path} (max regress {:.0}%)",
             report.compared.len(),
@@ -382,9 +388,6 @@ fn main() -> ExitCode {
             );
         }
         if !report.pass() {
-            if report.compared.is_empty() {
-                eprintln!("gate: no comparable entries — label/scale mismatch?");
-            }
             return ExitCode::FAILURE;
         }
         eprintln!("gate: pass");

@@ -26,5 +26,5 @@
 pub mod snapshot;
 
 pub use snapshot::{
-    compare, BenchEntry, BenchSnapshot, CompareReport, Regression, SNAPSHOT_SCHEMA,
+    compare, BenchEntry, BenchSnapshot, CompareError, CompareReport, Regression, SNAPSHOT_SCHEMA,
 };

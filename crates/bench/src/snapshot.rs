@@ -131,29 +131,108 @@ impl CompareReport {
     }
 }
 
+/// Why [`compare`] refused to produce a verdict. Each case used to either
+/// divide to a non-finite ratio (which the gate then silently ignored) or
+/// skip the entry without a trace — a gate that cannot compute its answer
+/// must say so, not pass.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompareError {
+    /// The snapshots share no entry names at all (label or scale-suffix
+    /// mismatch); nothing would be gated.
+    NoOverlap,
+    /// A measured entry has no counterpart in the reference — a renamed or
+    /// never-committed entry would otherwise escape the gate until the
+    /// committed snapshot is regenerated.
+    MissingReference {
+        /// The measured-only entry name.
+        name: String,
+    },
+    /// A reference value that is zero, negative, or non-finite: the
+    /// regression ratio is undefined, so the committed baseline is bad.
+    BadReferenceValue {
+        /// The offending entry name.
+        name: String,
+        /// The committed value.
+        value: f64,
+    },
+    /// A measured value that is zero, negative, or non-finite: the run
+    /// produced garbage (a wall time of 0 would previously divide to
+    /// infinity and silently pass).
+    BadMeasuredValue {
+        /// The offending entry name.
+        name: String,
+        /// The measured value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for CompareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompareError::NoOverlap => {
+                write!(f, "no comparable entries — label/scale mismatch?")
+            }
+            CompareError::MissingReference { name } => {
+                write!(f, "measured entry {name:?} is missing from the reference snapshot (regenerate the committed baseline)")
+            }
+            CompareError::BadReferenceValue { name, value } => {
+                write!(f, "reference entry {name:?} has unusable value {value}")
+            }
+            CompareError::BadMeasuredValue { name, value } => {
+                write!(f, "measured entry {name:?} has unusable value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
 /// Gate a fresh measurement against a committed reference snapshot.
 ///
-/// Only entries present in *both* snapshots are compared (a reduced CI
-/// sweep measures a subset of the committed full sweep). An entry
-/// regresses when it is worse than the reference by more than
-/// `max_regress` (e.g. `0.10` = a 10% throughput loss or wall-time gain).
+/// Reference entries absent from the measurement are skipped (a reduced CI
+/// sweep measures a subset of the committed full sweep), but every
+/// *measured* entry must exist in the reference, every compared value must
+/// be a positive finite number, and at least one entry must overlap —
+/// otherwise the gate refuses with a [`CompareError`] instead of passing
+/// vacuously. An entry regresses when it is worse than the reference by
+/// more than `max_regress` (e.g. `0.10` = a 10% throughput loss or
+/// wall-time gain).
 pub fn compare(
     reference: &BenchSnapshot,
     measured: &BenchSnapshot,
     max_regress: f64,
-) -> CompareReport {
+) -> Result<CompareReport, CompareError> {
+    for got in &measured.entries {
+        if reference.get(&got.name).is_none() {
+            return Err(CompareError::MissingReference {
+                name: got.name.clone(),
+            });
+        }
+    }
     let mut report = CompareReport::default();
     for refe in &reference.entries {
         let Some(got) = measured.get(&refe.name) else {
             continue;
         };
+        if !(refe.value.is_finite() && refe.value > 0.0) {
+            return Err(CompareError::BadReferenceValue {
+                name: refe.name.clone(),
+                value: refe.value,
+            });
+        }
+        if !(got.value.is_finite() && got.value > 0.0) {
+            return Err(CompareError::BadMeasuredValue {
+                name: got.name.clone(),
+                value: got.value,
+            });
+        }
         report.compared.push(refe.name.clone());
         let ratio = if refe.higher_is_better {
             got.value / refe.value
         } else {
             refe.value / got.value
         };
-        if ratio.is_finite() && ratio < 1.0 - max_regress {
+        if ratio < 1.0 - max_regress {
             report.regressions.push(Regression {
                 name: refe.name.clone(),
                 reference: refe.value,
@@ -162,10 +241,13 @@ pub fn compare(
             });
         }
     }
+    if report.compared.is_empty() {
+        return Err(CompareError::NoOverlap);
+    }
     report
         .regressions
         .sort_by(|a, b| a.ratio.partial_cmp(&b.ratio).unwrap());
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -205,29 +287,98 @@ mod tests {
         let reference = snap("flat", &[("thr@1", 100.0, true), ("ms@1", 10.0, false)]);
         // Within tolerance: 5% slower throughput, 5% slower wall time.
         let ok = snap("flat", &[("thr@1", 95.0, true), ("ms@1", 10.5, false)]);
-        assert!(compare(&reference, &ok, 0.10).pass());
+        assert!(compare(&reference, &ok, 0.10).unwrap().pass());
         // Throughput regression beyond 10%.
         let slow = snap("flat", &[("thr@1", 85.0, true), ("ms@1", 10.0, false)]);
-        let r = compare(&reference, &slow, 0.10);
+        let r = compare(&reference, &slow, 0.10).unwrap();
         assert_eq!(r.regressions.len(), 1);
         assert_eq!(r.regressions[0].name, "thr@1");
         // Wall-time regression beyond 10%.
         let lag = snap("flat", &[("thr@1", 100.0, true), ("ms@1", 12.0, false)]);
-        assert!(!compare(&reference, &lag, 0.10).pass());
+        assert!(!compare(&reference, &lag, 0.10).unwrap().pass());
     }
 
     #[test]
-    fn compare_uses_only_the_intersection() {
+    fn compare_skips_unmeasured_reference_entries() {
         let reference = snap(
             "flat",
             &[("thr@10000", 100.0, true), ("thr@1000000", 90.0, true)],
         );
         let quick = snap("flat", &[("thr@10000", 99.0, true)]);
-        let r = compare(&reference, &quick, 0.10);
+        let r = compare(&reference, &quick, 0.10).unwrap();
         assert_eq!(r.compared, vec!["thr@10000".to_string()]);
         assert!(r.pass());
-        // No overlap at all must not silently pass.
+    }
+
+    #[test]
+    fn compare_refuses_disjoint_snapshots() {
+        // No overlap at all must be a structured error, not a silent pass.
+        let reference = snap("flat", &[("thr@10000", 100.0, true)]);
         let empty = snap("flat", &[]);
-        assert!(!compare(&reference, &empty, 0.10).pass());
+        assert_eq!(
+            compare(&reference, &empty, 0.10),
+            Err(CompareError::NoOverlap)
+        );
+        let other = snap("flat", &[("renamed.thr@10000", 100.0, true)]);
+        assert_eq!(
+            compare(&reference, &other, 0.10),
+            Err(CompareError::MissingReference {
+                name: "renamed.thr@10000".into()
+            })
+        );
+    }
+
+    #[test]
+    fn compare_refuses_measured_only_entries() {
+        // A measured entry the committed baseline never had (renamed or
+        // newly added without regenerating the snapshot) must not escape
+        // the gate silently.
+        let reference = snap("flat", &[("thr@10000", 100.0, true)]);
+        let measured = snap(
+            "flat",
+            &[("thr@10000", 100.0, true), ("thr.renamed@10000", 5.0, true)],
+        );
+        assert_eq!(
+            compare(&reference, &measured, 0.10),
+            Err(CompareError::MissingReference {
+                name: "thr.renamed@10000".into()
+            })
+        );
+    }
+
+    #[test]
+    fn compare_refuses_unusable_values() {
+        // A zero wall time used to divide to infinity and pass; a zero
+        // reference rate used to make every measurement look fine.
+        let reference = snap("flat", &[("ms@1", 10.0, false)]);
+        let zeroed = snap("flat", &[("ms@1", 0.0, false)]);
+        assert_eq!(
+            compare(&reference, &zeroed, 0.10),
+            Err(CompareError::BadMeasuredValue {
+                name: "ms@1".into(),
+                value: 0.0
+            })
+        );
+        let bad_ref = snap("flat", &[("ms@1", 0.0, false)]);
+        let fine = snap("flat", &[("ms@1", 10.0, false)]);
+        assert_eq!(
+            compare(&bad_ref, &fine, 0.10),
+            Err(CompareError::BadReferenceValue {
+                name: "ms@1".into(),
+                value: 0.0
+            })
+        );
+        let nan = snap("flat", &[("ms@1", f64::NAN, false)]);
+        assert!(matches!(
+            compare(&reference, &nan, 0.10),
+            Err(CompareError::BadMeasuredValue { .. })
+        ));
+        // Errors render as actionable one-liners.
+        let msg = CompareError::BadMeasuredValue {
+            name: "ms@1".into(),
+            value: 0.0,
+        }
+        .to_string();
+        assert!(msg.contains("ms@1"), "{msg}");
     }
 }

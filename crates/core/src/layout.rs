@@ -112,9 +112,13 @@ impl HostSet {
         }
     }
 
-    /// The set of every host in `lo..=hi`.
+    /// The set of every host in `lo..=hi`. An inverted range (`lo > hi`)
+    /// denotes the empty set, mirroring `lo..=hi` iteration semantics.
     pub fn range(lo: u8, hi: u8) -> HostSet {
         let mut s = HostSet::EMPTY;
+        if lo > hi {
+            return s;
+        }
         for (i, w) in s.words.iter_mut().enumerate() {
             let word_lo = (i as u16) * 64;
             let word_hi = word_lo + 63;
@@ -464,6 +468,19 @@ mod tests {
         assert_eq!(r.max(), Some(70));
         assert_eq!(HostSet::range(5, 5).iter().collect::<Vec<_>>(), vec![5]);
         assert_eq!(HostSet::range(64, 127).count(), 64);
+    }
+
+    #[test]
+    fn hostset_range_inverted_is_empty() {
+        // `lo > hi` is the empty set, like `lo..=hi` iteration — not a
+        // word-loop underflow.
+        assert_eq!(HostSet::range(1, 0), HostSet::EMPTY);
+        assert_eq!(HostSet::range(255, 0), HostSet::EMPTY);
+        assert_eq!(HostSet::range(70, 60).count(), 0);
+        assert_eq!(HostSet::range(128, 127).min(), None);
+        // The boundary case on either side of an inversion still works.
+        assert_eq!(HostSet::range(200, 200).count(), 1);
+        assert_eq!(HostSet::range(201, 200).count(), 0);
     }
 
     #[test]

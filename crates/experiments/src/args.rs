@@ -30,6 +30,15 @@ pub struct ExpArgs {
     /// Per-block watchdog deadline in seconds; a block past its budget is
     /// cancelled cooperatively, requeued, and eventually quarantined.
     pub deadline: Option<f64>,
+    /// Run as a sharded-run coordinator: partition the selected blocks
+    /// into this many shard leases under `--run-dir` and spawn one worker
+    /// process per shard. Conflicts with `--resume` (re-running the
+    /// coordinator on the same run dir *is* the resume path) and with
+    /// `--shard`.
+    pub shards: Option<usize>,
+    /// Run as shard worker with this index (spawned by the coordinator;
+    /// the lease file under `--run-dir` carries every other knob).
+    pub shard: Option<usize>,
 }
 
 impl Default for ExpArgs {
@@ -45,6 +54,8 @@ impl Default for ExpArgs {
             run_dir: None,
             resume: false,
             deadline: None,
+            shards: None,
+            shard: None,
         }
     }
 }
@@ -62,7 +73,7 @@ pub enum ParseOutcome {
 pub const USAGE: &str =
     "usage: <experiment> [--seed N] [--scale F] [--threads N] [--faults L,R] [--json]\n\
 \u{20}                   [--metrics OUT.json] [--trace-spans] [--run-dir DIR] [--resume]\n\
-\u{20}                   [--deadline SECS]\n\
+\u{20}                   [--deadline SECS] [--shards N] [--shard I]\n\
 --seed N      scenario seed (default 42)\n\
 --scale F     scenario scale, 1.0 = paper-size (default 0.12)\n\
 --threads N   probing worker threads (default: all cores)\n\
@@ -78,6 +89,13 @@ pub const USAGE: &str =
 \u{20}             blocks; seed/scale/faults come from the journal\n\
 --deadline S  per-block watchdog deadline in seconds (default 30);\n\
 \u{20}             blocks past it are cancelled, requeued, then quarantined\n\
+--shards N    coordinate a multi-process sharded run: write N shard\n\
+\u{20}             leases under --run-dir and spawn one worker per shard;\n\
+\u{20}             re-run the same command to resume (conflicts with\n\
+\u{20}             --resume and --shard)\n\
+--shard I     run as shard worker I of a sharded run (spawned by the\n\
+\u{20}             coordinator; requires --run-dir, whose lease file\n\
+\u{20}             carries every other knob)\n\
 --json        machine-readable output";
 
 impl ExpArgs {
@@ -119,6 +137,8 @@ impl ExpArgs {
                 "--run-dir" => args.run_dir = Some(expect_value(&mut it, "--run-dir")?),
                 "--resume" => args.resume = true,
                 "--deadline" => args.deadline = Some(expect_value(&mut it, "--deadline")?),
+                "--shards" => args.shards = Some(expect_value(&mut it, "--shards")?),
+                "--shard" => args.shard = Some(expect_value(&mut it, "--shard")?),
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
                 other => return Err(ParseOutcome::Error(format!("unknown flag {other:?}"))),
@@ -132,6 +152,40 @@ impl ExpArgs {
         }
         if args.deadline.is_some_and(|d| d <= 0.0) {
             return Err(ParseOutcome::Error("--deadline must be positive".into()));
+        }
+        // Sharded-run flag conflicts. Each of these used to be able to
+        // leave a half-sharded run dir behind; now they fail up front.
+        if args.shards.is_some() && args.shard.is_some() {
+            return Err(ParseOutcome::Error(
+                "--shards (coordinator) and --shard (worker) are mutually exclusive".into(),
+            ));
+        }
+        if args.shards.is_some_and(|n| n == 0) {
+            return Err(ParseOutcome::Error("--shards must be at least 1".into()));
+        }
+        if args.shards.is_some() && args.run_dir.is_none() {
+            return Err(ParseOutcome::Error(
+                "--shards requires --run-dir (leases and shard journals live there)".into(),
+            ));
+        }
+        if args.shards.is_some() && args.resume {
+            return Err(ParseOutcome::Error(
+                "--resume conflicts with --shards: re-run the coordinator on the same \
+                 --run-dir to resume a sharded run"
+                    .into(),
+            ));
+        }
+        if args.shard.is_some() && args.run_dir.is_none() {
+            return Err(ParseOutcome::Error(
+                "--shard requires --run-dir (the shard lease file lives there)".into(),
+            ));
+        }
+        if args.shard.is_some() && args.resume {
+            return Err(ParseOutcome::Error(
+                "--resume conflicts with --shard: a worker resumes its own shard journal \
+                 automatically"
+                    .into(),
+            ));
         }
         Ok(args)
     }
@@ -263,6 +317,55 @@ mod tests {
         assert!(matches!(parse(&["--resume"]), Err(ParseOutcome::Error(_))));
         assert!(matches!(
             parse(&["--run-dir", "x", "--deadline", "0"]),
+            Err(ParseOutcome::Error(_))
+        ));
+    }
+
+    #[test]
+    fn shard_flags_parse_with_run_dir() {
+        let a = parse(&["--shards", "4", "--run-dir", "runs/x"]).unwrap();
+        assert_eq!(a.shards, Some(4));
+        assert_eq!(a.shard, None);
+        let b = parse(&["--shard", "2", "--run-dir", "runs/x"]).unwrap();
+        assert_eq!(b.shard, Some(2));
+        assert_eq!(b.shards, None);
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.shards, None);
+        assert_eq!(d.shard, None);
+    }
+
+    #[test]
+    fn shard_flag_conflicts_fail_before_any_run_dir_is_touched() {
+        // --resume + --shards: the coordinator resumes by re-running.
+        let e = parse(&["--shards", "2", "--run-dir", "x", "--resume"]);
+        match e {
+            Err(ParseOutcome::Error(msg)) => assert!(msg.contains("--resume"), "{msg}"),
+            other => panic!("expected conflict error, got {other:?}"),
+        }
+        // --shard without a run dir: the lease file is unreachable.
+        let e = parse(&["--shard", "0"]);
+        match e {
+            Err(ParseOutcome::Error(msg)) => assert!(msg.contains("--run-dir"), "{msg}"),
+            other => panic!("expected missing run-dir error, got {other:?}"),
+        }
+        // Coordinator and worker roles are exclusive.
+        assert!(matches!(
+            parse(&["--shards", "2", "--shard", "0", "--run-dir", "x"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        // --shards without a run dir would have nowhere to put leases.
+        assert!(matches!(
+            parse(&["--shards", "2"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        // A worker resumes its own journal; --resume on a worker is a bug.
+        assert!(matches!(
+            parse(&["--shard", "0", "--run-dir", "x", "--resume"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        // Zero shards is meaningless.
+        assert!(matches!(
+            parse(&["--shards", "0", "--run-dir", "x"]),
             Err(ParseOutcome::Error(_))
         ));
     }

@@ -1,0 +1,827 @@
+//! Multi-process sharded runs on one host: a coordinator that partitions
+//! the deterministic block order into filesystem shard leases, spawns one
+//! worker process per shard, supervises them through heartbeat mtimes, and
+//! deterministically merges the per-shard journals into a
+//! `hobbit-report/v1` that is byte-identical to a single-process run.
+//!
+//! # Topology
+//!
+//! ```text
+//! run_dir/
+//!   coordinator.lock        pid of the live coordinator (stale ⇒ takeover)
+//!   leases/shard-<i>.lease  hobbit-lease/v1, atomically replaced whole
+//!   shards/shard-<i>/
+//!     journal.wal           the shard's hobbit-journal/v1 WAL (PR 5 code,
+//!                           unchanged — supervision, fsync batching, torn
+//!                           tails all behave exactly as single-process)
+//!     heartbeat             mtime = liveness, content = epoch + pid
+//!     done                  written only after the final journal flush
+//!   report.json             the merged canonical report
+//! ```
+//!
+//! # Failure handling
+//!
+//! A worker that exits non-zero, exits zero without its `done` marker, or
+//! lets its heartbeat go stale is *revoked*: the coordinator kills the
+//! process if it is still alive, bumps the lease epoch (fencing any
+//! zombie), clears planted sabotage, and respawns the shard — which
+//! resumes from its own journal, re-measuring only the unsynced tail.
+//! This mirrors the per-block bounded-requeue state machine of the
+//! in-process supervisor one level up: each shard gets a respawn budget,
+//! and exhausting it quarantines the shard and fails the run rather than
+//! retrying forever.
+//!
+//! A killed *coordinator* is recovered by re-running it on the same run
+//! dir: finished shards are recognized by their `done` markers and never
+//! respawned; unfinished shards are re-granted (epoch bump) and resumed.
+//!
+//! # Merge determinism
+//!
+//! Selection and calibration depend only on (seed, scale), so every worker
+//! derives the identical confidence table and block order, and each shard
+//! journal carries the same [`ShardInfo`] global totals. The merge
+//! therefore never re-probes: it folds the per-shard block measurements
+//! together, sorts by block address (the same order a single-process run
+//! reports), cross-checks the totals, and renders through the *same*
+//! serializer as [`Pipeline::canonical_report`] — one code path, one byte
+//! layout.
+//!
+//! [`Pipeline::canonical_report`]: crate::pipeline::Pipeline::canonical_report
+
+use crate::journal::{read_journal, CrashPoint, RunMeta, ShardInfo, JOURNAL_FILE};
+use crate::lease::{
+    heartbeat_age, heartbeat_epoch, is_done, mark_done, shard_dir, write_heartbeat, Lease,
+    LeaseSabotage, LeaseState,
+};
+use crate::pipeline::{render_canonical_report, Pipeline};
+use hobbit::BlockMeasurement;
+use netsim::Block24;
+use obs::{Counter, Recorder};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The coordinator's pid file inside a run dir.
+pub const LOCK_FILE: &str = "coordinator.lock";
+
+/// File name of the merged canonical report inside a run dir.
+pub const REPORT_FILE: &str = "report.json";
+
+/// Exit code a worker uses when its armed simulated kill fired — the
+/// coordinator treats it exactly like any other crash, the testkit asserts
+/// on it to distinguish an injected death from an accidental one.
+pub const EXIT_KILLED: i32 = 9;
+
+/// Exit code for a worker that refuses its lease (revoked, quarantined, or
+/// unreadable): respawning cannot help, so the coordinator fails the run.
+pub const EXIT_REFUSED: i32 = 3;
+
+/// A simulated coordinator kill (testkit harness). Only quiescent points
+/// are modeled — with workers in flight a dead coordinator leaves them
+/// running, which re-running the coordinator also handles (done markers),
+/// but simulating that from inside one test process would mean two
+/// writers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoordCrash {
+    /// Die after writing every lease but before spawning any worker.
+    BeforeSpawn,
+    /// Die after every shard finished but before the merge.
+    BeforeMerge,
+}
+
+/// Everything `run_sharded` needs.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// The run directory (created if missing).
+    pub run_dir: PathBuf,
+    /// Number of worker processes / shards.
+    pub shards: usize,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Scenario scale.
+    pub scale: f64,
+    /// Fault injection, as `PipelineBuilder::faults`.
+    pub faults: Option<(f64, f64)>,
+    /// Classification threads per worker (0 = all cores).
+    pub threads: usize,
+    /// Worker executable; `None` re-enters the current executable.
+    pub worker_exe: Option<PathBuf>,
+    /// Interval between worker heartbeats.
+    pub heartbeat_interval: Duration,
+    /// Heartbeat age past which a live-looking worker is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Extra allowance before a worker's *first* heartbeat (process spawn
+    /// plus scenario build).
+    pub spawn_grace: Duration,
+    /// Coordinator poll interval.
+    pub poll_interval: Duration,
+    /// Respawns a shard may consume before it is quarantined.
+    pub respawn_budget: u32,
+    /// Testkit sabotage, planted into the named shard's first-incarnation
+    /// lease (revocation clears it).
+    pub sabotage: Vec<(usize, LeaseSabotage)>,
+    /// Simulated coordinator kill (testkit harness).
+    pub crash: Option<CoordCrash>,
+}
+
+impl CoordinatorConfig {
+    /// A config with test-friendly supervision timing defaults.
+    pub fn new(run_dir: impl Into<PathBuf>, shards: usize) -> Self {
+        CoordinatorConfig {
+            run_dir: run_dir.into(),
+            shards,
+            seed: 42,
+            scale: 0.12,
+            faults: None,
+            threads: 0,
+            worker_exe: None,
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_millis(2000),
+            spawn_grace: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(50),
+            respawn_budget: 3,
+            sabotage: Vec::new(),
+            crash: None,
+        }
+    }
+
+    /// Build a config from parsed CLI arguments (`--shards`).
+    pub fn from_args(args: &crate::args::ExpArgs) -> Self {
+        let mut cfg = CoordinatorConfig::new(
+            args.run_dir.clone().expect("--shards requires --run-dir"),
+            args.shards.expect("--shards is set"),
+        );
+        cfg.seed = args.seed;
+        cfg.scale = args.scale;
+        cfg.faults = args.faults;
+        cfg.threads = args.threads;
+        cfg
+    }
+}
+
+/// Pre-interned `coord.*` counters, bound once per coordinator run.
+#[derive(Clone)]
+pub struct CoordObs {
+    /// `coord.shards` — shards this run partitioned into.
+    pub shards: Counter,
+    /// `coord.spawns` — worker processes started (incl. respawns).
+    pub spawns: Counter,
+    /// `coord.respawns` — spawns that replaced a revoked incarnation.
+    pub respawns: Counter,
+    /// `coord.revocations` — leases revoked (crash or stale heartbeat).
+    pub revocations: Counter,
+    /// `coord.stale_heartbeats` — revocations caused by heartbeat age.
+    pub stale_heartbeats: Counter,
+    /// `coord.worker_crashes` — worker exits the coordinator treated as
+    /// crashes (non-zero exit, or zero exit without a done marker).
+    pub worker_crashes: Counter,
+    /// `coord.shards_done` — shards that reached their done marker.
+    pub shards_done: Counter,
+    /// `coord.merges` — successful shard-merges.
+    pub merges: Counter,
+}
+
+impl CoordObs {
+    /// Intern every coordinator metric in `rec`.
+    pub fn bind(rec: &dyn Recorder) -> Self {
+        CoordObs {
+            shards: rec.counter("coord.shards"),
+            spawns: rec.counter("coord.spawns"),
+            respawns: rec.counter("coord.respawns"),
+            revocations: rec.counter("coord.revocations"),
+            stale_heartbeats: rec.counter("coord.stale_heartbeats"),
+            worker_crashes: rec.counter("coord.worker_crashes"),
+            shards_done: rec.counter("coord.shards_done"),
+            merges: rec.counter("coord.merges"),
+        }
+    }
+}
+
+/// Why a sharded run failed.
+#[derive(Debug)]
+pub enum CoordError {
+    /// Filesystem trouble in the run dir.
+    Io(std::io::Error),
+    /// Another coordinator holds the run dir.
+    Locked {
+        /// pid recorded in the lock file.
+        pid: u32,
+    },
+    /// A shard exhausted its respawn budget.
+    ShardQuarantined {
+        /// The quarantined shard.
+        shard: usize,
+        /// Respawns spent before giving up.
+        respawns: u32,
+    },
+    /// A worker refused its lease — a configuration bug, not a crash.
+    WorkerRefused {
+        /// The refusing shard.
+        shard: usize,
+        /// The worker's exit code.
+        code: i32,
+    },
+    /// The armed simulated coordinator kill fired.
+    SimulatedCrash(CoordCrash),
+    /// The per-shard journals do not fold into a consistent report.
+    Merge(String),
+}
+
+impl std::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordError::Io(e) => write!(f, "run-dir I/O: {e}"),
+            CoordError::Locked { pid } => {
+                write!(f, "run dir is held by live coordinator pid {pid}")
+            }
+            CoordError::ShardQuarantined { shard, respawns } => write!(
+                f,
+                "shard {shard} quarantined after {respawns} respawns — the run cannot complete"
+            ),
+            CoordError::WorkerRefused { shard, code } => write!(
+                f,
+                "shard {shard} worker refused its lease (exit {code}); respawning cannot help"
+            ),
+            CoordError::SimulatedCrash(cp) => write!(f, "simulated coordinator kill at {cp:?}"),
+            CoordError::Merge(msg) => write!(f, "shard-merge: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+impl From<std::io::Error> for CoordError {
+    fn from(e: std::io::Error) -> Self {
+        CoordError::Io(e)
+    }
+}
+
+/// Removes the coordinator pid file when the coordinator leaves the run
+/// dir for *any* reason. A simulated kill also drops the lock: the real
+/// analogue is a lock naming a dead pid, which takeover treats as absent —
+/// but inside one test process the recorded pid is still alive, so the
+/// model must delete instead.
+#[derive(Debug)]
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Take the coordinator lock: atomically create the pid file, or — when
+/// one exists — take over iff the recorded pid is no longer alive.
+fn acquire_lock(run_dir: &Path) -> Result<LockGuard, CoordError> {
+    std::fs::create_dir_all(run_dir)?;
+    let path = run_dir.join(LOCK_FILE);
+    loop {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                writeln!(f, "{}", std::process::id())?;
+                f.sync_data()?;
+                return Ok(LockGuard { path });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let pid: Option<u32> = std::fs::read_to_string(&path)
+                    .ok()
+                    .and_then(|s| s.trim().parse().ok());
+                match pid {
+                    Some(pid) if Path::new(&format!("/proc/{pid}")).exists() => {
+                        return Err(CoordError::Locked { pid });
+                    }
+                    _ => {
+                        // Stale (dead pid or garbage): remove and retry the
+                        // atomic create — a racing taker may still beat us.
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// One spawned worker incarnation.
+struct WorkerSlot {
+    child: Child,
+    lease: Lease,
+    spawned_at: Instant,
+    respawns: u32,
+}
+
+/// Kills every still-running child if the coordinator bails early
+/// (quarantine, refusal): orphaned workers must not keep writing into a
+/// run dir the coordinator has walked away from.
+struct ReapGuard {
+    slots: Vec<Option<WorkerSlot>>,
+}
+
+impl Drop for ReapGuard {
+    fn drop(&mut self) {
+        for slot in self.slots.iter_mut().flatten() {
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+    }
+}
+
+fn spawn_worker(
+    exe: &Path,
+    run_dir: &Path,
+    shard: usize,
+    obs: &CoordObs,
+) -> Result<Child, CoordError> {
+    obs.spawns.inc();
+    Command::new(exe)
+        .arg("--run-dir")
+        .arg(run_dir)
+        .arg("--shard")
+        .arg(shard.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(CoordError::Io)
+}
+
+/// Run a sharded measurement: partition, lease, spawn, supervise, merge.
+/// Returns the merged canonical report (also written to
+/// `<run_dir>/report.json`), byte-identical to what a single-process run
+/// with the same seed/scale/faults reports.
+///
+/// Re-running on the same run dir resumes: finished shards (done markers)
+/// are skipped, unfinished ones are re-granted and resumed from their
+/// journals.
+pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String, CoordError> {
+    assert!(cfg.shards >= 1, "a sharded run needs at least one shard");
+    let obs = CoordObs::bind(rec);
+    let lock = acquire_lock(&cfg.run_dir)?;
+    obs.shards.add(cfg.shards as u64);
+    let meta = RunMeta::new(cfg.seed, cfg.scale, cfg.faults);
+    let exe = match &cfg.worker_exe {
+        Some(p) => p.clone(),
+        None => std::env::current_exe()?,
+    };
+
+    // Grant (or re-grant) a lease per unfinished shard. Existing leases
+    // are bumped to a fresh epoch so any worker of a previous coordinator
+    // incarnation is fenced out; cfg sabotage is planted fresh each run.
+    let mut pending: Vec<usize> = Vec::new();
+    let mut leases: Vec<Option<Lease>> = vec![None; cfg.shards];
+    for (shard, slot) in leases.iter_mut().enumerate() {
+        if is_done(&shard_dir(&cfg.run_dir, shard)) {
+            obs.shards_done.inc();
+            continue;
+        }
+        let mut lease = match Lease::load(&cfg.run_dir, shard) {
+            Ok(prev) if prev.state == LeaseState::Quarantined => {
+                return Err(CoordError::ShardQuarantined {
+                    shard,
+                    respawns: prev.epoch,
+                });
+            }
+            Ok(prev) => prev.regrant(),
+            Err(_) => Lease::grant(
+                shard,
+                cfg.shards,
+                &meta,
+                cfg.threads,
+                cfg.heartbeat_interval.as_millis() as u64,
+            ),
+        };
+        lease.sabotage = cfg
+            .sabotage
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, sab)| *sab);
+        lease.store(&cfg.run_dir)?;
+        *slot = Some(lease);
+        pending.push(shard);
+    }
+
+    if cfg.crash == Some(CoordCrash::BeforeSpawn) {
+        return Err(CoordError::SimulatedCrash(CoordCrash::BeforeSpawn));
+    }
+
+    // Spawn one worker per pending shard, then supervise until every
+    // shard reaches its done marker (or one quarantines).
+    let mut reap = ReapGuard {
+        slots: (0..cfg.shards).map(|_| None).collect(),
+    };
+    for &shard in &pending {
+        let mut lease = leases[shard].take().expect("pending shard has a lease");
+        let child = spawn_worker(&exe, &cfg.run_dir, shard, &obs)?;
+        lease.holder_pid = child.id();
+        lease.store(&cfg.run_dir)?;
+        reap.slots[shard] = Some(WorkerSlot {
+            child,
+            lease,
+            spawned_at: Instant::now(),
+            respawns: 0,
+        });
+    }
+
+    let mut remaining: usize = pending.len();
+    while remaining > 0 {
+        std::thread::sleep(cfg.poll_interval);
+        for shard in 0..cfg.shards {
+            let Some(slot) = reap.slots[shard].as_mut() else {
+                continue;
+            };
+            let sd = shard_dir(&cfg.run_dir, shard);
+            // Exit first: a finished worker must not be misread as stale.
+            let crashed = match slot.child.try_wait()? {
+                Some(status) if status.code() == Some(0) && is_done(&sd) => {
+                    obs.shards_done.inc();
+                    reap.slots[shard] = None;
+                    remaining -= 1;
+                    continue;
+                }
+                Some(status) if status.code() == Some(EXIT_REFUSED) => {
+                    return Err(CoordError::WorkerRefused {
+                        shard,
+                        code: EXIT_REFUSED,
+                    });
+                }
+                Some(_) => {
+                    // Simulated kill, panic, signal, or a zero exit that
+                    // never sealed its shard: all crashes.
+                    obs.worker_crashes.inc();
+                    true
+                }
+                None => {
+                    // Still running — judge the heartbeat. Beats of older
+                    // epochs belong to fenced incarnations and don't count.
+                    let fresh_epoch = heartbeat_epoch(&sd) == Some(slot.lease.epoch);
+                    let age = if fresh_epoch {
+                        heartbeat_age(&sd)
+                    } else {
+                        None
+                    };
+                    let stale = match age {
+                        Some(age) => age > cfg.heartbeat_timeout,
+                        None => slot.spawned_at.elapsed() > cfg.spawn_grace,
+                    };
+                    if stale {
+                        obs.stale_heartbeats.inc();
+                        let _ = slot.child.kill();
+                        let _ = slot.child.wait();
+                    }
+                    stale
+                }
+            };
+            if !crashed {
+                continue;
+            }
+            // Revoke → re-grant → respawn, inside the shard's budget.
+            obs.revocations.inc();
+            if slot.respawns >= cfg.respawn_budget {
+                let mut q = slot.lease.clone();
+                q.state = LeaseState::Quarantined;
+                q.store(&cfg.run_dir)?;
+                return Err(CoordError::ShardQuarantined {
+                    shard,
+                    respawns: slot.respawns,
+                });
+            }
+            let mut lease = slot.lease.regrant();
+            lease.store(&cfg.run_dir)?;
+            obs.respawns.inc();
+            let child = spawn_worker(&exe, &cfg.run_dir, shard, &obs)?;
+            lease.holder_pid = child.id();
+            lease.store(&cfg.run_dir)?;
+            let respawns = slot.respawns + 1;
+            reap.slots[shard] = Some(WorkerSlot {
+                child,
+                lease,
+                spawned_at: Instant::now(),
+                respawns,
+            });
+        }
+    }
+
+    if cfg.crash == Some(CoordCrash::BeforeMerge) {
+        return Err(CoordError::SimulatedCrash(CoordCrash::BeforeMerge));
+    }
+
+    let report = merge_run(&cfg.run_dir, cfg.shards)?;
+    std::fs::write(cfg.run_dir.join(REPORT_FILE), &report)?;
+    obs.merges.inc();
+    drop(lock);
+    Ok(report)
+}
+
+/// Fold the per-shard journals of a finished sharded run into the
+/// canonical report, cross-checking that every journal describes the same
+/// world. Pure read: no probing, no journal writes.
+pub fn merge_run(run_dir: &Path, shards: usize) -> Result<String, CoordError> {
+    let mut meta: Option<RunMeta> = None;
+    let mut info: Option<ShardInfo> = None;
+    // BTreeMap keys the dedup and yields block-address order — exactly the
+    // order `canonical_report` sorts single-process measurements into.
+    let mut by_block: BTreeMap<Block24, BlockMeasurement> = BTreeMap::new();
+    let mut quarantines: Vec<(u64, Block24, u32, String)> = Vec::new();
+    for shard in 0..shards {
+        let sd = shard_dir(run_dir, shard);
+        if !is_done(&sd) {
+            return Err(CoordError::Merge(format!(
+                "shard {shard} has no done marker — the run is not finished"
+            )));
+        }
+        let replay = read_journal(&sd.join(JOURNAL_FILE))?;
+        let m = replay
+            .meta
+            .ok_or_else(|| CoordError::Merge(format!("shard {shard} journal has no meta")))?;
+        match &meta {
+            None => meta = Some(m),
+            Some(prev) if *prev != m => {
+                return Err(CoordError::Merge(format!(
+                    "shard {shard} ran a different world: {m:?} vs {prev:?}"
+                )));
+            }
+            Some(_) => {}
+        }
+        let si = replay.shard_info.ok_or_else(|| {
+            CoordError::Merge(format!("shard {shard} journal has no shard-info record"))
+        })?;
+        if (si.shard, si.shards) != (shard as u64, shards as u64) {
+            return Err(CoordError::Merge(format!(
+                "shard {shard} journal claims shard {}/{}",
+                si.shard, si.shards
+            )));
+        }
+        match &info {
+            None => {
+                info = Some(ShardInfo {
+                    shard: 0,
+                    shards: shards as u64,
+                    ..si
+                })
+            }
+            Some(prev) => {
+                let (a, b) = (
+                    (
+                        prev.selected,
+                        prev.reject_too_few,
+                        prev.reject_uncovered,
+                        prev.calibration_probes,
+                    ),
+                    (
+                        si.selected,
+                        si.reject_too_few,
+                        si.reject_uncovered,
+                        si.calibration_probes,
+                    ),
+                );
+                if a != b {
+                    return Err(CoordError::Merge(format!(
+                        "shard {shard} derived different globals: {b:?} vs {a:?}"
+                    )));
+                }
+            }
+        }
+        for m in replay.blocks {
+            by_block.entry(m.block).or_insert(m);
+        }
+        quarantines.extend(replay.quarantines);
+    }
+    let meta = meta.ok_or_else(|| CoordError::Merge("no shards".into()))?;
+    let info = info.ok_or_else(|| CoordError::Merge("no shards".into()))?;
+
+    // Quarantine records are informational: a later incarnation may have
+    // classified the block after all. Only never-measured blocks survive
+    // into the report, matching what single-process supervision reports.
+    quarantines.retain(|(_, block, _, _)| !by_block.contains_key(block));
+    quarantines.sort_by_key(|(index, _, _, _)| *index);
+    quarantines.dedup_by_key(|(index, _, _, _)| *index);
+
+    let measurements: Vec<BlockMeasurement> = by_block.into_values().collect();
+    if measurements.len() as u64 + quarantines.len() as u64 != info.selected {
+        return Err(CoordError::Merge(format!(
+            "{} measurements + {} quarantines cover only {} of {} selected blocks",
+            measurements.len(),
+            quarantines.len(),
+            measurements.len() + quarantines.len(),
+            info.selected
+        )));
+    }
+    Ok(render_canonical_report(
+        meta.seed,
+        info.selected,
+        info.reject_too_few,
+        info.reject_uncovered,
+        info.calibration_probes,
+        &measurements,
+        &quarantines,
+    ))
+}
+
+/// A shard worker's whole life: load the lease, heartbeat, run the
+/// pipeline over the owned blocks (resuming the shard journal if one
+/// exists), seal with a done marker. Returns the process exit code.
+///
+/// Spawned via `--run-dir <dir> --shard <i>`; everything else comes from
+/// the lease.
+pub fn worker_main(run_dir: &Path, shard: usize) -> i32 {
+    let lease = match Lease::load(run_dir, shard) {
+        Ok(lease) => lease,
+        Err(e) => {
+            eprintln!("shard {shard}: cannot load lease: {e}");
+            return EXIT_REFUSED;
+        }
+    };
+    if lease.state != LeaseState::Granted {
+        eprintln!("shard {shard}: lease is {:?}, refusing to run", lease.state);
+        return EXIT_REFUSED;
+    }
+    let sd = shard_dir(run_dir, shard);
+    if let Err(e) = write_heartbeat(&sd, lease.epoch) {
+        eprintln!("shard {shard}: cannot heartbeat: {e}");
+        return EXIT_REFUSED;
+    }
+
+    // Stall sabotage: one heartbeat, then wedge. The coordinator's
+    // missed-heartbeat path must kill and replace this incarnation.
+    if lease.sabotage == Some(LeaseSabotage::Stall) {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    // Keep the heartbeat fresh for the whole pipeline run.
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let stop = Arc::clone(&stop);
+        let sd = sd.clone();
+        let epoch = lease.epoch;
+        let interval = Duration::from_millis(lease.heartbeat_ms.max(10));
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let _ = write_heartbeat(&sd, epoch);
+                std::thread::sleep(interval);
+            }
+        })
+    };
+
+    let mut builder = Pipeline::builder()
+        .seed(lease.seed)
+        .scale(lease.scale)
+        .threads(lease.threads as usize)
+        .shard(shard, lease.shards as usize);
+    if let Some((loss, rate)) = lease.faults() {
+        builder = builder.faults(loss, rate);
+    }
+    builder = if sd.join(JOURNAL_FILE).exists() {
+        builder.resume_from(&sd)
+    } else {
+        builder.run_dir(&sd)
+    };
+    if let Some(LeaseSabotage::CrashAfter { appends, torn }) = lease.sabotage {
+        builder = builder.crash_point(CrashPoint {
+            after_block_appends: appends,
+            torn,
+        });
+    }
+    let pipeline = builder.run();
+
+    stop.store(true, Ordering::Release);
+    let _ = beat.join();
+
+    if pipeline.supervision.interrupted {
+        // The armed kill fired: the journal is dead mid-write and this
+        // "process" must die with it, leaving no done marker.
+        return EXIT_KILLED;
+    }
+    if let Err(e) = mark_done(&sd) {
+        eprintln!("shard {shard}: cannot write done marker: {e}");
+        return 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Entry, JournalWriter};
+    use obs::NullRecorder;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hobbit-coord-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn lock_refuses_a_live_holder_and_takes_over_a_dead_one() {
+        let dir = tmpdir("lock");
+        std::fs::create_dir_all(&dir).unwrap();
+        // pid 1 is always alive on Linux.
+        std::fs::write(dir.join(LOCK_FILE), "1\n").unwrap();
+        match acquire_lock(&dir) {
+            Err(CoordError::Locked { pid: 1 }) => {}
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        // A dead (impossible) pid is stale: takeover succeeds.
+        std::fs::write(dir.join(LOCK_FILE), "4194305\n").unwrap();
+        let guard = acquire_lock(&dir).unwrap();
+        let recorded = std::fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
+        assert_eq!(recorded.trim(), std::process::id().to_string());
+        drop(guard);
+        assert!(!dir.join(LOCK_FILE).exists(), "guard removes the lock");
+        // Garbage content is also stale.
+        std::fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
+        let _guard = acquire_lock(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_refuses_missing_or_revoked_leases() {
+        let dir = tmpdir("refuse");
+        // No lease at all.
+        assert_eq!(worker_main(&dir, 0), EXIT_REFUSED);
+        // A revoked lease.
+        let meta = RunMeta::new(42, 0.01, None);
+        let mut lease = Lease::grant(0, 2, &meta, 1, 100);
+        lease.state = LeaseState::Revoked;
+        lease.store(&dir).unwrap();
+        assert_eq!(worker_main(&dir, 0), EXIT_REFUSED);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_requires_done_markers_and_consistent_worlds() {
+        let dir = tmpdir("merge");
+        // Shard 0 finished, shard 1 has no done marker.
+        let meta = RunMeta::new(42, 0.01, None);
+        let sd0 = shard_dir(&dir, 0);
+        let mut w = JournalWriter::create(&sd0, &meta).unwrap();
+        w.append(&Entry::ShardInfo(ShardInfo {
+            shard: 0,
+            shards: 2,
+            selected: 0,
+            reject_too_few: 0,
+            reject_uncovered: 0,
+            calibration_probes: 1,
+        }))
+        .unwrap();
+        w.flush().unwrap();
+        mark_done(&sd0).unwrap();
+        match merge_run(&dir, 2) {
+            Err(CoordError::Merge(msg)) => assert!(msg.contains("done marker"), "{msg}"),
+            other => panic!("expected Merge error, got {other:?}"),
+        }
+        // Shard 1 finished but under a different seed: refused.
+        let sd1 = shard_dir(&dir, 1);
+        let other_meta = RunMeta::new(43, 0.01, None);
+        let mut w = JournalWriter::create(&sd1, &other_meta).unwrap();
+        w.append(&Entry::ShardInfo(ShardInfo {
+            shard: 1,
+            shards: 2,
+            selected: 0,
+            reject_too_few: 0,
+            reject_uncovered: 0,
+            calibration_probes: 1,
+        }))
+        .unwrap();
+        w.flush().unwrap();
+        mark_done(&sd1).unwrap();
+        match merge_run(&dir, 2) {
+            Err(CoordError::Merge(msg)) => assert!(msg.contains("different world"), "{msg}"),
+            other => panic!("expected Merge error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_sharded_propagates_the_simulated_before_spawn_crash() {
+        let dir = tmpdir("crash-before-spawn");
+        let mut cfg = CoordinatorConfig::new(&dir, 2);
+        cfg.seed = 42;
+        cfg.scale = 0.01;
+        cfg.crash = Some(CoordCrash::BeforeSpawn);
+        match run_sharded(&cfg, &NullRecorder) {
+            Err(CoordError::SimulatedCrash(CoordCrash::BeforeSpawn)) => {}
+            other => panic!("expected the simulated crash, got {other:?}"),
+        }
+        // The leases were already published; the lock is gone (stale-pid
+        // model), so a re-run can take over.
+        assert!(Lease::path(&dir, 0).exists());
+        assert!(Lease::path(&dir, 1).exists());
+        assert!(!dir.join(LOCK_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -102,11 +102,36 @@ impl RunMeta {
     }
 }
 
+/// The global phase totals a shard worker derives before classification.
+/// Selection and calibration run identically in every worker (they depend
+/// only on seed and scale), so each shard journal carries the same totals;
+/// the shard-merge reads them from one journal and cross-checks the rest,
+/// which is what lets it rebuild the single-process report without
+/// re-probing anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// This journal's shard index.
+    pub shard: u64,
+    /// Total shard count of the run.
+    pub shards: u64,
+    /// Blocks passing selection (global, not per-shard).
+    pub selected: u64,
+    /// Blocks rejected for < 4 snapshot-active addresses.
+    pub reject_too_few: u64,
+    /// Blocks rejected for an uncovered /26 quarter.
+    pub reject_uncovered: u64,
+    /// Probe packets the calibration survey spent.
+    pub calibration_probes: u64,
+}
+
 /// One journal record.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Entry {
     /// Run configuration; always the first record.
     Meta(RunMeta),
+    /// Sharded-run phase totals; written right after [`Entry::Meta`] by
+    /// shard workers, absent from single-process journals.
+    ShardInfo(ShardInfo),
     /// A finished block classification: `index` is the block's position in
     /// the deterministic selection order (kept for diagnostics; replay
     /// keys on the measurement's block address).
@@ -150,6 +175,8 @@ pub struct CrashPoint {
 pub struct JournalReplay {
     /// The meta record, when one was recovered.
     pub meta: Option<RunMeta>,
+    /// The sharded-run phase totals, when this is a shard journal.
+    pub shard_info: Option<ShardInfo>,
     /// Recovered block measurements in journal (completion) order.
     pub blocks: Vec<BlockMeasurement>,
     /// Recovered quarantine records `(index, block, attempts, reason)`.
@@ -221,6 +248,7 @@ pub fn read_journal(path: &Path) -> std::io::Result<JournalReplay> {
         };
         match entry {
             Entry::Meta(m) => replay.meta = Some(m),
+            Entry::ShardInfo(s) => replay.shard_info = Some(s),
             Entry::Block { measurement, .. } => replay.blocks.push(measurement),
             Entry::Quarantine {
                 index,
@@ -479,6 +507,40 @@ mod tests {
         assert_eq!(r.quarantines[0].3, "injected panic");
         assert!(!r.truncated);
         assert!(!r.shutdown);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_info_roundtrips_and_single_process_journals_lack_it() {
+        let dir = tmpdir("shardinfo");
+        let meta = RunMeta::new(42, 0.01, None);
+        let info = ShardInfo {
+            shard: 1,
+            shards: 4,
+            selected: 320,
+            reject_too_few: 7,
+            reject_uncovered: 3,
+            calibration_probes: 9000,
+        };
+        let mut w = JournalWriter::create(&dir, &meta).unwrap();
+        w.append(&Entry::ShardInfo(info)).unwrap();
+        w.append(&Entry::Block {
+            index: 0,
+            measurement: measurement(0x0A_0100, 4),
+        })
+        .unwrap();
+        w.flush().unwrap();
+        let r = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(r.shard_info, Some(info));
+        assert_eq!(r.blocks.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // A journal without the record replays to `None` (single-process).
+        let dir = tmpdir("shardinfo-none");
+        let w = JournalWriter::create(&dir, &meta).unwrap();
+        drop(w);
+        let r = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(r.shard_info, None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

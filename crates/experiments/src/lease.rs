@@ -1,0 +1,390 @@
+//! Filesystem shard leases for multi-process sharded runs.
+//!
+//! A sharded run partitions the deterministic selection order round-robin
+//! over `shards` worker processes ([`shard_of`]). The coordinator owns one
+//! lease file per shard under `<run_dir>/leases/`; a lease is the single
+//! source of truth a spawned worker reads its entire configuration from
+//! (seed, scale, faults, threads — the worker command line carries only
+//! `--run-dir` and `--shard`).
+//!
+//! # Atomicity and fencing
+//!
+//! Lease files are only ever *replaced whole*: [`Lease::store`] writes a
+//! temp file in the same directory, fsyncs it, and `rename(2)`s it into
+//! place, so a reader sees either the old lease or the new one, never a
+//! torn mix. Every revocation bumps the lease `epoch`; workers stamp their
+//! epoch into each heartbeat, so the coordinator can tell a live holder
+//! from a zombie of a revoked incarnation, and a worker that loads a lease
+//! in state [`LeaseState::Revoked`] or [`LeaseState::Quarantined`] refuses
+//! to run at all.
+//!
+//! # Liveness
+//!
+//! A worker heartbeats by atomically rewriting `<shard dir>/heartbeat`
+//! (the file's mtime is the liveness signal, its content the fencing
+//! epoch). Completion is a separate `done` marker written after the final
+//! journal flush — the coordinator never has to guess whether an exited
+//! worker finished.
+
+use crate::journal::RunMeta;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// Version tag carried by every lease file.
+pub const LEASE_SCHEMA: &str = "hobbit-lease/v1";
+
+/// Directory of lease files inside a run dir.
+pub const LEASES_DIR: &str = "leases";
+
+/// Directory of per-shard run dirs (journal, heartbeat, done marker).
+pub const SHARDS_DIR: &str = "shards";
+
+/// Heartbeat file name inside a shard dir.
+pub const HEARTBEAT_FILE: &str = "heartbeat";
+
+/// Completion marker file name inside a shard dir.
+pub const DONE_FILE: &str = "done";
+
+/// Which shard owns selection-order index `index`: round-robin, so every
+/// shard gets an equal slice of the deterministic block order regardless
+/// of where selection density lands in address space.
+#[inline]
+pub fn shard_of(index: usize, shards: usize) -> usize {
+    index % shards.max(1)
+}
+
+/// Lease lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseState {
+    /// Held by the worker incarnation named in the lease.
+    Granted,
+    /// Revoked by the coordinator (crash or missed heartbeat); the next
+    /// store with a bumped epoch re-grants it.
+    Revoked,
+    /// The shard exhausted its respawn budget; the run cannot complete.
+    Quarantined,
+}
+
+/// Sabotage the testkit plants in a lease (first incarnation only;
+/// revocation clears it, so the respawned worker runs clean).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LeaseSabotage {
+    /// Arm the worker journal's simulated kill after this many block
+    /// appends (`torn` leaves a partial frame), then exit nonzero.
+    CrashAfter {
+        /// Block appends before the simulated kill.
+        appends: u64,
+        /// Leave a torn record at the journal tail.
+        torn: bool,
+    },
+    /// Write one heartbeat, then wedge without probing until killed — the
+    /// missed-heartbeat revocation path.
+    Stall,
+}
+
+/// One shard lease: assignment, fencing epoch, and the full worker
+/// configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Lease {
+    /// Always [`LEASE_SCHEMA`]; checked on load.
+    pub schema: String,
+    /// Shard index in `0..shards`.
+    pub shard: u64,
+    /// Total shard count of the run.
+    pub shards: u64,
+    /// Incarnation fence, bumped on every revocation.
+    pub epoch: u32,
+    /// Lifecycle state.
+    pub state: LeaseState,
+    /// pid of the holding worker process (0 = not spawned yet).
+    pub holder_pid: u32,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Scenario scale.
+    pub scale: f64,
+    /// Whether fault injection is on.
+    pub faulted: bool,
+    /// Injected per-link loss probability (0 when `faulted` is false).
+    pub fault_loss: f64,
+    /// Injected ICMP token-bucket refill rate (0 when `faulted` is false).
+    pub fault_rate: f64,
+    /// Classification worker threads inside the worker process.
+    pub threads: u64,
+    /// Interval between worker heartbeats, milliseconds.
+    pub heartbeat_ms: u64,
+    /// Testkit sabotage for this incarnation.
+    pub sabotage: Option<LeaseSabotage>,
+}
+
+impl Lease {
+    /// A fresh granted lease for `shard` of `shards` with the run knobs.
+    pub fn grant(
+        shard: usize,
+        shards: usize,
+        meta: &RunMeta,
+        threads: usize,
+        heartbeat_ms: u64,
+    ) -> Self {
+        Lease {
+            schema: LEASE_SCHEMA.to_string(),
+            shard: shard as u64,
+            shards: shards as u64,
+            epoch: 0,
+            state: LeaseState::Granted,
+            holder_pid: 0,
+            seed: meta.seed,
+            scale: meta.scale,
+            faulted: meta.faulted,
+            fault_loss: meta.fault_loss,
+            fault_rate: meta.fault_rate,
+            threads: threads as u64,
+            heartbeat_ms,
+            sabotage: None,
+        }
+    }
+
+    /// The fault knobs as the pipeline consumes them.
+    pub fn faults(&self) -> Option<(f64, f64)> {
+        self.faulted.then_some((self.fault_loss, self.fault_rate))
+    }
+
+    /// Path of this shard's lease file inside `run_dir`.
+    pub fn path(run_dir: &Path, shard: usize) -> PathBuf {
+        run_dir
+            .join(LEASES_DIR)
+            .join(format!("shard-{shard}.lease"))
+    }
+
+    /// Atomically publish the lease: write a temp file beside the target,
+    /// fsync it, and rename it into place. A concurrent reader sees the
+    /// previous lease or this one, never a prefix.
+    pub fn store(&self, run_dir: &Path) -> std::io::Result<()> {
+        let dir = run_dir.join(LEASES_DIR);
+        std::fs::create_dir_all(&dir)?;
+        let target = Lease::path(run_dir, self.shard as usize);
+        let tmp = dir.join(format!(
+            ".shard-{}.lease.tmp.{}",
+            self.shard,
+            std::process::id()
+        ));
+        let payload =
+            serde_json::to_string(self).map_err(|e| std::io::Error::other(format!("{e:?}")))?;
+        let mut f = File::create(&tmp)?;
+        f.write_all(payload.as_bytes())?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, &target)
+    }
+
+    /// Load and validate a shard's lease file.
+    pub fn load(run_dir: &Path, shard: usize) -> std::io::Result<Lease> {
+        let text = std::fs::read_to_string(Lease::path(run_dir, shard))?;
+        let lease: Lease = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::other(format!("lease decode: {e:?}")))?;
+        if lease.schema != LEASE_SCHEMA {
+            return Err(std::io::Error::other(format!(
+                "lease written by an incompatible version: {:?} (want {LEASE_SCHEMA:?})",
+                lease.schema
+            )));
+        }
+        if lease.shard != shard as u64 {
+            return Err(std::io::Error::other(format!(
+                "lease file for shard {shard} names shard {}",
+                lease.shard
+            )));
+        }
+        Ok(lease)
+    }
+
+    /// Revoke this lease and re-grant it to a fresh incarnation: bump the
+    /// fencing epoch, clear any planted sabotage (the respawn must be able
+    /// to finish), and reset the holder.
+    pub fn regrant(&self) -> Lease {
+        Lease {
+            epoch: self.epoch + 1,
+            state: LeaseState::Granted,
+            holder_pid: 0,
+            sabotage: None,
+            ..self.clone()
+        }
+    }
+}
+
+/// Per-shard working directory (journal, heartbeat, done marker) inside a
+/// run dir.
+pub fn shard_dir(run_dir: &Path, shard: usize) -> PathBuf {
+    run_dir.join(SHARDS_DIR).join(format!("shard-{shard}"))
+}
+
+/// Atomically rewrite the shard's heartbeat file. The rename refreshes the
+/// mtime (the liveness signal the coordinator polls) and the content
+/// carries the fencing epoch and pid of the writer.
+pub fn write_heartbeat(shard_dir: &Path, epoch: u32) -> std::io::Result<()> {
+    std::fs::create_dir_all(shard_dir)?;
+    let tmp = shard_dir.join(format!(".{HEARTBEAT_FILE}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, format!("{epoch} {}\n", std::process::id()))?;
+    std::fs::rename(&tmp, shard_dir.join(HEARTBEAT_FILE))
+}
+
+/// Age of the shard's last heartbeat, `None` when no heartbeat exists (a
+/// worker that never got as far as its first beat).
+pub fn heartbeat_age(shard_dir: &Path) -> Option<Duration> {
+    let meta = std::fs::metadata(shard_dir.join(HEARTBEAT_FILE)).ok()?;
+    let mtime = meta.modified().ok()?;
+    SystemTime::now().duration_since(mtime).ok()
+}
+
+/// The fencing epoch of the shard's last heartbeat.
+pub fn heartbeat_epoch(shard_dir: &Path) -> Option<u32> {
+    let text = std::fs::read_to_string(shard_dir.join(HEARTBEAT_FILE)).ok()?;
+    text.split_whitespace().next()?.parse().ok()
+}
+
+/// Write the shard's completion marker (atomic rename, like heartbeats).
+/// Only a worker that sealed its journal calls this.
+pub fn mark_done(shard_dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(shard_dir)?;
+    let tmp = shard_dir.join(format!(".{DONE_FILE}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, "done\n")?;
+    std::fs::rename(&tmp, shard_dir.join(DONE_FILE))
+}
+
+/// Whether the shard has a completion marker.
+pub fn is_done(shard_dir: &Path) -> bool {
+    shard_dir.join(DONE_FILE).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "hobbit-lease-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn meta() -> RunMeta {
+        RunMeta::new(42, 0.01, Some((0.02, 0.5)))
+    }
+
+    #[test]
+    fn shard_of_is_round_robin_and_total() {
+        for shards in 1..=5 {
+            let mut counts = vec![0usize; shards];
+            for i in 0..100 {
+                counts[shard_of(i, shards)] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), 100);
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(max - min <= 1, "{counts:?}");
+        }
+        // Degenerate shard count never divides by zero.
+        assert_eq!(shard_of(7, 0), 0);
+    }
+
+    #[test]
+    fn lease_store_load_roundtrip_and_validation() {
+        let dir = tmpdir("roundtrip");
+        let mut lease = Lease::grant(2, 4, &meta(), 8, 250);
+        lease.sabotage = Some(LeaseSabotage::CrashAfter {
+            appends: 5,
+            torn: true,
+        });
+        lease.store(&dir).unwrap();
+        let back = Lease::load(&dir, 2).unwrap();
+        assert_eq!(back, lease);
+        assert_eq!(back.faults(), Some((0.02, 0.5)));
+        // No temp file left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(dir.join(LEASES_DIR))
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        // Loading the wrong shard index is refused.
+        assert!(Lease::load(&dir, 3).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lease_schema_mismatch_is_refused() {
+        let dir = tmpdir("schema");
+        let mut lease = Lease::grant(0, 2, &meta(), 1, 250);
+        lease.schema = "hobbit-lease/v0".into();
+        lease.store(&dir).unwrap();
+        let err = Lease::load(&dir, 0).unwrap_err();
+        assert!(err.to_string().contains("incompatible"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn regrant_bumps_epoch_and_clears_sabotage() {
+        let mut lease = Lease::grant(1, 2, &meta(), 4, 250);
+        lease.sabotage = Some(LeaseSabotage::Stall);
+        lease.holder_pid = 4242;
+        lease.state = LeaseState::Revoked;
+        let next = lease.regrant();
+        assert_eq!(next.epoch, 1);
+        assert_eq!(next.state, LeaseState::Granted);
+        assert_eq!(next.holder_pid, 0);
+        assert_eq!(next.sabotage, None);
+        assert_eq!(next.seed, lease.seed);
+        assert_eq!(next.shard, lease.shard);
+    }
+
+    #[test]
+    fn store_replaces_atomically_under_a_reader() {
+        // Replacing a lease many times never exposes a torn read.
+        let dir = tmpdir("atomic");
+        Lease::grant(0, 2, &meta(), 1, 250).store(&dir).unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let reader = s.spawn(|| {
+                let mut reads = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let lease = Lease::load(&dir, 0).expect("reader saw a torn lease");
+                    assert_eq!(lease.shard, 0);
+                    reads += 1;
+                }
+                reads
+            });
+            for epoch in 0..200u32 {
+                let mut l = Lease::grant(0, 2, &meta(), 1, 250);
+                l.epoch = epoch;
+                l.store(&dir).unwrap();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            assert!(reader.join().unwrap() > 0);
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn heartbeat_age_epoch_and_done_marker() {
+        let dir = tmpdir("heartbeat");
+        let sd = shard_dir(&dir, 1);
+        assert_eq!(heartbeat_age(&sd), None);
+        assert_eq!(heartbeat_epoch(&sd), None);
+        assert!(!is_done(&sd));
+        write_heartbeat(&sd, 3).unwrap();
+        assert_eq!(heartbeat_epoch(&sd), Some(3));
+        let age = heartbeat_age(&sd).unwrap();
+        assert!(age < Duration::from_secs(5), "{age:?}");
+        // A fresh beat with a newer epoch replaces the old one.
+        write_heartbeat(&sd, 4).unwrap();
+        assert_eq!(heartbeat_epoch(&sd), Some(4));
+        // Staleness grows monotonically once the worker stops beating.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(heartbeat_age(&sd).unwrap() >= Duration::from_millis(25));
+        mark_done(&sd).unwrap();
+        assert!(is_done(&sd));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

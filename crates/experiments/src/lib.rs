@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod coordinator;
 pub mod journal;
+pub mod lease;
 pub mod pipeline;
 pub mod report;
 pub mod supervise;
@@ -20,7 +22,11 @@ pub mod supervise;
 pub mod exps;
 
 pub use args::ExpArgs;
-pub use journal::{CrashPoint, JournalWriter, RunMeta, JOURNAL_SCHEMA};
+pub use coordinator::{
+    merge_run, run_sharded, worker_main, CoordCrash, CoordError, CoordObs, CoordinatorConfig,
+};
+pub use journal::{CrashPoint, JournalWriter, RunMeta, ShardInfo, JOURNAL_SCHEMA};
+pub use lease::{Lease, LeaseSabotage, LeaseState, LEASE_SCHEMA};
 pub use pipeline::{
     classify_blocks, classify_blocks_observed, Pipeline, PipelineBuilder, WorkerStats,
 };

@@ -27,7 +27,8 @@
 //! [`classify_blocks`], which takes the shared-network handle directly.
 
 use crate::args::ExpArgs;
-use crate::journal::{CrashPoint, Entry, JournalWriter, RunMeta, JOURNAL_SCHEMA};
+use crate::journal::{CrashPoint, Entry, JournalWriter, RunMeta, ShardInfo, JOURNAL_SCHEMA};
+use crate::lease::shard_of;
 use crate::supervise::{
     classify_blocks_supervised, FaultInjector, ShutdownSignal, SuperviseConfig, SuperviseHooks,
     SuperviseObs, SuperviseReport,
@@ -126,6 +127,7 @@ pub struct PipelineBuilder {
     injector: Option<FaultInjector>,
     crash: Option<CrashPoint>,
     shutdown: Option<ShutdownSignal>,
+    shard: Option<(usize, usize)>,
 }
 
 impl std::fmt::Debug for PipelineBuilder {
@@ -140,6 +142,7 @@ impl std::fmt::Debug for PipelineBuilder {
             .field("injector", &self.injector.is_some())
             .field("crash", &self.crash)
             .field("shutdown", &self.shutdown)
+            .field("shard", &self.shard)
             .finish()
     }
 }
@@ -243,6 +246,23 @@ impl PipelineBuilder {
         self
     }
 
+    /// Classify only the blocks shard `shard` of `shards` owns
+    /// (round-robin over the deterministic selection order; see
+    /// [`crate::lease::shard_of`]). Selection and calibration still run in
+    /// full — they are cheap, deterministic, and give every worker the
+    /// identical confidence table — but non-owned blocks are never probed.
+    /// Requires a run dir: a shard's only output is its journal, which the
+    /// coordinator's merge folds into the run report.
+    pub fn shard(mut self, shard: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded run needs at least one shard");
+        assert!(
+            shard < shards,
+            "shard index {shard} out of range for {shards} shards"
+        );
+        self.shard = Some((shard, shards));
+        self
+    }
+
     /// Attach a graceful-shutdown signal: when requested, workers drain
     /// their in-flight blocks, the journal gets a final checkpoint, and
     /// the run returns early with [`SuperviseReport::shutdown`] set.
@@ -263,9 +283,26 @@ impl PipelineBuilder {
             injector,
             crash,
             shutdown,
+            shard,
         } = self;
+        assert!(
+            args.shards.is_none(),
+            "--shards starts a coordinator: route through \
+             experiments::coordinator::run_sharded, not Pipeline::run"
+        );
+        assert!(
+            args.shard.is_none(),
+            "--shard re-enters a worker process: route through \
+             experiments::coordinator::worker_main, which configures the \
+             pipeline from the shard's lease"
+        );
         let run_dir = run_dir.or_else(|| args.run_dir.as_ref().map(PathBuf::from));
         let resume = resume || args.resume;
+        assert!(
+            shard.is_none() || run_dir.is_some(),
+            "a sharded worker must journal into a run dir: its journal is \
+             the only output the coordinator's merge can read"
+        );
         let mut sup_cfg = supervise.unwrap_or_default();
         if let Some(secs) = args.deadline {
             sup_cfg.deadline = Duration::from_secs_f64(secs);
@@ -276,6 +313,7 @@ impl PipelineBuilder {
         let mut journal: Option<Mutex<JournalWriter>> = None;
         let mut replayed: Vec<BlockMeasurement> = Vec::new();
         let mut truncated_tail = false;
+        let mut replayed_shard_info: Option<ShardInfo> = None;
         if let Some(dir) = &run_dir {
             let writer = if resume {
                 let (w, replay) =
@@ -292,6 +330,17 @@ impl PipelineBuilder {
                 args.faults = meta.faults();
                 replayed = replay.blocks;
                 truncated_tail = replay.truncated;
+                replayed_shard_info = replay.shard_info;
+                if let (Some((s, n)), Some(info)) = (shard, &replayed_shard_info) {
+                    assert_eq!(
+                        (info.shard, info.shards),
+                        (s as u64, n as u64),
+                        "resume: journal belongs to shard {}/{} but the worker \
+                         was granted shard {s}/{n}",
+                        info.shard,
+                        info.shards
+                    );
+                }
                 w
             } else {
                 JournalWriter::create(dir, &RunMeta::new(args.seed, args.scale, args.faults))
@@ -391,6 +440,34 @@ impl PipelineBuilder {
             ConfidenceTable::build(&dataset, 50, 24, 0.95, 8, args.seed ^ 0xF16)
         };
 
+        // Sharded worker: persist the global phase totals right after the
+        // meta record (before any block lands), so the coordinator's merge
+        // can rebuild the single-process report from journals alone. On
+        // resume the totals must re-derive identically — anything else
+        // means the journal belongs to a different world.
+        if let Some((s, n)) = shard {
+            let info = ShardInfo {
+                shard: s as u64,
+                shards: n as u64,
+                selected: selected.len() as u64,
+                reject_too_few: reject_too_few as u64,
+                reject_uncovered: reject_uncovered as u64,
+                calibration_probes,
+            };
+            match &replayed_shard_info {
+                Some(prev) => assert_eq!(
+                    *prev, info,
+                    "resume: re-derived shard totals diverge from the journal"
+                ),
+                None => {
+                    let j = journal.as_ref().expect("sharding requires a run dir");
+                    let mut j = j.lock().unwrap();
+                    j.append(&Entry::ShardInfo(info)).expect("journal append");
+                    j.flush().expect("journal flush");
+                }
+            }
+        }
+
         // --- Classification over ONE shared network, work-stealing workers
         // under supervision (panic isolation, stall watchdog, checkpoints).
         let hobbit_cfg = HobbitConfig {
@@ -414,6 +491,13 @@ impl PipelineBuilder {
         // remaining blocks measure exactly what they would have anyway.
         let sup_obs = SuperviseObs::bind(rec);
         let mut skip = vec![false; selected.len()];
+        // Non-owned blocks of a sharded worker are skipped outright (and
+        // never prefilled): they belong to another shard's journal.
+        if let Some((s, n)) = shard {
+            for (i, flag) in skip.iter_mut().enumerate() {
+                *flag = shard_of(i, n) != s;
+            }
+        }
         let mut prefilled: Vec<BlockMeasurement> = Vec::new();
         if !replayed.is_empty() {
             let index_of: HashMap<Block24, usize> = selected
@@ -742,6 +826,63 @@ struct CanonicalReport {
 /// Version tag of the canonical report document.
 pub const REPORT_SCHEMA: &str = "hobbit-report/v1";
 
+/// Classification counts over a measurement list, in the fixed label
+/// order the canonical report uses.
+pub(crate) fn classification_counts_of(
+    measurements: &[BlockMeasurement],
+) -> Vec<(hobbit::Classification, usize)> {
+    use hobbit::Classification::*;
+    [
+        TooFewActive,
+        UnresponsiveLasthop,
+        SameLasthop,
+        NonHierarchical,
+        Hierarchical,
+    ]
+    .into_iter()
+    .map(|c| {
+        (
+            c,
+            measurements
+                .iter()
+                .filter(|m| m.classification == c)
+                .count(),
+        )
+    })
+    .collect()
+}
+
+/// Render the canonical report document from its deterministic inputs.
+/// [`Pipeline::canonical_report`] and the coordinator's shard-merge both
+/// funnel through here — one serializer, one byte layout — which is what
+/// makes a merged sharded run byte-identical to a single-process run.
+pub(crate) fn render_canonical_report(
+    seed: u64,
+    selected: u64,
+    reject_too_few: u64,
+    reject_uncovered: u64,
+    calibration_probes: u64,
+    measurements: &[BlockMeasurement],
+    quarantined: &[(u64, Block24, u32, String)],
+) -> String {
+    let report = CanonicalReport {
+        schema: REPORT_SCHEMA.to_string(),
+        seed,
+        selected,
+        reject_too_few,
+        reject_uncovered,
+        calibration_probes,
+        classify_probes: measurements.iter().map(|m| m.probes_used).sum(),
+        classifications: classification_counts_of(measurements)
+            .into_iter()
+            .map(|(c, n)| (c.label().to_string(), n as u64))
+            .collect(),
+        measurements: measurements.to_vec(),
+        quarantined: quarantined.to_vec(),
+    };
+    serde_json::to_string(&report).expect("canonical report serializes")
+}
+
 impl Pipeline {
     /// Start configuring a pipeline run.
     pub fn builder() -> PipelineBuilder {
@@ -762,35 +903,28 @@ impl Pipeline {
     /// contract of the checkpoint subsystem); tests compare these strings
     /// directly.
     pub fn canonical_report(&self) -> String {
-        let report = CanonicalReport {
-            schema: REPORT_SCHEMA.to_string(),
-            seed: self.scenario.config.seed,
-            selected: self.selected.len() as u64,
-            reject_too_few: self.reject_too_few as u64,
-            reject_uncovered: self.reject_uncovered as u64,
-            calibration_probes: self.calibration_probes,
-            classify_probes: self.classify_probes,
-            classifications: self
-                .classification_counts()
-                .into_iter()
-                .map(|(c, n)| (c.label().to_string(), n as u64))
-                .collect(),
-            measurements: self.measurements.clone(),
-            quarantined: self
-                .supervision
-                .quarantined
-                .iter()
-                .map(|q| {
-                    (
-                        q.index as u64,
-                        q.block,
-                        q.attempts,
-                        q.reason.label().to_string(),
-                    )
-                })
-                .collect(),
-        };
-        serde_json::to_string(&report).expect("canonical report serializes")
+        let quarantined: Vec<(u64, Block24, u32, String)> = self
+            .supervision
+            .quarantined
+            .iter()
+            .map(|q| {
+                (
+                    q.index as u64,
+                    q.block,
+                    q.attempts,
+                    q.reason.label().to_string(),
+                )
+            })
+            .collect();
+        render_canonical_report(
+            self.scenario.config.seed,
+            self.selected.len() as u64,
+            self.reject_too_few as u64,
+            self.reject_uncovered as u64,
+            self.calibration_probes,
+            &self.measurements,
+            &quarantined,
+        )
     }
 
     /// The recorder post-pipeline phases should report through: the run's
@@ -900,25 +1034,7 @@ impl Pipeline {
 
     /// Count measurements per classification.
     pub fn classification_counts(&self) -> Vec<(hobbit::Classification, usize)> {
-        use hobbit::Classification::*;
-        [
-            TooFewActive,
-            UnresponsiveLasthop,
-            SameLasthop,
-            NonHierarchical,
-            Hierarchical,
-        ]
-        .into_iter()
-        .map(|c| {
-            (
-                c,
-                self.measurements
-                    .iter()
-                    .filter(|m| m.classification == c)
-                    .count(),
-            )
-        })
-        .collect()
+        classification_counts_of(&self.measurements)
     }
 }
 

@@ -1,0 +1,48 @@
+//! `hobbit-shard` — multi-process sharded runs on one host.
+//!
+//! Coordinator mode (`--shards N --run-dir DIR`): partitions the block
+//! order into N filesystem shard leases under DIR, spawns one worker
+//! process per shard (this same binary, re-entered with `--shard`),
+//! supervises them through heartbeat mtimes, and merges the per-shard
+//! journals into `DIR/report.json` — byte-identical to a single-process
+//! run with the same seed/scale/faults. Re-running the identical command
+//! resumes a killed coordinator: finished shards are skipped, unfinished
+//! ones resume from their journals.
+//!
+//! Worker mode (`--shard I --run-dir DIR`): spawned by the coordinator;
+//! every knob comes from the shard's lease file, not the command line.
+
+use experiments::coordinator::{run_sharded, worker_main, CoordinatorConfig, REPORT_FILE};
+use experiments::ExpArgs;
+use obs::NullRecorder;
+use std::path::Path;
+
+fn main() {
+    let args = ExpArgs::parse();
+    if let Some(shard) = args.shard {
+        let run_dir = args.run_dir.as_deref().expect("--shard requires --run-dir");
+        std::process::exit(worker_main(Path::new(run_dir), shard));
+    }
+    if args.shards.is_none() {
+        eprintln!("hobbit-shard: need --shards N (coordinator) or --shard I (worker); try --help");
+        std::process::exit(2);
+    }
+    let cfg = CoordinatorConfig::from_args(&args);
+    match run_sharded(&cfg, &NullRecorder) {
+        Ok(report) => {
+            if args.json {
+                println!("{report}");
+            } else {
+                println!(
+                    "sharded run complete: {} shards merged into {}",
+                    cfg.shards,
+                    cfg.run_dir.join(REPORT_FILE).display()
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("hobbit-shard: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -67,7 +67,7 @@ fn flat_is_at_least_twice_baseline_at_100k() {
 #[test]
 fn flat_snapshot_gates_against_itself() {
     let flat = load(FLAT, "flat");
-    let report = compare(&flat, &flat, 0.10);
+    let report = compare(&flat, &flat, 0.10).expect("self-comparison is computable");
     assert!(
         report.pass(),
         "self-comparison regressed: {:?}",

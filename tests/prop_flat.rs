@@ -169,8 +169,15 @@ proptest! {
         prop_assert_eq!(ha.iter().collect::<Vec<_>>(), a.iter().copied().collect::<Vec<_>>());
         prop_assert_eq!(ha.intersects(&hb), !a.is_disjoint(&b));
         prop_assert_eq!(ha.intersection_count(&hb) as usize, a.intersection(&b).count());
-        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        // `range` over the raw pair: an inverted range (lo > hi) is the
+        // empty set, matching `lo..=hi` iteration semantics.
         let mask = HostSet::range(lo, hi);
-        prop_assert_eq!(mask.intersection_count(&ha) as usize, a.range(lo..=hi).count());
+        if lo > hi {
+            prop_assert_eq!(mask, HostSet::EMPTY);
+        }
+        prop_assert_eq!(
+            mask.intersection_count(&ha) as usize,
+            if lo <= hi { a.range(lo..=hi).count() } else { 0 }
+        );
     }
 }

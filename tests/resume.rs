@@ -5,7 +5,7 @@
 //! the reference oracle. Worker sabotage (panics, stalls) must quarantine
 //! or recover exactly the targeted block and nothing else.
 
-use experiments::journal::{read_journal, CrashPoint, JOURNAL_FILE};
+use experiments::journal::{read_journal, CrashPoint, Entry, JournalWriter, RunMeta, JOURNAL_FILE};
 use experiments::supervise::{InjectedFault, SuperviseConfig, DEFAULT_ATTEMPT_BUDGET};
 use experiments::{Pipeline, PipelineBuilder, ShutdownSignal};
 use hobbit::Classification;
@@ -197,6 +197,107 @@ fn uninterrupted_checkpointed_run_matches_plain_run() {
         &resumed.canonical_report(),
         "complete-journal resume",
     );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A minimal but real measurement for journal-format tests (the sweep
+/// below never runs the pipeline — it attacks the WAL framing directly).
+fn tiny_measurement(block: u32) -> hobbit::BlockMeasurement {
+    let block = Block24(block);
+    let lh = Addr::new(10, 0, 0, 1);
+    hobbit::BlockMeasurement {
+        block,
+        classification: Classification::SameLasthop,
+        lasthop_set: vec![lh],
+        per_dest: (0..4).map(|i| (block.addr(i + 1), vec![lh])).collect(),
+        dests_probed: 4,
+        dests_resolved: 4,
+        dests_anonymous: 0,
+        dests_unresolved: 0,
+        reprobes: 0,
+        probes_used: 12,
+    }
+}
+
+/// Satellite of the torn-tail contract: a kill can land at *any* byte of
+/// the final record — including inside the 8-byte len+CRC frame header,
+/// which the batch-boundary crash simulator never produces. For every
+/// truncation offset, replay must recover exactly the preceding records,
+/// flag the tail, and resume must truncate physically and then append
+/// cleanly.
+#[test]
+fn torn_tail_truncation_sweep_over_every_offset_of_the_final_record() {
+    let dir = run_dir("truncation-sweep");
+    let meta = RunMeta::new(7, 0.01, None);
+    let blocks = 3u64;
+    {
+        let mut w = JournalWriter::create(&dir, &meta).unwrap();
+        for i in 0..blocks {
+            w.append(&Entry::Block {
+                index: i,
+                measurement: tiny_measurement(0x0A_0100 + i as u32),
+            })
+            .unwrap();
+        }
+        w.flush().unwrap();
+    }
+    let path = dir.join(JOURNAL_FILE);
+    let whole = std::fs::read(&path).unwrap();
+    let intact = read_journal(&path).unwrap();
+    assert_eq!(intact.blocks.len(), blocks as usize);
+    assert!(!intact.truncated);
+
+    // The final record spans [last_start, whole.len()).
+    let last_frame = {
+        let frame_len =
+            |at: usize| 8 + u32::from_le_bytes(whole[at..at + 4].try_into().unwrap()) as usize;
+        let mut at = 0;
+        while at + frame_len(at) < whole.len() {
+            at += frame_len(at);
+        }
+        assert_eq!(
+            at + frame_len(at),
+            whole.len(),
+            "frame walk must land on EOF"
+        );
+        at
+    };
+
+    for cut in last_frame..whole.len() {
+        std::fs::write(&path, &whole[..cut]).unwrap();
+        let r = read_journal(&path).unwrap();
+        assert_eq!(
+            r.blocks.len(),
+            blocks as usize - 1,
+            "cut at byte {cut} (record starts at {last_frame}): wrong prefix"
+        );
+        assert_eq!(r.meta.as_ref(), Some(&meta), "cut at byte {cut}: meta lost");
+        assert_eq!(
+            r.truncated,
+            cut != last_frame,
+            "cut at byte {cut}: truncation flag wrong ({} partial bytes)",
+            cut - last_frame
+        );
+        assert_eq!(r.valid_len, last_frame as u64, "cut at byte {cut}");
+
+        // Resume drops the partial bytes from disk and appends cleanly.
+        let (mut w, replay) = JournalWriter::resume(&dir).unwrap();
+        assert_eq!(replay.blocks.len(), blocks as usize - 1);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            last_frame as u64,
+            "cut at byte {cut}: resume left partial bytes on disk"
+        );
+        w.append(&Entry::Block {
+            index: blocks - 1,
+            measurement: tiny_measurement(0x0A_0100 + blocks as u32 - 1),
+        })
+        .unwrap();
+        w.flush().unwrap();
+        let healed = read_journal(&path).unwrap();
+        assert_eq!(healed.blocks.len(), blocks as usize, "cut at byte {cut}");
+        assert!(!healed.truncated, "cut at byte {cut}");
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
