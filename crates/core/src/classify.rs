@@ -18,7 +18,7 @@ use crate::schedule::{probing_order, reprobe_order};
 use crate::select::SelectedBlock;
 use netsim::{Addr, Block24};
 use obs::{Counter, Histogram, Recorder};
-use probe::{probe_lasthop_with_hint, LasthopOutcome, Prober, StoppingRule};
+use probe::{probe_lasthop_in_mode, LasthopOutcome, MdaLiteState, MdaMode, Prober, StoppingRule};
 use serde::{Deserialize, Serialize};
 
 /// Classification outcomes (the rows of Table 1).
@@ -110,6 +110,11 @@ pub struct HobbitConfig {
     /// degrades the measurement gracefully instead of silently shrinking a
     /// last-hop group. 0 disables reprobing.
     pub reprobe_rounds: usize,
+    /// MDA stopping discipline: `Classic` runs the full ladder at every
+    /// destination; `Lite` confirms a block's last-hop diamond once and
+    /// lets later destinations stop early (escalating on inconsistent
+    /// evidence). The per-block diamond state spans the reprobe rounds.
+    pub mda_mode: MdaMode,
 }
 
 impl Default for HobbitConfig {
@@ -122,6 +127,7 @@ impl Default for HobbitConfig {
             prober_retries: 1,
             retry_budget: probe::prober::DEFAULT_RETRY_BUDGET,
             reprobe_rounds: 1,
+            mda_mode: MdaMode::Classic,
         }
     }
 }
@@ -282,6 +288,12 @@ pub fn classify_block(
     // and seed the remaining destinations (saves the per-destination echo
     // inference round, cf. paper §3.4's efficiency goal).
     let mut dist_hint: Option<u8> = None;
+    // One MDA-Lite diamond per block, shared across the first pass and the
+    // reprobe rounds: every destination of a /24 sits behind the same fan.
+    let mut lite_state = match cfg.mda_mode {
+        MdaMode::Lite => Some(MdaLiteState::new()),
+        MdaMode::Classic => None,
+    };
 
     for dst in order {
         // Cooperative cancellation (supervision watchdog): abandon the
@@ -291,7 +303,7 @@ pub fn classify_block(
             break;
         }
         probed += 1;
-        let r = probe_lasthop_with_hint(prober, dst, cfg.rule, dist_hint);
+        let r = probe_lasthop_in_mode(prober, dst, cfg.rule, dist_hint, lite_state.as_mut());
         match r.outcome {
             LasthopOutcome::Found {
                 lasthops,
@@ -334,7 +346,7 @@ pub fn classify_block(
                 break;
             }
             reprobes += 1;
-            let r = probe_lasthop_with_hint(prober, dst, cfg.rule, dist_hint);
+            let r = probe_lasthop_in_mode(prober, dst, cfg.rule, dist_hint, lite_state.as_mut());
             match r.outcome {
                 LasthopOutcome::Found {
                     lasthops,
@@ -387,6 +399,14 @@ pub fn classify_block(
             }
         }
     });
+
+    if let Some(state) = &lite_state {
+        prober.note_mda_lite(
+            state.probes_saved,
+            state.diamonds_detected,
+            state.escalations,
+        );
+    }
 
     let lasthop_set = table.lasthop_set();
 
@@ -575,6 +595,59 @@ mod tests {
             assert_eq!(m.lasthop_set, set.into_iter().collect::<Vec<_>>());
             assert!(m.probes_used > 0);
         }
+    }
+
+    /// Classify every snapshot block fault-free under the given MDA mode.
+    fn classify_with_mode(seed: u64, mode: MdaMode) -> Vec<BlockMeasurement> {
+        let mut w = World::new(seed);
+        let cfg = HobbitConfig {
+            mda_mode: mode,
+            ..HobbitConfig::default()
+        };
+        let blocks: Vec<Block24> = w.snapshot.blocks().collect();
+        let mut out = Vec::new();
+        for b in blocks {
+            let Ok(sel) = select_block(&w.snapshot, b) else {
+                continue;
+            };
+            let mut prober = Prober::new(&mut w.scenario.network, 0x0B17);
+            out.push(classify_block(
+                &mut prober,
+                &sel,
+                &ConfidenceTable::empty(),
+                &cfg,
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn mda_lite_cuts_probe_cost_without_changing_verdicts() {
+        let classic = classify_with_mode(42, MdaMode::Classic);
+        let lite = classify_with_mode(42, MdaMode::Lite);
+        assert_eq!(classic.len(), lite.len());
+        let mut drift = 0usize;
+        for (c, l) in classic.iter().zip(&lite) {
+            assert_eq!(c.block, l.block);
+            if c.classification != l.classification {
+                drift += 1;
+            }
+            assert!(
+                l.probes_used <= c.probes_used,
+                "block {:?}: lite {} > classic {}",
+                c.block,
+                l.probes_used,
+                c.probes_used
+            );
+        }
+        assert!(
+            drift * 100 <= classic.len(),
+            "verdict drift {drift}/{} exceeds 1%",
+            classic.len()
+        );
+        let cp: u64 = classic.iter().map(|m| m.probes_used).sum();
+        let lp: u64 = lite.iter().map(|m| m.probes_used).sum();
+        assert!(lp < cp, "lite must be cheaper overall: {lp} vs {cp}");
     }
 
     /// Classify every snapshot block on a faulted network with the given

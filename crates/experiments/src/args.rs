@@ -39,6 +39,12 @@ pub struct ExpArgs {
     /// Run as shard worker with this index (spawned by the coordinator;
     /// the lease file under `--run-dir` carries every other knob).
     pub shard: Option<usize>,
+    /// Probe with the MDA-Lite stopping discipline instead of the full
+    /// classic ladder: a block's last-hop diamond is confirmed once, later
+    /// destinations stop early, and inconsistent flow-label evidence
+    /// escalates back to classic MDA. The mode is recorded in the run
+    /// meta, so `--resume` refuses a mode mismatch.
+    pub mda_lite: bool,
 }
 
 impl Default for ExpArgs {
@@ -56,6 +62,7 @@ impl Default for ExpArgs {
             deadline: None,
             shards: None,
             shard: None,
+            mda_lite: false,
         }
     }
 }
@@ -73,7 +80,7 @@ pub enum ParseOutcome {
 pub const USAGE: &str =
     "usage: <experiment> [--seed N] [--scale F] [--threads N] [--faults L,R] [--json]\n\
 \u{20}                   [--metrics OUT.json] [--trace-spans] [--run-dir DIR] [--resume]\n\
-\u{20}                   [--deadline SECS] [--shards N] [--shard I]\n\
+\u{20}                   [--deadline SECS] [--shards N] [--shard I] [--mda-lite]\n\
 --seed N      scenario seed (default 42)\n\
 --scale F     scenario scale, 1.0 = paper-size (default 0.12)\n\
 --threads N   probing worker threads (default: all cores)\n\
@@ -96,6 +103,11 @@ pub const USAGE: &str =
 --shard I     run as shard worker I of a sharded run (spawned by the\n\
 \u{20}             coordinator; requires --run-dir, whose lease file\n\
 \u{20}             carries every other knob)\n\
+--mda-lite    probe with the MDA-Lite stopping discipline: resolve each\n\
+\u{20}             block's last-hop diamond once, stop early on later\n\
+\u{20}             destinations, escalate to classic MDA on inconsistent\n\
+\u{20}             evidence (recorded in the run meta; --resume refuses a\n\
+\u{20}             mode mismatch)\n\
 --json        machine-readable output";
 
 impl ExpArgs {
@@ -139,6 +151,7 @@ impl ExpArgs {
                 "--deadline" => args.deadline = Some(expect_value(&mut it, "--deadline")?),
                 "--shards" => args.shards = Some(expect_value(&mut it, "--shards")?),
                 "--shard" => args.shard = Some(expect_value(&mut it, "--shard")?),
+                "--mda-lite" => args.mda_lite = true,
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
                 other => return Err(ParseOutcome::Error(format!("unknown flag {other:?}"))),
@@ -368,6 +381,17 @@ mod tests {
             parse(&["--shards", "0", "--run-dir", "x"]),
             Err(ParseOutcome::Error(_))
         ));
+    }
+
+    #[test]
+    fn mda_lite_flag_parses() {
+        let a = parse(&["--mda-lite"]).unwrap();
+        assert!(a.mda_lite);
+        assert!(!parse(&[]).unwrap().mda_lite, "classic is the default");
+        // Composes with the journal/shard flags it is recorded through.
+        let b = parse(&["--mda-lite", "--shards", "2", "--run-dir", "x"]).unwrap();
+        assert!(b.mda_lite);
+        assert_eq!(b.shards, Some(2));
     }
 
     #[test]

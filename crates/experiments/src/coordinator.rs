@@ -106,6 +106,9 @@ pub struct CoordinatorConfig {
     pub scale: f64,
     /// Fault injection, as `PipelineBuilder::faults`.
     pub faults: Option<(f64, f64)>,
+    /// Probe in MDA-Lite mode (as `PipelineBuilder::mda_lite`); recorded
+    /// in the run meta and copied into every shard lease.
+    pub mda_lite: bool,
     /// Classification threads per worker (0 = all cores).
     pub threads: usize,
     /// Worker executable; `None` re-enters the current executable.
@@ -137,6 +140,7 @@ impl CoordinatorConfig {
             seed: 42,
             scale: 0.12,
             faults: None,
+            mda_lite: false,
             threads: 0,
             worker_exe: None,
             heartbeat_interval: Duration::from_millis(100),
@@ -158,6 +162,7 @@ impl CoordinatorConfig {
         cfg.seed = args.seed;
         cfg.scale = args.scale;
         cfg.faults = args.faults;
+        cfg.mda_lite = args.mda_lite;
         cfg.threads = args.threads;
         cfg
     }
@@ -367,7 +372,7 @@ pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String
     let obs = CoordObs::bind(rec);
     let lock = acquire_lock(&cfg.run_dir)?;
     obs.shards.add(cfg.shards as u64);
-    let meta = RunMeta::new(cfg.seed, cfg.scale, cfg.faults);
+    let meta = RunMeta::new(cfg.seed, cfg.scale, cfg.faults).with_mda_lite(cfg.mda_lite);
     let exe = match &cfg.worker_exe {
         Some(p) => p.clone(),
         None => std::env::current_exe()?,
@@ -677,6 +682,7 @@ pub fn worker_main(run_dir: &Path, shard: usize) -> i32 {
         .seed(lease.seed)
         .scale(lease.scale)
         .threads(lease.threads as usize)
+        .mda_lite(lease.mda_lite)
         .shard(shard, lease.shards as usize);
     if let Some((loss, rate)) = lease.faults() {
         builder = builder.faults(loss, rate);

@@ -81,10 +81,19 @@ pub struct RunMeta {
     pub fault_loss: f64,
     /// Injected ICMP token-bucket refill rate (0 when `faulted` is false).
     pub fault_rate: f64,
+    /// Whether the run probed under the MDA-Lite stopping discipline.
+    /// Unlike seed/scale/faults — which resume simply adopts — a resume
+    /// under the *other* mode is refused outright: the journaled
+    /// measurements carry mode-dependent probe budgets, and silently
+    /// adopting the journal's mode would contradict the explicit CLI flag.
+    /// Defaults to `false` so pre-mode journals stay readable.
+    #[serde(default)]
+    pub mda_lite: bool,
 }
 
 impl RunMeta {
-    /// Meta record for a run with the given knobs.
+    /// Meta record for a run with the given knobs (classic MDA mode; use
+    /// [`RunMeta::with_mda_lite`] to record a lite run).
     pub fn new(seed: u64, scale: f64, faults: Option<(f64, f64)>) -> Self {
         RunMeta {
             schema: JOURNAL_SCHEMA.to_string(),
@@ -93,7 +102,14 @@ impl RunMeta {
             faulted: faults.is_some(),
             fault_loss: faults.map(|(l, _)| l).unwrap_or(0.0),
             fault_rate: faults.map(|(_, r)| r).unwrap_or(0.0),
+            mda_lite: false,
         }
+    }
+
+    /// Record the run's MDA mode in the meta.
+    pub fn with_mda_lite(mut self, mda_lite: bool) -> Self {
+        self.mda_lite = mda_lite;
+        self
     }
 
     /// The fault knobs as the pipeline consumes them.

@@ -111,6 +111,10 @@ pub struct Lease {
     pub fault_loss: f64,
     /// Injected ICMP token-bucket refill rate (0 when `faulted` is false).
     pub fault_rate: f64,
+    /// Whether the worker probes in MDA-Lite mode. Defaults to `false` so
+    /// leases written before the mode existed stay readable.
+    #[serde(default)]
+    pub mda_lite: bool,
     /// Classification worker threads inside the worker process.
     pub threads: u64,
     /// Interval between worker heartbeats, milliseconds.
@@ -140,6 +144,7 @@ impl Lease {
             faulted: meta.faulted,
             fault_loss: meta.fault_loss,
             fault_rate: meta.fault_rate,
+            mda_lite: meta.mda_lite,
             threads: threads as u64,
             heartbeat_ms,
             sabotage: None,
@@ -310,6 +315,26 @@ mod tests {
         assert!(leftovers.is_empty(), "{leftovers:?}");
         // Loading the wrong shard index is refused.
         assert!(Lease::load(&dir, 3).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lease_carries_mda_mode_and_defaults_old_files_to_classic() {
+        let dir = tmpdir("mda-mode");
+        let m = meta().with_mda_lite(true);
+        let lease = Lease::grant(0, 2, &m, 1, 250);
+        assert!(lease.mda_lite);
+        assert!(lease.regrant().mda_lite, "regrant must keep the probe mode");
+        lease.store(&dir).unwrap();
+        assert!(Lease::load(&dir, 0).unwrap().mda_lite);
+        // A lease written before the mode existed deserializes as classic.
+        let path = Lease::path(&dir, 0);
+        let stripped = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace(",\"mda_lite\":true", "");
+        assert!(!stripped.contains("mda_lite"));
+        std::fs::write(&path, stripped).unwrap();
+        assert!(!Lease::load(&dir, 0).unwrap().mda_lite);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -42,7 +42,7 @@ use netsim::build::{build, Scenario, ScenarioConfig};
 use netsim::hash::mix2;
 use netsim::{Addr, Block24, FaultConfig, NetworkStats, SharedNetwork};
 use obs::{NullRecorder, Recorder, Registry, SpanTimer};
-use probe::{zmap, ProbeObs, Prober, StoppingRule, ZmapSnapshot};
+use probe::{zmap, MdaMode, ProbeObs, Prober, StoppingRule, ZmapSnapshot};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
@@ -178,6 +178,22 @@ impl PipelineBuilder {
     /// Keep the network ideal (the default; undoes [`PipelineBuilder::faults`]).
     pub fn no_faults(mut self) -> Self {
         self.args.faults = None;
+        self
+    }
+
+    /// Probe in MDA-Lite mode (`--mda-lite`): diamond-aware stopping rules
+    /// replace the full MDA ladder at hops whose diamond is already
+    /// resolved, with escalation back to classic MDA when flow-label
+    /// evidence is inconsistent. The mode is recorded in the run's journal
+    /// meta, and `--resume` refuses a mode mismatch.
+    pub fn mda_mode(mut self, mode: MdaMode) -> Self {
+        self.args.mda_lite = mode == MdaMode::Lite;
+        self
+    }
+
+    /// Shorthand for [`PipelineBuilder::mda_mode`] from a boolean flag.
+    pub fn mda_lite(mut self, on: bool) -> Self {
+        self.args.mda_lite = on;
         self
     }
 
@@ -325,6 +341,31 @@ impl PipelineBuilder {
                     meta.schema, JOURNAL_SCHEMA,
                     "resume: journal written by an incompatible version"
                 );
+                // Seed, scale, and faults are *adopted* from the journal —
+                // the resumed world must be the crashed world. The probe
+                // mode is different: adopting it silently would make
+                // `--mda-lite` a no-op on resume, and switching it would
+                // change the probe stream of every remaining block, so a
+                // mismatch is refused outright.
+                assert_eq!(
+                    meta.mda_lite,
+                    args.mda_lite,
+                    "resume: journal was recorded in {} mode but this run \
+                     asked for {} — the probe mode changes every remaining \
+                     block's probe stream, so start a fresh run dir instead",
+                    if meta.mda_lite {
+                        MdaMode::Lite
+                    } else {
+                        MdaMode::Classic
+                    }
+                    .slug(),
+                    if args.mda_lite {
+                        MdaMode::Lite
+                    } else {
+                        MdaMode::Classic
+                    }
+                    .slug(),
+                );
                 args.seed = meta.seed;
                 args.scale = meta.scale;
                 args.faults = meta.faults();
@@ -343,8 +384,11 @@ impl PipelineBuilder {
                 }
                 w
             } else {
-                JournalWriter::create(dir, &RunMeta::new(args.seed, args.scale, args.faults))
-                    .expect("cannot create run-dir journal")
+                JournalWriter::create(
+                    dir,
+                    &RunMeta::new(args.seed, args.scale, args.faults).with_mda_lite(args.mda_lite),
+                )
+                .expect("cannot create run-dir journal")
             };
             journal = Some(Mutex::new(writer));
         }
@@ -476,6 +520,11 @@ impl PipelineBuilder {
                 FAULTED_RETRIES
             } else {
                 HobbitConfig::default().prober_retries
+            },
+            mda_mode: if args.mda_lite {
+                MdaMode::Lite
+            } else {
+                MdaMode::Classic
             },
             ..Default::default()
         };
@@ -1205,6 +1254,63 @@ mod tests {
         let f = tiny().faults(0.02, 0.5).run();
         let issues = f.verify_conformance();
         assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn mda_lite_pipeline_spends_fewer_probes_same_verdicts() {
+        let classic = tiny().threads(1).run();
+        let lite = tiny().threads(1).mda_lite(true).observe().run();
+        assert_eq!(lite.hobbit_cfg.mda_mode, MdaMode::Lite);
+        assert_eq!(classic.measurements.len(), lite.measurements.len());
+        let mut drift = 0usize;
+        for (c, l) in classic.measurements.iter().zip(&lite.measurements) {
+            assert_eq!(c.block, l.block);
+            assert!(
+                l.probes_used <= c.probes_used,
+                "block {}: lite spent {} > classic {}",
+                c.block,
+                l.probes_used,
+                c.probes_used
+            );
+            drift += (c.classification != l.classification) as usize;
+        }
+        assert!(lite.classify_probes < classic.classify_probes);
+        assert!(
+            drift as f64 / classic.measurements.len() as f64 <= 0.01,
+            "{drift}/{} verdicts drifted",
+            classic.measurements.len()
+        );
+        // The saved-probe counter is live and matches the direction of the
+        // spend difference.
+        let reg = lite.obs.as_deref().unwrap();
+        assert!(reg.counter_value("probe.mda_lite.probes_saved").unwrap() > 0);
+        // Lite measurements still satisfy the evidence oracle.
+        let issues = lite.verify_conformance();
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "resume: journal was recorded in classic mode")]
+    fn resume_refuses_mda_mode_mismatch() {
+        let dir = std::env::temp_dir().join(format!(
+            "hobbit-pipeline-mode-mismatch-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        tiny().threads(1).run_dir(&dir).run();
+        let result = std::panic::catch_unwind(|| {
+            Pipeline::builder()
+                .seed(42)
+                .scale(0.01)
+                .threads(1)
+                .mda_lite(true)
+                .resume_from(&dir)
+                .run()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Err(e) = result {
+            std::panic::resume_unwind(e);
+        }
     }
 
     #[test]

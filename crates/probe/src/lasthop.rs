@@ -13,7 +13,9 @@
 //! 4. run node-level MDA at the confirmed last-hop TTL to enumerate the
 //!    interfaces with 95% confidence.
 
-use crate::mda::{enumerate_hop, StoppingRule};
+use crate::mda::{
+    enumerate_hop, enumerate_hop_lite, enumerate_hop_lite_core, MdaLiteState, StoppingRule,
+};
 use crate::prober::{ProbeReply, Prober};
 use netsim::Addr;
 use serde::{Deserialize, Serialize};
@@ -82,8 +84,24 @@ pub fn probe_lasthop_with_hint(
     rule: StoppingRule,
     hint: Option<u8>,
 ) -> LasthopProbe {
+    probe_lasthop_in_mode(prober, dst, rule, hint, None)
+}
+
+/// Like [`probe_lasthop_with_hint`], with an optional per-block MDA-Lite
+/// state: when `lite` is `Some`, the node-level enumeration at the
+/// confirmed last-hop TTL runs under the MDA-Lite stopping discipline
+/// ([`enumerate_hop_lite`]) against the block's diamond; `None` is the
+/// classic ladder. The TTL adjustment walk is identical in both modes —
+/// only the interface enumeration changes.
+pub fn probe_lasthop_in_mode(
+    prober: &mut Prober<'_>,
+    dst: Addr,
+    rule: StoppingRule,
+    hint: Option<u8>,
+    lite: Option<&mut MdaLiteState>,
+) -> LasthopProbe {
     let before = prober.probes_sent();
-    let outcome = probe_lasthop_inner(prober, dst, rule, hint);
+    let outcome = probe_lasthop_inner(prober, dst, rule, hint, lite);
     LasthopProbe {
         dst,
         outcome,
@@ -96,6 +114,7 @@ fn probe_lasthop_inner(
     dst: Addr,
     rule: StoppingRule,
     hint: Option<u8>,
+    mut lite: Option<&mut MdaLiteState>,
 ) -> LasthopOutcome {
     let mut est = match hint {
         Some(d) => d.clamp(1, 38),
@@ -122,6 +141,34 @@ fn probe_lasthop_inner(
         let above = prober.probe(dst, est + 1, 1);
         match above.reply {
             ProbeReply::Echo { from, .. } if from == dst => {
+                // MDA-Lite confirm skip: once the block's diamond (or its
+                // anonymity) is confirmed at a stable distance with no
+                // path-length jitter, the enumeration's own probes double
+                // as the overestimate check — the dedicated at-TTL confirm
+                // probe below is redundant and is skipped. An inconclusive
+                // result (the destination echoed before any interface
+                // answered) falls back to the classic confirm walk and
+                // latches the block unstable, so the skip never re-arms on
+                // evidence it cannot explain.
+                if let Some(state) = lite.as_deref_mut() {
+                    if state.can_skip_confirm(est + 1) {
+                        let hop = enumerate_hop_lite_core(prober, dst, est, rule, 64, state, true);
+                        state.observe_lasthop(est + 1, hop.echoed);
+                        if !(hop.echoed && hop.interfaces.is_empty()) {
+                            state.note_skip_saved();
+                            return if hop.interfaces.is_empty() {
+                                LasthopOutcome::AnonymousLasthop {
+                                    dst_distance: est + 1,
+                                }
+                            } else {
+                                LasthopOutcome::Found {
+                                    lasthops: hop.interfaces,
+                                    dst_distance: est + 1,
+                                }
+                            };
+                        }
+                    }
+                }
                 // Destination answers at est+1; check it does NOT answer at
                 // est, otherwise the estimate is too high.
                 let at = prober.probe(dst, est, 2);
@@ -138,7 +185,14 @@ fn probe_lasthop_inner(
                     }
                     _ => {
                         // Confirmed: dst at est+1; enumerate hop `est`.
-                        let hop = enumerate_hop(prober, dst, est, rule, 64);
+                        let hop = match lite.as_deref_mut() {
+                            Some(state) => {
+                                let h = enumerate_hop_lite(prober, dst, est, rule, 64, state);
+                                state.observe_lasthop(est + 1, h.echoed);
+                                h
+                            }
+                            None => enumerate_hop(prober, dst, est, rule, 64),
+                        };
                         return if hop.interfaces.is_empty() {
                             LasthopOutcome::AnonymousLasthop {
                                 dst_distance: est + 1,
@@ -319,6 +373,49 @@ mod tests {
             hinted.probes_used,
             cold.probes_used
         );
+    }
+
+    #[test]
+    fn lite_mode_agrees_with_classic_and_saves_probes() {
+        // Same destinations, same hints: the lite sweep must produce the
+        // same outcomes while spending strictly fewer probes from the
+        // second destination on (the first pays the diamond-confirming
+        // classic ladder in both modes).
+        let mut f = Fixture::new();
+        let blk = f.responsive_block();
+        let actives = f.actives(blk);
+        assert!(actives.len() >= 2);
+        let rule = StoppingRule::confidence95();
+        let sweep = |net: &mut netsim::Network, lite: bool| {
+            let mut p = Prober::new(net, 0x23);
+            let mut state = MdaLiteState::new();
+            let mut hint = None;
+            let mut outcomes = Vec::new();
+            let mut probes = 0u64;
+            for &dst in actives.iter().take(4) {
+                let r = probe_lasthop_in_mode(
+                    &mut p,
+                    dst,
+                    rule,
+                    hint,
+                    if lite { Some(&mut state) } else { None },
+                );
+                if let LasthopOutcome::Found { dst_distance, .. } = &r.outcome {
+                    hint = Some(dst_distance - 1);
+                }
+                probes += r.probes_used;
+                outcomes.push(r.outcome);
+            }
+            (outcomes, probes, state.probes_saved)
+        };
+        let (classic, classic_probes, _) = sweep(&mut f.scenario.network, false);
+        let (lite, lite_probes, saved) = sweep(&mut f.scenario.network, true);
+        assert_eq!(lite, classic, "lite must not change lasthop outcomes");
+        assert!(
+            lite_probes < classic_probes,
+            "lite should save probes: {lite_probes} vs {classic_probes}"
+        );
+        assert!(saved > 0, "savings must be accounted");
     }
 
     #[test]

@@ -30,8 +30,13 @@ pub mod zmap;
 
 pub use cancel::CancelToken;
 pub use error::ProbeError;
-pub use lasthop::{probe_lasthop, probe_lasthop_with_hint, LasthopOutcome, LasthopProbe};
-pub use mda::{enumerate_hop, enumerate_paths, MdaPaths, StoppingRule};
+pub use lasthop::{
+    probe_lasthop, probe_lasthop_in_mode, probe_lasthop_with_hint, LasthopOutcome, LasthopProbe,
+};
+pub use mda::{
+    detect_diamonds, enumerate_hop, enumerate_hop_lite, enumerate_paths, enumerate_paths_in_mode,
+    Diamond, MdaLiteState, MdaMode, MdaPaths, StoppingRule,
+};
 pub use ping::{ping_series, PingSeries};
 pub use prober::{ProbeObs, ProbeReply, ProbeResult, ProbeTransport, Prober};
 pub use record::{ProbeLog, RecordedCall, RecordedReply};

@@ -46,13 +46,161 @@ impl StoppingRule {
 
     /// Number of probes that must all land on the observed `k` outcomes to
     /// reject the existence of a (k+1)-th equally likely outcome.
+    ///
+    /// `k = 0` means nothing has been observed yet: a single probe settles
+    /// the degenerate hypothesis (there is no "k+1-th outcome" to rule out
+    /// before the first observation), so the answer is 1 rather than the
+    /// full ladder — previously this case panicked.
     pub fn probes_needed(&self, k: usize) -> usize {
-        assert!(k >= 1);
+        if k == 0 {
+            return 1;
+        }
         let alpha_k = self.alpha / (k as f64 * (k + 1) as f64);
         // P(n probes all miss outcome k+1 | k+1 uniform outcomes) =
         // (k/(k+1))^n  ≤ alpha_k
         let n = alpha_k.ln() / ((k as f64) / (k as f64 + 1.0)).ln();
         n.ceil() as usize
+    }
+}
+
+/// Which MDA stopping discipline the prober runs.
+///
+/// `Classic` is the full Augustin et al. hypothesis-test ladder at every
+/// hop. `Lite` is the MDA-Lite discipline (Vermeulen et al., *Multilevel
+/// MDA-Lite Paris Traceroute*): once a block's last-hop diamond has been
+/// resolved by one full ladder, later destinations stop as soon as their
+/// replies re-identify known diamond members, escalating back to the
+/// classic ladder whenever flow-label evidence is inconsistent with the
+/// diamond.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MdaMode {
+    /// Full hypothesis-test ladder at every hop (the default).
+    #[default]
+    Classic,
+    /// Diamond-aware early stopping with classic fallback.
+    Lite,
+}
+
+impl MdaMode {
+    /// Short lowercase name (`classic` / `mda_lite`), used in bench entry
+    /// names and CLI output.
+    pub fn slug(self) -> &'static str {
+        match self {
+            MdaMode::Classic => "classic",
+            MdaMode::Lite => "mda_lite",
+        }
+    }
+}
+
+/// Per-block MDA-Lite memory: the diamond of last-hop interfaces confirmed
+/// so far, plus the probe-budget accounting the `probe.mda_lite.*` counters
+/// report.
+///
+/// One state instance covers one /24: all its destinations sit behind the
+/// same last-hop fan, so a diamond confirmed by a full classic ladder on
+/// the first destination lets every later destination stop early.
+#[derive(Clone, Debug, Default)]
+pub struct MdaLiteState {
+    /// Confirmed last-hop interfaces (sorted) — the block's diamond.
+    diamond: Vec<Addr>,
+    /// A fully-laddered destination showed more than one interface, i.e.
+    /// the fan balances per flow: later destinations re-identify the
+    /// diamond from two distinct members instead of pinning one.
+    multi: bool,
+    /// Whether any destination has completed the full classic ladder.
+    confirmed: bool,
+    /// A full ladder at the last hop drew pure silence: the block's last
+    /// hop is anonymous, and later destinations re-identify silence from
+    /// two consecutive timeouts instead of paying the ladder again.
+    anonymous: bool,
+    /// Hop distance the block's resolved destinations have agreed on, with
+    /// the number of agreeing observations. The confirm-probe skip only
+    /// arms after two agreements (one observation can be a fluke of
+    /// per-flow path-length jitter).
+    stable_distance: Option<(u8, u32)>,
+    /// Distance disagreement or per-flow path-length jitter (a destination
+    /// echo at the confirmed hop) was observed — permanently disables the
+    /// confirm-probe skip for this block.
+    unstable: bool,
+    /// Probes the lite stopping rules skipped relative to what the classic
+    /// ladder would still have required (a lower bound).
+    pub probes_saved: u64,
+    /// Diamonds confirmed (first completed ladder per block).
+    pub diamonds_detected: u64,
+    /// Escalations back to the classic ladder on inconsistent evidence.
+    pub escalations: u64,
+}
+
+impl MdaLiteState {
+    /// Fresh state for one block.
+    pub fn new() -> Self {
+        MdaLiteState::default()
+    }
+
+    /// The confirmed diamond membership (sorted).
+    pub fn diamond(&self) -> &[Addr] {
+        &self.diamond
+    }
+
+    /// Whether a full ladder has confirmed the diamond yet.
+    pub fn is_confirmed(&self) -> bool {
+        self.confirmed
+    }
+
+    /// Whether a full ladder confirmed the block's last hop anonymous
+    /// (pure silence — no interface, no destination echo).
+    pub fn is_anonymous(&self) -> bool {
+        self.anonymous
+    }
+
+    /// Record one confirmed hop observation: the destination's distance
+    /// and whether the destination itself echoed during the enumeration
+    /// (per-flow path-length jitter). Drives [`Self::can_skip_confirm`].
+    pub(crate) fn observe_lasthop(&mut self, dst_distance: u8, echoed: bool) {
+        if echoed {
+            self.unstable = true;
+        }
+        match &mut self.stable_distance {
+            None => self.stable_distance = Some((dst_distance, 1)),
+            Some((d, n)) if *d == dst_distance => *n += 1,
+            Some(_) => self.unstable = true,
+        }
+    }
+
+    /// Whether the last-hop walk may skip its dedicated confirm probe at
+    /// candidate distance `dst_distance`: the diamond (or its anonymity)
+    /// is confirmed, at least two destinations agreed on exactly this
+    /// distance, and no jitter evidence has ever surfaced. When it holds,
+    /// the enumeration's own probes double as the overestimate check.
+    pub(crate) fn can_skip_confirm(&self, dst_distance: u8) -> bool {
+        (self.confirmed || self.anonymous)
+            && !self.unstable
+            && matches!(self.stable_distance, Some((d, n)) if d == dst_distance && n >= 2)
+    }
+
+    /// Account one probe the confirm-skip avoided sending.
+    pub(crate) fn note_skip_saved(&mut self) {
+        self.probes_saved += 1;
+    }
+
+    /// Merge a hop enumeration into the diamond. `full_ladder` marks a
+    /// classic-completion (first confirmation or an escalation): only those
+    /// may flip the diamond to confirmed or learn per-flow membership.
+    fn absorb(&mut self, interfaces: &[Addr], full_ladder: bool) {
+        for &a in interfaces {
+            if let Err(i) = self.diamond.binary_search(&a) {
+                self.diamond.insert(i, a);
+            }
+        }
+        if full_ladder {
+            if !self.confirmed && !self.diamond.is_empty() {
+                self.confirmed = true;
+                self.diamonds_detected += 1;
+            }
+            if interfaces.len() > 1 {
+                self.multi = true;
+            }
+        }
     }
 }
 
@@ -208,6 +356,327 @@ pub fn enumerate_hop(
     }
 }
 
+/// [`enumerate_hop`] under the MDA-Lite discipline: inside a block whose
+/// last-hop diamond `state` has already confirmed, stop as soon as replies
+/// re-identify the diamond instead of running the full ladder.
+///
+/// Stopping shortcuts (replies only — timeouts and destination echoes
+/// never confirm membership):
+///
+/// * singleton diamond — one reply on the member suffices;
+/// * per-flow diamond (`multi`) — two distinct members re-identify the
+///   whole fan, which is then reported in full;
+/// * per-destination fan — two consecutive replies agreeing on one member
+///   pin that destination's router.
+///
+/// Any reply outside the diamond, or a second distinct member on a fan
+/// believed per-destination, *escalates*: the shortcut is abandoned, the
+/// loop continues to the classic stopping rule, and the completed ladder
+/// extends the diamond. Escalation only ever removes the early exit, so a
+/// lite hop call never sends more probes than the classic one would.
+pub fn enumerate_hop_lite(
+    prober: &mut Prober<'_>,
+    dst: Addr,
+    ttl: u8,
+    rule: StoppingRule,
+    max_probes: usize,
+    state: &mut MdaLiteState,
+) -> HopInterfaces {
+    enumerate_hop_lite_core(prober, dst, ttl, rule, max_probes, state, false)
+}
+
+/// [`enumerate_hop_lite`] with an extra knob for the confirm-skipping
+/// last-hop walk: when `abort_on_early_echo` is set and the destination
+/// itself answers before any interface does, the enumeration aborts after
+/// that single probe (empty, `echoed`) so the caller can fall back to the
+/// classic TTL-confirm walk instead of burning a ladder on overshoot.
+pub(crate) fn enumerate_hop_lite_core(
+    prober: &mut Prober<'_>,
+    dst: Addr,
+    ttl: u8,
+    rule: StoppingRule,
+    max_probes: usize,
+    state: &mut MdaLiteState,
+    abort_on_early_echo: bool,
+) -> HopInterfaces {
+    if !state.confirmed && !state.anonymous {
+        // First destination of the block: a full classic ladder must
+        // confirm the diamond before any shortcut is trusted. Pure
+        // silence — no interface, no destination echo — confirms an
+        // *anonymous* last hop instead of a diamond.
+        let hop = enumerate_hop(prober, dst, ttl, rule, max_probes);
+        if hop.interfaces.is_empty() && !hop.echoed && hop.timeouts == hop.probes {
+            state.anonymous = true;
+        }
+        state.absorb(&hop.interfaces, true);
+        return hop;
+    }
+    let mut seen: HashMap<Addr, usize> = HashMap::new();
+    let mut timeouts = 0usize;
+    let mut echoed = false;
+    let mut probes = 0usize;
+    let mut since_new = 0usize;
+    let mut i = 0usize;
+    let mut escalated = false;
+    let mut stopped_early = false;
+    // Consecutive replies agreeing on one diamond member.
+    let mut agree_run = 0usize;
+    let mut last_member: Option<Addr> = None;
+    // Consecutive pure timeouts (any reply resets the run).
+    let mut timeout_run = 0usize;
+    while probes < max_probes {
+        let label = flow_label(i);
+        i += 1;
+        probes += 1;
+        match prober.probe(dst, ttl, label).reply {
+            ProbeReply::TimeExceeded { from } | ProbeReply::Unreachable { from } => {
+                timeout_run = 0;
+                if seen.insert(from, probes).is_none() {
+                    since_new = 0;
+                } else {
+                    since_new += 1;
+                }
+                if state.diamond.binary_search(&from).is_err() {
+                    // Evidence outside the diamond: the topology changed
+                    // under us (or the diamond was incomplete) — classic.
+                    if !escalated {
+                        escalated = true;
+                        state.escalations += 1;
+                    }
+                } else if last_member == Some(from) {
+                    agree_run += 1;
+                } else {
+                    last_member = Some(from);
+                    agree_run = 1;
+                }
+                if !state.multi && seen.len() > 1 {
+                    // One destination answering from two members means the
+                    // fan balances per flow after all: relearn classically.
+                    if !escalated {
+                        escalated = true;
+                        state.escalations += 1;
+                    }
+                }
+            }
+            ProbeReply::Echo { from, .. } if from == dst => {
+                timeout_run = 0;
+                echoed = true;
+                since_new += 1;
+                if abort_on_early_echo && seen.is_empty() && !escalated {
+                    // The destination answered before any interface did:
+                    // the candidate TTL likely overshoots. Hand the
+                    // decision back to the classic confirm walk.
+                    break;
+                }
+            }
+            _ => {
+                timeouts += 1;
+                since_new += 1;
+                timeout_run += 1;
+            }
+        }
+        let k = seen.len().max(1);
+        if !escalated {
+            let stop = if !state.diamond.is_empty() {
+                if state.diamond.len() == 1 {
+                    agree_run >= 1
+                } else if state.multi {
+                    seen.len() >= 2
+                } else {
+                    agree_run >= 2
+                }
+            } else {
+                // Anonymous last hop: two consecutive timeouts with no
+                // reply of any kind re-identify the silence.
+                state.anonymous && !echoed && seen.is_empty() && timeout_run >= 2
+            };
+            if stop {
+                state.probes_saved += rule.probes_needed(k).saturating_sub(since_new + 1) as u64;
+                stopped_early = true;
+                break;
+            }
+        }
+        if since_new + 1 >= rule.probes_needed(k) {
+            break;
+        }
+    }
+    let mut interfaces: Vec<Addr> = seen.into_keys().collect();
+    interfaces.sort();
+    if stopped_early && state.multi && interfaces.len() > 1 {
+        // Two members re-identified the known per-flow fan: report the
+        // whole membership, as the classic enumeration would have.
+        interfaces = state.diamond.clone();
+    }
+    state.absorb(&interfaces, !stopped_early);
+    HopInterfaces {
+        interfaces,
+        timeouts,
+        echoed,
+        probes,
+    }
+}
+
+/// One load-balanced diamond in a per-flow path set: flows share a common
+/// hop at TTL `divergence`, fan out across `width` interfaces, and share a
+/// hop again at TTL `convergence` (the destination's distance when the fan
+/// only re-converges at the destination itself).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diamond {
+    /// TTL of the last single-interface hop before the fan (0 when the fan
+    /// starts at the first hop, i.e. diverges at the vantage).
+    pub divergence: u8,
+    /// TTL of the first single-interface hop after the fan.
+    pub convergence: u8,
+    /// Maximum number of distinct interfaces at any TTL inside the fan.
+    pub width: usize,
+}
+
+/// Detect the diamonds in an enumerated path set: per-TTL interface sets
+/// are built across all discovered paths, and every maximal run of TTLs
+/// with more than one distinct interface is one diamond.
+///
+/// The result depends only on the *set* of hop interfaces per TTL, so it
+/// is invariant under reordering of `mda.paths` (equivalently: under
+/// permutation of the flow labels that discovered them).
+pub fn detect_diamonds(mda: &MdaPaths) -> Vec<Diamond> {
+    let maxlen = mda.paths.iter().map(|p| p.hops.len()).max().unwrap_or(0);
+    let mut widths: Vec<usize> = Vec::with_capacity(maxlen);
+    for t in 0..maxlen {
+        let mut set: Vec<Addr> = mda
+            .paths
+            .iter()
+            .filter_map(|p| p.hops.get(t).copied().flatten())
+            .collect();
+        set.sort();
+        set.dedup();
+        widths.push(set.len());
+    }
+    let mut out = Vec::new();
+    let mut t = 0usize;
+    while t < maxlen {
+        if widths[t] > 1 {
+            let start = t;
+            let mut width = widths[t];
+            while t < maxlen && widths[t] > 1 {
+                width = width.max(widths[t]);
+                t += 1;
+            }
+            // hops[start] answers at TTL start+1, so the last common hop
+            // sits at TTL start; the first common hop after the fan at
+            // TTL t+1 (the destination's distance when the fan runs to
+            // the end of the paths).
+            out.push(Diamond {
+                divergence: start as u8,
+                convergence: (t + 1) as u8,
+                width,
+            });
+        } else {
+            t += 1;
+        }
+    }
+    out
+}
+
+/// [`enumerate_paths`] in a given [`MdaMode`].
+///
+/// In `Lite` mode the first two flows are traced in full; once they agree
+/// on a common prefix, later flows start at the divergence TTL
+/// ([`paris_traceroute`]'s `first_ttl`) and the known prefix is spliced
+/// back in — the per-flow ECMP fan cannot start before the first
+/// divergence, so the skipped hops carry no path information. A spliced
+/// flow that fails to reach the destination while the full flows did is
+/// inconsistent flow evidence: it escalates to a full classic re-trace and
+/// the prefix is re-derived.
+pub fn enumerate_paths_in_mode(
+    prober: &mut Prober<'_>,
+    dst: Addr,
+    rule: StoppingRule,
+    max_flows: usize,
+    mode: MdaMode,
+) -> MdaPaths {
+    if mode == MdaMode::Classic {
+        return enumerate_paths(prober, dst, rule, max_flows);
+    }
+    let mut distinct: Vec<Path> = Vec::new();
+    let mut traces = Vec::new();
+    let mut reached = false;
+    let mut dst_distance: Option<u8> = None;
+    let mut flows_since_discovery = 0usize;
+    let mut prefix: Vec<crate::types::Hop> = Vec::new();
+    let mut full_flows = 0usize;
+    let mut i = 0usize;
+    while i < max_flows {
+        let label = flow_label(i);
+        i += 1;
+        let spliced = if full_flows >= 2 && !prefix.is_empty() {
+            let part = paris_traceroute(prober, dst, label, prefix.len() as u8 + 1);
+            if !part.reached && reached {
+                // The spliced flow failed where full flows succeeded:
+                // inconsistent evidence, escalate to a full re-trace.
+                None
+            } else {
+                let mut hops = prefix.clone();
+                hops.extend(part.path.hops.iter().copied());
+                Some(Traceroute {
+                    path: Path { hops },
+                    ..part
+                })
+            }
+        } else {
+            None
+        };
+        let tr = match spliced {
+            Some(t) => t,
+            None => {
+                let t = paris_traceroute(prober, dst, label, 1);
+                prefix = if full_flows == 0 {
+                    t.path.hops.clone()
+                } else {
+                    common_prefix(&prefix, &t.path.hops)
+                };
+                full_flows += 1;
+                t
+            }
+        };
+        if tr.reached {
+            reached = true;
+            dst_distance = Some(match dst_distance {
+                Some(d) => d.min(tr.dst_distance.unwrap()),
+                None => tr.dst_distance.unwrap(),
+            });
+        }
+        let is_new = !distinct.iter().any(|q| q.matches(&tr.path));
+        if is_new {
+            distinct.push(tr.path.clone());
+            flows_since_discovery = 0;
+        } else {
+            flows_since_discovery += 1;
+        }
+        traces.push(tr);
+        let k = distinct.len().max(1);
+        if flows_since_discovery + 1 >= rule.probes_needed(k) {
+            break;
+        }
+    }
+    MdaPaths {
+        dst,
+        paths: distinct,
+        reached,
+        dst_distance,
+        traces,
+    }
+}
+
+/// Longest shared prefix of two hop sequences (strict equality; a wildcard
+/// ends the prefix — an anonymous hop must not anchor a splice).
+fn common_prefix(a: &[crate::types::Hop], b: &[crate::types::Hop]) -> Vec<crate::types::Hop> {
+    a.iter()
+        .zip(b)
+        .take_while(|(x, y)| x == y && x.is_some())
+        .map(|(x, _)| *x)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,5 +814,169 @@ mod tests {
         let hop = enumerate_hop(&mut p, dst, 1, StoppingRule::confidence95(), 64);
         assert_eq!(hop.interfaces.len(), 1);
         assert_eq!(hop.probes, 6);
+    }
+
+    #[test]
+    fn probes_needed_zero_short_circuits_to_one() {
+        // Regression: k = 0 used to panic on the assert. Before anything is
+        // observed there is no (k+1)-th-outcome hypothesis to reject, so a
+        // single probe settles it — and the table stays monotone from 0.
+        let rule = StoppingRule::confidence95();
+        assert_eq!(rule.probes_needed(0), 1);
+        assert!(rule.probes_needed(0) < rule.probes_needed(1));
+        let strict = StoppingRule { alpha: 0.001 };
+        assert_eq!(strict.probes_needed(0), 1, "alpha-independent at k = 0");
+    }
+
+    #[test]
+    fn lite_singleton_diamond_stops_after_one_reply() {
+        // TTL 1 is the single campus router. The first lite call pays the
+        // full classic ladder to confirm the diamond; the second call on a
+        // sibling destination stops after one confirming reply.
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let rule = StoppingRule::confidence95();
+        let mut p = Prober::new(&mut s.network, 3);
+        let mut state = MdaLiteState::new();
+        let first = enumerate_hop_lite(&mut p, dst, 1, rule, 64, &mut state);
+        assert_eq!(first.probes, 6, "first destination pays the full ladder");
+        assert!(state.is_confirmed());
+        assert_eq!(state.diamonds_detected, 1);
+        let second = enumerate_hop_lite(&mut p, dst, 1, rule, 64, &mut state);
+        assert_eq!(second.interfaces, first.interfaces);
+        assert_eq!(second.probes, 1, "singleton diamond needs one reply");
+        assert_eq!(state.probes_saved, 5);
+        assert_eq!(state.escalations, 0);
+    }
+
+    #[test]
+    fn lite_per_flow_diamond_reports_full_membership() {
+        // TTL 4 is the 3-way per-flow transit fan. Once a full ladder has
+        // confirmed all three members, a later destination re-identifies
+        // the diamond from two distinct members and reports the whole fan.
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let rule = StoppingRule::confidence95();
+        let mut p = Prober::new(&mut s.network, 3);
+        let mut state = MdaLiteState::new();
+        let first = enumerate_hop_lite(&mut p, dst, 4, rule, 64, &mut state);
+        assert_eq!(first.interfaces.len(), 3);
+        let second = enumerate_hop_lite(&mut p, dst, 4, rule, 64, &mut state);
+        assert_eq!(second.interfaces, first.interfaces, "full fan reported");
+        assert!(
+            second.probes < first.probes,
+            "lite re-identification must be cheaper: {} vs {}",
+            second.probes,
+            first.probes
+        );
+        assert!(state.probes_saved > 0);
+    }
+
+    #[test]
+    fn lite_escalates_on_evidence_outside_the_diamond() {
+        // Confirm a singleton diamond at TTL 1, then probe the TTL-4 fan
+        // with the same state: every reply is outside the diamond, so the
+        // call must escalate, run the classic ladder, and extend the
+        // diamond — never report a stale membership.
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let rule = StoppingRule::confidence95();
+        let mut p = Prober::new(&mut s.network, 3);
+        let mut state = MdaLiteState::new();
+        let campus = enumerate_hop_lite(&mut p, dst, 1, rule, 64, &mut state);
+        assert_eq!(campus.interfaces.len(), 1);
+        let lite = enumerate_hop_lite(&mut p, dst, 4, rule, 64, &mut state);
+        drop(p);
+        let mut q = Prober::new(&mut s.network, 4);
+        let classic = enumerate_hop(&mut q, dst, 4, rule, 64);
+        assert_eq!(lite.interfaces, classic.interfaces, "escalation = classic");
+        assert_eq!(state.escalations, 1);
+        for a in &classic.interfaces {
+            assert!(state.diamond().contains(a), "diamond extends on escalation");
+        }
+    }
+
+    #[test]
+    fn lite_hop_never_probes_more_than_classic() {
+        // Escalation only removes the early exit, so per hop call lite is
+        // structurally ≤ classic. Check it empirically across TTLs.
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let rule = StoppingRule::confidence95();
+        for ttl in 1..=8u8 {
+            let mut state = MdaLiteState::new();
+            let mut p = Prober::new(&mut s.network, 3);
+            let _confirm = enumerate_hop_lite(&mut p, dst, ttl, rule, 64, &mut state);
+            let lite = enumerate_hop_lite(&mut p, dst, ttl, rule, 64, &mut state);
+            drop(p);
+            let mut q = Prober::new(&mut s.network, 3);
+            let _warm = enumerate_hop(&mut q, dst, ttl, rule, 64);
+            let classic = enumerate_hop(&mut q, dst, ttl, rule, 64);
+            assert!(
+                lite.probes <= classic.probes,
+                "ttl {ttl}: lite {} > classic {}",
+                lite.probes,
+                classic.probes
+            );
+        }
+    }
+
+    #[test]
+    fn detect_diamonds_finds_the_transit_fan() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let mut p = Prober::new(&mut s.network, 3);
+        let mda = enumerate_paths(&mut p, dst, StoppingRule::confidence95(), 64);
+        let diamonds = detect_diamonds(&mda);
+        assert!(!diamonds.is_empty(), "per-flow ECMP must form a diamond");
+        for d in &diamonds {
+            assert!(d.width >= 2);
+            assert!(d.divergence < d.convergence);
+        }
+        // The tiny topology fans 3-way at the transit layer (TTL 4).
+        assert!(
+            diamonds
+                .iter()
+                .any(|d| d.divergence < 4 && 4 < d.convergence),
+            "no diamond spans the TTL-4 transit fan: {diamonds:?}"
+        );
+    }
+
+    #[test]
+    fn detect_diamonds_is_invariant_under_path_permutation() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let mut p = Prober::new(&mut s.network, 3);
+        let mut mda = enumerate_paths(&mut p, dst, StoppingRule::confidence95(), 64);
+        let base = detect_diamonds(&mda);
+        mda.paths.reverse();
+        assert_eq!(detect_diamonds(&mda), base);
+        // Rotate as a second, non-reversal permutation.
+        if mda.paths.len() > 1 {
+            let head = mda.paths.remove(0);
+            mda.paths.push(head);
+            assert_eq!(detect_diamonds(&mda), base);
+        }
+    }
+
+    #[test]
+    fn lite_path_enumeration_is_cheaper_and_agrees_on_lasthops() {
+        let mut s = build(ScenarioConfig::tiny(42));
+        let dst = active_dst(&s);
+        let rule = StoppingRule::confidence95();
+        let mut pc = Prober::new(&mut s.network, 3);
+        let classic = enumerate_paths_in_mode(&mut pc, dst, rule, 64, MdaMode::Classic);
+        let classic_probes = pc.probes_sent();
+        drop(pc);
+        let mut pl = Prober::new(&mut s.network, 3);
+        let lite = enumerate_paths_in_mode(&mut pl, dst, rule, 64, MdaMode::Lite);
+        let lite_probes = pl.probes_sent();
+        assert!(lite.reached);
+        assert_eq!(lite.dst_distance, classic.dst_distance);
+        assert_eq!(lite.lasthops(), classic.lasthops());
+        assert!(
+            lite_probes <= classic_probes,
+            "lite paths sent more probes: {lite_probes} vs {classic_probes}"
+        );
     }
 }

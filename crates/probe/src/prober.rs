@@ -157,6 +157,14 @@ pub struct ProbeObs {
     pub backoff_us: Counter,
     /// `probe.rtt_us` — per-probe round-trip time, microseconds.
     pub rtt_us: Histogram,
+    /// `probe.mda_lite.probes_saved` — probes the MDA-Lite stopping rules
+    /// skipped relative to the classic ladder (lower bound).
+    pub mda_lite_saved: Counter,
+    /// `probe.mda_lite.diamonds` — last-hop diamonds confirmed.
+    pub mda_lite_diamonds: Counter,
+    /// `probe.mda_lite.escalations` — escalations back to classic MDA on
+    /// inconsistent flow-label evidence.
+    pub mda_lite_escalations: Counter,
 }
 
 impl ProbeObs {
@@ -168,6 +176,9 @@ impl ProbeObs {
             retries: rec.counter("probe.retries"),
             backoff_us: rec.counter("probe.backoff_us"),
             rtt_us: rec.histogram("probe.rtt_us"),
+            mda_lite_saved: rec.counter("probe.mda_lite.probes_saved"),
+            mda_lite_diamonds: rec.counter("probe.mda_lite.diamonds"),
+            mda_lite_escalations: rec.counter("probe.mda_lite.escalations"),
         }
     }
 }
@@ -375,6 +386,18 @@ impl<'n> Prober<'n> {
     /// microseconds.
     pub fn backoff_total_us(&self) -> u64 {
         self.backoff_us
+    }
+
+    /// Report one block's finished MDA-Lite accounting (from
+    /// [`crate::MdaLiteState`]) into this prober's metric handles, if any.
+    /// The per-prober totals are kept by the state itself; this only
+    /// mirrors them into the shared `probe.mda_lite.*` counters.
+    pub fn note_mda_lite(&self, probes_saved: u64, diamonds: u64, escalations: u64) {
+        if let Some(o) = &self.obs {
+            o.mda_lite_saved.add(probes_saved);
+            o.mda_lite_diamonds.add(diamonds);
+            o.mda_lite_escalations.add(escalations);
+        }
     }
 
     /// The underlying network (e.g. for epoch changes in experiments), or

@@ -8,9 +8,10 @@
 //! regeneration itself refuses to pin a report the oracle disagrees with.
 
 use crate::diff::DiffReport;
-use crate::scenario::{BlockKind, BlockSpec, PolicySpec, PopSpec, ScenarioSpec};
+use crate::scenario::{BlockKind, BlockSpec, DiamondSpec, PolicySpec, PopSpec, ScenarioSpec};
 use hobbit::Classification;
 use netsim::{Addr, Block24};
+use probe::MdaMode;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
@@ -131,6 +132,7 @@ fn pop(fan: u8, policy: PolicySpec) -> PopSpec {
         policy,
         responsive: true,
         alt_addr: false,
+        diamond: DiamondSpec::None,
     }
 }
 
@@ -158,6 +160,16 @@ fn spec(seed: u64, transit: bool, pops: Vec<PopSpec>, blocks: Vec<BlockSpec>) ->
         blocks,
         link_loss: 0.0,
         icmp_rate: 0.0,
+        mda_mode: MdaMode::Classic,
+    }
+}
+
+/// The same scenario classified in MDA-Lite mode (the drift sweep pins
+/// classic/lite pairs of each diamond topology).
+fn lite(spec: ScenarioSpec) -> ScenarioSpec {
+    ScenarioSpec {
+        mda_mode: MdaMode::Lite,
+        ..spec
     }
 }
 
@@ -298,6 +310,108 @@ pub fn golden_specs() -> Vec<(&'static str, ScenarioSpec)> {
             )
             .with_faults(0.02, 0.0),
         ),
+        // Diamond topologies, pinned under both MDA modes: mid-path
+        // per-flow fans upstream of the PoP that MDA-Lite's diamond-aware
+        // stopping rules must traverse without changing any verdict.
+        (
+            "diamond-wide-classic",
+            spec(
+                121,
+                false,
+                vec![PopSpec {
+                    diamond: DiamondSpec::Wide { width: 3 },
+                    ..pop(2, PerDestination)
+                }],
+                vec![homog(0, 90)],
+            ),
+        ),
+        (
+            "diamond-wide-lite",
+            lite(spec(
+                121,
+                false,
+                vec![PopSpec {
+                    diamond: DiamondSpec::Wide { width: 3 },
+                    ..pop(2, PerDestination)
+                }],
+                vec![homog(0, 90)],
+            )),
+        ),
+        (
+            "diamond-nested-classic",
+            spec(
+                122,
+                false,
+                vec![PopSpec {
+                    diamond: DiamondSpec::Nested { outer: 2, inner: 2 },
+                    ..pop(2, PerFlow)
+                }],
+                vec![homog(0, 90)],
+            ),
+        ),
+        (
+            "diamond-nested-lite",
+            lite(spec(
+                122,
+                false,
+                vec![PopSpec {
+                    diamond: DiamondSpec::Nested { outer: 2, inner: 2 },
+                    ..pop(2, PerFlow)
+                }],
+                vec![homog(0, 90)],
+            )),
+        ),
+        (
+            "diamond-asym-classic",
+            spec(
+                123,
+                true,
+                vec![PopSpec {
+                    diamond: DiamondSpec::Asymmetric { width: 3, long: 1 },
+                    ..pop(3, PerFlow)
+                }],
+                vec![homog(0, 90)],
+            ),
+        ),
+        (
+            "diamond-asym-lite",
+            lite(spec(
+                123,
+                true,
+                vec![PopSpec {
+                    diamond: DiamondSpec::Asymmetric { width: 3, long: 1 },
+                    ..pop(3, PerFlow)
+                }],
+                vec![homog(0, 90)],
+            )),
+        ),
+        // Lite over the historical (diamond-free) rows: the savings must
+        // come without a verdict change even with no diamond to detect.
+        (
+            "lite-perdest-fan3",
+            lite(spec(
+                124,
+                false,
+                vec![pop(3, PerDestination)],
+                vec![homog(0, 90)],
+            )),
+        ),
+        (
+            "lite-single-lasthop",
+            lite(spec(
+                125,
+                false,
+                vec![pop(1, PerDestination)],
+                vec![homog(0, 90)],
+            )),
+        ),
+        (
+            "lite-faulted-loss",
+            lite(
+                spec(126, false, vec![pop(2, PerDestination)], vec![homog(0, 90)])
+                    .with_faults(0.02, 0.0),
+            ),
+        ),
     ]
 }
 
@@ -308,7 +422,7 @@ mod tests {
     #[test]
     fn golden_specs_validate_and_names_are_unique() {
         let specs = golden_specs();
-        assert!(specs.len() >= 20, "corpus shrank to {}", specs.len());
+        assert!(specs.len() >= 28, "corpus shrank to {}", specs.len());
         let mut names: Vec<&str> = specs.iter().map(|(n, _)| *n).collect();
         names.sort();
         names.dedup();

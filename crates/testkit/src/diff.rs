@@ -172,6 +172,7 @@ pub fn conform_config(spec: &ScenarioSpec) -> HobbitConfig {
         } else {
             HobbitConfig::default().prober_retries
         },
+        mda_mode: spec.mda_mode,
         ..HobbitConfig::default()
     }
 }

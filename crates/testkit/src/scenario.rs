@@ -13,6 +13,7 @@
 use netsim::host::TtlMix;
 use netsim::route::{NextHop, NextHopGroup};
 use netsim::{Addr, Block24, FaultConfig, HostKind, HostProfile, LbPolicy, Network, Prefix};
+use probe::MdaMode;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -52,6 +53,40 @@ impl PolicySpec {
     }
 }
 
+/// A diamond (divergence → parallel branches → convergence) planted
+/// *upstream* of a PoP's aggregation router. Diamonds never touch the
+/// last-hop truth — they only add mid-path ECMP diversity, which is what
+/// MDA-Lite's diamond-aware stopping rules key on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiamondSpec {
+    /// No mid-path diamond (the historical topology).
+    #[default]
+    None,
+    /// One divergence router fanning per-flow over `width` parallel mid
+    /// routers that reconverge one hop later.
+    Wide {
+        /// Parallel branches (2..=4).
+        width: u8,
+    },
+    /// Two chained fans: an outer per-flow fan whose branches each fan
+    /// again over `inner` routers before reconverging — nested diamonds.
+    Nested {
+        /// Outer branches (2..=3).
+        outer: u8,
+        /// Inner branches per outer branch (2..=3).
+        inner: u8,
+    },
+    /// Parallel branches of unequal length: `long` of the `width` branches
+    /// carry an extra in-series router, so the branches reconverge at
+    /// different TTLs (the alignment-hostile diamond shape).
+    Asymmetric {
+        /// Parallel branches (2..=4).
+        width: u8,
+        /// Branches with the extra hop (1..=width).
+        long: u8,
+    },
+}
+
 /// One point of presence: an aggregation router fanning out over `fan`
 /// last-hop routers.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -66,6 +101,10 @@ pub struct PopSpec {
     /// Whether last-hop routers alternate between two reply interfaces
     /// (a classic traceroute artifact; must not change any verdict).
     pub alt_addr: bool,
+    /// Mid-path diamond upstream of the aggregation router. Defaults to
+    /// [`DiamondSpec::None`] so pre-diamond corpus entries stay readable.
+    #[serde(default)]
+    pub diamond: DiamondSpec,
 }
 
 /// What one planted /24 contains.
@@ -112,6 +151,10 @@ pub struct ScenarioSpec {
     pub link_loss: f32,
     /// ICMP token-bucket refill rate injected after the snapshot (0 = off).
     pub icmp_rate: f32,
+    /// Which MDA stopping discipline the conformance runner classifies
+    /// with. Defaults to classic so pre-mode corpus entries stay readable.
+    #[serde(default)]
+    pub mda_mode: MdaMode,
 }
 
 impl ScenarioSpec {
@@ -153,6 +196,31 @@ impl ScenarioSpec {
         for (i, pop) in self.pops.iter().enumerate() {
             if pop.fan == 0 || pop.fan > 8 {
                 return Err(format!("pop {i}: fan {} out of range 1..=8", pop.fan));
+            }
+            match pop.diamond {
+                DiamondSpec::None => {}
+                DiamondSpec::Wide { width } => {
+                    if !(2..=4).contains(&width) {
+                        return Err(format!("pop {i}: diamond width {width} out of range 2..=4"));
+                    }
+                }
+                DiamondSpec::Nested { outer, inner } => {
+                    if !(2..=3).contains(&outer) || !(2..=3).contains(&inner) {
+                        return Err(format!(
+                            "pop {i}: nested diamond {outer}x{inner} out of range 2..=3"
+                        ));
+                    }
+                }
+                DiamondSpec::Asymmetric { width, long } => {
+                    if !(2..=4).contains(&width) {
+                        return Err(format!("pop {i}: diamond width {width} out of range 2..=4"));
+                    }
+                    if long == 0 || long > width {
+                        return Err(format!(
+                            "pop {i}: {long} long branches out of range 1..={width}"
+                        ));
+                    }
+                }
             }
         }
         for (i, b) in self.blocks.iter().enumerate() {
@@ -232,10 +300,17 @@ pub fn build_world(spec: &ScenarioSpec) -> World {
         )
     });
 
-    // PoPs: one aggregation router fanning out over the last-hop routers.
+    // PoPs: one aggregation router fanning out over the last-hop routers,
+    // optionally behind a mid-path diamond (divergence → parallel branches
+    // → convergence → aggregation). The diamond layer carries every prefix
+    // routed to the PoP, so its routes are installed per block below
+    // (`pop_entries` is what the vantage chain targets, `pop_mid_routes`
+    // the per-prefix route templates of the diamond routers).
     let mut pop_aggs = Vec::new();
     let mut pop_lhs = Vec::new();
     let mut pop_lasthops = Vec::new();
+    let mut pop_entries = Vec::new();
+    let mut pop_mid_routes: Vec<Vec<(netsim::RouterId, NextHopGroup)>> = Vec::new();
     for (i, pop) in spec.pops.iter().enumerate() {
         let agg = net.add_router(Addr::new(10, 100, i as u8, 1));
         let mut lhs = Vec::new();
@@ -251,9 +326,12 @@ pub fn build_world(spec: &ScenarioSpec) -> World {
             addrs.push(addr);
         }
         addrs.sort();
+        let (entry, mid_routes) = build_diamond(&mut net, i as u8, pop.diamond, agg);
         pop_aggs.push(agg);
         pop_lhs.push(lhs);
         pop_lasthops.push(addrs);
+        pop_entries.push(entry);
+        pop_mid_routes.push(mid_routes);
     }
 
     // Route a prefix from the vantage chain down to an entry router.
@@ -285,7 +363,10 @@ pub fn build_world(spec: &ScenarioSpec) -> World {
         match &block_spec.kind {
             BlockKind::Homog { pop } => {
                 let i = *pop as usize;
-                chain(&mut net, p24, pop_aggs[i]);
+                chain(&mut net, p24, pop_entries[i]);
+                for (router, group) in &pop_mid_routes[i] {
+                    net.install_route(*router, p24, group.clone());
+                }
                 let hops: Vec<NextHop> = pop_lhs[i].iter().map(|&id| NextHop::Router(id)).collect();
                 let group = if hops.len() == 1 {
                     NextHopGroup::single(hops[0])
@@ -336,6 +417,81 @@ pub fn build_world(spec: &ScenarioSpec) -> World {
     }
 }
 
+/// Build one PoP's mid-path diamond routers (addresses under
+/// `10.101.<pop>.*`). Returns the router the vantage chain should target
+/// and the `(router, next-hop group)` route templates to install for every
+/// prefix routed through the PoP. [`DiamondSpec::None`] collapses to the
+/// aggregation router itself with no extra routes.
+fn build_diamond(
+    net: &mut Network,
+    pop: u8,
+    diamond: DiamondSpec,
+    agg: netsim::RouterId,
+) -> (netsim::RouterId, Vec<(netsim::RouterId, NextHopGroup)>) {
+    let ecmp_over = |ids: &[netsim::RouterId]| {
+        NextHopGroup::ecmp(
+            ids.iter().map(|&id| NextHop::Router(id)).collect(),
+            LbPolicy::PerFlow,
+        )
+    };
+    match diamond {
+        DiamondSpec::None => (agg, Vec::new()),
+        DiamondSpec::Wide { width } => {
+            let div = net.add_router(Addr::new(10, 101, pop, 1));
+            let conv = net.add_router(Addr::new(10, 101, pop, 2));
+            let mids: Vec<_> = (0..width)
+                .map(|m| net.add_router(Addr::new(10, 101, pop, 10 + m)))
+                .collect();
+            let mut routes = vec![(div, ecmp_over(&mids))];
+            for &m in &mids {
+                routes.push((m, NextHopGroup::single(NextHop::Router(conv))));
+            }
+            routes.push((conv, NextHopGroup::single(NextHop::Router(agg))));
+            (div, routes)
+        }
+        DiamondSpec::Nested { outer, inner } => {
+            let div = net.add_router(Addr::new(10, 101, pop, 1));
+            let conv = net.add_router(Addr::new(10, 101, pop, 2));
+            let mut routes = Vec::new();
+            let mut outer_mids = Vec::new();
+            for o in 0..outer {
+                let mid = net.add_router(Addr::new(10, 101, pop, 10 + o));
+                let subs: Vec<_> = (0..inner)
+                    .map(|s| net.add_router(Addr::new(10, 101, pop, 100 + o * 8 + s)))
+                    .collect();
+                routes.push((mid, ecmp_over(&subs)));
+                for &s in &subs {
+                    routes.push((s, NextHopGroup::single(NextHop::Router(conv))));
+                }
+                outer_mids.push(mid);
+            }
+            routes.insert(0, (div, ecmp_over(&outer_mids)));
+            routes.push((conv, NextHopGroup::single(NextHop::Router(agg))));
+            (div, routes)
+        }
+        DiamondSpec::Asymmetric { width, long } => {
+            let div = net.add_router(Addr::new(10, 101, pop, 1));
+            let conv = net.add_router(Addr::new(10, 101, pop, 2));
+            let mut routes = Vec::new();
+            let mut mids = Vec::new();
+            for m in 0..width {
+                let mid = net.add_router(Addr::new(10, 101, pop, 10 + m));
+                if m < long {
+                    let ext = net.add_router(Addr::new(10, 101, pop, 100 + m));
+                    routes.push((mid, NextHopGroup::single(NextHop::Router(ext))));
+                    routes.push((ext, NextHopGroup::single(NextHop::Router(conv))));
+                } else {
+                    routes.push((mid, NextHopGroup::single(NextHop::Router(conv))));
+                }
+                mids.push(mid);
+            }
+            routes.insert(0, (div, ecmp_over(&mids)));
+            routes.push((conv, NextHopGroup::single(NextHop::Router(agg))));
+            (div, routes)
+        }
+    }
+}
+
 /// Deterministic generator helpers over the scenario seed.
 fn roll(seed: u64, tag: u64, n: usize) -> usize {
     netsim::hash::pick(netsim::hash::mix2(seed, tag), n)
@@ -361,11 +517,31 @@ pub fn gen_spec(seed: u64) -> ScenarioSpec {
                 4..=7 => PolicySpec::PerFlow,
                 _ => PolicySpec::PerSrcDest,
             };
+            // ~25% of PoPs sit behind a mid-path diamond, split across the
+            // three shapes (MDA-Lite's diamond-aware stopping rules).
+            let diamond = match roll(seed, tag ^ 0xD1A, 12) {
+                0 => DiamondSpec::Wide {
+                    width: 2 + roll(seed, tag ^ 0xD1B, 3) as u8,
+                },
+                1 => DiamondSpec::Nested {
+                    outer: 2 + roll(seed, tag ^ 0xD1C, 2) as u8,
+                    inner: 2 + roll(seed, tag ^ 0xD1D, 2) as u8,
+                },
+                2 => {
+                    let width = 2 + roll(seed, tag ^ 0xD1E, 3) as u8;
+                    DiamondSpec::Asymmetric {
+                        width,
+                        long: 1 + roll(seed, tag ^ 0xD1F, width as usize) as u8,
+                    }
+                }
+                _ => DiamondSpec::None,
+            };
             PopSpec {
                 fan: 1 + roll(seed, tag ^ 0xFA0, 3) as u8,
                 policy,
                 responsive: !chance(seed, tag ^ 0x0FF, 0.15),
                 alt_addr: chance(seed, tag ^ 0xA17, 0.15),
+                diamond,
             }
         })
         .collect::<Vec<_>>();
@@ -399,6 +575,7 @@ pub fn gen_spec(seed: u64) -> ScenarioSpec {
         blocks,
         link_loss: 0.0,
         icmp_rate: 0.0,
+        mda_mode: MdaMode::Classic,
     }
 }
 
@@ -415,6 +592,7 @@ mod tests {
                 policy: PolicySpec::PerDestination,
                 responsive: true,
                 alt_addr: false,
+                diamond: DiamondSpec::None,
             }],
             blocks: vec![
                 BlockSpec {
@@ -428,6 +606,7 @@ mod tests {
             ],
             link_loss: 0.0,
             icmp_rate: 0.0,
+            mda_mode: MdaMode::Classic,
         }
     }
 
@@ -493,6 +672,111 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn pre_diamond_spec_json_still_parses() {
+        // A corpus entry serialized before the diamond / mda_mode fields
+        // existed must deserialize to the defaults (classic, no diamond).
+        let json = r#"{"seed":7,"transit":false,
+            "pops":[{"fan":2,"policy":"PerDestination","responsive":true,"alt_addr":false}],
+            "blocks":[{"kind":{"Homog":{"pop":0}},"density_pct":90}],
+            "link_loss":0.0,"icmp_rate":0.0}"#;
+        let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.mda_mode, MdaMode::Classic);
+        assert_eq!(spec.pops[0].diamond, DiamondSpec::None);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn diamond_worlds_keep_the_lasthop_truth() {
+        // Diamonds add mid-path diversity but must never disturb the
+        // planted last-hop ground truth or the delivered path length's
+        // reachability.
+        let plain = build_world(&single_pop_spec());
+        for diamond in [
+            DiamondSpec::Wide { width: 3 },
+            DiamondSpec::Nested { outer: 2, inner: 2 },
+            DiamondSpec::Asymmetric { width: 3, long: 1 },
+        ] {
+            let mut spec = single_pop_spec();
+            spec.pops[0].diamond = diamond;
+            spec.validate().unwrap();
+            let world = build_world(&spec);
+            assert_eq!(
+                world.pop_lasthops, plain.pop_lasthops,
+                "{diamond:?} changed the last-hop plan"
+            );
+            let b0 = ScenarioSpec::block24(0);
+            for host in [1u8, 100, 200] {
+                assert_eq!(
+                    world.network.true_lasthop_addrs(b0.addr(host)),
+                    plain.network.true_lasthop_addrs(b0.addr(host)),
+                    "{diamond:?} changed the truth for host {host}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_worlds_add_midpath_ecmp_diversity() {
+        use probe::{enumerate_paths, Prober, StoppingRule};
+        let mut spec = single_pop_spec();
+        spec.pops[0].diamond = DiamondSpec::Wide { width: 3 };
+        let mut world = build_world(&spec);
+        let dst = ScenarioSpec::block24(0).addr(77);
+        let mut prober = Prober::new(&mut world.network, 0xD1A);
+        let paths = enumerate_paths(&mut prober, dst, StoppingRule::confidence95(), 64);
+        // The per-flow fan shows up as >1 distinct interface at the
+        // diamond's TTL on some hop.
+        let max_width = (0..40u8)
+            .map(|t| {
+                let set: std::collections::BTreeSet<_> = paths
+                    .paths
+                    .iter()
+                    .filter_map(|p| p.hops.get(t as usize).copied().flatten())
+                    .collect();
+                set.len()
+            })
+            .max()
+            .unwrap();
+        assert!(max_width >= 3, "diamond fan not visible: width {max_width}");
+    }
+
+    #[test]
+    fn generator_rolls_every_diamond_shape() {
+        let specs: Vec<ScenarioSpec> = (0..300).map(gen_spec).collect();
+        let pops = specs.iter().flat_map(|s| s.pops.iter());
+        let mut wide = 0;
+        let (mut nested, mut asym, mut none) = (0, 0, 0);
+        for p in pops {
+            match p.diamond {
+                DiamondSpec::Wide { .. } => wide += 1,
+                DiamondSpec::Nested { .. } => nested += 1,
+                DiamondSpec::Asymmetric { .. } => asym += 1,
+                DiamondSpec::None => none += 1,
+            }
+        }
+        assert!(wide > 0 && nested > 0 && asym > 0, "{wide}/{nested}/{asym}");
+        // Diamonds stay the minority: the bulk of the corpus keeps the
+        // historical topology.
+        assert!(none > wide + nested + asym);
+    }
+
+    #[test]
+    fn validate_rejects_bad_diamonds() {
+        for diamond in [
+            DiamondSpec::Wide { width: 1 },
+            DiamondSpec::Wide { width: 9 },
+            DiamondSpec::Nested { outer: 1, inner: 2 },
+            DiamondSpec::Nested { outer: 2, inner: 4 },
+            DiamondSpec::Asymmetric { width: 3, long: 0 },
+            DiamondSpec::Asymmetric { width: 2, long: 3 },
+        ] {
+            let mut spec = single_pop_spec();
+            spec.pops[0].diamond = diamond;
+            assert!(spec.validate().is_err(), "{diamond:?} should be rejected");
+        }
     }
 
     #[test]

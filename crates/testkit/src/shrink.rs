@@ -7,7 +7,8 @@
 //! predicate still holds, looping to a fixpoint. The result is the seed
 //! file worth reading: usually one block, one PoP, default knobs.
 
-use crate::scenario::{BlockKind, PolicySpec, ScenarioSpec};
+use crate::scenario::{BlockKind, DiamondSpec, PolicySpec, ScenarioSpec};
+use probe::MdaMode;
 
 /// Upper bound on shrink passes — each pass must remove something to
 /// continue, so this only triggers on a pathological oscillating predicate.
@@ -41,6 +42,13 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         c.transit = false;
         push(c);
     }
+    // Fall back to classic MDA (keeps only failures that genuinely need
+    // the lite stopping rules).
+    if spec.mda_mode != MdaMode::Classic {
+        let mut c = spec.clone();
+        c.mda_mode = MdaMode::Classic;
+        push(c);
+    }
     // Simplify each PoP one knob at a time.
     for i in 0..spec.pops.len() {
         if spec.pops[i].fan > 1 {
@@ -62,6 +70,20 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
             let mut c = spec.clone();
             c.pops[i].alt_addr = false;
             push(c);
+        }
+        // Diamonds: remove outright first, then simplify the shape.
+        match spec.pops[i].diamond {
+            DiamondSpec::None => {}
+            diamond => {
+                let mut c = spec.clone();
+                c.pops[i].diamond = DiamondSpec::None;
+                push(c);
+                if diamond != (DiamondSpec::Wide { width: 2 }) {
+                    let mut c = spec.clone();
+                    c.pops[i].diamond = DiamondSpec::Wide { width: 2 };
+                    push(c);
+                }
+            }
         }
     }
     // Simplify each block: full density, splits collapsed to the first PoP.
@@ -184,6 +206,20 @@ mod tests {
     }
 
     #[test]
+    fn shrinker_simplifies_diamonds_and_probe_mode() {
+        let mut spec = gen_spec(4);
+        spec.mda_mode = MdaMode::Lite;
+        for p in &mut spec.pops {
+            p.diamond = DiamondSpec::Nested { outer: 2, inner: 2 };
+        }
+        // Failure independent of diamonds and mode: both must shrink away.
+        let fails = |s: &ScenarioSpec| !s.blocks.is_empty();
+        let min = shrink(&spec, &fails);
+        assert_eq!(min.mda_mode, MdaMode::Classic);
+        assert!(min.pops.iter().all(|p| p.diamond == DiamondSpec::None));
+    }
+
+    #[test]
     fn already_minimal_spec_is_untouched() {
         let spec = ScenarioSpec {
             seed: 3,
@@ -193,6 +229,7 @@ mod tests {
                 policy: PolicySpec::PerDestination,
                 responsive: true,
                 alt_addr: false,
+                diamond: DiamondSpec::None,
             }],
             blocks: vec![BlockSpec {
                 kind: BlockKind::Homog { pop: 0 },
@@ -200,6 +237,7 @@ mod tests {
             }],
             link_loss: 0.0,
             icmp_rate: 0.0,
+            mda_mode: MdaMode::Classic,
         };
         let min = shrink(&spec, &|_| true);
         assert_eq!(min, spec);

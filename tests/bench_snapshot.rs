@@ -61,6 +61,31 @@ fn flat_is_at_least_twice_baseline_at_100k() {
     }
 }
 
+/// The MDA-Lite claim: at the 100k workload the lite discipline spends at
+/// most half the probes per block classic MDA does. The entries are
+/// deterministic probe counts (not timings), identical under both labels
+/// (the probing discipline is orthogonal to the kernel set), so the bound
+/// is exact — no noise margin needed beyond the 2x headroom itself.
+#[test]
+fn mda_lite_halves_probes_per_block_at_100k() {
+    for (src, label) in [(BASELINE, "baseline"), (FLAT, "flat")] {
+        let snap = load(src, label);
+        let classic = snap
+            .get("probe.classify.probes_per_block.classic@100000")
+            .unwrap_or_else(|| panic!("{label} lacks the classic probe-budget entry"));
+        let lite = snap
+            .get("probe.classify.probes_per_block.mda_lite@100000")
+            .unwrap_or_else(|| panic!("{label} lacks the mda_lite probe-budget entry"));
+        assert!(classic.value > 0.0 && !classic.higher_is_better);
+        assert!(
+            lite.value * 2.0 <= classic.value,
+            "{label}: lite {} probes/block is not ≤ half of classic {}",
+            lite.value,
+            classic.value
+        );
+    }
+}
+
 /// A snapshot gates cleanly against itself — the shape CI's bench-gate
 /// relies on (and a regression in the committed file's own consistency
 /// would fail here before it flaked in CI).

@@ -1,0 +1,272 @@
+//! MDA-Lite drift sweep: the lite probing mode must stay oracle-clean,
+//! spend no more probes than classic MDA on any fault-free block, cut the
+//! aggregate probe budget by a pinned floor, and disagree with classic
+//! classification on at most a pinned ceiling of blocks — with the
+//! disagreements themselves reported through the `Mismatch` taxonomy so a
+//! regression names the block and both verdicts, not just a rate.
+
+use experiments::classify_blocks;
+use hobbit::{BlockMeasurement, ConfidenceTable, HobbitConfig, SelectedBlock};
+use netsim::SharedNetwork;
+use probe::MdaMode;
+use std::path::{Path, PathBuf};
+use testkit::corpus::load_dir;
+use testkit::diff::{run_spec, Mismatch};
+use testkit::scenario::{gen_spec, ScenarioSpec};
+use testkit::shrink::shrink;
+
+/// Thread counts both modes must agree across internally.
+const THREADS: &[usize] = &[1, 8];
+
+/// The loss axis of the fuzzed sweep.
+const FAULT_LOSS: f32 = 0.02;
+
+/// Ceiling on cross-mode drift: blocks whose (verdict, last-hop set)
+/// differs between classic and lite, over all blocks swept. The issue's
+/// acceptance bar is 1%.
+const DRIFT_CEILING: f64 = 0.01;
+
+/// Floor on the aggregate probe saving of lite over classic across the
+/// fault-free sweep: classic must spend at least this multiple of lite's
+/// probes. Measured 2.51x on the golden corpus and 2.46x on the fuzzed
+/// sweep; pinned with headroom below the observed value so real
+/// regressions fail while topology drift does not.
+const SAVINGS_FLOOR: f64 = 2.0;
+
+/// The production engine in the shape the differential runner injects.
+fn production(
+    net: &SharedNetwork,
+    selected: &[SelectedBlock],
+    confidence: &ConfidenceTable,
+    cfg: &HobbitConfig,
+    threads: usize,
+) -> Vec<BlockMeasurement> {
+    classify_blocks(net, selected, confidence, cfg, threads).0
+}
+
+/// Fuzzed-scenario count: `HOBBIT_MDA_CASES` or 40.
+fn cases() -> usize {
+    std::env::var("HOBBIT_MDA_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// The same world probed in one forced mode.
+fn in_mode(spec: &ScenarioSpec, mode: MdaMode) -> ScenarioSpec {
+    ScenarioSpec {
+        mda_mode: mode,
+        ..spec.clone()
+    }
+}
+
+/// Running totals of one classic-vs-lite sweep.
+#[derive(Default)]
+struct Drift {
+    /// Blocks compared across modes.
+    blocks: usize,
+    /// Cross-mode disagreements, in `Mismatch` taxonomy terms (`production`
+    /// holds the lite result, `oracle` the classic one).
+    mismatches: Vec<Mismatch>,
+    /// Probe totals over fault-free specs only (fault injection interacts
+    /// with the retry ladder, so faulted probe counts are not comparable
+    /// probe-for-probe across modes).
+    classic_probes: u64,
+    lite_probes: u64,
+}
+
+impl Drift {
+    fn rate(&self) -> f64 {
+        if self.blocks == 0 {
+            return 0.0;
+        }
+        self.mismatches.len() as f64 / self.blocks as f64
+    }
+
+    fn savings(&self) -> f64 {
+        self.classic_probes as f64 / self.lite_probes.max(1) as f64
+    }
+}
+
+/// Where shrunk reproducers of diverging specs land: `HOBBIT_MDA_DIR`
+/// (the CI `mda-conformance` job points it at its artifact dir) or
+/// `target/mda-failures/` locally.
+fn fail_dir() -> PathBuf {
+    std::env::var("HOBBIT_MDA_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("target/mda-failures"))
+}
+
+/// Delta-debug `spec` down to a minimal scenario still failing `fails`
+/// and write it as a seed file, returning the path for the panic message.
+/// Only runs on the failure path, so the dual-mode rerun per candidate
+/// edit is acceptable.
+fn dump_shrunk(name: &str, spec: &ScenarioSpec, fails: &dyn Fn(&ScenarioSpec) -> bool) -> PathBuf {
+    let min = shrink(spec, fails);
+    let dir = fail_dir();
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join(format!("{}.json", name.replace(' ', "_")));
+    let json = serde_json::to_string_pretty(&min).expect("spec serializes");
+    std::fs::write(&path, json).expect("reproducer writes");
+    path
+}
+
+/// Whether the two modes disagree anywhere on (verdict, last-hop set) —
+/// the shrink predicate for a drifting spec.
+fn modes_drift(spec: &ScenarioSpec) -> bool {
+    let c = run_spec(&in_mode(spec, MdaMode::Classic), &[1], &production, None);
+    let l = run_spec(&in_mode(spec, MdaMode::Lite), &[1], &production, None);
+    c.measurements.len() != l.measurements.len()
+        || c.measurements
+            .iter()
+            .zip(&l.measurements)
+            .any(|(c, l)| c.classification != l.classification || c.lasthop_set != l.lasthop_set)
+}
+
+/// Whether some block spends more probes under lite than under classic —
+/// the shrink predicate for a probe-monotonicity violation.
+fn lite_overspends(spec: &ScenarioSpec) -> bool {
+    let c = run_spec(&in_mode(spec, MdaMode::Classic), &[1], &production, None);
+    let l = run_spec(&in_mode(spec, MdaMode::Lite), &[1], &production, None);
+    c.measurements.len() == l.measurements.len()
+        && c.measurements
+            .iter()
+            .zip(&l.measurements)
+            .any(|(c, l)| l.probes_used > c.probes_used)
+}
+
+/// Run one spec under both modes, fold the comparison into `drift`, and
+/// enforce the per-spec invariants (oracle-clean in both modes, per-block
+/// probe monotonicity when fault-free, byte-identical projections when the
+/// spec shows zero drift).
+fn sweep_spec(name: &str, spec: &ScenarioSpec, drift: &mut Drift) {
+    let classic = run_spec(&in_mode(spec, MdaMode::Classic), THREADS, &production, None);
+    let lite = run_spec(&in_mode(spec, MdaMode::Lite), THREADS, &production, None);
+    // Both modes must pass the full oracle (replay verdicts, last-hop
+    // recomputation, counter identities, aggregation) on their own.
+    assert!(classic.clean(), "{name} classic: {:?}", classic.mismatches);
+    assert!(lite.clean(), "{name} lite: {:?}", lite.mismatches);
+
+    assert_eq!(
+        classic.measurements.len(),
+        lite.measurements.len(),
+        "{name}: modes disagree on the selected block set"
+    );
+    let fault_free = !spec.faults().is_active();
+    let mut spec_drift = 0usize;
+    for (c, l) in classic.measurements.iter().zip(&lite.measurements) {
+        assert_eq!(c.block, l.block, "{name}: block order diverged");
+        drift.blocks += 1;
+        if fault_free {
+            if l.probes_used > c.probes_used {
+                let at = dump_shrunk(name, spec, &lite_overspends);
+                panic!(
+                    "{name} {:?}: lite spent {} probes, classic {} — shrunk reproducer at {}",
+                    c.block,
+                    l.probes_used,
+                    c.probes_used,
+                    at.display()
+                );
+            }
+            drift.classic_probes += c.probes_used;
+            drift.lite_probes += l.probes_used;
+        }
+        if l.classification != c.classification {
+            spec_drift += 1;
+            drift.mismatches.push(Mismatch::Verdict {
+                block: c.block,
+                production: l.classification,
+                oracle: c.classification,
+            });
+        } else if l.lasthop_set != c.lasthop_set {
+            spec_drift += 1;
+            drift.mismatches.push(Mismatch::LasthopSet {
+                block: c.block,
+                production: l.lasthop_set.clone(),
+                oracle: c.lasthop_set.clone(),
+            });
+        }
+    }
+    // Measured drift is zero, so any drifting spec is worth a shrunk
+    // reproducer on disk even while the aggregate rate stays under the
+    // ceiling — the artifact names the minimal world, the `Mismatch` the
+    // block and both verdicts.
+    if spec_drift > 0 {
+        let at = dump_shrunk(name, spec, &modes_drift);
+        eprintln!(
+            "mda_lite: {name} drifts; shrunk reproducer at {}",
+            at.display()
+        );
+    }
+    // Where a spec drifts nowhere, the classification *reports* must be
+    // byte-identical — probe spend may differ, the outcome may not.
+    if spec_drift == 0 {
+        let project = |ms: &[BlockMeasurement]| {
+            let rows: Vec<_> = ms
+                .iter()
+                .map(|m| (m.block, m.classification, m.lasthop_set.clone()))
+                .collect();
+            serde_json::to_string(&rows).expect("projection serializes")
+        };
+        assert_eq!(
+            project(&classic.measurements),
+            project(&lite.measurements),
+            "{name}: zero-drift spec produced byte-different reports"
+        );
+    }
+}
+
+fn finish(label: &str, drift: &Drift) {
+    eprintln!(
+        "mda_lite {label}: blocks={} drift={} ({:.4}) savings={:.2}x (classic {} vs lite {} probes)",
+        drift.blocks,
+        drift.mismatches.len(),
+        drift.rate(),
+        drift.savings(),
+        drift.classic_probes,
+        drift.lite_probes
+    );
+    assert!(
+        drift.rate() <= DRIFT_CEILING,
+        "{label}: drift rate {:.4} over ceiling {DRIFT_CEILING}: {:?}",
+        drift.rate(),
+        drift.mismatches
+    );
+    assert!(
+        drift.savings() >= SAVINGS_FLOOR,
+        "{label}: probe savings {:.2}x under floor {SAVINGS_FLOOR}x",
+        drift.savings()
+    );
+}
+
+#[test]
+fn golden_corpus_classic_vs_lite_drift() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let entries = load_dir(&dir).expect("golden corpus loads");
+    assert!(
+        entries.len() >= 28,
+        "golden corpus shrank to {} entries",
+        entries.len()
+    );
+    let mut drift = Drift::default();
+    for entry in &entries {
+        sweep_spec(&entry.name, &entry.spec, &mut drift);
+    }
+    finish("corpus", &drift);
+}
+
+#[test]
+fn fuzzed_scenarios_classic_vs_lite_drift() {
+    let n = cases();
+    let mut drift = Drift::default();
+    for i in 0..n {
+        let mut spec = gen_spec(41_000 + i as u64);
+        // Alternate the loss axis so half the sweep runs faulted (faulted
+        // specs contribute drift counts but not probe totals).
+        if i % 2 == 1 {
+            spec = spec.with_faults(FAULT_LOSS, 0.0);
+        }
+        sweep_spec(&format!("seed {}", spec.seed), &spec, &mut drift);
+    }
+    finish("fuzzed", &drift);
+}

@@ -5,7 +5,8 @@
 //! stream is parsed by hand. Supported shapes — exactly what this
 //! workspace uses:
 //!
-//! * named structs (with optional `#[serde(with = "module")]` per field)
+//! * named structs (with optional `#[serde(with = "module")]` and
+//!   `#[serde(default)]` per field)
 //! * tuple structs (newtype and general)
 //! * unit structs
 //! * externally-tagged enums with unit, tuple, and struct variants
@@ -18,6 +19,9 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     with: Option<String>,
+    /// `#[serde(default)]`: a missing key deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -121,9 +125,16 @@ fn parse_input(input: TokenStream) -> Input {
     Input { name, shape }
 }
 
-/// Extract a `with = "module"` override from a `#[serde(...)]` attribute
-/// group's inner stream, if present.
-fn serde_with_from_attr(attr_group: TokenStream) -> Option<String> {
+/// Field-level `#[serde(...)]` options this stand-in understands.
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
+}
+
+/// Extract the supported options (`with = "module"`, `default`) from a
+/// `#[serde(...)]` attribute group's inner stream, if present.
+fn serde_field_attrs(attr_group: TokenStream) -> Option<FieldAttrs> {
     let mut iter = attr_group.into_iter();
     match iter.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
@@ -133,24 +144,29 @@ fn serde_with_from_attr(attr_group: TokenStream) -> Option<String> {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
         _ => return None,
     };
+    let mut attrs = FieldAttrs::default();
     let toks: Vec<TokenTree> = inner.into_iter().collect();
     let mut i = 0;
     while i < toks.len() {
         if let TokenTree::Ident(id) = &toks[i] {
-            if id.to_string() == "with" {
-                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
-                    (toks.get(i + 1), toks.get(i + 2))
-                {
-                    if eq.as_char() == '=' {
-                        let s = lit.to_string();
-                        return Some(s.trim_matches('"').to_string());
+            match id.to_string().as_str() {
+                "with" => {
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (toks.get(i + 1), toks.get(i + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let s = lit.to_string();
+                            attrs.with = Some(s.trim_matches('"').to_string());
+                        }
                     }
                 }
+                "default" => attrs.default = true,
+                _ => {}
             }
         }
         i += 1;
     }
-    None
+    Some(attrs)
 }
 
 /// Parse `name: Type, ...` fields from a brace group's stream, skipping
@@ -162,13 +178,17 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     loop {
         // Per-field: attributes and visibility first.
         let mut with = None;
+        let mut default = false;
         let name = loop {
             match iter.next() {
                 None => return fields,
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     if let Some(TokenTree::Group(g)) = iter.next() {
-                        if let Some(w) = serde_with_from_attr(g.stream()) {
-                            with = Some(w);
+                        if let Some(attrs) = serde_field_attrs(g.stream()) {
+                            if attrs.with.is_some() {
+                                with = attrs.with;
+                            }
+                            default |= attrs.default;
                         }
                     }
                 }
@@ -198,7 +218,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                 _ => {}
             }
         }
-        fields.push(Field { name, with });
+        fields.push(Field {
+            name,
+            with,
+            default,
+        });
     }
 }
 
@@ -291,6 +315,25 @@ fn de_field_expr(f: &Field, value_expr: &str) -> String {
 
 fn missing(name: &str, field: &str) -> String {
     format!(".ok_or_else(|| ::serde::Error::custom(\"missing field `{field}` in {name}\"))?")
+}
+
+/// The `field: <expr>` initializer for one named field of `owner`,
+/// looked up in the object expression `obj`. A `#[serde(default)]` field
+/// falls back to `Default::default()` when the key is absent (old
+/// documents written before the field existed stay readable).
+fn de_named_init(f: &Field, obj: &str, owner: &str) -> String {
+    if f.default {
+        format!(
+            "{}: match {obj}.get(\"{}\") {{ Some(__fv) => {}, \
+             None => ::std::default::Default::default() }}",
+            f.name,
+            f.name,
+            de_field_expr(f, "__fv")
+        )
+    } else {
+        let getter = format!("{obj}.get(\"{}\"){}", f.name, missing(owner, &f.name));
+        format!("{}: {}", f.name, de_field_expr(f, &getter))
+    }
 }
 
 fn gen_serialize(input: &Input) -> String {
@@ -387,10 +430,7 @@ fn gen_deserialize(input: &Input) -> String {
             );
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    let getter = format!("__obj.get(\"{}\"){}", f.name, missing(name, &f.name));
-                    format!("{}: {}", f.name, de_field_expr(f, &getter))
-                })
+                .map(|f| de_named_init(f, "__obj", name))
                 .collect();
             s.push_str(&format!("Ok({name} {{ {} }})", inits.join(", ")));
             s
@@ -440,14 +480,7 @@ fn gen_deserialize(input: &Input) -> String {
                     VariantKind::Named(fields) => {
                         let inits: Vec<String> = fields
                             .iter()
-                            .map(|f| {
-                                let getter = format!(
-                                    "__inner.get(\"{}\"){}",
-                                    f.name,
-                                    missing(&format!("{name}::{vname}"), &f.name)
-                                );
-                                format!("{}: {}", f.name, de_field_expr(f, &getter))
-                            })
+                            .map(|f| de_named_init(f, "__inner", &format!("{name}::{vname}")))
                             .collect();
                         payload_arms.push_str(&format!(
                             "\"{vname}\" => {{\n\
