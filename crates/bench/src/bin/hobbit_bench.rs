@@ -27,7 +27,7 @@ use hobbit::{
     HobbitConfig,
 };
 use mcl::{mcl_by_components, MclParams};
-use netsim::build::{build, ScenarioConfig};
+use netsim::build::{build, derive_dynamics, ScenarioConfig};
 use netsim::{Addr, Block24, SharedNetwork};
 use obs::{Recorder, Registry};
 use probe::{zmap, MdaMode, Prober};
@@ -372,6 +372,44 @@ fn main() -> ExitCode {
                 probes_counter.add(probes);
                 entries_counter.inc();
             }
+
+            // Dynamics overhead: the same tiny world re-probed with a
+            // seeded event schedule armed. The entry pins the per-block
+            // probe cost of a live virtual clock — schedule lookups plus
+            // artifact-induced reprobes — next to the static trajectory
+            // above, so a hot-path regression in the clock shows up as
+            // probe-budget drift rather than a wall-time blur.
+            let mut dyn_world_cfg = ScenarioConfig::tiny(args.seed);
+            dyn_world_cfg.churn = 0.0;
+            dyn_world_cfg.quiet_prob = 0.0;
+            let mut scenario = build(dyn_world_cfg);
+            let zmap_snapshot = zmap::scan_all(&mut scenario.network);
+            let selected = select_all(&zmap_snapshot);
+            let schedule = derive_dynamics(&scenario, 0.5, 64);
+            let events = schedule.events.len() as u64;
+            scenario.network.set_dynamics(schedule);
+            let probe_cfg = HobbitConfig {
+                dynamics_period: if events > 0 { 64 } else { 0 },
+                ..HobbitConfig::default()
+            };
+            let shared = SharedNetwork::new(scenario.network);
+            let mut probes = 0u64;
+            for j in 0..n {
+                let sel = &selected[j % selected.len()];
+                let ident =
+                    0x4000 | (netsim::hash::mix2(sel.block.0 as u64, 0x1DE7) as u16 & 0x3FFF);
+                let mut prober = Prober::shared(shared.clone(), ident);
+                let m = classify_block(&mut prober, sel, &conf, &probe_cfg);
+                probes += m.probes_used;
+            }
+            snap.push(
+                format!("probe.classify.probes_per_block.dynamic@{n}"),
+                probes as f64 / n as f64,
+                "probes_per_block",
+                false,
+            );
+            probes_counter.add(probes);
+            entries_counter.inc();
         }
 
         // MCL wall time on the similarity graph (shared kernel: the flat

@@ -115,6 +115,11 @@ pub struct HobbitConfig {
     /// lets later destinations stop early (escalating on inconsistent
     /// evidence). The per-block diamond state spans the reprobe rounds.
     pub mda_mode: MdaMode,
+    /// Probes per virtual epoch when the world under measurement evolves
+    /// (netsim dynamics). 0 — the default — means a static world: no epoch
+    /// tagging, and measurements serialize byte-identically to historical
+    /// records.
+    pub dynamics_period: u64,
 }
 
 impl Default for HobbitConfig {
@@ -128,6 +133,7 @@ impl Default for HobbitConfig {
             retry_budget: probe::prober::DEFAULT_RETRY_BUDGET,
             reprobe_rounds: 1,
             mda_mode: MdaMode::Classic,
+            dynamics_period: 0,
         }
     }
 }
@@ -157,6 +163,12 @@ pub struct BlockMeasurement {
     pub reprobes: usize,
     /// Probe packets spent on this block.
     pub probes_used: u64,
+    /// Virtual epoch each `per_dest` entry resolved in (parallel to
+    /// `per_dest`, derived from the block prober's own probe count against
+    /// [`HobbitConfig::dynamics_period`]). Empty — and omitted from the
+    /// serialized record — for static worlds.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub dest_epochs: Vec<u32>,
 }
 
 impl BlockMeasurement {
@@ -276,6 +288,16 @@ pub fn classify_block(
     let probes_before = prober.probes_sent();
     let order = probing_order(sel, cfg.seed);
     let mut per_dest: Vec<(Addr, Vec<Addr>)> = Vec::new();
+    // Epoch tags, parallel to `per_dest`: the block prober owns its probe
+    // stream, so its own probe count against `dynamics_period` is exactly
+    // the virtual clock the evolving world ticks on. Static worlds
+    // (period 0) record nothing.
+    let mut dest_epochs: Vec<u32> = Vec::new();
+    let epoch_now = |prober: &Prober<'_>| {
+        (prober.probes_sent() - probes_before)
+            .checked_div(cfg.dynamics_period)
+            .unwrap_or(0) as u32
+    };
     // The dense grouping, maintained incrementally: each resolution appends
     // to the block-local router table and flips host bits, so the per-
     // resolution re-test never rebuilds a map from scratch.
@@ -311,6 +333,9 @@ pub fn classify_block(
             } => {
                 dist_hint = Some(dst_distance.saturating_sub(1).max(1));
                 table.add(dst, &lasthops);
+                if cfg.dynamics_period > 0 {
+                    dest_epochs.push(epoch_now(prober));
+                }
                 per_dest.push((dst, lasthops));
             }
             LasthopOutcome::AnonymousLasthop { dst_distance } => {
@@ -354,6 +379,9 @@ pub fn classify_block(
                 } => {
                     dist_hint = Some(dst_distance.saturating_sub(1).max(1));
                     table.add(dst, &lasthops);
+                    if cfg.dynamics_period > 0 {
+                        dest_epochs.push(epoch_now(prober));
+                    }
                     per_dest.push((dst, lasthops));
                     if let Some(v) = early_verdict(&table, per_dest.len(), conf, cfg) {
                         verdict = Some(v);
@@ -421,6 +449,7 @@ pub fn classify_block(
         per_dest,
         dests_probed: probed,
         probes_used: prober.probes_sent() - probes_before,
+        dest_epochs,
     }
 }
 
@@ -444,6 +473,38 @@ mod tests {
     use crate::select::select_block;
     use netsim::build::{build, ScenarioConfig};
     use probe::zmap;
+
+    #[test]
+    fn static_measurements_serialize_without_epoch_tags() {
+        // The dest_epochs field must vanish from static-world records so
+        // historical reports stay byte-identical.
+        let m = BlockMeasurement {
+            block: Block24(0x0C_0000),
+            classification: Classification::TooFewActive,
+            lasthop_set: vec![],
+            per_dest: vec![],
+            dests_probed: 1,
+            dests_resolved: 0,
+            dests_anonymous: 0,
+            dests_unresolved: 1,
+            reprobes: 0,
+            probes_used: 3,
+            dest_epochs: vec![],
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(!json.contains("dest_epochs"), "{json}");
+        let back: BlockMeasurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        // Tagged records carry — and round-trip — their epochs.
+        let tagged = BlockMeasurement {
+            dest_epochs: vec![0, 0, 1],
+            ..m
+        };
+        let json = serde_json::to_string(&tagged).unwrap();
+        assert!(json.contains("dest_epochs"));
+        let back: BlockMeasurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dest_epochs, vec![0, 0, 1]);
+    }
 
     struct World {
         scenario: netsim::Scenario,

@@ -76,6 +76,7 @@ mod tests {
             reprobes: 0,
             probes_used: 0,
             per_dest,
+            dest_epochs: vec![],
         }
     }
 

@@ -45,6 +45,14 @@ pub struct ExpArgs {
     /// escalates back to classic MDA. The mode is recorded in the run
     /// meta, so `--resume` refuses a mode mismatch.
     pub mda_lite: bool,
+    /// Time-evolving world `(rate, period)`: after the snapshot, each
+    /// ordinary PoP is perturbed with probability `rate` by a scheduled
+    /// event (route churn, load-balancer resize, transient loop, address
+    /// reuse, false diamond) firing on a virtual clock of `period` probes
+    /// per epoch. The derived schedule is a pure function of the scenario
+    /// seed, recorded in the run meta so `--resume` replays it exactly.
+    /// `None` keeps the world static.
+    pub dynamics: Option<(f64, u64)>,
 }
 
 impl Default for ExpArgs {
@@ -63,6 +71,7 @@ impl Default for ExpArgs {
             shards: None,
             shard: None,
             mda_lite: false,
+            dynamics: None,
         }
     }
 }
@@ -81,6 +90,7 @@ pub const USAGE: &str =
     "usage: <experiment> [--seed N] [--scale F] [--threads N] [--faults L,R] [--json]\n\
 \u{20}                   [--metrics OUT.json] [--trace-spans] [--run-dir DIR] [--resume]\n\
 \u{20}                   [--deadline SECS] [--shards N] [--shard I] [--mda-lite]\n\
+\u{20}                   [--dynamics R[,P]]\n\
 --seed N      scenario seed (default 42)\n\
 --scale F     scenario scale, 1.0 = paper-size (default 0.12)\n\
 --threads N   probing worker threads (default: all cores)\n\
@@ -108,6 +118,12 @@ pub const USAGE: &str =
 \u{20}             destinations, escalate to classic MDA on inconsistent\n\
 \u{20}             evidence (recorded in the run meta; --resume refuses a\n\
 \u{20}             mode mismatch)\n\
+--dynamics R[,P]  evolve the world mid-campaign: each ordinary PoP is\n\
+\u{20}             perturbed with probability R (route churn, LB resize,\n\
+\u{20}             transient loop, address reuse, false diamond) on a\n\
+\u{20}             virtual clock of P probes per epoch (default 64). The\n\
+\u{20}             schedule derives from the seed alone and is recorded in\n\
+\u{20}             the run meta, so --resume replays it byte-for-byte\n\
 --json        machine-readable output";
 
 impl ExpArgs {
@@ -152,6 +168,10 @@ impl ExpArgs {
                 "--shards" => args.shards = Some(expect_value(&mut it, "--shards")?),
                 "--shard" => args.shard = Some(expect_value(&mut it, "--shard")?),
                 "--mda-lite" => args.mda_lite = true,
+                "--dynamics" => {
+                    let v: String = expect_value(&mut it, "--dynamics")?;
+                    args.dynamics = Some(parse_dynamics(&v)?);
+                }
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
                 other => return Err(ParseOutcome::Error(format!("unknown flag {other:?}"))),
@@ -229,6 +249,40 @@ fn parse_faults(v: &str) -> Result<(f64, f64), ParseOutcome> {
         )));
     }
     Ok((loss, rate))
+}
+
+/// Default virtual-clock period (probes per epoch) selected by
+/// `--dynamics R` with no explicit period.
+pub const DEFAULT_DYNAMICS_PERIOD: u64 = 64;
+
+/// Parse a `--dynamics rate[,period]` value: rate in `[0, 1]`, period a
+/// probe count of at least 8 (defaults to [`DEFAULT_DYNAMICS_PERIOD`]).
+fn parse_dynamics(v: &str) -> Result<(f64, u64), ParseOutcome> {
+    let bad = || {
+        ParseOutcome::Error(format!(
+            "invalid value {v:?} for --dynamics (want rate[,period])"
+        ))
+    };
+    let (r, p) = match v.split_once(',') {
+        Some((r, p)) => (r, Some(p)),
+        None => (v, None),
+    };
+    let rate: f64 = r.trim().parse().map_err(|_| bad())?;
+    let period: u64 = match p {
+        Some(p) => p.trim().parse().map_err(|_| bad())?,
+        None => DEFAULT_DYNAMICS_PERIOD,
+    };
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ParseOutcome::Error(format!(
+            "--dynamics rate must be in [0, 1], got {rate}"
+        )));
+    }
+    if period < 8 {
+        return Err(ParseOutcome::Error(format!(
+            "--dynamics period must be at least 8 probes, got {period}"
+        )));
+    }
+    Ok((rate, period))
 }
 
 fn expect_value<T: std::str::FromStr>(
@@ -392,6 +446,38 @@ mod tests {
         let b = parse(&["--mda-lite", "--shards", "2", "--run-dir", "x"]).unwrap();
         assert!(b.mda_lite);
         assert_eq!(b.shards, Some(2));
+    }
+
+    #[test]
+    fn dynamics_flag_parses_rate_and_period() {
+        let a = parse(&["--dynamics", "0.3"]).unwrap();
+        assert_eq!(a.dynamics, Some((0.3, DEFAULT_DYNAMICS_PERIOD)));
+        let b = parse(&["--dynamics", "0.5,128"]).unwrap();
+        assert_eq!(b.dynamics, Some((0.5, 128)));
+        assert_eq!(parse(&[]).unwrap().dynamics, None, "static by default");
+        // Whitespace around the comma is tolerated, like --faults.
+        let c = parse(&["--dynamics", "0.2, 32"]).unwrap();
+        assert_eq!(c.dynamics, Some((0.2, 32)));
+    }
+
+    #[test]
+    fn dynamics_flag_rejects_malformed_and_out_of_range() {
+        assert!(matches!(
+            parse(&["--dynamics"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        assert!(matches!(
+            parse(&["--dynamics", "x"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        assert!(matches!(
+            parse(&["--dynamics", "1.5"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        assert!(matches!(
+            parse(&["--dynamics", "0.3,4"]),
+            Err(ParseOutcome::Error(_))
+        ));
     }
 
     #[test]

@@ -109,6 +109,10 @@ pub struct CoordinatorConfig {
     /// Probe in MDA-Lite mode (as `PipelineBuilder::mda_lite`); recorded
     /// in the run meta and copied into every shard lease.
     pub mda_lite: bool,
+    /// Time-evolving world knobs `(rate, period)`, as
+    /// `PipelineBuilder::dynamics`; recorded in the run meta and copied
+    /// into every shard lease so each worker derives the same schedule.
+    pub dynamics: Option<(f64, u64)>,
     /// Classification threads per worker (0 = all cores).
     pub threads: usize,
     /// Worker executable; `None` re-enters the current executable.
@@ -141,6 +145,7 @@ impl CoordinatorConfig {
             scale: 0.12,
             faults: None,
             mda_lite: false,
+            dynamics: None,
             threads: 0,
             worker_exe: None,
             heartbeat_interval: Duration::from_millis(100),
@@ -163,6 +168,7 @@ impl CoordinatorConfig {
         cfg.scale = args.scale;
         cfg.faults = args.faults;
         cfg.mda_lite = args.mda_lite;
+        cfg.dynamics = args.dynamics;
         cfg.threads = args.threads;
         cfg
     }
@@ -372,7 +378,9 @@ pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String
     let obs = CoordObs::bind(rec);
     let lock = acquire_lock(&cfg.run_dir)?;
     obs.shards.add(cfg.shards as u64);
-    let meta = RunMeta::new(cfg.seed, cfg.scale, cfg.faults).with_mda_lite(cfg.mda_lite);
+    let meta = RunMeta::new(cfg.seed, cfg.scale, cfg.faults)
+        .with_mda_lite(cfg.mda_lite)
+        .with_dynamics(cfg.dynamics);
     let exe = match &cfg.worker_exe {
         Some(p) => p.clone(),
         None => std::env::current_exe()?,
@@ -580,12 +588,14 @@ pub fn merge_run(run_dir: &Path, shards: usize) -> Result<String, CoordError> {
                         prev.reject_too_few,
                         prev.reject_uncovered,
                         prev.calibration_probes,
+                        prev.dynamics_events,
                     ),
                     (
                         si.selected,
                         si.reject_too_few,
                         si.reject_uncovered,
                         si.calibration_probes,
+                        si.dynamics_events,
                     ),
                 );
                 if a != b {
@@ -626,6 +636,7 @@ pub fn merge_run(run_dir: &Path, shards: usize) -> Result<String, CoordError> {
         info.reject_too_few,
         info.reject_uncovered,
         info.calibration_probes,
+        meta.dynamics().map(|(r, p)| (r, p, info.dynamics_events)),
         &measurements,
         &quarantines,
     ))
@@ -686,6 +697,9 @@ pub fn worker_main(run_dir: &Path, shard: usize) -> i32 {
         .shard(shard, lease.shards as usize);
     if let Some((loss, rate)) = lease.faults() {
         builder = builder.faults(loss, rate);
+    }
+    if let Some((rate, period)) = lease.dynamics() {
+        builder = builder.dynamics(rate, period);
     }
     builder = if sd.join(JOURNAL_FILE).exists() {
         builder.resume_from(&sd)
@@ -782,6 +796,7 @@ mod tests {
             reject_too_few: 0,
             reject_uncovered: 0,
             calibration_probes: 1,
+            dynamics_events: 0,
         }))
         .unwrap();
         w.flush().unwrap();
@@ -801,6 +816,7 @@ mod tests {
             reject_too_few: 0,
             reject_uncovered: 0,
             calibration_probes: 1,
+            dynamics_events: 0,
         }))
         .unwrap();
         w.flush().unwrap();

@@ -89,6 +89,17 @@ pub struct RunMeta {
     /// Defaults to `false` so pre-mode journals stay readable.
     #[serde(default)]
     pub mda_lite: bool,
+    /// Per-PoP perturbation probability of the derived dynamics schedule
+    /// (0 for a static world). Like the MDA mode, dynamics shape every
+    /// journaled measurement's probe stream, so a resume under different
+    /// knobs is refused rather than silently adopted. Defaults keep
+    /// pre-dynamics journals readable as static runs.
+    #[serde(default)]
+    pub dyn_rate: f64,
+    /// Virtual-clock period (probes per epoch) of the schedule; 0 for a
+    /// static world.
+    #[serde(default)]
+    pub dyn_period: u64,
 }
 
 impl RunMeta {
@@ -103,6 +114,8 @@ impl RunMeta {
             fault_loss: faults.map(|(l, _)| l).unwrap_or(0.0),
             fault_rate: faults.map(|(_, r)| r).unwrap_or(0.0),
             mda_lite: false,
+            dyn_rate: 0.0,
+            dyn_period: 0,
         }
     }
 
@@ -110,6 +123,19 @@ impl RunMeta {
     pub fn with_mda_lite(mut self, mda_lite: bool) -> Self {
         self.mda_lite = mda_lite;
         self
+    }
+
+    /// Record the run's dynamics knobs in the meta (`None` ⇒ static).
+    pub fn with_dynamics(mut self, dynamics: Option<(f64, u64)>) -> Self {
+        let (rate, period) = dynamics.unwrap_or((0.0, 0));
+        self.dyn_rate = rate;
+        self.dyn_period = period;
+        self
+    }
+
+    /// The dynamics knobs as the pipeline consumes them (`None` ⇒ static).
+    pub fn dynamics(&self) -> Option<(f64, u64)> {
+        (self.dyn_period > 0).then_some((self.dyn_rate, self.dyn_period))
     }
 
     /// The fault knobs as the pipeline consumes them.
@@ -138,6 +164,11 @@ pub struct ShardInfo {
     pub reject_uncovered: u64,
     /// Probe packets the calibration survey spent.
     pub calibration_probes: u64,
+    /// Events in the derived dynamics schedule (0 for a static world).
+    /// Every shard derives the schedule from the same seed, so the merge
+    /// cross-checks this count the same way it cross-checks selection.
+    #[serde(default)]
+    pub dynamics_events: u64,
 }
 
 /// One journal record.
@@ -472,6 +503,7 @@ mod tests {
             dests_unresolved: 0,
             reprobes: 0,
             probes_used: (n * 3) as u64,
+            dest_epochs: vec![],
         }
     }
 
@@ -527,6 +559,26 @@ mod tests {
     }
 
     #[test]
+    fn meta_records_dynamics_and_pre_dynamics_journals_replay_as_static() {
+        let m = RunMeta::new(1, 0.01, None).with_dynamics(Some((0.3, 64)));
+        assert_eq!(m.dynamics(), Some((0.3, 64)));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RunMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+
+        // A meta written before the dynamics fields existed deserializes
+        // as a static run.
+        let mut v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let serde_json::Value::Object(obj) = &mut v else {
+            panic!("meta serializes as an object");
+        };
+        obj.remove("dyn_rate");
+        obj.remove("dyn_period");
+        let old: RunMeta = serde_json::from_str(&v.to_string()).unwrap();
+        assert_eq!(old.dynamics(), None);
+    }
+
+    #[test]
     fn shard_info_roundtrips_and_single_process_journals_lack_it() {
         let dir = tmpdir("shardinfo");
         let meta = RunMeta::new(42, 0.01, None);
@@ -537,6 +589,7 @@ mod tests {
             reject_too_few: 7,
             reject_uncovered: 3,
             calibration_probes: 9000,
+            dynamics_events: 2,
         };
         let mut w = JournalWriter::create(&dir, &meta).unwrap();
         w.append(&Entry::ShardInfo(info)).unwrap();

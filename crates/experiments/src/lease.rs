@@ -115,6 +115,13 @@ pub struct Lease {
     /// leases written before the mode existed stay readable.
     #[serde(default)]
     pub mda_lite: bool,
+    /// Per-PoP perturbation probability of the run's dynamics schedule
+    /// (0 for a static world). Defaults keep pre-dynamics leases readable.
+    #[serde(default)]
+    pub dyn_rate: f64,
+    /// Virtual-clock period of the schedule (0 for a static world).
+    #[serde(default)]
+    pub dyn_period: u64,
     /// Classification worker threads inside the worker process.
     pub threads: u64,
     /// Interval between worker heartbeats, milliseconds.
@@ -145,6 +152,8 @@ impl Lease {
             fault_loss: meta.fault_loss,
             fault_rate: meta.fault_rate,
             mda_lite: meta.mda_lite,
+            dyn_rate: meta.dyn_rate,
+            dyn_period: meta.dyn_period,
             threads: threads as u64,
             heartbeat_ms,
             sabotage: None,
@@ -154,6 +163,11 @@ impl Lease {
     /// The fault knobs as the pipeline consumes them.
     pub fn faults(&self) -> Option<(f64, f64)> {
         self.faulted.then_some((self.fault_loss, self.fault_rate))
+    }
+
+    /// The dynamics knobs as the pipeline consumes them (`None` ⇒ static).
+    pub fn dynamics(&self) -> Option<(f64, u64)> {
+        (self.dyn_period > 0).then_some((self.dyn_rate, self.dyn_period))
     }
 
     /// Path of this shard's lease file inside `run_dir`.

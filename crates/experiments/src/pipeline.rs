@@ -38,7 +38,7 @@ use hobbit::{
     classify_block_observed, detects_homogeneous, select_block, survey_block, BlockLasthopData,
     BlockMeasurement, ClassifyObs, ConfidenceTable, HobbitConfig, SelectReject, SelectedBlock,
 };
-use netsim::build::{build, Scenario, ScenarioConfig};
+use netsim::build::{build, derive_dynamics, Scenario, ScenarioConfig};
 use netsim::hash::mix2;
 use netsim::{Addr, Block24, FaultConfig, NetworkStats, SharedNetwork};
 use obs::{NullRecorder, Recorder, Registry, SpanTimer};
@@ -104,6 +104,12 @@ pub struct Pipeline {
     /// The scale the run actually used (journal meta wins on resume, like
     /// [`Pipeline::seed`]).
     pub scale: f64,
+    /// The dynamics knobs `(rate, period)` the run used (`None` ⇒ the
+    /// world stayed frozen after the snapshot).
+    pub dynamics: Option<(f64, u64)>,
+    /// Events in the derived dynamics schedule (0 for a static world, or
+    /// when the draw at the configured rate scheduled nothing).
+    pub dynamics_events: u64,
 }
 
 /// Number of blocks surveyed to calibrate the confidence table.
@@ -194,6 +200,17 @@ impl PipelineBuilder {
     /// Shorthand for [`PipelineBuilder::mda_mode`] from a boolean flag.
     pub fn mda_lite(mut self, on: bool) -> Self {
         self.args.mda_lite = on;
+        self
+    }
+
+    /// Evolve the world mid-campaign (`--dynamics`): after the snapshot, a
+    /// seeded event schedule perturbs each ordinary PoP with probability
+    /// `rate` — route churn, LB resizes, transient loops, address reuse,
+    /// false diamonds — on a virtual clock of `period` probes per epoch.
+    /// The schedule is a pure function of `(seed, rate, period)` and is
+    /// recorded in the run's journal meta; `--resume` refuses a mismatch.
+    pub fn dynamics(mut self, rate: f64, period: u64) -> Self {
+        self.args.dynamics = Some((rate, period));
         self
     }
 
@@ -366,6 +383,19 @@ impl PipelineBuilder {
                     }
                     .slug(),
                 );
+                // Dynamics are refused on mismatch for the same reason:
+                // the schedule shapes every remaining block's probe
+                // stream (and its epoch tags), so silently adopting or
+                // dropping it would desynchronize the resumed run.
+                assert_eq!(
+                    meta.dynamics(),
+                    args.dynamics,
+                    "resume: journal dynamics {:?} but this run asked for \
+                     {:?} — the schedule changes every remaining block's \
+                     probe stream, so start a fresh run dir instead",
+                    meta.dynamics(),
+                    args.dynamics,
+                );
                 args.seed = meta.seed;
                 args.scale = meta.scale;
                 args.faults = meta.faults();
@@ -386,7 +416,9 @@ impl PipelineBuilder {
             } else {
                 JournalWriter::create(
                     dir,
-                    &RunMeta::new(args.seed, args.scale, args.faults).with_mda_lite(args.mda_lite),
+                    &RunMeta::new(args.seed, args.scale, args.faults)
+                        .with_mda_lite(args.mda_lite)
+                        .with_dynamics(args.dynamics),
                 )
                 .expect("cannot create run-dir journal")
             };
@@ -427,6 +459,16 @@ impl PipelineBuilder {
             scenario
                 .network
                 .set_faults(FaultConfig::lossy(loss as f32, rate as f32));
+        }
+
+        // Dynamics install after the snapshot for the same reason: epoch 0
+        // *is* the frozen world selection saw, and the virtual clock only
+        // starts ticking once classification probes flow.
+        let mut dynamics_events = 0u64;
+        if let Some((rate, period)) = args.dynamics {
+            let schedule = derive_dynamics(&scenario, rate, period);
+            dynamics_events = schedule.events.len() as u64;
+            scenario.network.set_dynamics(schedule);
         }
 
         let mut selected = Vec::new();
@@ -497,6 +539,7 @@ impl PipelineBuilder {
                 reject_too_few: reject_too_few as u64,
                 reject_uncovered: reject_uncovered as u64,
                 calibration_probes,
+                dynamics_events,
             };
             match &replayed_shard_info {
                 Some(prev) => assert_eq!(
@@ -526,12 +569,20 @@ impl PipelineBuilder {
             } else {
                 MdaMode::Classic
             },
+            // Epoch-tag evidence only when a live schedule exists: an
+            // empty schedule never ticks the clock, and tagging would
+            // change the measurement bytes of a world that never moves.
+            dynamics_period: match args.dynamics {
+                Some((_, period)) if dynamics_events > 0 => period,
+                _ => 0,
+            },
             ..Default::default()
         };
         let Scenario {
             network,
             truth,
             config,
+            pop_routers,
         } = scenario;
         let shared = SharedNetwork::new(network);
 
@@ -625,6 +676,7 @@ impl PipelineBuilder {
             network,
             truth,
             config,
+            pop_routers,
         };
 
         drop(run_span);
@@ -645,6 +697,8 @@ impl PipelineBuilder {
             supervision,
             seed: args.seed,
             scale: args.scale,
+            dynamics: args.dynamics,
+            dynamics_events,
         };
         pipeline.emit_observability(&args);
         pipeline
@@ -866,10 +920,27 @@ struct CanonicalReport {
     calibration_probes: u64,
     classify_probes: u64,
     classifications: Vec<(String, u64)>,
+    /// Schedule facts of a dynamic run: knobs and derived event count,
+    /// all pure functions of `(seed, rate, period)` — never anything the
+    /// scheduler or a resume could perturb. Absent (not `null`) for a
+    /// static run, so pre-dynamics report bytes are unchanged.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    dynamics: Option<DynamicsSummary>,
     measurements: Vec<BlockMeasurement>,
     /// `(index, block, attempts, reason)` — no panic detail, which names
     /// the (scheduling-dependent) worker that caught it.
     quarantined: Vec<(u64, Block24, u32, String)>,
+}
+
+/// The dynamics facts the canonical report carries.
+#[derive(Serialize)]
+struct DynamicsSummary {
+    /// Per-PoP perturbation probability the schedule was derived at.
+    rate: f64,
+    /// Virtual-clock period, probes per epoch.
+    period: u64,
+    /// Events in the derived schedule.
+    events: u64,
 }
 
 /// Version tag of the canonical report document.
@@ -905,12 +976,14 @@ pub(crate) fn classification_counts_of(
 /// [`Pipeline::canonical_report`] and the coordinator's shard-merge both
 /// funnel through here — one serializer, one byte layout — which is what
 /// makes a merged sharded run byte-identical to a single-process run.
+#[allow(clippy::too_many_arguments)] // one positional slot per report field
 pub(crate) fn render_canonical_report(
     seed: u64,
     selected: u64,
     reject_too_few: u64,
     reject_uncovered: u64,
     calibration_probes: u64,
+    dynamics: Option<(f64, u64, u64)>,
     measurements: &[BlockMeasurement],
     quarantined: &[(u64, Block24, u32, String)],
 ) -> String {
@@ -926,6 +999,11 @@ pub(crate) fn render_canonical_report(
             .into_iter()
             .map(|(c, n)| (c.label().to_string(), n as u64))
             .collect(),
+        dynamics: dynamics.map(|(rate, period, events)| DynamicsSummary {
+            rate,
+            period,
+            events,
+        }),
         measurements: measurements.to_vec(),
         quarantined: quarantined.to_vec(),
     };
@@ -971,6 +1049,8 @@ impl Pipeline {
             self.reject_too_few as u64,
             self.reject_uncovered as u64,
             self.calibration_probes,
+            self.dynamics
+                .map(|(rate, period)| (rate, period, self.dynamics_events)),
             &self.measurements,
             &quarantined,
         )
@@ -1287,6 +1367,48 @@ mod tests {
         // Lite measurements still satisfy the evidence oracle.
         let issues = lite.verify_conformance();
         assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn dynamic_run_is_thread_invariant_and_reported() {
+        let a = tiny().threads(1).dynamics(0.5, 64).run();
+        let b = tiny().threads(8).dynamics(0.5, 64).run();
+        assert!(a.dynamics_events > 0, "rate 0.5 must schedule something");
+        assert_eq!(a.dynamics_events, b.dynamics_events);
+        assert_eq!(a.hobbit_cfg.dynamics_period, 64);
+        let (ra, rb) = (a.canonical_report(), b.canonical_report());
+        assert_eq!(ra, rb, "dynamic reports must not depend on threads");
+        assert!(ra.contains("\"dynamics\":{"), "schedule facts are reported");
+        // The network actually moved: some dynamic rewrite/artifact fired.
+        assert!(a.net_stats.total_dynamics() > 0, "{:?}", a.net_stats);
+        // A static run reports no dynamics key and no epoch tags at all.
+        let s = tiny().threads(1).run();
+        let rs = s.canonical_report();
+        assert!(!rs.contains("\"dynamics\""), "static bytes are unchanged");
+        assert!(!rs.contains("\"dest_epochs\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "resume: journal dynamics")]
+    fn resume_refuses_dynamics_mismatch() {
+        let dir = std::env::temp_dir().join(format!(
+            "hobbit-pipeline-dyn-mismatch-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        tiny().threads(1).dynamics(0.5, 64).run_dir(&dir).run();
+        let result = std::panic::catch_unwind(|| {
+            Pipeline::builder()
+                .seed(42)
+                .scale(0.01)
+                .threads(1)
+                .resume_from(&dir)
+                .run()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Err(e) = result {
+            std::panic::resume_unwind(e);
+        }
     }
 
     #[test]

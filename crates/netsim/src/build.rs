@@ -14,8 +14,9 @@
 //! score Hobbit's inferences — something the paper itself could not do.
 
 use crate::addr::{Addr, Block24, Prefix};
+use crate::dynamics::{DynamicsConfig, DynamicsEvent};
 use crate::fault::FaultConfig;
-use crate::hash::{mix2, unit_f64};
+use crate::hash::{mix2, mix3, pick, unit_f64};
 use crate::host::{HostKind, HostProfile, TtlMix};
 use crate::roster::{paper_roster, AsSpec, OrgType};
 use crate::route::{LbPolicy, NextHop, NextHopGroup, RouterId};
@@ -211,6 +212,9 @@ pub struct Scenario {
     pub truth: GroundTruth,
     /// The configuration used.
     pub config: ScenarioConfig,
+    /// PoP id → (aggregation router, last-hop routers). Sorted so that
+    /// schedule derivation ([`derive_dynamics`]) iterates deterministically.
+    pub pop_routers: BTreeMap<u32, (RouterId, Vec<RouterId>)>,
 }
 
 /// Table 2 sub-block compositions and their observed shares.
@@ -641,10 +645,77 @@ pub fn build(cfg: ScenarioConfig) -> Scenario {
     }
 
     b.net.set_faults(b.cfg.faults);
+    let pop_routers = b.pop_lhs.into_iter().collect();
     Scenario {
         network: b.net,
         truth: b.truth,
         config: b.cfg,
+        pop_routers,
+    }
+}
+
+/// Derive a deterministic dynamics schedule for a built scenario: each
+/// ordinary (non-sub-allocation) PoP independently draws whether it is
+/// perturbed — with probability `rate` — and if so which event class hits
+/// it and at which epoch. The result is a pure function of
+/// `(scenario seed, rate, period)`: the same scenario always evolves the
+/// same way, which is what lets a resumed or sharded run replay the
+/// schedule exactly from journal metadata.
+///
+/// Artifact aliases need no fresh address space: an address-reuse cycle
+/// reuses the PoP's aggregation-router address (genuinely upstream on the
+/// path), and a false diamond misattributes to a sibling last-hop — or,
+/// for single-last-hop PoPs, to the aggregation router.
+pub fn derive_dynamics(scenario: &Scenario, rate: f64, period: u64) -> DynamicsConfig {
+    let seed = scenario.config.seed;
+    let mut events = Vec::new();
+    if rate > 0.0 && period > 0 {
+        for (&pop, (agg, lhs)) in &scenario.pop_routers {
+            let truth = &scenario.truth.pops[pop as usize];
+            if truth.sub_allocation || lhs.is_empty() {
+                continue;
+            }
+            if unit_f64(mix3(seed ^ 0xD7A0, pop as u64, 0)) >= rate {
+                continue;
+            }
+            let kind = pick(mix3(seed ^ 0xD7A1, pop as u64, 1), 5);
+            let at_epoch = 1 + pick(mix3(seed ^ 0xD7A2, pop as u64, 2), 4) as u32;
+            let agg_addr = scenario.network.router(*agg).addr;
+            events.push(match kind {
+                0 => DynamicsEvent::NextHopRewrite {
+                    router: *agg,
+                    at_epoch,
+                },
+                1 => DynamicsEvent::LbResize {
+                    router: *agg,
+                    at_epoch,
+                    width: 1 + pick(mix3(seed ^ 0xD7A3, pop as u64, 3), lhs.len()) as u8,
+                },
+                2 => DynamicsEvent::TransientLoop {
+                    router: *agg,
+                    at_epoch,
+                },
+                3 => DynamicsEvent::AddressReuse {
+                    router: lhs[0],
+                    at_epoch,
+                    alias: agg_addr,
+                },
+                _ => DynamicsEvent::FalseDiamond {
+                    router: lhs[0],
+                    at_epoch,
+                    alias: if lhs.len() > 1 {
+                        scenario.network.router(lhs[1]).addr
+                    } else {
+                        agg_addr
+                    },
+                },
+            });
+        }
+    }
+    DynamicsConfig {
+        period,
+        events,
+        netem: None,
     }
 }
 
@@ -1027,6 +1098,52 @@ impl Builder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn derived_dynamics_is_a_pure_function_of_seed_rate_period() {
+        let s = build(ScenarioConfig::tiny(77));
+        let a = derive_dynamics(&s, 0.5, 32);
+        let b = derive_dynamics(&s, 0.5, 32);
+        assert_eq!(a, b, "same inputs, same schedule");
+        assert_eq!(a.period, 32);
+        assert!(!a.events.is_empty(), "rate 0.5 over many pops hits some");
+        let c = derive_dynamics(&s, 0.1, 32);
+        assert_ne!(a.events, c.events, "rate changes the draw outcome");
+    }
+
+    #[test]
+    fn derived_dynamics_rate_zero_is_empty() {
+        let s = build(ScenarioConfig::tiny(78));
+        let d = derive_dynamics(&s, 0.0, 32);
+        assert!(d.events.is_empty());
+        assert!(!d.events_active());
+        // Zero period likewise disables the schedule outright.
+        assert!(derive_dynamics(&s, 1.0, 0).events.is_empty());
+    }
+
+    #[test]
+    fn derived_events_target_pop_routers_at_future_epochs() {
+        let s = build(ScenarioConfig::tiny(79));
+        let d = derive_dynamics(&s, 1.0, 16);
+        assert!(!d.events.is_empty());
+        for ev in &d.events {
+            assert!(ev.at_epoch() >= 1, "epoch 0 is the frozen snapshot");
+            assert!(ev.at_epoch() <= 4);
+            let r = ev.router();
+            let in_some_pop = s
+                .pop_routers
+                .values()
+                .any(|(agg, lhs)| *agg == r || lhs.contains(&r));
+            assert!(in_some_pop, "event router {r:?} is not a PoP router");
+        }
+        // At rate 1.0 every ordinary PoP is perturbed exactly once.
+        let ordinary = s
+            .pop_routers
+            .keys()
+            .filter(|&&p| !s.truth.pops[p as usize].sub_allocation)
+            .count();
+        assert_eq!(d.events.len(), ordinary);
+    }
 
     #[test]
     fn run_to_prefixes_covers_exactly() {

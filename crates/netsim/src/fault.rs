@@ -214,12 +214,45 @@ pub struct NetworkStats {
     pub rate_limited_drops: u64,
     /// ICMP errors suppressed by legacy Bernoulli `icmp_loss`.
     pub icmp_loss_drops: u64,
+    /// Probe-hops routed with a churned (re-salted) next-hop selection.
+    #[serde(default)]
+    pub dyn_rewrites: u64,
+    /// Probe-hops whose ECMP group was clamped by a load-balancer resize.
+    #[serde(default)]
+    pub dyn_resizes: u64,
+    /// Probes caught in a transient forwarding loop.
+    #[serde(default)]
+    pub dyn_loops: u64,
+    /// ICMP errors sourced from a reused upstream address.
+    #[serde(default)]
+    pub dyn_addr_reuses: u64,
+    /// ICMP errors sourced from a phantom false-diamond interface.
+    #[serde(default)]
+    pub dyn_false_diamonds: u64,
+    /// Replies delayed by netem perturbation.
+    #[serde(default)]
+    pub netem_delays: u64,
+    /// Replies arriving a full jitter window late ("reordered").
+    #[serde(default)]
+    pub netem_reorders: u64,
+    /// Replies duplicated on the wire.
+    #[serde(default)]
+    pub netem_duplicates: u64,
 }
 
 impl NetworkStats {
     /// Total probes lost to any fault mechanism.
     pub fn total_drops(&self) -> u64 {
         self.link_drops + self.rate_limited_drops + self.icmp_loss_drops
+    }
+
+    /// Total probe-level dynamics applications (netem excluded).
+    pub fn total_dynamics(&self) -> u64 {
+        self.dyn_rewrites
+            + self.dyn_resizes
+            + self.dyn_loops
+            + self.dyn_addr_reuses
+            + self.dyn_false_diamonds
     }
 }
 
@@ -304,7 +337,10 @@ mod tests {
             link_drops: 3,
             rate_limited_drops: 2,
             icmp_loss_drops: 1,
+            dyn_loops: 4,
+            ..NetworkStats::default()
         };
         assert_eq!(s.total_drops(), 6);
+        assert_eq!(s.total_dynamics(), 4);
     }
 }

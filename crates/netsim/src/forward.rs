@@ -6,6 +6,7 @@
 //! this bottleneck.
 
 use crate::addr::Addr;
+use crate::dynamics::{DynamicsEvent, NetemSpec};
 use crate::hash::{mix3, unit_f64};
 use crate::host::HostKind;
 use crate::route::{FlowKey, NextHop, RouterId};
@@ -106,17 +107,35 @@ impl Network {
             key.flow_label as u64,
         );
 
-        let outcome = self.walk(&key, ip.ttl, entry_router, nonce);
-        Ok(match outcome {
+        // The dynamics epoch this probe lands in. The virtual clock is per
+        // probe *stream* — `(icmp ident, destination /24)`, the same stream
+        // identity the ICMP token buckets key on — so a stream's tick count
+        // is exactly its prober's local sequential probe count: a pure
+        // function of the stream prefix, independent of worker-thread
+        // interleaving, resume, and shard layout. With no live event
+        // schedule the clock never ticks and the epoch is always 0.
+        let epoch = if self.dynamics.events_active() {
+            let tick = self.vclock.tick((echo.ident, ip.dst.block24().0));
+            self.dynamics.epoch_of(tick)
+        } else {
+            0
+        };
+
+        let outcome = self.walk(&key, ip.ttl, entry_router, nonce, epoch);
+        let mut delivery = match outcome {
             Outcome::Expired { at, hops } => {
-                self.router_error(at, hops, ICMP_TIME_EXCEEDED, &ip, &echo, nonce)
+                self.router_error(at, hops, ICMP_TIME_EXCEEDED, &ip, &echo, nonce, epoch)
             }
             Outcome::NoRoute { at, hops } => {
-                self.router_error(at, hops, ICMP_DEST_UNREACH, &ip, &echo, nonce)
+                self.router_error(at, hops, ICMP_DEST_UNREACH, &ip, &echo, nonce, epoch)
             }
             Outcome::Dropped => timeout(),
             Outcome::Delivered { hops, .. } => self.host_reply(&ip, &echo, hops, nonce),
-        })
+        };
+        if let Some(netem) = self.dynamics.netem {
+            self.apply_netem(&mut delivery, ip.dst, nonce, netem);
+        }
+        Ok(delivery)
     }
 
     /// Walk the forwarding path for a flow, decrementing TTL at each router.
@@ -126,10 +145,12 @@ impl Network {
     /// and the probe nonce, so a given probe's fate is a pure function of
     /// its wire bytes — identical at any thread count — while retries
     /// (fresh seq/ident, fresh nonce) are independent draws.
-    fn walk(&self, key: &FlowKey, ttl: u8, entry: RouterId, nonce: u64) -> Outcome {
+    fn walk(&self, key: &FlowKey, ttl: u8, entry: RouterId, nonce: u64, epoch: u32) -> Outcome {
         let mut ttl = ttl as u32;
         let mut cur = entry;
+        let mut prev: Option<RouterId> = None;
         let mut hops = 0u32;
+        let mut loop_counted = false;
         let link_loss = self.faults.link_loss;
         loop {
             hops += 1;
@@ -161,15 +182,86 @@ impl Network {
             let Some((_, group)) = router.table.lookup(key.dst) else {
                 return Outcome::NoRoute { at: cur, hops };
             };
-            match group.select(key, self.salt(cur)) {
+            // Dynamics: the event schedule perturbs selection at this
+            // router, never the route table (tables stay immutable — all
+            // evolution is a pure function of (schedule, epoch, flow)).
+            let mut salt = self.salt(cur);
+            let mut width = usize::MAX;
+            if !self.dyn_events.is_empty() {
+                if let Some(evs) = self.dyn_events.get(&cur.0) {
+                    // Transient loop: *during* its epoch only, the router
+                    // forwards back toward the previous hop. The probe
+                    // bounces between the pair, burning TTL, and expires
+                    // inside the loop — the alternating-address ladder
+                    // traceroute folklore knows. The loop heals itself
+                    // when the epoch rolls over.
+                    if let Some(back) = prev {
+                        let looping = evs.iter().any(|e| {
+                            matches!(e, DynamicsEvent::TransientLoop { at_epoch, .. }
+                                     if *at_epoch == epoch)
+                        });
+                        if looping {
+                            if !loop_counted {
+                                self.dyn_counters.loops.inc();
+                                loop_counted = true;
+                            }
+                            prev = Some(cur);
+                            cur = back;
+                            continue;
+                        }
+                    }
+                    // Route churn: the latest applicable rewrite re-salts
+                    // ECMP selection, remapping flows over existing links.
+                    let rewrite = evs
+                        .iter()
+                        .filter_map(|e| match e {
+                            DynamicsEvent::NextHopRewrite { at_epoch, .. }
+                                if *at_epoch <= epoch =>
+                            {
+                                Some(*at_epoch)
+                            }
+                            _ => None,
+                        })
+                        .max();
+                    if let Some(at) = rewrite {
+                        salt = mix3(salt, 0xD1CE, at as u64);
+                        self.dyn_counters.rewrites.inc();
+                    }
+                    // Load-balancer resize: the latest applicable width
+                    // clamps selection to the group's first `width` hops.
+                    let resize = evs
+                        .iter()
+                        .filter_map(|e| match e {
+                            DynamicsEvent::LbResize {
+                                at_epoch, width, ..
+                            } if *at_epoch <= epoch => Some((*at_epoch, *width)),
+                            _ => None,
+                        })
+                        .max_by_key(|&(at, _)| at);
+                    if let Some((_, w)) = resize {
+                        width = w as usize;
+                        self.dyn_counters.resizes.inc();
+                    }
+                }
+            }
+            let hop = if width == usize::MAX {
+                group.select(key, salt)
+            } else {
+                group.select_among(key, salt, width)
+            };
+            match hop {
                 NextHop::Deliver => return Outcome::Delivered { hops },
-                NextHop::Router(next) => cur = next,
+                NextHop::Router(next) => {
+                    prev = Some(cur);
+                    cur = next;
+                }
             }
         }
     }
 
     /// Build a router-sourced ICMP error, subject to responsiveness and
     /// rate limiting.
+    #[allow(clippy::too_many_arguments)]
     fn router_error(
         &self,
         at: RouterId,
@@ -178,6 +270,7 @@ impl Network {
         probe_ip: &Ipv4Header,
         probe_echo: &IcmpEcho,
         nonce: u64,
+        epoch: u32,
     ) -> Delivery {
         let router = self.router(at);
         if !router.responsive {
@@ -220,12 +313,51 @@ impl Network {
         // that inflates entire-route cardinality without changing last-hop
         // identity. This is what makes whole-traceroute comparison so much
         // weaker than last-hop comparison (paper §3.1).
-        let src = match router.alt_addr {
+        let mut src = match router.alt_addr {
             Some(alt) if mix3(self.seed ^ 0x41F, at.0 as u64, probe_ip.dst.0 as u64) & 1 == 1 => {
                 alt
             }
             _ => router.addr,
         };
+        // Dynamics artifacts that corrupt the reply *source address* — the
+        // only field last-hop classification reads:
+        if !self.dyn_events.is_empty() {
+            if let Some(evs) = self.dyn_events.get(&at.0) {
+                // Address reuse: errors sourced from an address already on
+                // the path upstream — an apparent cycle with no routing
+                // loop behind it.
+                let reuse = evs
+                    .iter()
+                    .filter_map(|e| match e {
+                        DynamicsEvent::AddressReuse {
+                            at_epoch, alias, ..
+                        } if *at_epoch <= epoch => Some((*at_epoch, *alias)),
+                        _ => None,
+                    })
+                    .max_by_key(|&(a, _)| a);
+                if let Some((_, alias)) = reuse {
+                    src = alias;
+                    self.dyn_counters.addr_reuses.inc();
+                }
+                // False diamond: the reply source alternates per probe,
+                // fabricating a phantom per-packet interface pair.
+                let diamond = evs
+                    .iter()
+                    .filter_map(|e| match e {
+                        DynamicsEvent::FalseDiamond {
+                            at_epoch, alias, ..
+                        } if *at_epoch <= epoch => Some((*at_epoch, *alias)),
+                        _ => None,
+                    })
+                    .max_by_key(|&(a, _)| a);
+                if let Some((_, alias)) = diamond {
+                    if nonce & 1 == 1 {
+                        src = alias;
+                        self.dyn_counters.false_diamonds.inc();
+                    }
+                }
+            }
+        }
         let outer = Ipv4Header {
             src,
             dst: probe_ip.src,
@@ -299,6 +431,39 @@ impl Network {
         Delivery {
             response: Some(buf.freeze()),
             rtt_us: rtt,
+        }
+    }
+
+    /// Apply netem-style perturbation to a delivered reply: fixed delay, a
+    /// per-probe jitter draw, "reordering" modeled as a full extra jitter
+    /// window of tail latency (a request/response simulator has no second
+    /// in-flight packet to swap with), and duplication as pure accounting
+    /// (a prober's request/response matching discards the copy anyway).
+    /// All draws are pure functions of the probe nonce, so perturbation is
+    /// byte-identical at any thread count.
+    fn apply_netem(&self, d: &mut Delivery, dst: Addr, nonce: u64, n: NetemSpec) {
+        if d.response.is_none() {
+            return;
+        }
+        let mut extra = n.delay_us as u64;
+        if n.jitter_us > 0 {
+            let draw = unit_f64(mix3(self.seed ^ 0x7E77, dst.0 as u64, nonce));
+            extra += (draw * n.jitter_us as f64) as u64;
+        }
+        if n.reorder_prob > 0.0
+            && unit_f64(mix3(self.seed ^ 0x7E78, dst.0 as u64, nonce)) < n.reorder_prob as f64
+        {
+            extra += n.jitter_us.max(n.delay_us) as u64;
+            self.dyn_counters.netem_reorders.inc();
+        }
+        if n.duplicate_prob > 0.0
+            && unit_f64(mix3(self.seed ^ 0x7E79, dst.0 as u64, nonce)) < n.duplicate_prob as f64
+        {
+            self.dyn_counters.netem_duplicates.inc();
+        }
+        if extra > 0 {
+            d.rtt_us += extra;
+            self.dyn_counters.netem_delays.inc();
         }
     }
 }
@@ -632,5 +797,217 @@ mod tests {
             lasthops.extend(per_dst);
         }
         assert_eq!(lasthops.len(), 2, "both parallel last-hops should appear");
+    }
+
+    use crate::dynamics::{DynamicsConfig, DynamicsEvent};
+
+    #[test]
+    fn transient_loop_bounces_then_heals() {
+        let mut net = chain();
+        net.set_dynamics(DynamicsConfig {
+            period: 8,
+            events: vec![DynamicsEvent::TransientLoop {
+                router: RouterId(1),
+                at_epoch: 0,
+            }],
+            netem: None,
+        });
+        let dst = Addr::new(10, 0, 0, 5);
+        // Epoch 0 (ticks 0..8): r1 bounces probes back to r0, so a ttl-3
+        // probe expires at r0 (static world: at r2), and even a ttl-64
+        // probe never reaches the host.
+        let d = net.send(probe(&net, dst, 3)).unwrap();
+        let (ip, t) = parse_response(&d);
+        assert_eq!(t, ICMP_TIME_EXCEEDED);
+        assert_eq!(ip.src, Addr::new(10, 255, 0, 1), "expiry inside the loop");
+        let d = net.send(probe(&net, dst, 64)).unwrap();
+        let (_, t) = parse_response(&d);
+        assert_eq!(t, ICMP_TIME_EXCEEDED, "loop blocks delivery");
+        assert!(net.net_stats().dyn_loops > 0);
+        // Burn the rest of epoch 0 on this stream; at epoch 1 the loop has
+        // healed and the same probe bytes deliver again.
+        for _ in 0..6 {
+            let _ = net.send(probe(&net, dst, 64));
+        }
+        let d = net.send(probe(&net, dst, 64)).unwrap();
+        let (ip, t) = parse_response(&d);
+        assert_eq!(t, ICMP_ECHO_REPLY, "loop heals after its epoch");
+        assert_eq!(ip.src, dst);
+    }
+
+    /// vantage -> r0 -(per-dest ecmp)-> {r1, r2} -> deliver, as a fixture.
+    fn fan2() -> Network {
+        let mut net = Network::new(5, Addr::new(192, 0, 2, 1));
+        let r0 = net.add_router(Addr::new(10, 255, 0, 1));
+        let r1 = net.add_router(Addr::new(10, 255, 0, 2));
+        let r2 = net.add_router(Addr::new(10, 255, 0, 3));
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        net.install_route(
+            r0,
+            p,
+            NextHopGroup::ecmp(
+                vec![NextHop::Router(r1), NextHop::Router(r2)],
+                LbPolicy::PerDestination,
+            ),
+        );
+        net.install_route(r1, p, NextHopGroup::single(NextHop::Deliver));
+        net.install_route(r2, p, NextHopGroup::single(NextHop::Deliver));
+        net.set_block_profile(
+            Addr::new(10, 0, 0, 0).block24(),
+            HostProfile {
+                density: 1.0,
+                churn: 0.0,
+                ..HostProfile::default()
+            },
+        );
+        net
+    }
+
+    fn lasthop_of(net: &Network, dst: Addr) -> Addr {
+        let d = net.send(probe(net, dst, 2)).unwrap();
+        let (ip, t) = parse_response(&d);
+        assert_eq!(t, ICMP_TIME_EXCEEDED);
+        ip.src
+    }
+
+    #[test]
+    fn lb_resize_collapses_the_fan() {
+        let mut net = fan2();
+        net.set_dynamics(DynamicsConfig {
+            period: 1_000_000,
+            events: vec![DynamicsEvent::LbResize {
+                router: RouterId(0),
+                at_epoch: 0,
+                width: 1,
+            }],
+            netem: None,
+        });
+        for host in 1..32u8 {
+            assert_eq!(
+                lasthop_of(&net, Addr::new(10, 0, 0, host)),
+                Addr::new(10, 255, 0, 2),
+                "width-1 clamp pins every destination to the first hop"
+            );
+        }
+        assert!(net.net_stats().dyn_resizes > 0);
+    }
+
+    #[test]
+    fn next_hop_rewrite_remaps_some_flows() {
+        let base = fan2();
+        let before: Vec<Addr> = (1..32u8)
+            .map(|h| lasthop_of(&base, Addr::new(10, 0, 0, h)))
+            .collect();
+        let mut net = fan2();
+        net.set_dynamics(DynamicsConfig {
+            period: 1_000_000,
+            events: vec![DynamicsEvent::NextHopRewrite {
+                router: RouterId(0),
+                at_epoch: 0,
+            }],
+            netem: None,
+        });
+        let after: Vec<Addr> = (1..32u8)
+            .map(|h| lasthop_of(&net, Addr::new(10, 0, 0, h)))
+            .collect();
+        assert_ne!(before, after, "churn must remap at least one flow");
+        assert!(net.net_stats().dyn_rewrites > 0);
+    }
+
+    #[test]
+    fn address_reuse_sources_errors_upstream() {
+        let mut net = chain();
+        net.set_dynamics(DynamicsConfig {
+            period: 1_000_000,
+            events: vec![DynamicsEvent::AddressReuse {
+                router: RouterId(2),
+                at_epoch: 0,
+                alias: Addr::new(10, 255, 0, 1),
+            }],
+            netem: None,
+        });
+        let dst = Addr::new(10, 0, 0, 5);
+        let d = net.send(probe(&net, dst, 3)).unwrap();
+        let (ip, t) = parse_response(&d);
+        assert_eq!(t, ICMP_TIME_EXCEEDED);
+        assert_eq!(
+            ip.src,
+            Addr::new(10, 255, 0, 1),
+            "error reuses the upstream address: an apparent cycle"
+        );
+        assert!(net.net_stats().dyn_addr_reuses > 0);
+    }
+
+    #[test]
+    fn false_diamond_alternates_reply_sources() {
+        let mut net = chain();
+        let alias = Addr::new(10, 255, 0, 9);
+        net.set_dynamics(DynamicsConfig {
+            period: 1_000_000,
+            events: vec![DynamicsEvent::FalseDiamond {
+                router: RouterId(2),
+                at_epoch: 0,
+                alias,
+            }],
+            netem: None,
+        });
+        let dst = Addr::new(10, 0, 0, 5);
+        let mut seen = std::collections::HashSet::new();
+        for seq in 0..32u16 {
+            let p = encode_probe(net.vantage_addr(), dst, 3, 7, seq, 0xAAAA, seq);
+            let d = net.send(p).unwrap();
+            let (ip, t) = parse_response(&d);
+            assert_eq!(t, ICMP_TIME_EXCEEDED);
+            seen.insert(ip.src);
+        }
+        assert!(seen.contains(&alias), "phantom interface appears");
+        assert!(seen.contains(&Addr::new(10, 255, 0, 3)), "real one too");
+        assert!(net.net_stats().dyn_false_diamonds > 0);
+    }
+
+    #[test]
+    fn netem_delays_are_deterministic_and_additive() {
+        let base = chain();
+        let dst = Addr::new(10, 0, 0, 5);
+        let undisturbed = base.send(probe(&base, dst, 64)).unwrap().rtt_us;
+        let mut net = chain();
+        net.set_dynamics(DynamicsConfig {
+            period: 0,
+            events: Vec::new(),
+            netem: Some(crate::dynamics::NetemSpec {
+                delay_us: 500,
+                jitter_us: 100,
+                reorder_prob: 0.0,
+                duplicate_prob: 0.0,
+            }),
+        });
+        let a = net.send(probe(&net, dst, 64)).unwrap().rtt_us;
+        let b = net.send(probe(&net, dst, 64)).unwrap().rtt_us;
+        assert_eq!(a, b, "same probe bytes, same perturbed rtt");
+        assert!(a >= undisturbed + 500, "rtt {a} vs base {undisturbed}");
+        assert!(a <= undisturbed + 600, "jitter bounded by the knob");
+        assert!(net.net_stats().netem_delays > 0);
+    }
+
+    #[test]
+    fn empty_schedule_is_byte_identical_to_static_world() {
+        let baseline = chain();
+        let mut net = chain();
+        net.set_dynamics(DynamicsConfig {
+            period: 8,
+            events: Vec::new(),
+            netem: None,
+        });
+        let dst = Addr::new(10, 0, 0, 5);
+        for seq in 0..64u16 {
+            for ttl in [2u8, 3, 64] {
+                let p = encode_probe(baseline.vantage_addr(), dst, ttl, 7, seq, 0xAAAA, seq);
+                let want = baseline.send(p.clone()).unwrap();
+                let got = net.send(p).unwrap();
+                assert_eq!(want.response, got.response);
+                assert_eq!(want.rtt_us, got.rtt_us);
+            }
+        }
+        assert_eq!(net.net_stats().total_dynamics(), 0);
     }
 }

@@ -37,6 +37,7 @@
 pub mod addr;
 pub mod build;
 pub mod concurrent;
+pub mod dynamics;
 pub mod fault;
 pub mod forward;
 pub mod hash;
@@ -51,6 +52,7 @@ pub mod wire;
 pub use addr::{Addr, Block24, Prefix};
 pub use build::{build, GroundTruth, Scenario, ScenarioConfig};
 pub use concurrent::{SharedNetwork, WarmedSet};
+pub use dynamics::{DynamicsConfig, DynamicsEvent, NetemSpec};
 pub use fault::{FaultConfig, NetworkStats};
 pub use forward::{encode_probe, Delivery, SendError, TIMEOUT_US};
 pub use host::{HostKind, HostProfile};

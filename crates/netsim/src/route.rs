@@ -102,7 +102,17 @@ impl NextHopGroup {
     /// Select the next hop for a flow. `salt` is per-router so distinct
     /// routers make independent choices for the same flow.
     pub fn select(&self, key: &FlowKey, salt: u64) -> NextHop {
-        if self.hops.len() == 1 {
+        self.select_among(key, salt, self.hops.len())
+    }
+
+    /// [`NextHopGroup::select`] restricted to the group's first `width` next
+    /// hops (clamped to `1..=hops.len()`). The dynamics layer models
+    /// load-balancer reconfiguration — narrowing, collapsing, or re-widening
+    /// an ECMP fan mid-campaign — through this clamp, without ever mutating
+    /// a route table (tables stay immutable once probing starts).
+    pub fn select_among(&self, key: &FlowKey, salt: u64, width: usize) -> NextHop {
+        let n = width.clamp(1, self.hops.len());
+        if n == 1 {
             return self.hops[0];
         }
         let h = match self.policy {
@@ -119,7 +129,7 @@ impl NextHopGroup {
                 key.ip_ident as u64,
             ),
         };
-        self.hops[crate::hash::pick(h, self.hops.len())]
+        self.hops[crate::hash::pick(h, n)]
     }
 }
 
@@ -358,6 +368,19 @@ mod tests {
             (350..650).contains(&agree),
             "agreement {agree}/{n} not ~half"
         );
+    }
+
+    #[test]
+    fn select_among_clamps_and_matches_full_width() {
+        let g = NextHopGroup::ecmp(vec![hop(1), hop(2), hop(3)], LbPolicy::PerDestination);
+        for d in 0..64u32 {
+            let k = key(Addr(0x0a00_0000 + d), 0, 0);
+            assert_eq!(g.select_among(&k, 7, 3), g.select(&k, 7));
+            assert_eq!(g.select_among(&k, 7, 1), hop(1));
+            assert_eq!(g.select_among(&k, 7, 0), hop(1), "width 0 clamps to 1");
+            assert!([hop(1), hop(2)].contains(&g.select_among(&k, 7, 2)));
+            assert_eq!(g.select_among(&k, 7, 9), g.select(&k, 7), "clamps to len");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::addr::{Addr, Block24};
 use crate::concurrent::WarmedSet;
+use crate::dynamics::{DynamicsConfig, DynamicsCounters, DynamicsEvent, VirtualClock};
 use crate::fault::{FaultConfig, FaultCounters, NetworkStats, TokenBuckets};
 use crate::hash::mix2;
 use crate::host::{HostOracle, HostProfile};
@@ -87,6 +88,14 @@ pub struct Network {
     pub(crate) buckets: TokenBuckets,
     /// Drop accounting for the fault layer.
     pub(crate) fault_counters: FaultCounters,
+    /// Time-evolving dynamics: event schedule + netem (inactive by default).
+    pub(crate) dynamics: DynamicsConfig,
+    /// `dynamics.events` indexed by router id for O(1) per-hop lookup.
+    pub(crate) dyn_events: HashMap<u32, Vec<DynamicsEvent>>,
+    /// Per-stream virtual probe-count clocks driving the event schedule.
+    pub(crate) vclock: VirtualClock,
+    /// Applied-dynamics accounting.
+    pub(crate) dyn_counters: DynamicsCounters,
 }
 
 impl Clone for Network {
@@ -106,6 +115,10 @@ impl Clone for Network {
             faults: self.faults,
             buckets: self.buckets.clone(),
             fault_counters: self.fault_counters.clone(),
+            dynamics: self.dynamics.clone(),
+            dyn_events: self.dyn_events.clone(),
+            vclock: self.vclock.clone(),
+            dyn_counters: self.dyn_counters.clone(),
         }
     }
 }
@@ -129,6 +142,10 @@ impl Network {
             faults: FaultConfig::none(),
             buckets: TokenBuckets::new(),
             fault_counters: FaultCounters::default(),
+            dynamics: DynamicsConfig::none(),
+            dyn_events: HashMap::new(),
+            vclock: VirtualClock::new(),
+            dyn_counters: DynamicsCounters::default(),
         }
     }
 
@@ -247,6 +264,26 @@ impl Network {
         self.buckets.clear();
     }
 
+    /// The active dynamics configuration.
+    pub fn dynamics(&self) -> &DynamicsConfig {
+        &self.dynamics
+    }
+
+    /// Install a time-evolving dynamics configuration. Resets the virtual
+    /// clocks (but not the applied-dynamics counters, which are cumulative).
+    /// Like [`Network::set_faults`], the pipeline installs this *after* the
+    /// ZMap snapshot, so epoch-0 scans always see the frozen world.
+    pub fn set_dynamics(&mut self, dynamics: DynamicsConfig) {
+        self.dyn_events.clear();
+        if dynamics.events_active() {
+            for &ev in &dynamics.events {
+                self.dyn_events.entry(ev.router().0).or_default().push(ev);
+            }
+        }
+        self.dynamics = dynamics;
+        self.vclock.clear();
+    }
+
     /// Snapshot the probe and fault accounting.
     pub fn net_stats(&self) -> NetworkStats {
         NetworkStats {
@@ -254,6 +291,14 @@ impl Network {
             link_drops: self.fault_counters.link_drops.get(),
             rate_limited_drops: self.fault_counters.rate_limited_drops.get(),
             icmp_loss_drops: self.fault_counters.icmp_loss_drops.get(),
+            dyn_rewrites: self.dyn_counters.rewrites.get(),
+            dyn_resizes: self.dyn_counters.resizes.get(),
+            dyn_loops: self.dyn_counters.loops.get(),
+            dyn_addr_reuses: self.dyn_counters.addr_reuses.get(),
+            dyn_false_diamonds: self.dyn_counters.false_diamonds.get(),
+            netem_delays: self.dyn_counters.netem_delays.get(),
+            netem_reorders: self.dyn_counters.netem_reorders.get(),
+            netem_duplicates: self.dyn_counters.netem_duplicates.get(),
         }
     }
 
@@ -268,6 +313,7 @@ impl Network {
         interned.add(self.probes_carried.get());
         self.probes_carried = interned;
         self.fault_counters.attach(rec);
+        self.dyn_counters.attach(rec);
     }
 
     /// Host oracle (for ground-truth checks in tests).

@@ -1,0 +1,280 @@
+//! Ground-truth accuracy harness for time-evolving worlds.
+//!
+//! A static conformance run asks "does production match the oracle?". A
+//! *dynamic* world asks a different question: when the network changes
+//! under the measurement campaign, how wrong do the frozen verdicts and
+//! aggregates get? This module quantifies that against the planted
+//! schedule, which the spec records exactly:
+//!
+//! * **Verdict flips** — blocks whose Table-1 classification differs
+//!   between the evolving world and the same world with the schedule
+//!   stripped. Every flip is measurement drift caused purely by dynamics
+//!   (the spec, seed, faults, and thread count are identical).
+//! * **Stale aggregates** — blocks whose recorded last-hop signature
+//!   predates a later schedule event that changed their PoP's observable
+//!   signature. Their aggregation-time grouping describes a world that no
+//!   longer exists; the epoch tags on the measurement prove it.
+//!
+//! Both metrics are pure functions of `(spec, thread count)` — the same
+//! sweep replayed anywhere reports identical rates.
+
+use crate::diff::{classify_once, ClassifyRef};
+use crate::scenario::{build_world, DynamicsSpec, EventSpec, ScenarioSpec, TruthLabel};
+use netsim::Addr;
+use obs::{Counter, Recorder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The last-hop signature a PoP *observably* presents at `epoch`, given
+/// the spec's event schedule — the epoch-aware ground-truth label. Epoch 0
+/// is always the frozen snapshot world.
+///
+/// Events change the signature as follows:
+///
+/// * `LbResize` narrows the fan to its first `width` routers (latest
+///   resize at or before `epoch` wins).
+/// * `AddressReuse` replaces the first last-hop's address with the
+///   aggregation router's (the reused upstream address).
+/// * `FalseDiamond` adds the phantom interface alongside the real one
+///   (half the flows answer from each).
+/// * `RouteChurn` remaps flows *within* the fan — the set is unchanged.
+/// * `TransientLoop` perturbs mid-path hops during one epoch — the
+///   delivered last-hop set is unchanged.
+///
+/// Unresponsive PoPs present an empty signature at every epoch.
+pub fn epoch_truth(spec: &ScenarioSpec, pop: usize, epoch: u32) -> BTreeSet<Addr> {
+    let p = &spec.pops[pop];
+    if !p.responsive {
+        return BTreeSet::new();
+    }
+    let mut width = p.fan;
+    let mut reuse = false;
+    let mut phantom = false;
+    for ev in &spec.dynamics.events {
+        if ev.pop() as usize != pop || ev.at_epoch() > epoch {
+            continue;
+        }
+        match ev {
+            EventSpec::LbResize { width: w, .. } => width = width.min(*w),
+            EventSpec::AddressReuse { .. } => reuse = true,
+            EventSpec::FalseDiamond { .. } => phantom = true,
+            EventSpec::RouteChurn { .. } | EventSpec::TransientLoop { .. } => {}
+        }
+    }
+    let mut set = BTreeSet::new();
+    for j in 0..width {
+        if j == 0 && reuse {
+            set.insert(Addr::new(10, 100, pop as u8, 1));
+        } else {
+            set.insert(Addr::new(10, 100, pop as u8, 10 + j));
+        }
+    }
+    if phantom && width >= 1 {
+        set.insert(Addr::new(10, 100, pop as u8, 200));
+    }
+    set
+}
+
+/// Whether any event in the schedule changes `pop`'s observable signature
+/// strictly *after* `epoch` — the staleness predicate for a block whose
+/// evidence all resolved by `epoch`.
+fn signature_changes_after(spec: &ScenarioSpec, pop: usize, epoch: u32) -> bool {
+    spec.dynamics
+        .events
+        .iter()
+        .filter(|ev| ev.pop() as usize == pop && ev.at_epoch() > epoch)
+        .any(|ev| epoch_truth(spec, pop, ev.at_epoch()) != epoch_truth(spec, pop, epoch))
+}
+
+/// Accuracy of one dynamic run against its own static baseline and the
+/// epoch-aware ground truth.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Blocks classified in both the dynamic and the static run.
+    pub blocks_compared: usize,
+    /// Blocks whose verdict differs between the two runs.
+    pub verdict_flips: usize,
+    /// `verdict_flips / blocks_compared` (0 when nothing compared).
+    pub flip_rate: f64,
+    /// Homogeneous blocks whose recorded signature predates a later
+    /// signature-changing event on their PoP.
+    pub stale_aggregates: usize,
+    /// `stale_aggregates / blocks_compared` (0 when nothing compared).
+    pub stale_rate: f64,
+}
+
+/// Pre-interned `accuracy.*` counters (bind once per campaign).
+#[derive(Clone, Debug)]
+pub struct AccuracyObs {
+    blocks: Counter,
+    verdict_flips: Counter,
+    stale_aggregates: Counter,
+}
+
+impl AccuracyObs {
+    /// Intern the accuracy counters in `rec`.
+    pub fn bind(rec: &dyn Recorder) -> Self {
+        AccuracyObs {
+            blocks: rec.counter("accuracy.blocks_compared"),
+            verdict_flips: rec.counter("accuracy.verdict_flips"),
+            stale_aggregates: rec.counter("accuracy.stale_aggregates"),
+        }
+    }
+
+    fn record(&self, report: &AccuracyReport) {
+        self.blocks.add(report.blocks_compared as u64);
+        self.verdict_flips.add(report.verdict_flips as u64);
+        self.stale_aggregates.add(report.stale_aggregates as u64);
+    }
+}
+
+/// Measure the accuracy cost of a spec's dynamics at one thread count:
+/// classify the evolving world, classify the identical world with the
+/// schedule stripped, and compare verdict by verdict; then hold each
+/// dynamic measurement's epoch tags against the schedule for staleness.
+///
+/// A spec with no dynamics trivially reports zero rates.
+pub fn dynamics_accuracy(
+    spec: &ScenarioSpec,
+    threads: usize,
+    classify: ClassifyRef<'_>,
+    obs: Option<&AccuracyObs>,
+) -> AccuracyReport {
+    let dynamic = classify_once(spec, threads, classify);
+    let mut frozen = spec.clone();
+    frozen.dynamics = DynamicsSpec::default();
+    let baseline = classify_once(&frozen, threads, classify);
+
+    let truth = build_world(spec).truth;
+    let mut report = AccuracyReport::default();
+    let mut base_iter = baseline.iter();
+    for m in &dynamic {
+        // Measurements come back in block order from both runs; selection
+        // inputs are identical (dynamics install post-snapshot), so the
+        // block sets match one-to-one.
+        let Some(b) = base_iter.find(|b| b.block == m.block) else {
+            continue;
+        };
+        report.blocks_compared += 1;
+        if m.classification != b.classification {
+            report.verdict_flips += 1;
+        }
+        // Staleness: all evidence resolved by some epoch, and the schedule
+        // still had signature-changing events for this block's PoP ahead.
+        if let Some(TruthLabel::Homogeneous { pop }) = truth.get(&m.block) {
+            let last_epoch = m.dest_epochs.iter().copied().max().unwrap_or(0);
+            if signature_changes_after(spec, *pop, last_epoch) {
+                report.stale_aggregates += 1;
+            }
+        }
+    }
+    if report.blocks_compared > 0 {
+        report.flip_rate = report.verdict_flips as f64 / report.blocks_compared as f64;
+        report.stale_rate = report.stale_aggregates as f64 / report.blocks_compared as f64;
+    }
+    if let Some(o) = obs {
+        o.record(&report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{NetemKnobs, PolicySpec, PopSpec};
+
+    fn two_fan_spec() -> ScenarioSpec {
+        let mut spec = crate::scenario::gen_spec(1);
+        spec.pops = vec![PopSpec {
+            fan: 2,
+            policy: PolicySpec::PerDestination,
+            responsive: true,
+            alt_addr: false,
+            diamond: Default::default(),
+        }];
+        for b in &mut spec.blocks {
+            b.kind = crate::scenario::BlockKind::Homog { pop: 0 };
+            b.density_pct = 90;
+            b.churn_pct = 0;
+            b.quiet_pct = 0;
+        }
+        spec.transit = false;
+        spec.dynamics = DynamicsSpec::default();
+        spec
+    }
+
+    #[test]
+    fn epoch_truth_tracks_the_schedule() {
+        let mut spec = two_fan_spec();
+        spec.dynamics = DynamicsSpec {
+            period: 16,
+            events: vec![
+                EventSpec::LbResize {
+                    pop: 0,
+                    at_epoch: 2,
+                    width: 1,
+                },
+                EventSpec::AddressReuse {
+                    pop: 0,
+                    at_epoch: 3,
+                },
+            ],
+            netem: NetemKnobs::default(),
+        };
+        spec.validate().unwrap();
+        // Epoch 0/1: the full planted fan.
+        let base: BTreeSet<Addr> = [Addr::new(10, 100, 0, 10), Addr::new(10, 100, 0, 11)]
+            .into_iter()
+            .collect();
+        assert_eq!(epoch_truth(&spec, 0, 0), base);
+        assert_eq!(epoch_truth(&spec, 0, 1), base);
+        // Epoch 2: the fan collapses to the first router.
+        let narrowed: BTreeSet<Addr> = [Addr::new(10, 100, 0, 10)].into_iter().collect();
+        assert_eq!(epoch_truth(&spec, 0, 2), narrowed);
+        // Epoch 3: the surviving router answers from the reused address.
+        let reused: BTreeSet<Addr> = [Addr::new(10, 100, 0, 1)].into_iter().collect();
+        assert_eq!(epoch_truth(&spec, 0, 3), reused);
+        assert!(signature_changes_after(&spec, 0, 0));
+        assert!(signature_changes_after(&spec, 0, 2));
+        assert!(!signature_changes_after(&spec, 0, 3));
+    }
+
+    #[test]
+    fn churn_leaves_the_signature_alone() {
+        let mut spec = two_fan_spec();
+        spec.dynamics = DynamicsSpec {
+            period: 16,
+            events: vec![
+                EventSpec::RouteChurn {
+                    pop: 0,
+                    at_epoch: 1,
+                },
+                EventSpec::TransientLoop {
+                    pop: 0,
+                    at_epoch: 2,
+                },
+            ],
+            netem: NetemKnobs::default(),
+        };
+        spec.validate().unwrap();
+        assert_eq!(epoch_truth(&spec, 0, 0), epoch_truth(&spec, 0, 4));
+        assert!(!signature_changes_after(&spec, 0, 0));
+    }
+
+    #[test]
+    fn false_diamond_widens_the_signature() {
+        let mut spec = two_fan_spec();
+        spec.dynamics = DynamicsSpec {
+            period: 16,
+            events: vec![EventSpec::FalseDiamond {
+                pop: 0,
+                at_epoch: 1,
+            }],
+            netem: NetemKnobs::default(),
+        };
+        spec.validate().unwrap();
+        let t = epoch_truth(&spec, 0, 1);
+        assert!(t.contains(&Addr::new(10, 100, 0, 200)), "{t:?}");
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -8,7 +8,10 @@
 //! regeneration itself refuses to pin a report the oracle disagrees with.
 
 use crate::diff::DiffReport;
-use crate::scenario::{BlockKind, BlockSpec, DiamondSpec, PolicySpec, PopSpec, ScenarioSpec};
+use crate::scenario::{
+    BlockKind, BlockSpec, DiamondSpec, DynamicsSpec, EventSpec, NetemKnobs, PolicySpec, PopSpec,
+    ScenarioSpec,
+};
 use hobbit::Classification;
 use netsim::{Addr, Block24};
 use probe::MdaMode;
@@ -140,6 +143,8 @@ fn homog(pop: u8, density_pct: u8) -> BlockSpec {
     BlockSpec {
         kind: BlockKind::Homog { pop },
         density_pct,
+        churn_pct: 0,
+        quiet_pct: 0,
     }
 }
 
@@ -149,6 +154,8 @@ fn split(lens: &[u8], density_pct: u8) -> BlockSpec {
             lens: lens.to_vec(),
         },
         density_pct,
+        churn_pct: 0,
+        quiet_pct: 0,
     }
 }
 
@@ -161,6 +168,7 @@ fn spec(seed: u64, transit: bool, pops: Vec<PopSpec>, blocks: Vec<BlockSpec>) ->
         link_loss: 0.0,
         icmp_rate: 0.0,
         mda_mode: MdaMode::Classic,
+        dynamics: DynamicsSpec::default(),
     }
 }
 
@@ -169,6 +177,19 @@ fn spec(seed: u64, transit: bool, pops: Vec<PopSpec>, blocks: Vec<BlockSpec>) ->
 fn lite(spec: ScenarioSpec) -> ScenarioSpec {
     ScenarioSpec {
         mda_mode: MdaMode::Lite,
+        ..spec
+    }
+}
+
+/// The same scenario evolving mid-campaign: `events` fire against a
+/// virtual clock of `period` probes per epoch.
+fn dynamic(spec: ScenarioSpec, period: u64, events: Vec<EventSpec>) -> ScenarioSpec {
+    ScenarioSpec {
+        dynamics: DynamicsSpec {
+            period,
+            events,
+            netem: NetemKnobs::default(),
+        },
         ..spec
     }
 }
@@ -410,6 +431,145 @@ pub fn golden_specs() -> Vec<(&'static str, ScenarioSpec)> {
             lite(
                 spec(126, false, vec![pop(2, PerDestination)], vec![homog(0, 90)])
                     .with_faults(0.02, 0.0),
+            ),
+        ),
+        // Time-evolving worlds: the event schedule fires mid-campaign on
+        // the virtual probe clock, pinned so dynamic verdicts stay exactly
+        // reproducible. One entry per artifact class, plus churn-only and
+        // everything-at-once rows under both MDA modes.
+        (
+            "dyn-churn",
+            dynamic(
+                spec(127, false, vec![pop(2, PerDestination)], vec![homog(0, 90)]),
+                16,
+                vec![EventSpec::RouteChurn {
+                    pop: 0,
+                    at_epoch: 1,
+                }],
+            ),
+        ),
+        (
+            "dyn-churn-lite",
+            lite(dynamic(
+                spec(127, false, vec![pop(2, PerDestination)], vec![homog(0, 90)]),
+                16,
+                vec![EventSpec::RouteChurn {
+                    pop: 0,
+                    at_epoch: 1,
+                }],
+            )),
+        ),
+        (
+            "dyn-lb-resize",
+            dynamic(
+                spec(128, false, vec![pop(3, PerDestination)], vec![homog(0, 90)]),
+                16,
+                vec![EventSpec::LbResize {
+                    pop: 0,
+                    at_epoch: 2,
+                    width: 1,
+                }],
+            ),
+        ),
+        (
+            "dyn-transient-loop",
+            dynamic(
+                spec(129, false, vec![pop(2, PerDestination)], vec![homog(0, 90)]),
+                16,
+                vec![EventSpec::TransientLoop {
+                    pop: 0,
+                    at_epoch: 1,
+                }],
+            ),
+        ),
+        (
+            "dyn-addr-reuse",
+            dynamic(
+                spec(130, false, vec![pop(2, PerDestination)], vec![homog(0, 90)]),
+                16,
+                vec![EventSpec::AddressReuse {
+                    pop: 0,
+                    at_epoch: 1,
+                }],
+            ),
+        ),
+        (
+            "dyn-false-diamond",
+            dynamic(
+                spec(131, false, vec![pop(2, PerDestination)], vec![homog(0, 90)]),
+                16,
+                vec![EventSpec::FalseDiamond {
+                    pop: 0,
+                    at_epoch: 1,
+                }],
+            ),
+        ),
+        (
+            "dyn-combined",
+            dynamic(
+                spec(
+                    132,
+                    true,
+                    vec![pop(2, PerFlow), pop(3, PerDestination)],
+                    vec![homog(0, 90), homog(1, 85)],
+                ),
+                16,
+                vec![
+                    EventSpec::RouteChurn {
+                        pop: 0,
+                        at_epoch: 1,
+                    },
+                    EventSpec::LbResize {
+                        pop: 1,
+                        at_epoch: 2,
+                        width: 2,
+                    },
+                    EventSpec::FalseDiamond {
+                        pop: 0,
+                        at_epoch: 3,
+                    },
+                ],
+            )
+            .with_netem(NetemKnobs {
+                delay_us: 400,
+                jitter_us: 200,
+                reorder_pct: 2,
+                duplicate_pct: 1,
+            }),
+        ),
+        (
+            "dyn-combined-lite",
+            lite(
+                dynamic(
+                    spec(
+                        132,
+                        true,
+                        vec![pop(2, PerFlow), pop(3, PerDestination)],
+                        vec![homog(0, 90), homog(1, 85)],
+                    ),
+                    16,
+                    vec![
+                        EventSpec::RouteChurn {
+                            pop: 0,
+                            at_epoch: 1,
+                        },
+                        EventSpec::LbResize {
+                            pop: 1,
+                            at_epoch: 2,
+                            width: 2,
+                        },
+                        EventSpec::FalseDiamond {
+                            pop: 0,
+                            at_epoch: 3,
+                        },
+                    ],
+                )
+                .with_netem(NetemKnobs {
+                    delay_us: 400,
+                    jitter_us: 200,
+                    reorder_pct: 2,
+                    duplicate_pct: 1,
+                }),
             ),
         ),
     ]

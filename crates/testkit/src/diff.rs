@@ -173,22 +173,31 @@ pub fn conform_config(spec: &ScenarioSpec) -> HobbitConfig {
             HobbitConfig::default().prober_retries
         },
         mda_mode: spec.mda_mode,
+        dynamics_period: if spec.dynamics.events.is_empty() {
+            0
+        } else {
+            spec.dynamics.period
+        },
         ..HobbitConfig::default()
     }
 }
 
 /// Build, snapshot, classify at one thread count. Returns the measurements
 /// in block order.
-fn classify_once(
+pub(crate) fn classify_once(
     spec: &ScenarioSpec,
     threads: usize,
     classify: ClassifyRef<'_>,
 ) -> Vec<BlockMeasurement> {
     let mut world = build_world(spec);
     let snapshot = zmap::scan_all(&mut world.network);
-    // Faults switch on after the snapshot, like the production pipeline:
-    // selection inputs stay identical to a fault-free run.
+    // Faults and the event schedule switch on after the snapshot, like the
+    // production pipeline: selection inputs stay identical to a static,
+    // fault-free run, and epoch 0 always means the frozen world.
     world.network.set_faults(spec.faults());
+    if world.dynamics.is_active() {
+        world.network.set_dynamics(world.dynamics.clone());
+    }
     let selected = select_all(&snapshot);
     let cfg = conform_config(spec);
     let shared = SharedNetwork::new(world.network);

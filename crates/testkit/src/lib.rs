@@ -26,6 +26,10 @@
 //!   scenario to a minimal reproducer.
 //! * [`corpus`] — seed-file I/O and the golden corpus definitions checked
 //!   into `tests/corpus/`.
+//! * [`accuracy`] — the ground-truth accuracy harness for time-evolving
+//!   worlds: epoch-aware truth labels derived from the event schedule,
+//!   plus verdict-flip and stale-aggregate rates of a dynamic run against
+//!   its own frozen baseline.
 //! * [`baseline`] — the pre-flat-layout `BTreeMap`/`HashMap` kernels kept
 //!   verbatim, for extensional-equality property tests against the dense
 //!   `hobbit::layout` path and for the `hobbit-bench --label baseline`
@@ -39,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod baseline;
 pub mod corpus;
 pub mod crash;
@@ -47,6 +52,7 @@ pub mod oracle;
 pub mod scenario;
 pub mod shrink;
 
+pub use accuracy::{dynamics_accuracy, epoch_truth, AccuracyObs, AccuracyReport};
 pub use baseline::{
     baseline_aggregate_identical, baseline_early_verdict, baseline_similarity_edges, BaselineGroups,
 };
@@ -57,5 +63,8 @@ pub use oracle::{
     naive_aggregate, naive_disjoint_aligned, naive_lasthop_set, naive_merged_groups,
     naive_relationship, replay_verdict, OracleVerdict,
 };
-pub use scenario::{build_world, gen_spec, BlockKind, BlockSpec, PopSpec, ScenarioSpec, World};
+pub use scenario::{
+    build_world, gen_spec, BlockKind, BlockSpec, DynamicsSpec, EventSpec, NetemKnobs, PopSpec,
+    ScenarioSpec, World,
+};
 pub use shrink::shrink;

@@ -410,6 +410,7 @@ mod tests {
             dests_unresolved: 0,
             reprobes: 0,
             probes_used: 60,
+            dest_epochs: vec![],
         };
         let table = ConfidenceTable::empty();
         let cfg = HobbitConfig::default();
@@ -437,6 +438,7 @@ mod tests {
             dests_unresolved: 8,
             reprobes: 0,
             probes_used: 8,
+            dest_epochs: vec![],
         };
         // Nothing resolved, nothing anonymous: too few active.
         assert_eq!(

@@ -12,7 +12,10 @@
 
 use netsim::host::TtlMix;
 use netsim::route::{NextHop, NextHopGroup};
-use netsim::{Addr, Block24, FaultConfig, HostKind, HostProfile, LbPolicy, Network, Prefix};
+use netsim::{
+    Addr, Block24, DynamicsConfig, DynamicsEvent, FaultConfig, HostKind, HostProfile, LbPolicy,
+    NetemSpec, Network, Prefix,
+};
 use probe::MdaMode;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -132,6 +135,154 @@ pub struct BlockSpec {
     /// Host density in percent (1..=100) — low densities plant the
     /// too-few-active / uncovered-quarter selection outcomes.
     pub density_pct: u8,
+    /// Host availability churn between the snapshot and probing, in percent
+    /// (0..=50). Defaults to 0 so pre-dynamics corpus entries stay readable
+    /// and byte-stable.
+    #[serde(default)]
+    pub churn_pct: u8,
+    /// Probability (percent, 0..=50) of a correlated whole-block quiet
+    /// period at probe time. Defaults to 0.
+    #[serde(default)]
+    pub quiet_pct: u8,
+}
+
+/// One scheduled world mutation, named at the *spec* level: events target a
+/// PoP index and fire at a virtual epoch. [`build_world`] compiles them to
+/// concrete netsim routers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventSpec {
+    /// Re-salt the PoP aggregation router's next-hop selection from
+    /// `at_epoch` on: flows that used to pin to one last-hop may remap
+    /// (route churn on an existing link set).
+    RouteChurn {
+        /// Index into [`ScenarioSpec::pops`].
+        pop: u8,
+        /// First epoch (1-based; epoch 0 is the frozen snapshot world).
+        at_epoch: u32,
+    },
+    /// Reconfigure the PoP's load balancer to spread over only the first
+    /// `width` last-hop routers from `at_epoch` on (`width == 1` collapses
+    /// the fan entirely).
+    LbResize {
+        /// Index into [`ScenarioSpec::pops`].
+        pop: u8,
+        /// First epoch the narrowed fan applies.
+        at_epoch: u32,
+        /// Surviving fan width (1..=fan).
+        width: u8,
+    },
+    /// A transient forwarding loop at the PoP aggregation router, active
+    /// only *during* `at_epoch`: probes bounce back one hop once, then the
+    /// loop heals in the next epoch.
+    TransientLoop {
+        /// Index into [`ScenarioSpec::pops`].
+        pop: u8,
+        /// The single epoch the loop is live.
+        at_epoch: u32,
+    },
+    /// From `at_epoch` on, the PoP's first last-hop router sources its ICMP
+    /// errors from the aggregation router's address — the classic
+    /// address-reuse cycle that makes two hops look like one interface.
+    AddressReuse {
+        /// Index into [`ScenarioSpec::pops`].
+        pop: u8,
+        /// First epoch the reused address appears.
+        at_epoch: u32,
+    },
+    /// From `at_epoch` on, the PoP's first last-hop router answers half its
+    /// probes (by flow nonce) from a phantom interface address — a false
+    /// diamond: traceroute sees a fan that does not exist.
+    FalseDiamond {
+        /// Index into [`ScenarioSpec::pops`].
+        pop: u8,
+        /// First epoch the phantom interface appears.
+        at_epoch: u32,
+    },
+}
+
+impl EventSpec {
+    /// The PoP index this event targets.
+    pub fn pop(&self) -> u8 {
+        match *self {
+            EventSpec::RouteChurn { pop, .. }
+            | EventSpec::LbResize { pop, .. }
+            | EventSpec::TransientLoop { pop, .. }
+            | EventSpec::AddressReuse { pop, .. }
+            | EventSpec::FalseDiamond { pop, .. } => pop,
+        }
+    }
+
+    /// The epoch the event fires at.
+    pub fn at_epoch(&self) -> u32 {
+        match *self {
+            EventSpec::RouteChurn { at_epoch, .. }
+            | EventSpec::LbResize { at_epoch, .. }
+            | EventSpec::TransientLoop { at_epoch, .. }
+            | EventSpec::AddressReuse { at_epoch, .. }
+            | EventSpec::FalseDiamond { at_epoch, .. } => at_epoch,
+        }
+    }
+}
+
+/// Netem-style link perturbation knobs (delay/jitter/reorder/duplication),
+/// spec-level mirror of netsim's [`NetemSpec`]. All-zero (the default) is
+/// off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetemKnobs {
+    /// Fixed extra delay per reply, microseconds.
+    #[serde(default)]
+    pub delay_us: u32,
+    /// Additional per-reply jitter bound, microseconds.
+    #[serde(default)]
+    pub jitter_us: u32,
+    /// Percent of replies arriving a full jitter window late (0..=100).
+    #[serde(default)]
+    pub reorder_pct: u8,
+    /// Percent of replies duplicated on the wire (0..=100).
+    #[serde(default)]
+    pub duplicate_pct: u8,
+}
+
+impl NetemKnobs {
+    /// Whether any perturbation knob is non-zero.
+    pub fn is_active(&self) -> bool {
+        self.delay_us > 0 || self.jitter_us > 0 || self.reorder_pct > 0 || self.duplicate_pct > 0
+    }
+
+    /// The netsim perturbation this spec names.
+    pub fn to_netem(self) -> NetemSpec {
+        NetemSpec {
+            delay_us: self.delay_us,
+            jitter_us: self.jitter_us,
+            reorder_prob: self.reorder_pct as f32 / 100.0,
+            duplicate_prob: self.duplicate_pct as f32 / 100.0,
+        }
+    }
+}
+
+/// A time-evolving world: a virtual-clock period plus the event schedule
+/// that fires against it, and optional netem link perturbation. The default
+/// (period 0, no events, no netem) is the static world — byte-identical to
+/// a spec that never mentions dynamics at all.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsSpec {
+    /// Probes per virtual epoch on each probe stream (0 with no events;
+    /// >= 8 when events are scheduled).
+    #[serde(default)]
+    pub period: u64,
+    /// The scheduled world mutations.
+    #[serde(default)]
+    pub events: Vec<EventSpec>,
+    /// Link perturbation applied to delivered replies.
+    #[serde(default)]
+    pub netem: NetemKnobs,
+}
+
+impl DynamicsSpec {
+    /// Whether this spec leaves the world completely static.
+    pub fn is_static(&self) -> bool {
+        self.events.is_empty() && !self.netem.is_active()
+    }
 }
 
 /// A complete scenario description. Plain data: serializable, editable by
@@ -155,6 +306,10 @@ pub struct ScenarioSpec {
     /// with. Defaults to classic so pre-mode corpus entries stay readable.
     #[serde(default)]
     pub mda_mode: MdaMode,
+    /// The time-evolving world schedule. Defaults to static so pre-dynamics
+    /// corpus entries stay readable and byte-stable.
+    #[serde(default)]
+    pub dynamics: DynamicsSpec,
 }
 
 impl ScenarioSpec {
@@ -177,6 +332,13 @@ impl ScenarioSpec {
             icmp_rate,
             ..self.clone()
         }
+    }
+
+    /// A copy with the given netem link-perturbation knobs.
+    pub fn with_netem(&self, netem: NetemKnobs) -> Self {
+        let mut c = self.clone();
+        c.dynamics.netem = netem;
+        c
     }
 
     /// The planted /24 of block index `i`.
@@ -250,6 +412,42 @@ impl ScenarioSpec {
                     }
                 }
             }
+            if b.churn_pct > 50 {
+                return Err(format!("block {i}: churn {}% above 50", b.churn_pct));
+            }
+            if b.quiet_pct > 50 {
+                return Err(format!("block {i}: quiet {}% above 50", b.quiet_pct));
+            }
+        }
+        if !self.dynamics.events.is_empty() && self.dynamics.period < 8 {
+            return Err(format!(
+                "dynamics period {} too short for a scheduled world (need >= 8)",
+                self.dynamics.period
+            ));
+        }
+        for (i, ev) in self.dynamics.events.iter().enumerate() {
+            let pop = ev.pop() as usize;
+            if pop >= self.pops.len() {
+                return Err(format!("dynamics event {i}: pop {pop} out of range"));
+            }
+            if ev.at_epoch() == 0 || ev.at_epoch() > 16 {
+                return Err(format!(
+                    "dynamics event {i}: epoch {} out of range 1..=16",
+                    ev.at_epoch()
+                ));
+            }
+            if let EventSpec::LbResize { width, .. } = ev {
+                if *width == 0 || *width > self.pops[pop].fan {
+                    return Err(format!(
+                        "dynamics event {i}: resize width {} out of range 1..={}",
+                        width, self.pops[pop].fan
+                    ));
+                }
+            }
+        }
+        let n = &self.dynamics.netem;
+        if n.reorder_pct > 100 || n.duplicate_pct > 100 {
+            return Err("netem percentages out of range 0..=100".into());
         }
         Ok(())
     }
@@ -280,6 +478,10 @@ pub struct World {
     pub truth: BTreeMap<Block24, TruthLabel>,
     /// Primary last-hop interface addresses per PoP (sorted).
     pub pop_lasthops: Vec<Vec<Addr>>,
+    /// The compiled event schedule. *Not* installed on the network here:
+    /// the runner installs it after the ZMap snapshot (like faults), so
+    /// epoch 0 always scans the frozen world.
+    pub dynamics: DynamicsConfig,
 }
 
 /// Build a spec into a network with ground truth.
@@ -401,19 +603,65 @@ pub fn build_world(spec: &ScenarioSpec) -> World {
             block,
             HostProfile {
                 density: block_spec.density_pct as f32 / 100.0,
-                churn: 0.0,
+                churn: block_spec.churn_pct as f32 / 100.0,
                 ttl_mix: TtlMix::Mixed,
                 kind: HostKind::Residential,
                 base_rtt_us: 15_000,
-                quiet_prob: 0.0,
+                quiet_prob: block_spec.quiet_pct as f32 / 100.0,
             },
         );
     }
+
+    // Compile the spec-level event schedule down to concrete routers.
+    // Artifact events need aliases: address reuse borrows the aggregation
+    // router's address (10.100.<pop>.1 — genuinely upstream); false
+    // diamonds invent a phantom interface in the unused 200-range of the
+    // PoP's subnet.
+    let mut events = Vec::new();
+    for ev in &spec.dynamics.events {
+        let i = ev.pop() as usize;
+        let at_epoch = ev.at_epoch();
+        events.push(match *ev {
+            EventSpec::RouteChurn { .. } => DynamicsEvent::NextHopRewrite {
+                router: pop_aggs[i],
+                at_epoch,
+            },
+            EventSpec::LbResize { width, .. } => DynamicsEvent::LbResize {
+                router: pop_aggs[i],
+                at_epoch,
+                width,
+            },
+            EventSpec::TransientLoop { .. } => DynamicsEvent::TransientLoop {
+                router: pop_aggs[i],
+                at_epoch,
+            },
+            EventSpec::AddressReuse { .. } => DynamicsEvent::AddressReuse {
+                router: pop_lhs[i][0],
+                at_epoch,
+                alias: Addr::new(10, 100, i as u8, 1),
+            },
+            EventSpec::FalseDiamond { .. } => DynamicsEvent::FalseDiamond {
+                router: pop_lhs[i][0],
+                at_epoch,
+                alias: Addr::new(10, 100, i as u8, 200),
+            },
+        });
+    }
+    let dynamics = DynamicsConfig {
+        period: spec.dynamics.period,
+        events,
+        netem: spec
+            .dynamics
+            .netem
+            .is_active()
+            .then(|| spec.dynamics.netem.to_netem()),
+    };
 
     World {
         network: net,
         truth,
         pop_lasthops,
+        dynamics,
     }
 }
 
@@ -565,9 +813,67 @@ pub fn gen_spec(seed: u64) -> ScenarioSpec {
             } else {
                 40 + roll(seed, tag ^ 0xDE2, 61) as u8
             };
-            BlockSpec { kind, density_pct }
+            // A small minority of blocks churns or goes quiet between the
+            // snapshot and probing (the paper's host-availability drift).
+            let churn_pct = if chance(seed, tag ^ 0xC4A, 0.1) {
+                1 + roll(seed, tag ^ 0xC4B, 10) as u8
+            } else {
+                0
+            };
+            let quiet_pct = if chance(seed, tag ^ 0x41E, 0.05) {
+                1 + roll(seed, tag ^ 0x41F, 5) as u8
+            } else {
+                0
+            };
+            BlockSpec {
+                kind,
+                density_pct,
+                churn_pct,
+                quiet_pct,
+            }
         })
         .collect::<Vec<_>>();
+    // ~20% of specs evolve mid-campaign: 1-3 scheduled events against a
+    // virtual clock, occasionally with netem link perturbation on top.
+    let dynamics = if chance(seed, 0x04, 0.2) {
+        let period = 16u64 << roll(seed, 0x05, 3);
+        let n_events = 1 + roll(seed, 0x06, 3);
+        let events = (0..n_events)
+            .map(|e| {
+                let tag = 0x200 + e as u64;
+                let pop = roll(seed, tag ^ 0xE0, n_pops) as u8;
+                let at_epoch = 1 + roll(seed, tag ^ 0xE1, 4) as u32;
+                match roll(seed, tag ^ 0xE2, 5) {
+                    0 => EventSpec::RouteChurn { pop, at_epoch },
+                    1 => EventSpec::LbResize {
+                        pop,
+                        at_epoch,
+                        width: 1 + roll(seed, tag ^ 0xE3, pops[pop as usize].fan as usize) as u8,
+                    },
+                    2 => EventSpec::TransientLoop { pop, at_epoch },
+                    3 => EventSpec::AddressReuse { pop, at_epoch },
+                    _ => EventSpec::FalseDiamond { pop, at_epoch },
+                }
+            })
+            .collect();
+        let netem = if chance(seed, 0x07, 0.3) {
+            NetemKnobs {
+                delay_us: 200 + 100 * roll(seed, 0x08, 8) as u32,
+                jitter_us: 100 * roll(seed, 0x09, 4) as u32,
+                reorder_pct: roll(seed, 0x0A, 10) as u8,
+                duplicate_pct: roll(seed, 0x0B, 5) as u8,
+            }
+        } else {
+            NetemKnobs::default()
+        };
+        DynamicsSpec {
+            period,
+            events,
+            netem,
+        }
+    } else {
+        DynamicsSpec::default()
+    };
     ScenarioSpec {
         seed,
         transit: chance(seed, 0x03, 0.3),
@@ -576,6 +882,7 @@ pub fn gen_spec(seed: u64) -> ScenarioSpec {
         link_loss: 0.0,
         icmp_rate: 0.0,
         mda_mode: MdaMode::Classic,
+        dynamics,
     }
 }
 
@@ -598,15 +905,20 @@ mod tests {
                 BlockSpec {
                     kind: BlockKind::Homog { pop: 0 },
                     density_pct: 90,
+                    churn_pct: 0,
+                    quiet_pct: 0,
                 },
                 BlockSpec {
                     kind: BlockKind::Split { lens: vec![25, 25] },
                     density_pct: 90,
+                    churn_pct: 0,
+                    quiet_pct: 0,
                 },
             ],
             link_loss: 0.0,
             icmp_rate: 0.0,
             mda_mode: MdaMode::Classic,
+            dynamics: DynamicsSpec::default(),
         }
     }
 
@@ -676,8 +988,9 @@ mod tests {
 
     #[test]
     fn pre_diamond_spec_json_still_parses() {
-        // A corpus entry serialized before the diamond / mda_mode fields
-        // existed must deserialize to the defaults (classic, no diamond).
+        // A corpus entry serialized before the diamond / mda_mode /
+        // dynamics / churn fields existed must deserialize to the defaults
+        // (classic, no diamond, static world, zero churn).
         let json = r#"{"seed":7,"transit":false,
             "pops":[{"fan":2,"policy":"PerDestination","responsive":true,"alt_addr":false}],
             "blocks":[{"kind":{"Homog":{"pop":0}},"density_pct":90}],
@@ -685,7 +998,175 @@ mod tests {
         let spec: ScenarioSpec = serde_json::from_str(json).unwrap();
         assert_eq!(spec.mda_mode, MdaMode::Classic);
         assert_eq!(spec.pops[0].diamond, DiamondSpec::None);
+        assert!(spec.dynamics.is_static());
+        assert_eq!(spec.dynamics, DynamicsSpec::default());
+        assert_eq!(spec.blocks[0].churn_pct, 0);
+        assert_eq!(spec.blocks[0].quiet_pct, 0);
         assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn dynamic_spec_compiles_to_pop_routers() {
+        let mut spec = single_pop_spec();
+        spec.dynamics = DynamicsSpec {
+            period: 16,
+            events: vec![
+                EventSpec::RouteChurn {
+                    pop: 0,
+                    at_epoch: 1,
+                },
+                EventSpec::LbResize {
+                    pop: 0,
+                    at_epoch: 2,
+                    width: 1,
+                },
+                EventSpec::AddressReuse {
+                    pop: 0,
+                    at_epoch: 1,
+                },
+                EventSpec::FalseDiamond {
+                    pop: 0,
+                    at_epoch: 3,
+                },
+            ],
+            netem: NetemKnobs::default(),
+        };
+        spec.validate().unwrap();
+        let world = build_world(&spec);
+        assert_eq!(world.dynamics.period, 16);
+        assert_eq!(world.dynamics.events.len(), 4);
+        assert!(world.dynamics.events_active());
+        assert!(world.dynamics.netem.is_none());
+        // Address reuse borrows the aggregation router's address; the false
+        // diamond invents a phantom one outside every planted range.
+        match world.dynamics.events[2] {
+            DynamicsEvent::AddressReuse { alias, .. } => {
+                assert_eq!(alias, Addr::new(10, 100, 0, 1));
+            }
+            other => panic!("expected AddressReuse, got {other:?}"),
+        }
+        match world.dynamics.events[3] {
+            DynamicsEvent::FalseDiamond { alias, .. } => {
+                assert_eq!(alias, Addr::new(10, 100, 0, 200));
+            }
+            other => panic!("expected FalseDiamond, got {other:?}"),
+        }
+        // The schedule is compiled but NOT installed: the runner installs
+        // it post-snapshot.
+        assert!(!world.network.dynamics().is_active());
+    }
+
+    #[test]
+    fn static_dynamics_spec_is_inactive() {
+        let world = build_world(&single_pop_spec());
+        assert!(!world.dynamics.is_active());
+        assert!(world.dynamics.events.is_empty());
+        // Netem alone (no events) needs no period to be live.
+        let mut spec = single_pop_spec();
+        spec.dynamics.netem.delay_us = 500;
+        spec.validate().unwrap();
+        let world = build_world(&spec);
+        assert!(world.dynamics.is_active());
+        assert!(!world.dynamics.events_active());
+    }
+
+    #[test]
+    fn churny_blocks_build_with_the_planted_profile() {
+        let mut spec = single_pop_spec();
+        spec.blocks[0].churn_pct = 10;
+        spec.blocks[0].quiet_pct = 5;
+        spec.validate().unwrap();
+        // The profile drives host availability; the world still builds and
+        // keeps its truth labels.
+        let world = build_world(&spec);
+        assert!(matches!(
+            world.truth[&ScenarioSpec::block24(0)],
+            TruthLabel::Homogeneous { pop: 0 }
+        ));
+    }
+
+    #[test]
+    fn generator_rolls_dynamics_and_churn() {
+        let specs: Vec<ScenarioSpec> = (0..300).map(gen_spec).collect();
+        let dynamic = specs.iter().filter(|s| !s.dynamics.is_static()).count();
+        assert!(dynamic > 0, "no dynamic specs in 300 seeds");
+        // Static worlds stay the majority: the corpus bulk is historical.
+        assert!(dynamic < 150, "{dynamic}/300 dynamic");
+        assert!(specs
+            .iter()
+            .any(|s| s.dynamics.events.len() > 1 && s.dynamics.period >= 16));
+        assert!(specs.iter().any(|s| s.dynamics.netem.is_active()));
+        assert!(specs
+            .iter()
+            .any(|s| s.blocks.iter().any(|b| b.churn_pct > 0)));
+        assert!(specs
+            .iter()
+            .any(|s| s.blocks.iter().any(|b| b.quiet_pct > 0)));
+        // Every event class appears somewhere in the fuzzed population.
+        let events: Vec<&EventSpec> = specs
+            .iter()
+            .flat_map(|s| s.dynamics.events.iter())
+            .collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EventSpec::RouteChurn { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EventSpec::LbResize { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EventSpec::TransientLoop { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EventSpec::AddressReuse { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EventSpec::FalseDiamond { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_dynamics() {
+        let base = single_pop_spec();
+        // Events without a workable period.
+        let mut spec = base.clone();
+        spec.dynamics.period = 4;
+        spec.dynamics.events = vec![EventSpec::RouteChurn {
+            pop: 0,
+            at_epoch: 1,
+        }];
+        assert!(spec.validate().is_err());
+        // Out-of-range pop.
+        let mut spec = base.clone();
+        spec.dynamics.period = 16;
+        spec.dynamics.events = vec![EventSpec::TransientLoop {
+            pop: 9,
+            at_epoch: 1,
+        }];
+        assert!(spec.validate().is_err());
+        // Epoch 0 is the frozen snapshot world.
+        let mut spec = base.clone();
+        spec.dynamics.period = 16;
+        spec.dynamics.events = vec![EventSpec::RouteChurn {
+            pop: 0,
+            at_epoch: 0,
+        }];
+        assert!(spec.validate().is_err());
+        // Resize width beyond the fan.
+        let mut spec = base.clone();
+        spec.dynamics.period = 16;
+        spec.dynamics.events = vec![EventSpec::LbResize {
+            pop: 0,
+            at_epoch: 1,
+            width: 5,
+        }];
+        assert!(spec.validate().is_err());
+        // Churn beyond the planted ceiling.
+        let mut spec = base.clone();
+        spec.blocks[0].churn_pct = 80;
+        assert!(spec.validate().is_err());
+        let mut spec = base;
+        spec.blocks[0].quiet_pct = 70;
+        assert!(spec.validate().is_err());
     }
 
     #[test]

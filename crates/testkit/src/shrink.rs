@@ -7,7 +7,7 @@
 //! predicate still holds, looping to a fixpoint. The result is the seed
 //! file worth reading: usually one block, one PoP, default knobs.
 
-use crate::scenario::{BlockKind, DiamondSpec, PolicySpec, ScenarioSpec};
+use crate::scenario::{BlockKind, DiamondSpec, DynamicsSpec, NetemKnobs, PolicySpec, ScenarioSpec};
 use probe::MdaMode;
 
 /// Upper bound on shrink passes — each pass must remove something to
@@ -49,6 +49,26 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         c.mda_mode = MdaMode::Classic;
         push(c);
     }
+    // Freeze the world: drop the whole schedule first, then one event at a
+    // time, then netem alone — keeps only failures that genuinely need the
+    // surviving dynamics.
+    if spec.dynamics != DynamicsSpec::default() {
+        let mut c = spec.clone();
+        c.dynamics = DynamicsSpec::default();
+        push(c);
+    }
+    if spec.dynamics.events.len() > 1 {
+        for i in 0..spec.dynamics.events.len() {
+            let mut c = spec.clone();
+            c.dynamics.events.remove(i);
+            push(c);
+        }
+    }
+    if spec.dynamics.netem != NetemKnobs::default() && !spec.dynamics.events.is_empty() {
+        let mut c = spec.clone();
+        c.dynamics.netem = NetemKnobs::default();
+        push(c);
+    }
     // Simplify each PoP one knob at a time.
     for i in 0..spec.pops.len() {
         if spec.pops[i].fan > 1 {
@@ -86,11 +106,22 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
             }
         }
     }
-    // Simplify each block: full density, splits collapsed to the first PoP.
+    // Simplify each block: full density, no churn, splits collapsed to the
+    // first PoP.
     for i in 0..spec.blocks.len() {
         if spec.blocks[i].density_pct != 100 {
             let mut c = spec.clone();
             c.blocks[i].density_pct = 100;
+            push(c);
+        }
+        if spec.blocks[i].churn_pct > 0 {
+            let mut c = spec.clone();
+            c.blocks[i].churn_pct = 0;
+            push(c);
+        }
+        if spec.blocks[i].quiet_pct > 0 {
+            let mut c = spec.clone();
+            c.blocks[i].quiet_pct = 0;
             push(c);
         }
         if matches!(spec.blocks[i].kind, BlockKind::Split { .. }) && !spec.pops.is_empty() {
@@ -127,6 +158,19 @@ fn candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
         for b in &mut c.blocks {
             if let BlockKind::Homog { pop } = &mut b.kind {
                 *pop = remap[*pop as usize];
+            }
+        }
+        // Events riding on a pruned PoP go with it; survivors follow the
+        // index remap.
+        c.dynamics.events.retain(|e| used[e.pop() as usize]);
+        for e in &mut c.dynamics.events {
+            let new_pop = remap[e.pop() as usize];
+            match e {
+                crate::scenario::EventSpec::RouteChurn { pop, .. }
+                | crate::scenario::EventSpec::LbResize { pop, .. }
+                | crate::scenario::EventSpec::TransientLoop { pop, .. }
+                | crate::scenario::EventSpec::AddressReuse { pop, .. }
+                | crate::scenario::EventSpec::FalseDiamond { pop, .. } => *pop = new_pop,
             }
         }
         push(c);
@@ -173,6 +217,8 @@ mod tests {
         spec.blocks.push(BlockSpec {
             kind: BlockKind::Split { lens: vec![25, 25] },
             density_pct: 55,
+            churn_pct: 0,
+            quiet_pct: 0,
         });
         let fails = |s: &ScenarioSpec| {
             s.blocks
@@ -220,6 +266,79 @@ mod tests {
     }
 
     #[test]
+    fn shrinker_freezes_irrelevant_dynamics() {
+        use crate::scenario::EventSpec;
+        let mut spec = gen_spec(4);
+        spec.dynamics = DynamicsSpec {
+            period: 16,
+            events: vec![
+                EventSpec::RouteChurn {
+                    pop: 0,
+                    at_epoch: 1,
+                },
+                EventSpec::TransientLoop {
+                    pop: 0,
+                    at_epoch: 2,
+                },
+            ],
+            netem: NetemKnobs {
+                delay_us: 500,
+                ..NetemKnobs::default()
+            },
+        };
+        spec.blocks[0].churn_pct = 10;
+        spec.validate().unwrap();
+        // Failure independent of the schedule: everything dynamic must
+        // shrink away.
+        let fails = |s: &ScenarioSpec| !s.blocks.is_empty();
+        let min = shrink(&spec, &fails);
+        assert_eq!(min.dynamics, DynamicsSpec::default());
+        assert!(min.blocks.iter().all(|b| b.churn_pct == 0));
+    }
+
+    #[test]
+    fn shrinker_keeps_only_the_offending_event() {
+        use crate::scenario::EventSpec;
+        let mut spec = gen_spec(4);
+        spec.dynamics = DynamicsSpec {
+            period: 16,
+            events: vec![
+                EventSpec::RouteChurn {
+                    pop: 0,
+                    at_epoch: 1,
+                },
+                EventSpec::TransientLoop {
+                    pop: 0,
+                    at_epoch: 2,
+                },
+                EventSpec::FalseDiamond {
+                    pop: 0,
+                    at_epoch: 3,
+                },
+            ],
+            netem: NetemKnobs {
+                delay_us: 500,
+                ..NetemKnobs::default()
+            },
+        };
+        spec.validate().unwrap();
+        // Failure tied to one event class: the loop must survive alone.
+        let fails = |s: &ScenarioSpec| {
+            s.dynamics
+                .events
+                .iter()
+                .any(|e| matches!(e, EventSpec::TransientLoop { .. }))
+        };
+        let min = shrink(&spec, &fails);
+        assert_eq!(min.dynamics.events.len(), 1);
+        assert!(matches!(
+            min.dynamics.events[0],
+            EventSpec::TransientLoop { .. }
+        ));
+        assert_eq!(min.dynamics.netem, NetemKnobs::default());
+    }
+
+    #[test]
     fn already_minimal_spec_is_untouched() {
         let spec = ScenarioSpec {
             seed: 3,
@@ -234,10 +353,13 @@ mod tests {
             blocks: vec![BlockSpec {
                 kind: BlockKind::Homog { pop: 0 },
                 density_pct: 100,
+                churn_pct: 0,
+                quiet_pct: 0,
             }],
             link_loss: 0.0,
             icmp_rate: 0.0,
             mda_mode: MdaMode::Classic,
+            dynamics: DynamicsSpec::default(),
         };
         let min = shrink(&spec, &|_| true);
         assert_eq!(min, spec);

@@ -12,7 +12,7 @@ use probe::MdaMode;
 use std::path::{Path, PathBuf};
 use testkit::corpus::load_dir;
 use testkit::diff::{run_spec, Mismatch};
-use testkit::scenario::{gen_spec, ScenarioSpec};
+use testkit::scenario::{gen_spec, DynamicsSpec, ScenarioSpec};
 use testkit::shrink::shrink;
 
 /// Thread counts both modes must agree across internally.
@@ -249,7 +249,13 @@ fn golden_corpus_classic_vs_lite_drift() {
         entries.len()
     );
     let mut drift = Drift::default();
-    for entry in &entries {
+    // Static specs only: on a time-evolving world the two modes spend
+    // different probe budgets, so the same scheduled events land at
+    // different points of each campaign — classic and lite then measure
+    // genuinely different worlds and cross-mode drift is not a lite
+    // regression. The dynamic corpus is conformance-swept (each mode
+    // against the oracle, across threads) in tests/dynamics.rs instead.
+    for entry in entries.iter().filter(|e| e.spec.dynamics.is_static()) {
         sweep_spec(&entry.name, &entry.spec, &mut drift);
     }
     finish("corpus", &drift);
@@ -261,6 +267,10 @@ fn fuzzed_scenarios_classic_vs_lite_drift() {
     let mut drift = Drift::default();
     for i in 0..n {
         let mut spec = gen_spec(41_000 + i as u64);
+        // The cross-mode comparison requires a frozen world (see the
+        // corpus sweep above); dynamic fuzz coverage lives in
+        // tests/dynamics.rs.
+        spec.dynamics = DynamicsSpec::default();
         // Alternate the loss axis so half the sweep runs faulted (faulted
         // specs contribute drift counts but not probe totals).
         if i % 2 == 1 {

@@ -140,6 +140,47 @@ fn kill_resume_sweep_is_byte_identical_under_loss() {
 }
 
 #[test]
+fn dynamic_world_kill_resume_is_byte_identical() {
+    // A time-evolving run: the schedule derives from the seed, so a resumed
+    // incarnation must replay the exact world evolution from the journal's
+    // three dynamics numbers and land on the same report bytes.
+    let uninterrupted = base(0.0).threads(2).dynamics(0.5, 64).run();
+    assert!(
+        uninterrupted.dynamics_events > 0,
+        "seed {SEED} derived an empty schedule — the test would be vacuous"
+    );
+    let report = uninterrupted.canonical_report();
+    assert!(
+        report.contains("\"dynamics\":{"),
+        "dynamic report missing its dynamics summary"
+    );
+    let total = uninterrupted.selected.len() as u64;
+    let dir = run_dir("dynamic");
+    let crashed = base(0.0)
+        .threads(4)
+        .dynamics(0.5, 64)
+        .run_dir(&dir)
+        .crash_point(CrashPoint {
+            after_block_appends: total / 3,
+            torn: true,
+        })
+        .run();
+    assert!(crashed.supervision.interrupted);
+    let resumed = base(0.0)
+        .threads(8)
+        .dynamics(0.5, 64)
+        .resume_from(&dir)
+        .run();
+    assert!(!resumed.supervision.interrupted);
+    assert!(resumed.supervision.resumed_blocks > 0);
+    assert_eq!(resumed.dynamics_events, uninterrupted.dynamics_events);
+    assert_identical(&report, &resumed.canonical_report(), "dynamic kill/resume");
+    let issues = resumed.verify_conformance();
+    assert!(issues.is_empty(), "{issues:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn double_kill_then_resume_completes_identically() {
     let bl = baseline(0.0);
     let total = bl.selected.len() as u64;
@@ -216,6 +257,7 @@ fn tiny_measurement(block: u32) -> hobbit::BlockMeasurement {
         dests_unresolved: 0,
         reprobes: 0,
         probes_used: 12,
+        dest_epochs: vec![],
     }
 }
 

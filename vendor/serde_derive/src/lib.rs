@@ -5,8 +5,9 @@
 //! stream is parsed by hand. Supported shapes — exactly what this
 //! workspace uses:
 //!
-//! * named structs (with optional `#[serde(with = "module")]` and
-//!   `#[serde(default)]` per field)
+//! * named structs (with optional `#[serde(with = "module")]`,
+//!   `#[serde(default)]`, and `#[serde(skip_serializing_if = "path")]`
+//!   per field)
 //! * tuple structs (newtype and general)
 //! * unit structs
 //! * externally-tagged enums with unit, tuple, and struct variants
@@ -22,6 +23,10 @@ struct Field {
     /// `#[serde(default)]`: a missing key deserializes to
     /// `Default::default()` instead of erroring.
     default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: the key is omitted from
+    /// the serialized object when `path(&self.field)` is true. Pair it
+    /// with `default` so the omitted key round-trips.
+    skip_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -130,10 +135,12 @@ fn parse_input(input: TokenStream) -> Input {
 struct FieldAttrs {
     with: Option<String>,
     default: bool,
+    skip_if: Option<String>,
 }
 
-/// Extract the supported options (`with = "module"`, `default`) from a
-/// `#[serde(...)]` attribute group's inner stream, if present.
+/// Extract the supported options (`with = "module"`, `default`,
+/// `skip_serializing_if = "path"`) from a `#[serde(...)]` attribute
+/// group's inner stream, if present.
 fn serde_field_attrs(attr_group: TokenStream) -> Option<FieldAttrs> {
     let mut iter = attr_group.into_iter();
     match iter.next() {
@@ -161,6 +168,16 @@ fn serde_field_attrs(attr_group: TokenStream) -> Option<FieldAttrs> {
                     }
                 }
                 "default" => attrs.default = true,
+                "skip_serializing_if" => {
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (toks.get(i + 1), toks.get(i + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let s = lit.to_string();
+                            attrs.skip_if = Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -179,6 +196,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         // Per-field: attributes and visibility first.
         let mut with = None;
         let mut default = false;
+        let mut skip_if = None;
         let name = loop {
             match iter.next() {
                 None => return fields,
@@ -187,6 +205,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                         if let Some(attrs) = serde_field_attrs(g.stream()) {
                             if attrs.with.is_some() {
                                 with = attrs.with;
+                            }
+                            if attrs.skip_if.is_some() {
+                                skip_if = attrs.skip_if;
                             }
                             default |= attrs.default;
                         }
@@ -222,6 +243,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             name,
             with,
             default,
+            skip_if,
         });
     }
 }
@@ -343,10 +365,13 @@ fn gen_serialize(input: &Input) -> String {
             let mut s = String::from("let mut __m = ::std::collections::BTreeMap::new();\n");
             for f in fields {
                 let expr = ser_field_expr(f, &format!("&self.{}", f.name));
-                s.push_str(&format!(
-                    "__m.insert(\"{}\".to_string(), {});\n",
-                    f.name, expr
-                ));
+                let insert = format!("__m.insert(\"{}\".to_string(), {});\n", f.name, expr);
+                match &f.skip_if {
+                    Some(pred) => {
+                        s.push_str(&format!("if !{pred}(&self.{}) {{ {insert} }}\n", f.name))
+                    }
+                    None => s.push_str(&insert),
+                }
             }
             s.push_str("::serde::Value::Object(__m)");
             s
