@@ -53,6 +53,15 @@ pub struct ExpArgs {
     /// seed, recorded in the run meta so `--resume` replays it exactly.
     /// `None` keeps the world static.
     pub dynamics: Option<(f64, u64)>,
+    /// Storage chaos `(seed, rate)`: route every run-dir filesystem
+    /// operation (journal, leases, heartbeats, report) through a seeded
+    /// fault-injecting VFS that returns ENOSPC/EIO, short writes, torn
+    /// renames, and lying fsyncs at the given per-operation probability.
+    /// The run must then either finish with a byte-identical report or
+    /// fail with a typed storage error — never corrupt silently. On a
+    /// sharded run each shard gets a decorrelated schedule derived from
+    /// the seed. `None` leaves storage faithful.
+    pub storage_chaos: Option<(u64, f64)>,
 }
 
 impl Default for ExpArgs {
@@ -72,6 +81,7 @@ impl Default for ExpArgs {
             shard: None,
             mda_lite: false,
             dynamics: None,
+            storage_chaos: None,
         }
     }
 }
@@ -90,7 +100,7 @@ pub const USAGE: &str =
     "usage: <experiment> [--seed N] [--scale F] [--threads N] [--faults L,R] [--json]\n\
 \u{20}                   [--metrics OUT.json] [--trace-spans] [--run-dir DIR] [--resume]\n\
 \u{20}                   [--deadline SECS] [--shards N] [--shard I] [--mda-lite]\n\
-\u{20}                   [--dynamics R[,P]]\n\
+\u{20}                   [--dynamics R[,P]] [--storage-chaos SEED[,RATE]]\n\
 --seed N      scenario seed (default 42)\n\
 --scale F     scenario scale, 1.0 = paper-size (default 0.12)\n\
 --threads N   probing worker threads (default: all cores)\n\
@@ -124,6 +134,13 @@ pub const USAGE: &str =
 \u{20}             virtual clock of P probes per epoch (default 64). The\n\
 \u{20}             schedule derives from the seed alone and is recorded in\n\
 \u{20}             the run meta, so --resume replays it byte-for-byte\n\
+--storage-chaos SEED[,RATE]  inject disk faults into every run-dir\n\
+\u{20}             filesystem operation: ENOSPC, EIO, short writes, torn\n\
+\u{20}             renames, and lying fsyncs fire with per-op probability\n\
+\u{20}             RATE (default 0.02) on a schedule derived from SEED.\n\
+\u{20}             The run either completes with a byte-identical report\n\
+\u{20}             or fails with a typed storage error — never silently\n\
+\u{20}             corrupts. Requires --run-dir\n\
 --json        machine-readable output";
 
 impl ExpArgs {
@@ -172,6 +189,10 @@ impl ExpArgs {
                     let v: String = expect_value(&mut it, "--dynamics")?;
                     args.dynamics = Some(parse_dynamics(&v)?);
                 }
+                "--storage-chaos" => {
+                    let v: String = expect_value(&mut it, "--storage-chaos")?;
+                    args.storage_chaos = Some(parse_storage_chaos(&v)?);
+                }
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
                 other => return Err(ParseOutcome::Error(format!("unknown flag {other:?}"))),
@@ -217,6 +238,13 @@ impl ExpArgs {
             return Err(ParseOutcome::Error(
                 "--resume conflicts with --shard: a worker resumes its own shard journal \
                  automatically"
+                    .into(),
+            ));
+        }
+        if args.storage_chaos.is_some() && args.run_dir.is_none() {
+            return Err(ParseOutcome::Error(
+                "--storage-chaos requires --run-dir (the faults target the run dir's \
+                 journal, leases, and report)"
                     .into(),
             ));
         }
@@ -283,6 +311,35 @@ fn parse_dynamics(v: &str) -> Result<(f64, u64), ParseOutcome> {
         )));
     }
     Ok((rate, period))
+}
+
+/// Default per-operation fault probability selected by `--storage-chaos
+/// SEED` with no explicit rate.
+pub const DEFAULT_CHAOS_RATE: f64 = 0.02;
+
+/// Parse a `--storage-chaos seed[,rate]` value: any u64 seed, rate in
+/// `(0, 1]` (defaults to [`DEFAULT_CHAOS_RATE`]).
+fn parse_storage_chaos(v: &str) -> Result<(u64, f64), ParseOutcome> {
+    let bad = || {
+        ParseOutcome::Error(format!(
+            "invalid value {v:?} for --storage-chaos (want seed[,rate])"
+        ))
+    };
+    let (s, r) = match v.split_once(',') {
+        Some((s, r)) => (s, Some(r)),
+        None => (v, None),
+    };
+    let seed: u64 = s.trim().parse().map_err(|_| bad())?;
+    let rate: f64 = match r {
+        Some(r) => r.trim().parse().map_err(|_| bad())?,
+        None => DEFAULT_CHAOS_RATE,
+    };
+    if !(rate > 0.0 && rate <= 1.0) {
+        return Err(ParseOutcome::Error(format!(
+            "--storage-chaos rate must be in (0, 1], got {rate}"
+        )));
+    }
+    Ok((seed, rate))
 }
 
 fn expect_value<T: std::str::FromStr>(
@@ -478,6 +535,44 @@ mod tests {
             parse(&["--dynamics", "0.3,4"]),
             Err(ParseOutcome::Error(_))
         ));
+    }
+
+    #[test]
+    fn storage_chaos_flag_parses_seed_and_rate() {
+        let a = parse(&["--storage-chaos", "7", "--run-dir", "x"]).unwrap();
+        assert_eq!(a.storage_chaos, Some((7, DEFAULT_CHAOS_RATE)));
+        let b = parse(&["--storage-chaos", "7, 0.1", "--run-dir", "x"]).unwrap();
+        assert_eq!(b.storage_chaos, Some((7, 0.1)));
+        assert_eq!(parse(&[]).unwrap().storage_chaos, None);
+        // Composes with a sharded run (the coordinator plants per-shard
+        // chaos leases).
+        let c = parse(&["--storage-chaos", "7", "--shards", "2", "--run-dir", "x"]).unwrap();
+        assert_eq!(c.storage_chaos, Some((7, DEFAULT_CHAOS_RATE)));
+    }
+
+    #[test]
+    fn storage_chaos_flag_rejects_malformed_and_misplaced() {
+        assert!(matches!(
+            parse(&["--storage-chaos"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        assert!(matches!(
+            parse(&["--storage-chaos", "x", "--run-dir", "d"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        assert!(matches!(
+            parse(&["--storage-chaos", "7,0", "--run-dir", "d"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        assert!(matches!(
+            parse(&["--storage-chaos", "7,1.5", "--run-dir", "d"]),
+            Err(ParseOutcome::Error(_))
+        ));
+        // Without a run dir there is nothing for the faults to target.
+        match parse(&["--storage-chaos", "7"]) {
+            Err(ParseOutcome::Error(msg)) => assert!(msg.contains("--run-dir"), "{msg}"),
+            other => panic!("expected missing run-dir error, got {other:?}"),
+        }
     }
 
     #[test]

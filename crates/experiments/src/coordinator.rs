@@ -31,6 +31,16 @@
 //! and exhausting it quarantines the shard and fails the run rather than
 //! retrying forever.
 //!
+//! Disk failures ride the same state machine (DESIGN.md §17): a worker
+//! whose journal seals under a storage fault exits [`EXIT_STORAGE`]
+//! without a done marker — *self-quarantining its shard* — and the
+//! coordinator's ordinary crash arm revokes the lease and respawns; the
+//! regrant clears any planted chaos, so the respawn resumes the journal
+//! on a clean disk. The coordinator's own filesystem operations (lock,
+//! leases, merged report) go through its [`Storage`] handle, retrying
+//! transient faults and surfacing persistent ones as typed
+//! [`CoordError::Storage`] errors.
+//!
 //! A killed *coordinator* is recovered by re-running it on the same run
 //! dir: finished shards are recognized by their `done` markers and never
 //! respawned; unfinished shards are re-granted (epoch bump) and resumed.
@@ -48,17 +58,19 @@
 //!
 //! [`Pipeline::canonical_report`]: crate::pipeline::Pipeline::canonical_report
 
-use crate::journal::{read_journal, CrashPoint, RunMeta, ShardInfo, JOURNAL_FILE};
+#![deny(clippy::unwrap_used)]
+
+use crate::journal::{read_journal_via, CrashPoint, RunMeta, ShardInfo, JOURNAL_FILE};
 use crate::lease::{
-    heartbeat_age, heartbeat_epoch, is_done, mark_done, shard_dir, write_heartbeat, Lease,
-    LeaseSabotage, LeaseState,
+    heartbeat_age_via, heartbeat_epoch_via, is_done, mark_done_via, shard_dir, write_heartbeat_via,
+    Lease, LeaseSabotage, LeaseState,
 };
 use crate::pipeline::{render_canonical_report, Pipeline};
+use crate::vfs::{ChaosVfs, Storage, StorageError};
 use hobbit::BlockMeasurement;
 use netsim::Block24;
 use obs::{Counter, Recorder};
 use std::collections::BTreeMap;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -79,6 +91,13 @@ pub const EXIT_KILLED: i32 = 9;
 /// Exit code for a worker that refuses its lease (revoked, quarantined, or
 /// unreadable): respawning cannot help, so the coordinator fails the run.
 pub const EXIT_REFUSED: i32 = 3;
+
+/// Exit code for a worker whose storage failed (sealed journal, unwritable
+/// heartbeat or done marker): the worker self-quarantines its shard by
+/// exiting *without* a done marker, and the coordinator's ordinary crash
+/// arm revokes the lease and respawns — the regrant clears any planted
+/// chaos, so the respawn resumes the journal on a clean disk.
+pub const EXIT_STORAGE: i32 = 5;
 
 /// A simulated coordinator kill (testkit harness). Only quiescent points
 /// are modeled — with workers in flight a dead coordinator leaves them
@@ -133,6 +152,13 @@ pub struct CoordinatorConfig {
     pub sabotage: Vec<(usize, LeaseSabotage)>,
     /// Simulated coordinator kill (testkit harness).
     pub crash: Option<CoordCrash>,
+    /// Storage the *coordinator's own* filesystem operations go through
+    /// (lock, leases, heartbeat reads, merge, report).
+    pub storage: Storage,
+    /// `--storage-chaos SEED[,RATE]`: plant a [`LeaseSabotage::Chaos`]
+    /// schedule (seed decorrelated per shard) in every first-incarnation
+    /// lease that `sabotage` doesn't already claim.
+    pub storage_chaos: Option<(u64, f64)>,
 }
 
 impl CoordinatorConfig {
@@ -155,6 +181,8 @@ impl CoordinatorConfig {
             respawn_budget: 3,
             sabotage: Vec::new(),
             crash: None,
+            storage: Storage::real(),
+            storage_chaos: None,
         }
     }
 
@@ -170,6 +198,7 @@ impl CoordinatorConfig {
         cfg.mda_lite = args.mda_lite;
         cfg.dynamics = args.dynamics;
         cfg.threads = args.threads;
+        cfg.storage_chaos = args.storage_chaos;
         cfg
     }
 }
@@ -215,8 +244,11 @@ impl CoordObs {
 /// Why a sharded run failed.
 #[derive(Debug)]
 pub enum CoordError {
-    /// Filesystem trouble in the run dir.
+    /// Filesystem trouble in the run dir (process-level I/O: spawn, wait).
     Io(std::io::Error),
+    /// A typed storage failure in the run dir (lock, lease, journal,
+    /// report) that survived the bounded-retry policy.
+    Storage(StorageError),
     /// Another coordinator holds the run dir.
     Locked {
         /// pid recorded in the lock file.
@@ -246,6 +278,7 @@ impl std::fmt::Display for CoordError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoordError::Io(e) => write!(f, "run-dir I/O: {e}"),
+            CoordError::Storage(e) => write!(f, "{e}"),
             CoordError::Locked { pid } => {
                 write!(f, "run dir is held by live coordinator pid {pid}")
             }
@@ -271,6 +304,12 @@ impl From<std::io::Error> for CoordError {
     }
 }
 
+impl From<StorageError> for CoordError {
+    fn from(e: StorageError) -> Self {
+        CoordError::Storage(e)
+    }
+}
+
 /// Removes the coordinator pid file when the coordinator leaves the run
 /// dir for *any* reason. A simulated kill also drops the lock: the real
 /// analogue is a lock naming a dead pid, which takeover treats as absent —
@@ -289,22 +328,15 @@ impl Drop for LockGuard {
 
 /// Take the coordinator lock: atomically create the pid file, or — when
 /// one exists — take over iff the recorded pid is no longer alive.
-fn acquire_lock(run_dir: &Path) -> Result<LockGuard, CoordError> {
-    std::fs::create_dir_all(run_dir)?;
+fn acquire_lock(storage: &Storage, run_dir: &Path) -> Result<LockGuard, CoordError> {
+    storage.create_dir_all(run_dir)?;
     let path = run_dir.join(LOCK_FILE);
     loop {
-        match std::fs::OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)
-        {
-            Ok(mut f) => {
-                writeln!(f, "{}", std::process::id())?;
-                f.sync_data()?;
-                return Ok(LockGuard { path });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                let pid: Option<u32> = std::fs::read_to_string(&path)
+        match storage.create_new(&path, format!("{}\n", std::process::id()).as_bytes()) {
+            Ok(()) => return Ok(LockGuard { path }),
+            Err(e) if e.io_kind == std::io::ErrorKind::AlreadyExists => {
+                let pid: Option<u32> = storage
+                    .read_to_string(&path)
                     .ok()
                     .and_then(|s| s.trim().parse().ok());
                 match pid {
@@ -314,7 +346,7 @@ fn acquire_lock(run_dir: &Path) -> Result<LockGuard, CoordError> {
                     _ => {
                         // Stale (dead pid or garbage): remove and retry the
                         // atomic create — a racing taker may still beat us.
-                        let _ = std::fs::remove_file(&path);
+                        let _ = storage.remove_file(&path);
                     }
                 }
             }
@@ -376,7 +408,9 @@ fn spawn_worker(
 pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String, CoordError> {
     assert!(cfg.shards >= 1, "a sharded run needs at least one shard");
     let obs = CoordObs::bind(rec);
-    let lock = acquire_lock(&cfg.run_dir)?;
+    let mut storage = cfg.storage.clone();
+    storage.observe(rec);
+    let lock = acquire_lock(&storage, &cfg.run_dir)?;
     obs.shards.add(cfg.shards as u64);
     let meta = RunMeta::new(cfg.seed, cfg.scale, cfg.faults)
         .with_mda_lite(cfg.mda_lite)
@@ -396,7 +430,7 @@ pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String
             obs.shards_done.inc();
             continue;
         }
-        let mut lease = match Lease::load(&cfg.run_dir, shard) {
+        let mut lease = match Lease::load_via(&storage, &cfg.run_dir, shard) {
             Ok(prev) if prev.state == LeaseState::Quarantined => {
                 return Err(CoordError::ShardQuarantined {
                     shard,
@@ -416,8 +450,16 @@ pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String
             .sabotage
             .iter()
             .find(|(s, _)| *s == shard)
-            .map(|(_, sab)| *sab);
-        lease.store(&cfg.run_dir)?;
+            .map(|(_, sab)| *sab)
+            .or_else(|| {
+                // `--storage-chaos`: every shard's first incarnation runs
+                // on a seeded fault schedule, decorrelated per shard.
+                cfg.storage_chaos.map(|(seed, rate)| LeaseSabotage::Chaos {
+                    seed: seed ^ (0x9E37_79B9 * (shard as u64 + 1)),
+                    rate,
+                })
+            });
+        lease.store_via(&storage, &cfg.run_dir)?;
         *slot = Some(lease);
         pending.push(shard);
     }
@@ -435,7 +477,7 @@ pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String
         let mut lease = leases[shard].take().expect("pending shard has a lease");
         let child = spawn_worker(&exe, &cfg.run_dir, shard, &obs)?;
         lease.holder_pid = child.id();
-        lease.store(&cfg.run_dir)?;
+        lease.store_via(&storage, &cfg.run_dir)?;
         reap.slots[shard] = Some(WorkerSlot {
             child,
             lease,
@@ -467,17 +509,19 @@ pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String
                     });
                 }
                 Some(_) => {
-                    // Simulated kill, panic, signal, or a zero exit that
-                    // never sealed its shard: all crashes.
+                    // Simulated kill, panic, signal, storage self-
+                    // quarantine (EXIT_STORAGE), or a zero exit that never
+                    // sealed its shard: all crashes — the revoke/respawn
+                    // arm below handles every one of them.
                     obs.worker_crashes.inc();
                     true
                 }
                 None => {
                     // Still running — judge the heartbeat. Beats of older
                     // epochs belong to fenced incarnations and don't count.
-                    let fresh_epoch = heartbeat_epoch(&sd) == Some(slot.lease.epoch);
+                    let fresh_epoch = heartbeat_epoch_via(&storage, &sd) == Some(slot.lease.epoch);
                     let age = if fresh_epoch {
-                        heartbeat_age(&sd)
+                        heartbeat_age_via(&storage, &sd)
                     } else {
                         None
                     };
@@ -501,18 +545,18 @@ pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String
             if slot.respawns >= cfg.respawn_budget {
                 let mut q = slot.lease.clone();
                 q.state = LeaseState::Quarantined;
-                q.store(&cfg.run_dir)?;
+                q.store_via(&storage, &cfg.run_dir)?;
                 return Err(CoordError::ShardQuarantined {
                     shard,
                     respawns: slot.respawns,
                 });
             }
             let mut lease = slot.lease.regrant();
-            lease.store(&cfg.run_dir)?;
+            lease.store_via(&storage, &cfg.run_dir)?;
             obs.respawns.inc();
             let child = spawn_worker(&exe, &cfg.run_dir, shard, &obs)?;
             lease.holder_pid = child.id();
-            lease.store(&cfg.run_dir)?;
+            lease.store_via(&storage, &cfg.run_dir)?;
             let respawns = slot.respawns + 1;
             reap.slots[shard] = Some(WorkerSlot {
                 child,
@@ -527,8 +571,13 @@ pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String
         return Err(CoordError::SimulatedCrash(CoordCrash::BeforeMerge));
     }
 
-    let report = merge_run(&cfg.run_dir, cfg.shards)?;
-    std::fs::write(cfg.run_dir.join(REPORT_FILE), &report)?;
+    let report = merge_run_via(&storage, &cfg.run_dir, cfg.shards)?;
+    // The canonical report is published like a lease: temp + fsync +
+    // rename, retried as a unit, so a reader never sees a prefix.
+    let tmp = cfg
+        .run_dir
+        .join(format!(".{REPORT_FILE}.tmp.{}", std::process::id()));
+    storage.atomic_write(&tmp, &cfg.run_dir.join(REPORT_FILE), report.as_bytes())?;
     obs.merges.inc();
     drop(lock);
     Ok(report)
@@ -538,6 +587,15 @@ pub fn run_sharded(cfg: &CoordinatorConfig, rec: &dyn Recorder) -> Result<String
 /// canonical report, cross-checking that every journal describes the same
 /// world. Pure read: no probing, no journal writes.
 pub fn merge_run(run_dir: &Path, shards: usize) -> Result<String, CoordError> {
+    merge_run_via(&Storage::real(), run_dir, shards)
+}
+
+/// [`merge_run`] through an explicit [`Storage`] handle.
+pub fn merge_run_via(
+    storage: &Storage,
+    run_dir: &Path,
+    shards: usize,
+) -> Result<String, CoordError> {
     let mut meta: Option<RunMeta> = None;
     let mut info: Option<ShardInfo> = None;
     // BTreeMap keys the dedup and yields block-address order — exactly the
@@ -551,7 +609,7 @@ pub fn merge_run(run_dir: &Path, shards: usize) -> Result<String, CoordError> {
                 "shard {shard} has no done marker — the run is not finished"
             )));
         }
-        let replay = read_journal(&sd.join(JOURNAL_FILE))?;
+        let replay = read_journal_via(storage, &sd.join(JOURNAL_FILE))?;
         let m = replay
             .meta
             .ok_or_else(|| CoordError::Merge(format!("shard {shard} journal has no meta")))?;
@@ -660,10 +718,21 @@ pub fn worker_main(run_dir: &Path, shard: usize) -> i32 {
         eprintln!("shard {shard}: lease is {:?}, refusing to run", lease.state);
         return EXIT_REFUSED;
     }
+    // Chaos sabotage puts the worker's *entire* run-dir footprint —
+    // journal, heartbeats, done marker — on the seeded fault schedule.
+    let storage = match lease.sabotage {
+        Some(LeaseSabotage::Chaos { seed, rate }) => {
+            Storage::with_chaos(ChaosVfs::seeded(seed, rate))
+        }
+        _ => Storage::real(),
+    };
     let sd = shard_dir(run_dir, shard);
-    if let Err(e) = write_heartbeat(&sd, lease.epoch) {
+    if let Err(e) = write_heartbeat_via(&storage, &sd, lease.epoch) {
+        // Unlike a bad lease, storage trouble is not a configuration bug:
+        // self-quarantine (no done marker) and let the coordinator's
+        // crash arm respawn this shard on a clean disk.
         eprintln!("shard {shard}: cannot heartbeat: {e}");
-        return EXIT_REFUSED;
+        return EXIT_STORAGE;
     }
 
     // Stall sabotage: one heartbeat, then wedge. The coordinator's
@@ -678,12 +747,13 @@ pub fn worker_main(run_dir: &Path, shard: usize) -> i32 {
     let stop = Arc::new(AtomicBool::new(false));
     let beat = {
         let stop = Arc::clone(&stop);
+        let storage = storage.clone();
         let sd = sd.clone();
         let epoch = lease.epoch;
         let interval = Duration::from_millis(lease.heartbeat_ms.max(10));
         std::thread::spawn(move || {
             while !stop.load(Ordering::Acquire) {
-                let _ = write_heartbeat(&sd, epoch);
+                let _ = write_heartbeat_via(&storage, &sd, epoch);
                 std::thread::sleep(interval);
             }
         })
@@ -694,7 +764,8 @@ pub fn worker_main(run_dir: &Path, shard: usize) -> i32 {
         .scale(lease.scale)
         .threads(lease.threads as usize)
         .mda_lite(lease.mda_lite)
-        .shard(shard, lease.shards as usize);
+        .shard(shard, lease.shards as usize)
+        .storage(storage.clone());
     if let Some((loss, rate)) = lease.faults() {
         builder = builder.faults(loss, rate);
     }
@@ -712,7 +783,19 @@ pub fn worker_main(run_dir: &Path, shard: usize) -> i32 {
             torn,
         });
     }
-    let pipeline = builder.run();
+    let pipeline = match builder.try_run() {
+        Ok(p) => p,
+        Err(e) => {
+            stop.store(true, Ordering::Release);
+            let _ = beat.join();
+            // The journal sealed (or could not even open): the shard's
+            // disk state is a valid prefix, nothing was acknowledged that
+            // isn't journaled. Self-quarantine by exiting without a done
+            // marker; the coordinator revokes and respawns.
+            eprintln!("shard {shard}: storage failure, self-quarantining: {e}");
+            return EXIT_STORAGE;
+        }
+    };
 
     stop.store(true, Ordering::Release);
     let _ = beat.join();
@@ -722,17 +805,19 @@ pub fn worker_main(run_dir: &Path, shard: usize) -> i32 {
         // "process" must die with it, leaving no done marker.
         return EXIT_KILLED;
     }
-    if let Err(e) = mark_done(&sd) {
+    if let Err(e) = mark_done_via(&storage, &sd) {
         eprintln!("shard {shard}: cannot write done marker: {e}");
-        return 1;
+        return EXIT_STORAGE;
     }
     0
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::journal::{Entry, JournalWriter};
+    use crate::lease::mark_done;
     use obs::NullRecorder;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -749,22 +834,23 @@ mod tests {
     fn lock_refuses_a_live_holder_and_takes_over_a_dead_one() {
         let dir = tmpdir("lock");
         std::fs::create_dir_all(&dir).unwrap();
+        let storage = Storage::real();
         // pid 1 is always alive on Linux.
         std::fs::write(dir.join(LOCK_FILE), "1\n").unwrap();
-        match acquire_lock(&dir) {
+        match acquire_lock(&storage, &dir) {
             Err(CoordError::Locked { pid: 1 }) => {}
             other => panic!("expected Locked, got {other:?}"),
         }
         // A dead (impossible) pid is stale: takeover succeeds.
         std::fs::write(dir.join(LOCK_FILE), "4194305\n").unwrap();
-        let guard = acquire_lock(&dir).unwrap();
+        let guard = acquire_lock(&storage, &dir).unwrap();
         let recorded = std::fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
         assert_eq!(recorded.trim(), std::process::id().to_string());
         drop(guard);
         assert!(!dir.join(LOCK_FILE).exists(), "guard removes the lock");
         // Garbage content is also stale.
         std::fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
-        let _guard = acquire_lock(&dir).unwrap();
+        let _guard = acquire_lock(&storage, &dir).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -844,6 +930,33 @@ mod tests {
         assert!(Lease::path(&dir, 0).exists());
         assert!(Lease::path(&dir, 1).exists());
         assert!(!dir.join(LOCK_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn storage_chaos_config_plants_decorrelated_chaos_leases() {
+        let dir = tmpdir("chaos-plant");
+        let mut cfg = CoordinatorConfig::new(&dir, 3);
+        cfg.seed = 42;
+        cfg.scale = 0.01;
+        cfg.storage_chaos = Some((0x57A6, 0.02));
+        // Explicit per-shard sabotage wins over the blanket chaos plan.
+        cfg.sabotage = vec![(1, LeaseSabotage::Stall)];
+        cfg.crash = Some(CoordCrash::BeforeSpawn);
+        let _ = run_sharded(&cfg, &NullRecorder);
+        let l0 = Lease::load(&dir, 0).unwrap();
+        let l1 = Lease::load(&dir, 1).unwrap();
+        let l2 = Lease::load(&dir, 2).unwrap();
+        let (
+            Some(LeaseSabotage::Chaos { seed: s0, rate }),
+            Some(LeaseSabotage::Chaos { seed: s2, .. }),
+        ) = (l0.sabotage, l2.sabotage)
+        else {
+            panic!("chaos not planted: {:?} {:?}", l0.sabotage, l2.sabotage);
+        };
+        assert_eq!(rate, 0.02);
+        assert_ne!(s0, s2, "per-shard schedules are decorrelated");
+        assert_eq!(l1.sabotage, Some(LeaseSabotage::Stall));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

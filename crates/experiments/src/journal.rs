@@ -32,12 +32,30 @@
 //! reports it via [`JournalReplay::truncated`], and
 //! [`JournalWriter::resume`] physically truncates the file back to the
 //! valid prefix before appending again.
+//!
+//! # Disk-failure tolerance (DESIGN.md §17)
+//!
+//! Every filesystem operation goes through the [`crate::vfs::Storage`]
+//! handle, so the writer survives what real disks do: transient write
+//! errors retry under the bounded capped-exponential policy (truncating
+//! any short-written prefix back to the pre-append length first, so a
+//! failed attempt never leaves a torn frame *mid-file*); a lying fsync
+//! is caught by read-back verification — every sync re-reads the
+//! authoritative file length, and a length that went *backwards* means
+//! the device dropped acknowledged records, which seals the journal with
+//! a Corruption error (the surviving prefix is valid and resume simply
+//! re-measures the lost blocks); persistent faults (ENOSPC) and
+//! exhausted retries likewise **seal** the journal — every later append
+//! and flush returns the sealing [`StorageError`] so the worker
+//! self-quarantines its shard instead of panicking or acknowledging
+//! unjournaled work.
 
+#![deny(clippy::unwrap_used)]
+
+use crate::vfs::{Storage, StorageError, StorageErrorKind, VfsFile};
 use hobbit::BlockMeasurement;
 use netsim::Block24;
 use serde::{Deserialize, Serialize};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Version tag carried by every journal's meta record.
@@ -239,9 +257,9 @@ pub struct JournalReplay {
 }
 
 /// Encode one record frame (header + JSON payload).
-fn encode_entry(entry: &Entry) -> std::io::Result<Vec<u8>> {
+fn encode_entry(entry: &Entry, path: &Path) -> Result<Vec<u8>, StorageError> {
     let payload = serde_json::to_string(entry)
-        .map_err(|e| std::io::Error::other(format!("journal encode: {e:?}")))?;
+        .map_err(|e| StorageError::corruption("journal.encode", path, format!("{e:?}")))?;
     let payload = payload.into_bytes();
     let mut frame = Vec::with_capacity(8 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -250,26 +268,37 @@ fn encode_entry(entry: &Entry) -> std::io::Result<Vec<u8>> {
     Ok(frame)
 }
 
+/// Read a little-endian u32 at `pos` (caller has bounds-checked).
+fn read_u32(bytes: &[u8], pos: usize) -> u32 {
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[pos..pos + 4]);
+    u32::from_le_bytes(word)
+}
+
 /// Replay a journal file. Missing file ⇒ an empty replay (fresh run).
 /// A trailing partial or CRC-failing record is dropped, not an error.
 pub fn read_journal(path: &Path) -> std::io::Result<JournalReplay> {
+    read_journal_via(&Storage::real(), path).map_err(std::io::Error::other)
+}
+
+/// [`read_journal`] through an explicit [`Storage`] handle: transient
+/// read faults retry under its policy; only persistent failures (other
+/// than a missing file) surface as errors.
+pub fn read_journal_via(storage: &Storage, path: &Path) -> Result<JournalReplay, StorageError> {
     let mut replay = JournalReplay::default();
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(replay),
+    let bytes = match storage.read(path) {
+        Ok(b) => b,
+        Err(e) if e.is_not_found() => return Ok(replay),
         Err(e) => return Err(e),
-    }
+    };
     let mut pos = 0usize;
     loop {
         if pos + 8 > bytes.len() {
             replay.truncated |= pos != bytes.len();
             break;
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let len = read_u32(&bytes, pos) as usize;
+        let crc = read_u32(&bytes, pos + 4);
         if pos + 8 + len > bytes.len() {
             replay.truncated = true;
             break;
@@ -317,7 +346,8 @@ pub fn read_journal(path: &Path) -> std::io::Result<JournalReplay> {
 /// scheduling-dependent) only affects record order, never content.
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
+    storage: Storage,
     path: PathBuf,
     /// Appends between fsyncs (1 = sync every record).
     pub fsync_batch: u64,
@@ -325,37 +355,43 @@ pub struct JournalWriter {
     /// File length covered by the last fsync — what a kill is guaranteed
     /// to preserve.
     synced_len: u64,
-    len: u64,
     appends: u64,
     block_appends: u64,
     fsyncs: u64,
     crash: Option<CrashPoint>,
     crashed: bool,
+    sealed: Option<StorageError>,
 }
 
 impl JournalWriter {
     /// Start a fresh journal in `run_dir` (created if missing), writing
     /// the meta record immediately.
-    pub fn create(run_dir: &Path, meta: &RunMeta) -> std::io::Result<Self> {
-        std::fs::create_dir_all(run_dir)?;
+    pub fn create(run_dir: &Path, meta: &RunMeta) -> Result<Self, StorageError> {
+        Self::create_via(Storage::real(), run_dir, meta)
+    }
+
+    /// [`JournalWriter::create`] through an explicit [`Storage`] handle.
+    pub fn create_via(
+        storage: Storage,
+        run_dir: &Path,
+        meta: &RunMeta,
+    ) -> Result<Self, StorageError> {
+        storage.create_dir_all(run_dir)?;
         let path = run_dir.join(JOURNAL_FILE);
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
+        let file = storage.open_write(&path, true)?;
         let mut w = JournalWriter {
             file,
+            storage,
             path,
             fsync_batch: DEFAULT_FSYNC_BATCH,
             since_sync: 0,
             synced_len: 0,
-            len: 0,
             appends: 0,
             block_appends: 0,
             fsyncs: 0,
             crash: None,
             crashed: false,
+            sealed: None,
         };
         w.append(&Entry::Meta(meta.clone()))?;
         w.flush()?;
@@ -365,25 +401,36 @@ impl JournalWriter {
     /// Reopen an existing journal for appending: replay it, drop any torn
     /// tail (physically truncating the file to the valid prefix), and
     /// return the writer positioned after the last valid record.
-    pub fn resume(run_dir: &Path) -> std::io::Result<(Self, JournalReplay)> {
+    pub fn resume(run_dir: &Path) -> Result<(Self, JournalReplay), StorageError> {
+        Self::resume_via(Storage::real(), run_dir)
+    }
+
+    /// [`JournalWriter::resume`] through an explicit [`Storage`] handle.
+    pub fn resume_via(
+        storage: Storage,
+        run_dir: &Path,
+    ) -> Result<(Self, JournalReplay), StorageError> {
         let path = run_dir.join(JOURNAL_FILE);
-        let replay = read_journal(&path)?;
-        let mut file = OpenOptions::new().write(true).open(&path)?;
-        file.set_len(replay.valid_len)?;
-        file.seek(SeekFrom::End(0))?;
-        file.sync_data()?;
+        let replay = read_journal_via(&storage, &path)?;
+        let mut file = storage.open_write(&path, false)?;
+        let truncate_err =
+            |e: &std::io::Error| StorageError::classify("journal.resume", &path, e, 0);
+        file.truncate(replay.valid_len)
+            .map_err(|e| truncate_err(&e))?;
+        file.sync().map_err(|e| truncate_err(&e))?;
         let w = JournalWriter {
             file,
+            storage,
             path,
             fsync_batch: DEFAULT_FSYNC_BATCH,
             since_sync: 0,
             synced_len: replay.valid_len,
-            len: replay.valid_len,
             appends: 0,
             block_appends: 0,
             fsyncs: 1,
             crash: None,
             crashed: false,
+            sealed: None,
         };
         Ok((w, replay))
     }
@@ -397,6 +444,14 @@ impl JournalWriter {
     /// flush is a silent no-op — the "process" is dead.
     pub fn crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// The sealing error, if a persistent fault (or an exhausted retry
+    /// budget) has put the journal in its degraded mode. A sealed journal
+    /// acknowledges nothing: every later append and flush returns this
+    /// error, so the worker self-quarantines its shard.
+    pub fn sealed(&self) -> Option<&StorageError> {
+        self.sealed.as_ref()
     }
 
     /// Path of the journal file.
@@ -419,30 +474,75 @@ impl JournalWriter {
         self.fsyncs
     }
 
+    /// Seal the journal: record the degraded-mode entry once, remember the
+    /// error, and hand it back for propagation.
+    fn seal(&mut self, err: StorageError) -> StorageError {
+        if self.sealed.is_none() {
+            self.storage.obs().quarantined.inc();
+            self.sealed = Some(err.clone());
+        }
+        err
+    }
+
     /// Simulate the armed kill: everything past the last fsync is lost
     /// (the page cache died with the process), and a torn crash leaves a
     /// partial frame of `next` at the tail.
-    fn simulate_crash(&mut self, torn_frame: Option<&[u8]>) -> std::io::Result<()> {
+    fn simulate_crash(&mut self, torn_frame: Option<&[u8]>) -> Result<(), StorageError> {
         self.crashed = true;
-        self.file.set_len(self.synced_len)?;
-        self.file.seek(SeekFrom::Start(self.synced_len))?;
+        let fail = |e: &std::io::Error| StorageError::classify("journal.crash", &self.path, e, 0);
+        self.file.truncate(self.synced_len).map_err(|e| fail(&e))?;
         if let Some(frame) = torn_frame {
             // Keep the header and roughly half the payload — a frame whose
             // declared length exceeds the bytes on disk.
             let keep = (8 + (frame.len() - 8) / 2).min(frame.len().saturating_sub(1));
-            self.file.write_all(&frame[..keep])?;
+            self.file.append(&frame[..keep]).map_err(|e| fail(&e))?;
         }
-        self.file.sync_data()?;
+        self.file.sync().map_err(|e| fail(&e))?;
         Ok(())
     }
 
+    /// Write one frame under the bounded-retry policy. The base length is
+    /// re-read from the file before every attempt (authoritative — after a
+    /// lying fsync the writer's own bookkeeping is stale), and a failed
+    /// attempt truncates any short-written prefix back to it, so neither a
+    /// retry nor a sealed journal ever leaves a torn frame mid-file.
+    fn write_frame(&mut self, frame: &[u8]) -> Result<(), StorageError> {
+        let mut attempt = 0u32;
+        loop {
+            let res = self.file.len().and_then(|base| {
+                self.file.append(frame).inspect_err(|_| {
+                    let _ = self.file.truncate(base);
+                })
+            });
+            let e = match res {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+            let se = StorageError::classify("journal.append", &self.path, &e, attempt);
+            self.storage.obs().faults_seen.inc();
+            if se.kind == StorageErrorKind::Transient
+                && attempt + 1 < self.storage.retry.attempts.max(1)
+            {
+                self.storage.obs().retried.inc();
+                self.storage.backoff(attempt);
+                attempt += 1;
+            } else {
+                return Err(se);
+            }
+        }
+    }
+
     /// Append one record, honoring the fsync batch and any armed crash
-    /// point. After a (simulated) crash this is a silent no-op.
-    pub fn append(&mut self, entry: &Entry) -> std::io::Result<()> {
+    /// point. After a (simulated) crash this is a silent no-op; after a
+    /// seal it returns the sealing error.
+    pub fn append(&mut self, entry: &Entry) -> Result<(), StorageError> {
         if self.crashed {
             return Ok(());
         }
-        let frame = encode_entry(entry)?;
+        if let Some(e) = &self.sealed {
+            return Err(e.clone());
+        }
+        let frame = encode_entry(entry, &self.path)?;
         let is_block = matches!(entry, Entry::Block { .. });
         if is_block {
             if let Some(cp) = self.crash {
@@ -451,8 +551,9 @@ impl JournalWriter {
                 }
             }
         }
-        self.file.write_all(&frame)?;
-        self.len += frame.len() as u64;
+        if let Err(se) = self.write_frame(&frame) {
+            return Err(self.seal(se));
+        }
         self.appends += 1;
         if is_block {
             self.block_appends += 1;
@@ -464,26 +565,74 @@ impl JournalWriter {
         Ok(())
     }
 
-    /// Force an fsync of everything appended so far (no-op after a crash).
-    pub fn flush(&mut self) -> std::io::Result<()> {
-        if self.crashed || self.since_sync == 0 {
+    /// Force an fsync of everything appended so far (no-op after a crash;
+    /// the sealing error after a seal — a sealed journal never lets its
+    /// caller believe unjournaled work is durable).
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        if self.crashed {
+            return Ok(());
+        }
+        if let Some(e) = &self.sealed {
+            return Err(e.clone());
+        }
+        if self.since_sync == 0 {
             return Ok(());
         }
         self.sync()
     }
 
-    fn sync(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()?;
-        self.synced_len = self.len;
-        self.since_sync = 0;
-        self.fsyncs += 1;
-        Ok(())
+    fn sync(&mut self) -> Result<(), StorageError> {
+        let mut attempt = 0u32;
+        loop {
+            let res = self.file.len().and_then(|before| {
+                self.file.sync()?;
+                Ok((before, self.file.len()?))
+            });
+            let e = match res {
+                Ok((before, after)) => {
+                    // Read-back verification: a device that acknowledges
+                    // the sync but shrinks the file lied — the batch the
+                    // caller was told is durable is gone. Retrying cannot
+                    // bring it back, so seal: an honest typed failure now
+                    // beats a done marker over a journal with a hole.
+                    if after < before {
+                        self.storage.obs().faults_seen.inc();
+                        return Err(self.seal(StorageError::corruption(
+                            "journal.sync",
+                            &self.path,
+                            format!(
+                                "fsync acknowledged {before} bytes but only {after} \
+                                 survive: the device dropped the batch"
+                            ),
+                        )));
+                    }
+                    self.synced_len = after;
+                    self.since_sync = 0;
+                    self.fsyncs += 1;
+                    return Ok(());
+                }
+                Err(e) => e,
+            };
+            let se = StorageError::classify("journal.sync", &self.path, &e, attempt);
+            self.storage.obs().faults_seen.inc();
+            if se.kind == StorageErrorKind::Transient
+                && attempt + 1 < self.storage.retry.attempts.max(1)
+            {
+                self.storage.obs().retried.inc();
+                self.storage.backoff(attempt);
+                attempt += 1;
+            } else {
+                return Err(self.seal(se));
+            }
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::vfs::{ChaosVfs, FaultKind, OpKind};
     use hobbit::Classification;
     use netsim::Addr;
 
@@ -722,5 +871,127 @@ mod tests {
         assert!(r.meta.is_none());
         assert_eq!(r.entries, 0);
         assert!(!r.truncated);
+    }
+
+    #[test]
+    fn short_write_retries_without_leaving_a_torn_frame() {
+        let dir = tmpdir("chaos-short");
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = RunMeta::new(7, 0.01, None);
+        // The meta append is write #0; block 0 short-writes at #1 and
+        // plain-fails at #2, succeeding on the third attempt.
+        let vfs = ChaosVfs::scripted(vec![
+            (OpKind::Write, 1, FaultKind::ShortWrite),
+            (OpKind::Write, 2, FaultKind::Eio),
+        ]);
+        let mut w = JournalWriter::create_via(Storage::with_chaos(vfs), &dir, &meta).unwrap();
+        w.fsync_batch = 1;
+        w.append(&Entry::Block {
+            index: 0,
+            measurement: measurement(0x0A_0100, 4),
+        })
+        .unwrap();
+        w.flush().unwrap();
+        assert!(w.sealed().is_none());
+        let r = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(r.blocks.len(), 1);
+        assert!(!r.truncated, "retry truncated the short-written prefix");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_seals_the_journal_with_a_persistent_error() {
+        let dir = tmpdir("chaos-full");
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = RunMeta::new(7, 0.01, None);
+        let vfs = ChaosVfs::scripted(vec![(OpKind::Write, 2, FaultKind::Enospc)]);
+        let mut w = JournalWriter::create_via(Storage::with_chaos(vfs), &dir, &meta).unwrap();
+        w.fsync_batch = 1;
+        w.append(&Entry::Block {
+            index: 0,
+            measurement: measurement(0x0A_0100, 4),
+        })
+        .unwrap();
+        let err = w
+            .append(&Entry::Block {
+                index: 1,
+                measurement: measurement(0x0A_0101, 4),
+            })
+            .unwrap_err();
+        assert_eq!(err.kind, StorageErrorKind::Persistent);
+        assert!(w.sealed().is_some(), "persistent fault seals the journal");
+        // Every later append and flush returns the sealing error.
+        assert!(w
+            .append(&Entry::Block {
+                index: 2,
+                measurement: measurement(0x0A_0102, 4),
+            })
+            .is_err());
+        assert!(w.flush().is_err());
+        // The journal on disk is still a valid prefix.
+        let r = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(r.blocks.len(), 1);
+        assert!(!r.truncated);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_lie_is_detected_by_read_back_and_seals_the_journal() {
+        for fsync_batch in [1u64, 8] {
+            let dir = tmpdir(&format!("chaos-lie-{fsync_batch}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let meta = RunMeta::new(7, 0.01, None);
+            // Sync #1 is the first post-create batch sync; it lies. The
+            // writer must notice the durable length going backwards and
+            // seal rather than acknowledge the vanished batch.
+            let vfs = ChaosVfs::scripted(vec![(OpKind::Sync, 1, FaultKind::FsyncLie)]);
+            let mut w = JournalWriter::create_via(Storage::with_chaos(vfs), &dir, &meta).unwrap();
+            w.fsync_batch = fsync_batch;
+            let mut first_err = None;
+            for i in 0..(2 * fsync_batch + 1) {
+                if let Err(e) = w.append(&Entry::Block {
+                    index: i,
+                    measurement: measurement(0x0A_0100 + i as u32, 4),
+                }) {
+                    first_err = Some((i, e));
+                    break;
+                }
+            }
+            let (at, e) = first_err.unwrap_or_else(|| {
+                panic!("batch={fsync_batch}: the lie must surface as an append error")
+            });
+            assert_eq!(
+                at,
+                fsync_batch - 1,
+                "batch={fsync_batch}: detected on the append that triggered the lying sync"
+            );
+            assert_eq!(
+                e.kind,
+                StorageErrorKind::Corruption,
+                "batch={fsync_batch}: {e}"
+            );
+            assert!(
+                w.sealed().is_some(),
+                "batch={fsync_batch}: lie seals the journal"
+            );
+            // Every later append and flush returns the sealing error —
+            // nothing ever pretends the dropped batch was durable.
+            assert!(w.append(&Entry::Shutdown).is_err());
+            assert!(w.flush().is_err());
+            // The surviving prefix is valid (the lie rolled the file back
+            // to the last honest sync: just the meta record) and resume
+            // on a healthy disk re-appends cleanly.
+            let r = read_journal(&dir.join(JOURNAL_FILE)).unwrap();
+            assert!(!r.truncated, "batch={fsync_batch}");
+            assert_eq!(r.blocks.len(), 0, "batch={fsync_batch}");
+            let (mut w2, replay) = JournalWriter::resume(&dir).unwrap();
+            assert_eq!(
+                replay.valid_len,
+                std::fs::metadata(w2.path()).unwrap().len()
+            );
+            w2.append(&Entry::Shutdown).unwrap();
+            w2.flush().unwrap();
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 }

@@ -18,18 +18,27 @@
 //! in state [`LeaseState::Revoked`] or [`LeaseState::Quarantined`] refuses
 //! to run at all.
 //!
+//! Every write goes through [`crate::vfs::Storage`], so a torn rename or
+//! a transient write error is retried as a whole temp-write-fsync-rename
+//! sequence — the atomicity guarantee holds even on a faulting disk
+//! (DESIGN.md §17).
+//!
 //! # Liveness
 //!
 //! A worker heartbeats by atomically rewriting `<shard dir>/heartbeat`
 //! (the file's mtime is the liveness signal, its content the fencing
 //! epoch). Completion is a separate `done` marker written after the final
 //! journal flush — the coordinator never has to guess whether an exited
-//! worker finished.
+//! worker finished. Staleness math is skew-bounded: a heartbeat whose
+//! mtime sits in the *future* (backwards clock jump, lying filesystem
+//! stamp) counts the skew magnitude as age instead of reading as
+//! permanently fresh.
+
+#![deny(clippy::unwrap_used)]
 
 use crate::journal::RunMeta;
+use crate::vfs::{Storage, StorageError};
 use serde::{Deserialize, Serialize};
-use std::fs::File;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
 
@@ -83,6 +92,16 @@ pub enum LeaseSabotage {
     /// Write one heartbeat, then wedge without probing until killed — the
     /// missed-heartbeat revocation path.
     Stall,
+    /// Run the worker's journal on a seeded `ChaosVfs` fault schedule.
+    /// A worker whose journal seals under the schedule self-quarantines
+    /// (exits [`crate::coordinator::EXIT_STORAGE`] without a done marker);
+    /// revocation clears the sabotage, so the respawn runs on a clean disk.
+    Chaos {
+        /// Chaos schedule seed.
+        seed: u64,
+        /// Per-operation fault probability.
+        rate: f64,
+    },
 }
 
 /// One shard lease: assignment, fencing epoch, and the full worker
@@ -180,39 +199,58 @@ impl Lease {
     /// Atomically publish the lease: write a temp file beside the target,
     /// fsync it, and rename it into place. A concurrent reader sees the
     /// previous lease or this one, never a prefix.
-    pub fn store(&self, run_dir: &Path) -> std::io::Result<()> {
+    pub fn store(&self, run_dir: &Path) -> Result<(), StorageError> {
+        self.store_via(&Storage::real(), run_dir)
+    }
+
+    /// [`Lease::store`] through an explicit [`Storage`] handle. The whole
+    /// temp-write-fsync-rename sequence retries as a unit on transient
+    /// faults, so even a torn rename leaves the target either old or new.
+    pub fn store_via(&self, storage: &Storage, run_dir: &Path) -> Result<(), StorageError> {
         let dir = run_dir.join(LEASES_DIR);
-        std::fs::create_dir_all(&dir)?;
+        storage.create_dir_all(&dir)?;
         let target = Lease::path(run_dir, self.shard as usize);
         let tmp = dir.join(format!(
             ".shard-{}.lease.tmp.{}",
             self.shard,
             std::process::id()
         ));
-        let payload =
-            serde_json::to_string(self).map_err(|e| std::io::Error::other(format!("{e:?}")))?;
-        let mut f = File::create(&tmp)?;
-        f.write_all(payload.as_bytes())?;
-        f.sync_data()?;
-        std::fs::rename(&tmp, &target)
+        let payload = serde_json::to_string(self)
+            .map_err(|e| StorageError::corruption("lease.encode", &target, format!("{e:?}")))?;
+        storage.atomic_write(&tmp, &target, payload.as_bytes())
     }
 
     /// Load and validate a shard's lease file.
-    pub fn load(run_dir: &Path, shard: usize) -> std::io::Result<Lease> {
-        let text = std::fs::read_to_string(Lease::path(run_dir, shard))?;
+    pub fn load(run_dir: &Path, shard: usize) -> Result<Lease, StorageError> {
+        Lease::load_via(&Storage::real(), run_dir, shard)
+    }
+
+    /// [`Lease::load`] through an explicit [`Storage`] handle.
+    pub fn load_via(
+        storage: &Storage,
+        run_dir: &Path,
+        shard: usize,
+    ) -> Result<Lease, StorageError> {
+        let path = Lease::path(run_dir, shard);
+        let text = storage.read_to_string(&path)?;
         let lease: Lease = serde_json::from_str(&text)
-            .map_err(|e| std::io::Error::other(format!("lease decode: {e:?}")))?;
+            .map_err(|e| StorageError::corruption("lease.load", &path, format!("{e:?}")))?;
         if lease.schema != LEASE_SCHEMA {
-            return Err(std::io::Error::other(format!(
-                "lease written by an incompatible version: {:?} (want {LEASE_SCHEMA:?})",
-                lease.schema
-            )));
+            return Err(StorageError::corruption(
+                "lease.load",
+                &path,
+                format!(
+                    "lease written by an incompatible version: {:?} (want {LEASE_SCHEMA:?})",
+                    lease.schema
+                ),
+            ));
         }
         if lease.shard != shard as u64 {
-            return Err(std::io::Error::other(format!(
-                "lease file for shard {shard} names shard {}",
-                lease.shard
-            )));
+            return Err(StorageError::corruption(
+                "lease.load",
+                &path,
+                format!("lease file for shard {shard} names shard {}", lease.shard),
+            ));
         }
         Ok(lease)
     }
@@ -240,34 +278,70 @@ pub fn shard_dir(run_dir: &Path, shard: usize) -> PathBuf {
 /// Atomically rewrite the shard's heartbeat file. The rename refreshes the
 /// mtime (the liveness signal the coordinator polls) and the content
 /// carries the fencing epoch and pid of the writer.
-pub fn write_heartbeat(shard_dir: &Path, epoch: u32) -> std::io::Result<()> {
-    std::fs::create_dir_all(shard_dir)?;
+pub fn write_heartbeat(shard_dir: &Path, epoch: u32) -> Result<(), StorageError> {
+    write_heartbeat_via(&Storage::real(), shard_dir, epoch)
+}
+
+/// [`write_heartbeat`] through an explicit [`Storage`] handle.
+pub fn write_heartbeat_via(
+    storage: &Storage,
+    shard_dir: &Path,
+    epoch: u32,
+) -> Result<(), StorageError> {
+    storage.create_dir_all(shard_dir)?;
     let tmp = shard_dir.join(format!(".{HEARTBEAT_FILE}.tmp.{}", std::process::id()));
-    std::fs::write(&tmp, format!("{epoch} {}\n", std::process::id()))?;
-    std::fs::rename(&tmp, shard_dir.join(HEARTBEAT_FILE))
+    storage.atomic_write(
+        &tmp,
+        &shard_dir.join(HEARTBEAT_FILE),
+        format!("{epoch} {}\n", std::process::id()).as_bytes(),
+    )
 }
 
 /// Age of the shard's last heartbeat, `None` when no heartbeat exists (a
 /// worker that never got as far as its first beat).
 pub fn heartbeat_age(shard_dir: &Path) -> Option<Duration> {
-    let meta = std::fs::metadata(shard_dir.join(HEARTBEAT_FILE)).ok()?;
-    let mtime = meta.modified().ok()?;
-    SystemTime::now().duration_since(mtime).ok()
+    heartbeat_age_via(&Storage::real(), shard_dir)
+}
+
+/// [`heartbeat_age`] through an explicit [`Storage`] handle.
+pub fn heartbeat_age_via(storage: &Storage, shard_dir: &Path) -> Option<Duration> {
+    let mtime = storage.mtime(&shard_dir.join(HEARTBEAT_FILE)).ok()?;
+    match SystemTime::now().duration_since(mtime) {
+        Ok(age) => Some(age),
+        // The beat's mtime sits in our future: a backwards clock jump or
+        // a skewed filesystem stamp. Swallowing the error (the old
+        // `.ok()?`) made a dead worker's heartbeat read as permanently
+        // fresh — the coordinator could never declare it stale. Counting
+        // the skew magnitude as age bounds it instead: a small jump still
+        // reads fresh, a large one reads stale and triggers revocation.
+        Err(e) => Some(e.duration()),
+    }
 }
 
 /// The fencing epoch of the shard's last heartbeat.
 pub fn heartbeat_epoch(shard_dir: &Path) -> Option<u32> {
-    let text = std::fs::read_to_string(shard_dir.join(HEARTBEAT_FILE)).ok()?;
+    heartbeat_epoch_via(&Storage::real(), shard_dir)
+}
+
+/// [`heartbeat_epoch`] through an explicit [`Storage`] handle.
+pub fn heartbeat_epoch_via(storage: &Storage, shard_dir: &Path) -> Option<u32> {
+    let text = storage
+        .read_to_string(&shard_dir.join(HEARTBEAT_FILE))
+        .ok()?;
     text.split_whitespace().next()?.parse().ok()
 }
 
 /// Write the shard's completion marker (atomic rename, like heartbeats).
 /// Only a worker that sealed its journal calls this.
-pub fn mark_done(shard_dir: &Path) -> std::io::Result<()> {
-    std::fs::create_dir_all(shard_dir)?;
+pub fn mark_done(shard_dir: &Path) -> Result<(), StorageError> {
+    mark_done_via(&Storage::real(), shard_dir)
+}
+
+/// [`mark_done`] through an explicit [`Storage`] handle.
+pub fn mark_done_via(storage: &Storage, shard_dir: &Path) -> Result<(), StorageError> {
+    storage.create_dir_all(shard_dir)?;
     let tmp = shard_dir.join(format!(".{DONE_FILE}.tmp.{}", std::process::id()));
-    std::fs::write(&tmp, "done\n")?;
-    std::fs::rename(&tmp, shard_dir.join(DONE_FILE))
+    storage.atomic_write(&tmp, &shard_dir.join(DONE_FILE), b"done\n")
 }
 
 /// Whether the shard has a completion marker.
@@ -276,8 +350,10 @@ pub fn is_done(shard_dir: &Path) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::vfs::{ChaosVfs, FaultKind, OpKind};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!(
@@ -379,6 +455,19 @@ mod tests {
     }
 
     #[test]
+    fn regrant_clears_chaos_sabotage_so_the_respawn_runs_clean() {
+        let mut lease = Lease::grant(0, 2, &meta(), 1, 250);
+        lease.sabotage = Some(LeaseSabotage::Chaos {
+            seed: 0x57A6,
+            rate: 0.05,
+        });
+        let json = serde_json::to_string(&lease).unwrap();
+        let back: Lease = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sabotage, lease.sabotage, "chaos plan roundtrips");
+        assert_eq!(back.regrant().sabotage, None);
+    }
+
+    #[test]
     fn store_replaces_atomically_under_a_reader() {
         // Replacing a lease many times never exposes a torn read.
         let dir = tmpdir("atomic");
@@ -406,6 +495,32 @@ mod tests {
     }
 
     #[test]
+    fn store_retries_through_torn_renames_without_exposing_a_prefix() {
+        // Both tear flavours: target never appears (even rename index) and
+        // source lingers beside a complete copy (odd index). The retried
+        // temp-write-fsync-rename sequence heals either.
+        for at in [0u64, 1] {
+            let dir = tmpdir(&format!("torn-store-{at}"));
+            let storage = Storage::with_chaos(ChaosVfs::scripted(vec![(
+                OpKind::Rename,
+                at,
+                FaultKind::TornRename,
+            )]));
+            let lease = Lease::grant(0, 2, &meta(), 1, 250);
+            // Warm up one clean store for the odd-index case.
+            if at == 1 {
+                lease.store_via(&storage, &dir).unwrap();
+            }
+            let mut next = lease.regrant();
+            next.holder_pid = 77;
+            next.store_via(&storage, &dir).unwrap();
+            let back = Lease::load(&dir, 0).unwrap();
+            assert_eq!(back, next, "reader sees the healed replacement");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
     fn heartbeat_age_epoch_and_done_marker() {
         let dir = tmpdir("heartbeat");
         let sd = shard_dir(&dir, 1);
@@ -424,6 +539,38 @@ mod tests {
         assert!(heartbeat_age(&sd).unwrap() >= Duration::from_millis(25));
         mark_done(&sd).unwrap();
         assert!(is_done(&sd));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_mtime_reads_as_bounded_age_not_permanently_fresh() {
+        // Regression: a heartbeat stamped *after* "now" (backwards clock
+        // jump) used to make heartbeat_age return None forever — the
+        // coordinator treated the dead worker as never-started and judged
+        // it only by spawn grace. The skew must count as age instead.
+        let dir = tmpdir("skew");
+        let sd = shard_dir(&dir, 0);
+        write_heartbeat(&sd, 1).unwrap();
+        let hb = sd.join(HEARTBEAT_FILE);
+        let f = std::fs::OpenOptions::new().write(true).open(&hb).unwrap();
+        f.set_modified(SystemTime::now() + Duration::from_secs(3600))
+            .unwrap();
+        drop(f);
+        let age = heartbeat_age(&sd).expect("a skewed beat still has an age");
+        assert!(
+            age >= Duration::from_secs(3590),
+            "an hour of skew reads as ~an hour of staleness, got {age:?}"
+        );
+
+        // The ChaosVfs SkewMtime fault exercises the same path without
+        // touching the real clock.
+        let storage =
+            Storage::with_chaos(ChaosVfs::from_plan(&testkit::StorageSabotage::ClockSkew {
+                skew_secs: 3600,
+            }));
+        write_heartbeat(&sd, 2).unwrap();
+        let age = heartbeat_age_via(&storage, &sd).expect("skewed mtime still ages");
+        assert!(age >= Duration::from_secs(3590), "{age:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -18,12 +18,14 @@ pub mod lease;
 pub mod pipeline;
 pub mod report;
 pub mod supervise;
+pub mod vfs;
 
 pub mod exps;
 
 pub use args::ExpArgs;
 pub use coordinator::{
     merge_run, run_sharded, worker_main, CoordCrash, CoordError, CoordObs, CoordinatorConfig,
+    EXIT_KILLED, EXIT_REFUSED, EXIT_STORAGE,
 };
 pub use journal::{CrashPoint, JournalWriter, RunMeta, ShardInfo, JOURNAL_SCHEMA};
 pub use lease::{Lease, LeaseSabotage, LeaseState, LEASE_SCHEMA};
@@ -34,4 +36,8 @@ pub use report::Report;
 pub use supervise::{
     FaultInjector, InjectedFault, QuarantineReason, QuarantinedBlock, ShutdownSignal,
     SuperviseConfig, SuperviseReport,
+};
+pub use vfs::{
+    ChaosVfs, FaultKind, OpKind, RealVfs, RetryPolicy, Storage, StorageError, StorageErrorKind,
+    StorageObs, Vfs, VfsFile,
 };

@@ -33,6 +33,7 @@ use crate::supervise::{
     classify_blocks_supervised, FaultInjector, ShutdownSignal, SuperviseConfig, SuperviseHooks,
     SuperviseObs, SuperviseReport,
 };
+use crate::vfs::{Storage, StorageError};
 use aggregate::{aggregate_identical, Aggregate, HomogBlock};
 use hobbit::{
     classify_block_observed, detects_homogeneous, select_block, survey_block, BlockLasthopData,
@@ -134,6 +135,11 @@ pub struct PipelineBuilder {
     crash: Option<CrashPoint>,
     shutdown: Option<ShutdownSignal>,
     shard: Option<(usize, usize)>,
+    storage: Option<Storage>,
+    /// Set by [`PipelineBuilder::args`]: this run belongs to a CLI
+    /// process, so a storage failure should exit with a named error
+    /// rather than unwind with a library panic.
+    cli: bool,
 }
 
 impl std::fmt::Debug for PipelineBuilder {
@@ -149,6 +155,7 @@ impl std::fmt::Debug for PipelineBuilder {
             .field("crash", &self.crash)
             .field("shutdown", &self.shutdown)
             .field("shard", &self.shard)
+            .field("storage", &self.storage)
             .finish()
     }
 }
@@ -214,9 +221,13 @@ impl PipelineBuilder {
         self
     }
 
-    /// Take every knob from parsed CLI arguments at once.
+    /// Take every knob from parsed CLI arguments at once. Also marks the
+    /// run as CLI-owned: a storage failure in [`PipelineBuilder::run`]
+    /// prints the typed error and exits [`crate::EXIT_STORAGE`] instead
+    /// of panicking with a backtrace.
     pub fn args(mut self, args: &ExpArgs) -> Self {
         self.args = args.clone();
+        self.cli = true;
         self
     }
 
@@ -304,8 +315,36 @@ impl PipelineBuilder {
         self
     }
 
-    /// Execute the pipeline.
+    /// Route every run-dir filesystem operation (journal create/resume,
+    /// appends, fsyncs) through an explicit [`Storage`] handle — a
+    /// [`crate::vfs::ChaosVfs`]-backed one injects disk faults, the
+    /// default is faithful. `--storage-chaos` builds one from the CLI.
+    pub fn storage(mut self, storage: Storage) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Execute the pipeline, panicking on storage failure. Fine for the
+    /// common faithful-disk case (a run that cannot open or flush its own
+    /// journal has no useful continuation); anything running under
+    /// `--storage-chaos` — or wanting a typed error to drive degraded
+    /// modes — uses [`PipelineBuilder::try_run`].
     pub fn run(self) -> Pipeline {
+        let cli = self.cli;
+        self.try_run().unwrap_or_else(|e| {
+            if cli {
+                eprintln!("error: {e}");
+                std::process::exit(crate::coordinator::EXIT_STORAGE);
+            }
+            panic!("pipeline storage failure: {e}")
+        })
+    }
+
+    /// Execute the pipeline, returning a typed [`StorageError`] when a
+    /// run-dir filesystem failure survives the bounded retries: the
+    /// journal on disk is then still a valid (resumable) prefix, but no
+    /// report may be published over it.
+    pub fn try_run(self) -> Result<Pipeline, StorageError> {
         let PipelineBuilder {
             mut args,
             scenario,
@@ -317,6 +356,8 @@ impl PipelineBuilder {
             crash,
             shutdown,
             shard,
+            storage,
+            cli: _,
         } = self;
         assert!(
             args.shards.is_none(),
@@ -341,7 +382,27 @@ impl PipelineBuilder {
             sup_cfg.deadline = Duration::from_secs_f64(secs);
         }
 
-        // Open the journal first: on resume its meta record dictates seed,
+        // The registry comes first so the storage handle can bind its
+        // `storage.*` counters before the journal's first byte is written.
+        let observing = observe || args.metrics.is_some() || args.trace_spans;
+        let obs: Option<Arc<Registry>> = observing.then(|| Arc::new(Registry::new()));
+        let rec: &dyn Recorder = obs
+            .as_deref()
+            .map(|r| r as &dyn Recorder)
+            .unwrap_or(&NULL_RECORDER);
+
+        // Every run-dir operation goes through one Storage handle: an
+        // explicit builder handle wins, then `--storage-chaos`, then the
+        // faithful default.
+        let mut storage = storage
+            .or_else(|| {
+                args.storage_chaos
+                    .map(|(seed, rate)| Storage::chaos(seed, rate))
+            })
+            .unwrap_or_else(Storage::real);
+        storage.observe(rec);
+
+        // Open the journal next: on resume its meta record dictates seed,
         // scale, and faults (the resumed world must be the crashed world).
         let mut journal: Option<Mutex<JournalWriter>> = None;
         let mut replayed: Vec<BlockMeasurement> = Vec::new();
@@ -349,11 +410,14 @@ impl PipelineBuilder {
         let mut replayed_shard_info: Option<ShardInfo> = None;
         if let Some(dir) = &run_dir {
             let writer = if resume {
-                let (w, replay) =
-                    JournalWriter::resume(dir).expect("resume: cannot open run-dir journal");
-                let meta = replay
-                    .meta
-                    .expect("resume: journal has no meta record (nothing was checkpointed)");
+                let (w, replay) = JournalWriter::resume_via(storage.clone(), dir)?;
+                let meta = replay.meta.ok_or_else(|| {
+                    StorageError::corruption(
+                        "resume",
+                        &dir.join(crate::journal::JOURNAL_FILE),
+                        "journal has no meta record (nothing was checkpointed)",
+                    )
+                })?;
                 assert_eq!(
                     meta.schema, JOURNAL_SCHEMA,
                     "resume: journal written by an incompatible version"
@@ -414,13 +478,13 @@ impl PipelineBuilder {
                 }
                 w
             } else {
-                JournalWriter::create(
+                JournalWriter::create_via(
+                    storage.clone(),
                     dir,
                     &RunMeta::new(args.seed, args.scale, args.faults)
                         .with_mda_lite(args.mda_lite)
                         .with_dynamics(args.dynamics),
-                )
-                .expect("cannot create run-dir journal")
+                )?
             };
             journal = Some(Mutex::new(writer));
         }
@@ -430,13 +494,6 @@ impl PipelineBuilder {
                 .expect("a crash point needs a run dir to crash");
             j.lock().unwrap().set_crash_point(cp);
         }
-
-        let observing = observe || args.metrics.is_some() || args.trace_spans;
-        let obs: Option<Arc<Registry>> = observing.then(|| Arc::new(Registry::new()));
-        let rec: &dyn Recorder = obs
-            .as_deref()
-            .map(|r| r as &dyn Recorder)
-            .unwrap_or(&NULL_RECORDER);
 
         let run_span = obs.as_ref().map(|r| r.span("run"));
         let mut scenario = {
@@ -549,8 +606,8 @@ impl PipelineBuilder {
                 None => {
                     let j = journal.as_ref().expect("sharding requires a run dir");
                     let mut j = j.lock().unwrap();
-                    j.append(&Entry::ShardInfo(info)).expect("journal append");
-                    j.flush().expect("journal flush");
+                    j.append(&Entry::ShardInfo(info))?;
+                    j.flush()?;
                 }
             }
         }
@@ -648,16 +705,21 @@ impl PipelineBuilder {
         supervision.resumed_blocks = resumed_blocks;
 
         // Journal epilogue: a crashed journal means the "process" died —
-        // nothing more may be written; otherwise seal and flush.
+        // nothing more may be written. A sealed journal (storage fault
+        // past the retries) propagates its typed error: the on-disk
+        // prefix is valid and resumable, but the run must not publish a
+        // report — or write a done marker — over an incomplete journal.
         if let Some(j) = &journal {
             let mut j = j.lock().unwrap();
             if j.crashed() {
                 supervision.interrupted = true;
+            } else if let Some(e) = supervision.storage_error.take() {
+                return Err(e);
             } else {
                 if supervision.shutdown {
-                    j.append(&Entry::Shutdown).expect("journal append");
+                    j.append(&Entry::Shutdown)?;
                 }
-                j.flush().expect("journal flush");
+                j.flush()?;
             }
             sup_obs.journal_appends.add(j.appends());
             sup_obs.journal_fsyncs.add(j.fsyncs());
@@ -701,7 +763,7 @@ impl PipelineBuilder {
             dynamics_events,
         };
         pipeline.emit_observability(&args);
-        pipeline
+        Ok(pipeline)
     }
 }
 

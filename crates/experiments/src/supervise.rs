@@ -32,6 +32,7 @@
 
 use crate::journal::{Entry, JournalWriter};
 use crate::pipeline::{block_ident, StealQueues, WorkerStats};
+use crate::vfs::StorageError;
 use hobbit::{
     classify_block_observed, BlockMeasurement, ClassifyObs, ConfidenceTable, HobbitConfig,
     SelectedBlock,
@@ -142,6 +143,11 @@ pub struct SuperviseReport {
     pub interrupted: bool,
     /// Whether a graceful shutdown drained the phase early.
     pub shutdown: bool,
+    /// The storage failure that sealed the journal mid-phase, when one
+    /// did: workers stop pulling blocks the moment an append fails past
+    /// the retry budget, and the pipeline propagates this error instead
+    /// of publishing a report over an incomplete journal.
+    pub storage_error: Option<StorageError>,
 }
 
 /// Cooperative shutdown request shared between the caller and the
@@ -285,8 +291,15 @@ pub fn classify_blocks_supervised(
     let mut slots: Vec<Option<BlockMeasurement>> = (0..selected.len()).map(|_| None).collect();
     let mut worker_stats = Vec::with_capacity(threads);
 
-    // The journal is already dead if a prior phase crashed it.
-    let journal_crashed = || hooks.journal.is_some_and(|j| j.lock().unwrap().crashed());
+    // The journal is already dead if a prior phase crashed it (simulated
+    // kill) or sealed it (a storage fault that survived the retries).
+    let storage_err: Mutex<Option<StorageError>> = Mutex::new(None);
+    let journal_dead = || {
+        hooks.journal.is_some_and(|j| {
+            let j = j.lock().unwrap();
+            j.crashed() || j.sealed().is_some()
+        }) || storage_err.lock().unwrap().is_some()
+    };
 
     std::thread::scope(|scope| {
         let watchdog = scope.spawn(|| {
@@ -313,6 +326,7 @@ pub fn classify_blocks_supervised(
                 let obs = obs.clone();
                 let (attempts, inflight) = (&attempts, &inflight);
                 let (quarantined, requeues, panics) = (&quarantined, &requeues, &panics);
+                let storage_err = &storage_err;
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     let mut stats = WorkerStats::default();
@@ -320,8 +334,8 @@ pub fn classify_blocks_supervised(
                         if hooks.shutdown.as_ref().is_some_and(|s| s.is_requested()) {
                             break; // drain: stop pulling, keep what finished
                         }
-                        if journal_crashed() {
-                            break; // the "process" died; stop immediately
+                        if journal_dead() {
+                            break; // the "process" or its disk died; stop now
                         }
                         let Some((idx, stolen)) = queues.next(w) else {
                             break;
@@ -391,11 +405,18 @@ pub fn classify_blocks_supervised(
                                 stats.backoff_us += d.backoff_us;
                                 if let Some(j) = hooks.journal {
                                     let mut j = j.lock().unwrap();
-                                    j.append(&Entry::Block {
+                                    if let Err(e) = j.append(&Entry::Block {
                                         index: idx as u64,
                                         measurement: m.clone(),
-                                    })
-                                    .expect("journal append");
+                                    }) {
+                                        // The journal sealed under a storage
+                                        // fault: the measurement was never
+                                        // acknowledged, so it is discarded —
+                                        // a resume re-measures it — and the
+                                        // phase stops with the typed error.
+                                        storage_err.lock().unwrap().get_or_insert(e);
+                                        break;
+                                    }
                                     if j.crashed() {
                                         // The process died inside the append;
                                         // the in-memory result dies with it.
@@ -428,15 +449,15 @@ pub fn classify_blocks_supervised(
                                     detail,
                                 };
                                 if let Some(j) = hooks.journal {
-                                    j.lock()
-                                        .unwrap()
-                                        .append(&Entry::Quarantine {
-                                            index: idx as u64,
-                                            block: q.block,
-                                            attempts: q.attempts,
-                                            reason: format!("{}: {}", reason.label(), q.detail),
-                                        })
-                                        .expect("journal append");
+                                    if let Err(e) = j.lock().unwrap().append(&Entry::Quarantine {
+                                        index: idx as u64,
+                                        block: q.block,
+                                        attempts: q.attempts,
+                                        reason: format!("{}: {}", reason.label(), q.detail),
+                                    }) {
+                                        storage_err.lock().unwrap().get_or_insert(e);
+                                        break;
+                                    }
                                 }
                                 quarantined.lock().unwrap().push(q);
                                 obs.quarantined.inc();
@@ -485,6 +506,7 @@ pub fn classify_blocks_supervised(
             resumed_blocks: 0,
             interrupted: false,
             shutdown: hooks.shutdown.as_ref().is_some_and(|s| s.is_requested()),
+            storage_error: storage_err.into_inner().unwrap(),
         },
     }
 }

@@ -38,7 +38,10 @@ pub use mda::{
     Diamond, MdaLiteState, MdaMode, MdaPaths, StoppingRule,
 };
 pub use ping::{ping_series, PingSeries};
-pub use prober::{ProbeObs, ProbeReply, ProbeResult, ProbeTransport, Prober};
+pub use prober::{
+    backoff_delay, ProbeObs, ProbeReply, ProbeResult, ProbeTransport, Prober,
+    DEFAULT_BACKOFF_BASE_US, DEFAULT_BACKOFF_CAP_US,
+};
 pub use record::{ProbeLog, RecordedCall, RecordedReply};
 pub use traceroute::{paris_traceroute, Traceroute};
 pub use types::{route_sets_equal, route_sets_identical, Hop, Path};

@@ -231,9 +231,10 @@ pub const DEFAULT_BACKOFF_BASE_US: u64 = 100_000;
 /// Default backoff ceiling (1.6 s = base doubled four times).
 pub const DEFAULT_BACKOFF_CAP_US: u64 = 1_600_000;
 
-/// Simulated wait before retry number `retry_index` (1-based): exponential
-/// in the retry index, capped.
-fn backoff_delay(base_us: u64, cap_us: u64, retry_index: u32) -> u64 {
+/// Wait before retry number `retry_index` (1-based): exponential in the
+/// retry index, capped. Public because the storage retry machinery in the
+/// experiments crate deliberately reuses the prober's backoff shape.
+pub fn backoff_delay(base_us: u64, cap_us: u64, retry_index: u32) -> u64 {
     let shift = retry_index.saturating_sub(1).min(16);
     base_us.saturating_mul(1u64 << shift).min(cap_us)
 }

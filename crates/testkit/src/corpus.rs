@@ -97,10 +97,23 @@ impl CorpusEntry {
         out
     }
 
-    /// Write the entry as pretty JSON to `path`.
+    /// Write the entry as pretty JSON to `path`, atomically: the bytes go
+    /// to a temp file beside the target which is then renamed into place,
+    /// so a crash or ENOSPC mid-regen can never leave a half-rewritten
+    /// pinned corpus file — the reader sees the old entry or the new one.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        self.save_via(&StdCorpusStore, path)
+    }
+
+    /// [`CorpusEntry::save`] through an explicit [`CorpusStore`], so a
+    /// fault-injecting filesystem can be slotted underneath in tests.
+    pub fn save_via(&self, store: &dyn CorpusStore, path: &Path) -> io::Result<()> {
         let json = serde_json::to_string_pretty(self).expect("corpus entry serializes");
-        fs::write(path, json + "\n")
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        store.write(&tmp, (json + "\n").as_bytes())?;
+        store.rename(&tmp, path)
     }
 
     /// Read an entry back from `path`, validating the embedded spec.
@@ -113,6 +126,30 @@ impl CorpusEntry {
             .validate()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))?;
         Ok(entry)
+    }
+}
+
+/// The filesystem surface corpus regeneration writes through. The default
+/// implementation is plain `std::fs`; the experiments crate implements it
+/// for its `Storage` handle so `ChaosVfs` fault schedules cover the
+/// atomic-save path too.
+pub trait CorpusStore {
+    /// Write `bytes` to `path`, creating or truncating it.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Atomically rename `from` onto `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+}
+
+/// [`CorpusStore`] over plain `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StdCorpusStore;
+
+impl CorpusStore for StdCorpusStore {
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
     }
 }
 

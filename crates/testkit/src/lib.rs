@@ -51,12 +51,13 @@ pub mod diff;
 pub mod oracle;
 pub mod scenario;
 pub mod shrink;
+pub mod storage;
 
 pub use accuracy::{dynamics_accuracy, epoch_truth, AccuracyObs, AccuracyReport};
 pub use baseline::{
     baseline_aggregate_identical, baseline_early_verdict, baseline_similarity_edges, BaselineGroups,
 };
-pub use corpus::{golden_specs, CorpusEntry, ExpectedBlock};
+pub use corpus::{golden_specs, CorpusEntry, CorpusStore, ExpectedBlock, StdCorpusStore};
 pub use crash::{first_divergence, kill_points, CrashPlan};
 pub use diff::{run_spec, ClassifyRef, ConformObs, DiffReport, Mismatch};
 pub use oracle::{
@@ -68,3 +69,4 @@ pub use scenario::{
     ScenarioSpec, World,
 };
 pub use shrink::shrink;
+pub use storage::{storage_schedules, StorageSabotage};
